@@ -1,0 +1,214 @@
+// Benchmark harness: one testing.B benchmark per paper table/figure (and
+// per ablation from DESIGN.md §5). Each benchmark executes the experiment
+// end to end at a scaled-down horizon — go test -bench time budgets do not
+// allow T=10000 per iteration; use cmd/lfscbench for full-scale figures —
+// and reports the reproduction's key shape numbers as custom benchmark
+// metrics (e.g. LFSC reward as a fraction of Oracle's).
+package lfsc
+
+import (
+	"testing"
+
+	"lfsc/internal/experiments"
+)
+
+// benchT is the per-iteration horizon for figure benchmarks.
+const benchT = 600
+
+// benchSweepT is the horizon for multi-scenario sweeps (25+ runs each).
+const benchSweepT = 250
+
+func benchOpts(T int) experiments.Options {
+	return experiments.Options{T: T, Seed: 42, ChartWidth: 40, ChartHeight: 8}
+}
+
+func countPass(notes []string) (pass, total int) {
+	for _, n := range notes {
+		total++
+		if len(n) >= 4 && n[:4] == "PASS" {
+			pass++
+		}
+	}
+	return pass, total
+}
+
+// BenchmarkFig2aCumulativeReward regenerates Fig. 2(a).
+func BenchmarkFig2aCumulativeReward(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, err := experiments.RunBase(benchOpts(benchT))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := experiments.Fig2a(base)
+		lfsc := base.ByName["LFSC"].TotalReward()
+		oracle := base.ByName["Oracle"].TotalReward()
+		b.ReportMetric(lfsc/oracle, "LFSC/Oracle")
+		pass, total := countPass(r.Notes)
+		b.ReportMetric(float64(pass)/float64(total), "shape-checks")
+	}
+}
+
+// BenchmarkFig2bPerSlotReward regenerates Fig. 2(b).
+func BenchmarkFig2bPerSlotReward(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, err := experiments.RunBase(benchOpts(benchT))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := experiments.Fig2b(base)
+		pass, total := countPass(r.Notes)
+		b.ReportMetric(float64(pass)/float64(total), "shape-checks")
+	}
+}
+
+// BenchmarkFig2cViolations regenerates the violation figures.
+func BenchmarkFig2cViolations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, err := experiments.RunBase(benchOpts(benchT))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := experiments.Fig2c(base)
+		lf := base.ByName["LFSC"].TotalViolations()
+		ucb := base.ByName["vUCB"].TotalViolations()
+		b.ReportMetric(lf/ucb, "LFSCviol/vUCBviol")
+		pass, total := countPass(r.Notes)
+		b.ReportMetric(float64(pass)/float64(total), "shape-checks")
+	}
+}
+
+// BenchmarkFig3AlphaSweep regenerates Fig. 3 (α ∈ {13..17}).
+func BenchmarkFig3AlphaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchOpts(benchSweepT))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pass, total := countPass(r.Notes)
+		b.ReportMetric(float64(pass)/float64(total), "shape-checks")
+	}
+}
+
+// BenchmarkFig4LikelihoodSweep regenerates Fig. 4 (V support sweep).
+func BenchmarkFig4LikelihoodSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(benchOpts(benchSweepT))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pass, total := countPass(r.Notes)
+		b.ReportMetric(float64(pass)/float64(total), "shape-checks")
+	}
+}
+
+// BenchmarkPerformanceRatio regenerates the Sec. 5 ratio comparison.
+func BenchmarkPerformanceRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, err := experiments.RunBase(benchOpts(benchT))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := experiments.Ratio(base)
+		b.ReportMetric(base.ByName["LFSC"].PerformanceRatio(), "LFSC-ratio")
+		pass, total := countPass(r.Notes)
+		b.ReportMetric(float64(pass)/float64(total), "shape-checks")
+	}
+}
+
+// BenchmarkAblationGreedyVsExact measures the Lemma-2 greedy against the
+// exact min-cost-flow matching.
+func BenchmarkAblationGreedyVsExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationGreedyVsExact(benchOpts(benchT))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Mean observed ratio at the paper's capacity c=20.
+		ratios := r.CSVSeries[1]
+		b.ReportMetric(ratios[len(ratios)-1], "greedy/optimal@c20")
+	}
+}
+
+// BenchmarkAblationGranularity sweeps the partition granularity h.
+func BenchmarkAblationGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGranularity(benchOpts(benchSweepT)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLagrangian toggles the Lagrangian multipliers.
+func BenchmarkAblationLagrangian(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationLagrangian(benchOpts(benchT))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pass, total := countPass(r.Notes)
+		b.ReportMetric(float64(pass)/float64(total), "shape-checks")
+	}
+}
+
+// BenchmarkAblationCapping toggles Exp3.M weight capping.
+func BenchmarkAblationCapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCapping(benchOpts(benchT)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSelection compares the three selection modes.
+func BenchmarkAblationSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSelection(benchOpts(benchT)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNonstationary stresses drifting/piecewise rewards.
+func BenchmarkAblationNonstationary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationNonstationary(benchOpts(benchT)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimSlotPaperScale measures the per-slot cost of the full
+// pipeline (workload → LFSC decide → execution → observe) at paper scale.
+func BenchmarkSimSlotPaperScale(b *testing.B) {
+	sc := PaperScenario()
+	sc.Cfg.T = b.N
+	if sc.Cfg.T < 1 {
+		sc.Cfg.T = 1
+	}
+	b.ResetTimer()
+	if _, err := Run(sc, LFSCFactory(nil), 42); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTheorem1Sublinearity probes the sub-linear regret/violation
+// claim across a horizon ladder.
+func BenchmarkTheorem1Sublinearity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Theorem1(benchOpts(benchT))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pass, total := countPass(r.Notes)
+		b.ReportMetric(float64(pass)/float64(total), "shape-checks")
+	}
+}
+
+// BenchmarkAblationStress runs the adversarial-workload robustness sweep.
+func BenchmarkAblationStress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.StressSweep(benchOpts(benchSweepT)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

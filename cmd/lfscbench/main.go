@@ -1,0 +1,133 @@
+// Command lfscbench regenerates the paper's evaluation artifacts (figures,
+// tables, ablations) at any horizon and writes their raw series as CSV.
+//
+// Usage:
+//
+//	lfscbench [-exp all|fig2a|fig2b|fig2c|fig3|fig4|ratio|abl-...] \
+//	          [-T 10000] [-seed 42] [-outdir results/] [-workers 0]
+//
+// Experiment ids and what they reproduce are listed by -list. The full
+// five-policy paper run (T=10000) takes a few minutes on a laptop; the
+// base run is shared across fig2a/fig2b/fig2c/ratio.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lfsc/internal/experiments"
+	"lfsc/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		horizon = flag.Int("T", 10000, "time horizon (paper: 10000)")
+		seed    = flag.Uint64("seed", 42, "master random seed")
+		outdir  = flag.String("outdir", "", "directory for CSV exports (optional)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, id := range experiments.Order() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.T = *horizon
+	opts.Seed = *seed
+	opts.Workers = *workers
+
+	ids := experiments.Order()
+	if *exp != "all" {
+		if experiments.Registry()[*exp] == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+
+	// The four base-run figures share one simulation.
+	needsBase := map[string]bool{"fig2a": true, "fig2b": true, "fig2c": true, "ratio": true}
+	var base *experiments.Base
+	getBase := func() (*experiments.Base, error) {
+		if base != nil {
+			return base, nil
+		}
+		fmt.Printf("running base scenario (5 policies, T=%d, seed=%d)...\n", opts.T, opts.Seed)
+		start := time.Now()
+		b, err := experiments.RunBase(opts)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("base run finished in %v\n\n", time.Since(start).Round(time.Millisecond))
+		base = b
+		return base, nil
+	}
+
+	for _, id := range ids {
+		var res *experiments.Result
+		var err error
+		start := time.Now()
+		if needsBase[id] {
+			var b *experiments.Base
+			if b, err = getBase(); err == nil {
+				switch id {
+				case "fig2a":
+					res = experiments.Fig2a(b)
+				case "fig2b":
+					res = experiments.Fig2b(b)
+				case "fig2c":
+					res = experiments.Fig2c(b)
+				case "ratio":
+					res = experiments.Ratio(b)
+				}
+			}
+		} else {
+			fmt.Printf("running %s (T=%d)...\n", id, opts.T)
+			res, err = experiments.Registry()[id](opts)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s (%v)\n\n", res.ID, res.Title, time.Since(start).Round(time.Millisecond))
+		if res.Table != nil {
+			fmt.Println(res.Table.String())
+		}
+		for _, ch := range res.Charts {
+			fmt.Println(ch.String())
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("  %s\n", n)
+		}
+		fmt.Println()
+		if *outdir != "" && len(res.CSVSeries) > 0 {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "outdir: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outdir, res.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			if err := report.WriteSeriesCSV(f, res.CSVHeaders, res.CSVSeries); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+				f.Close()
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Command lfscsim runs a single task-offloading simulation and prints the
+// paper's metrics for the selected policies.
+//
+// Usage:
+//
+//	lfscsim [-T 10000] [-scns 30] [-c 20] [-alpha 15] [-beta 27] [-h 3]
+//	        [-policies oracle,lfsc,vucb,fml,random] [-seed 42]
+//	        [-replicas 1] [-min 35] [-max 100] [-overlap 0.3]
+//	        [-vlo 0] [-vhi 1] [-mode stationary|drifting|piecewise]
+//
+// With -replicas > 1 the run repeats across independent seeds (in
+// parallel) and reports means with 95% confidence intervals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lfsc/internal/env"
+	"lfsc/internal/metrics"
+	"lfsc/internal/report"
+	"lfsc/internal/rng"
+	"lfsc/internal/sim"
+	"lfsc/internal/trace"
+)
+
+func main() {
+	var (
+		horizon  = flag.Int("T", 10000, "time horizon")
+		scns     = flag.Int("scns", 30, "number of SCNs")
+		capacity = flag.Int("c", 20, "per-SCN beam budget")
+		alpha    = flag.Float64("alpha", 15, "QoS floor (min completed tasks)")
+		beta     = flag.Float64("beta", 27, "resource ceiling")
+		hGrain   = flag.Int("h", 3, "hypercube granularity per context dim")
+		policies = flag.String("policies", "oracle,lfsc,vucb,fml,random", "comma-separated policies")
+		seed     = flag.Uint64("seed", 42, "master seed")
+		replicas = flag.Int("replicas", 1, "independent replicas (mean ± CI)")
+		minTasks = flag.Int("min", 35, "min tasks per SCN per slot")
+		maxTasks = flag.Int("max", 100, "max tasks per SCN per slot")
+		overlap  = flag.Float64("overlap", 0.3, "coverage overlap probability")
+		vlo      = flag.Float64("vlo", 0, "likelihood range lower bound")
+		vhi      = flag.Float64("vhi", 1, "likelihood range upper bound")
+		mode     = flag.String("mode", "stationary", "reward process: stationary|drifting|piecewise")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		chart    = flag.Bool("chart", true, "print the cumulative reward chart")
+		mbs      = flag.Bool("mbs", false, "enable the macrocell fallback extension")
+		mbsCap   = flag.Int("mbscap", 0, "MBS fallback capacity per slot (0 = unlimited)")
+		stress   = flag.String("stress", "", "stress workload: diurnal|hotspot|flashcrowd (default: paper i.i.d.)")
+	)
+	flag.Parse()
+
+	base := trace.SyntheticConfig{
+		SCNs: *scns, MinTasks: *minTasks, MaxTasks: *maxTasks,
+		Overlap: *overlap, LatencySensitiveFrac: 0.5,
+	}
+	newGen := func(r *rng.Stream) (trace.Generator, error) {
+		return trace.NewSynthetic(base, r)
+	}
+	if *stress != "" {
+		var kind trace.StressKind
+		switch *stress {
+		case "diurnal":
+			kind = trace.Diurnal
+		case "hotspot":
+			kind = trace.Hotspot
+		case "flashcrowd":
+			kind = trace.FlashCrowd
+		default:
+			fmt.Fprintf(os.Stderr, "unknown stress pattern %q\n", *stress)
+			os.Exit(2)
+		}
+		newGen = func(r *rng.Stream) (trace.Generator, error) {
+			return trace.NewStress(trace.StressConfig{Base: base, Kind: kind}, r)
+		}
+	}
+	sc := &sim.Scenario{
+		Cfg:          sim.Config{T: *horizon, Capacity: *capacity, Alpha: *alpha, Beta: *beta, H: *hGrain},
+		NewGenerator: newGen,
+		EnvCfg:       env.DefaultConfig(*scns, 27),
+	}
+	sc.EnvCfg.VRange = [2]float64{*vlo, *vhi}
+	if *mbs {
+		sc.Cfg.MBS = &sim.MBSConfig{Capacity: *mbsCap}
+	}
+	switch *mode {
+	case "stationary":
+		sc.EnvCfg.Mode = env.Stationary
+	case "drifting":
+		sc.EnvCfg.Mode = env.Drifting
+	case "piecewise":
+		sc.EnvCfg.Mode = env.Piecewise
+		sc.EnvCfg.SwitchEvery = *horizon / 4
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	var factories []sim.Factory
+	var names []string
+	for _, p := range strings.Split(*policies, ",") {
+		switch strings.TrimSpace(strings.ToLower(p)) {
+		case "oracle":
+			factories = append(factories, sim.OracleFactory(false))
+			names = append(names, "Oracle")
+		case "lfsc":
+			factories = append(factories, sim.LFSCFactory(nil))
+			names = append(names, "LFSC")
+		case "vucb":
+			factories = append(factories, sim.VUCBFactory())
+			names = append(names, "vUCB")
+		case "fml":
+			factories = append(factories, sim.FMLFactory(0))
+			names = append(names, "FML")
+		case "random":
+			factories = append(factories, sim.RandomFactory())
+			names = append(names, "Random")
+		case "thompson":
+			factories = append(factories, sim.ThompsonFactory())
+			names = append(names, "Thompson")
+		case "linucb":
+			factories = append(factories, sim.LinUCBFactory(0))
+			names = append(names, "LinUCB")
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", p)
+			os.Exit(2)
+		}
+	}
+	if len(factories) == 0 {
+		fmt.Fprintln(os.Stderr, "no policies selected")
+		os.Exit(2)
+	}
+
+	fmt.Printf("scenario: M=%d c=%d α=%g β=%g h=%d T=%d V∈[%g,%g] %s, seed=%d, replicas=%d\n\n",
+		*scns, *capacity, *alpha, *beta, *hGrain, *horizon, *vlo, *vhi, *mode, *seed, *replicas)
+
+	start := time.Now()
+	headers := []string{"policy", "reward", "V1 (QoS)", "V2 (resource)", "ratio"}
+	if *mbs {
+		headers = append(headers, "MBS reward")
+	}
+	tbl := report.NewTable("Results", headers...)
+	lineChart := report.NewLineChart("Cumulative compound reward", 72, 14)
+	for i, factory := range factories {
+		if *replicas <= 1 {
+			s, err := sim.Run(sc, factory, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", names[i], err)
+				os.Exit(1)
+			}
+			cells := []interface{}{s.Policy, s.TotalReward(), s.TotalV1(), s.TotalV2(), s.PerformanceRatio()}
+			if *mbs {
+				cells = append(cells, s.TotalMBSReward())
+			}
+			tbl.AddRowf(cells...)
+			lineChart.Add(s.Policy, s.CumReward())
+			continue
+		}
+		reps, err := sim.RunReplicas(sc, factory, sim.Seeds(*seed, *replicas), *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", names[i], err)
+			os.Exit(1)
+		}
+		sum := metrics.Summarize(reps)
+		tbl.AddRow(sum.Policy,
+			fmt.Sprintf("%.4g ± %.2g", sum.Reward, sum.RewardCI),
+			fmt.Sprintf("%.4g ± %.2g", sum.V1, sum.V1CI),
+			fmt.Sprintf("%.4g ± %.2g", sum.V2, sum.V2CI),
+			fmt.Sprintf("%.4g", sum.Ratio))
+		lineChart.Add(sum.Policy, metrics.Mean(reps).CumReward())
+	}
+	fmt.Println(tbl.String())
+	if *chart {
+		fmt.Println(lineChart.String())
+	}
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,140 @@
+// Command tracegen generates workload traces in the package trace CSV
+// format (or inspects an existing one). Generated traces can be replayed
+// through the simulator (see examples/tracedriven), which is also the
+// integration point for genuinely real-world traces.
+//
+// Usage:
+//
+//	tracegen -out trace.csv [-slots 100] [-mode synthetic|geo|heavy]
+//	         [-scns 30] [-min 35] [-max 100] [-overlap 0.3] [-seed 1]
+//	tracegen -inspect trace.csv -scns 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lfsc/internal/geo"
+	"lfsc/internal/report"
+	"lfsc/internal/rng"
+	"lfsc/internal/stats"
+	"lfsc/internal/trace"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output CSV path")
+		inspect  = flag.String("inspect", "", "inspect an existing trace CSV")
+		slots    = flag.Int("slots", 100, "number of slots to generate")
+		mode     = flag.String("mode", "synthetic", "synthetic|heavy|geo")
+		scns     = flag.Int("scns", 30, "number of SCNs")
+		minTasks = flag.Int("min", 35, "min tasks per SCN (synthetic)")
+		maxTasks = flag.Int("max", 100, "max tasks per SCN (synthetic)")
+		overlap  = flag.Float64("overlap", 0.3, "coverage overlap probability (synthetic)")
+		wds      = flag.Int("wds", 2000, "wireless devices (geo)")
+		radius   = flag.Float64("radius", 400, "coverage radius meters (geo)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		inspectTrace(*inspect, *scns)
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "need -out or -inspect")
+		os.Exit(2)
+	}
+
+	var gen trace.Generator
+	var err error
+	switch *mode {
+	case "synthetic", "heavy":
+		gen, err = trace.NewSynthetic(trace.SyntheticConfig{
+			SCNs: *scns, MinTasks: *minTasks, MaxTasks: *maxTasks,
+			Overlap: *overlap, Heavy: *mode == "heavy", LatencySensitiveFrac: 0.5,
+		}, rng.New(*seed))
+	case "geo":
+		area := geo.Area{W: 2000, H: 2000}
+		gen, err = trace.NewGeo(trace.GeoConfig{
+			Area: area, SCNPositions: geo.PlaceGrid(area, *scns),
+			RadiusM: *radius, WDs: *wds, TaskProb: 0.5,
+			MinSpeed: 1, MaxSpeed: 15, MaxPause: 5, LatencySensitiveFrac: 0.5,
+		}, rng.New(*seed))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	recorded := make([]*trace.Slot, *slots)
+	for t := 0; t < *slots; t++ {
+		recorded[t] = gen.Next(t)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, recorded); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	total := 0
+	for _, s := range recorded {
+		total += s.NumTasks()
+	}
+	fmt.Printf("wrote %s: %d slots, %d tasks, %d SCNs (%s)\n",
+		*out, *slots, total, gen.SCNs(), *mode)
+}
+
+func inspectTrace(path string, numSCNs int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	slots, err := trace.ReadCSV(f, numSCNs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var perSCN stats.Summary
+	var inSize, outSize stats.Summary
+	multi := 0
+	totalTasks := 0
+	for _, s := range slots {
+		totalTasks += s.NumTasks()
+		deg := make([]int, s.NumTasks())
+		for _, cov := range s.Coverage {
+			perSCN.Add(float64(len(cov)))
+			for _, i := range cov {
+				deg[i]++
+			}
+		}
+		for _, d := range deg {
+			if d > 1 {
+				multi++
+			}
+		}
+		for _, tk := range s.Tasks {
+			inSize.Add(tk.InputMbit)
+			outSize.Add(tk.OutputMbit)
+		}
+	}
+	tbl := report.NewTable(fmt.Sprintf("Trace %s", path), "metric", "value")
+	tbl.AddRowf("slots", len(slots))
+	tbl.AddRowf("tasks", totalTasks)
+	tbl.AddRowf("tasks/SCN/slot", fmt.Sprintf("%.1f (min %.0f, max %.0f)",
+		perSCN.Mean(), perSCN.Min(), perSCN.Max()))
+	tbl.AddRowf("multi-covered tasks", multi)
+	tbl.AddRowf("input Mbit", fmt.Sprintf("%.1f ± %.1f", inSize.Mean(), inSize.Std()))
+	tbl.AddRowf("output Mbit", fmt.Sprintf("%.1f ± %.1f", outSize.Mean(), outSize.Std()))
+	fmt.Println(tbl.String())
+}

@@ -1,0 +1,3 @@
+module lfsc
+
+go 1.22

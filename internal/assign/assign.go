@@ -1,0 +1,225 @@
+// Package assign implements the task→SCN assignment stage of LFSC.
+//
+// The centrepiece is the paper's greedy collaborative assignment (Alg. 4,
+// "GreedySelect"): a weighted bipartite graph is built between SCNs and the
+// slot's tasks, and edges are consumed in decreasing weight order; an edge
+// (m,i) is accepted when SCN m still has beam capacity (< c) and task i is
+// unassigned, which enforces constraints (1a) and (1b) by construction.
+// Lemma 2 proves this is a (c+1)-approximation of the maximum-weight
+// assignment; tests compare it against the exact min-cost-flow optimum.
+//
+// The package also provides DepRound — the dependent-rounding sampler from
+// the Exp3.M literature that draws exactly k arms with prescribed marginals
+// — used by the single-agent ablation, and the Random baseline assignment
+// from the paper's evaluation.
+package assign
+
+import (
+	"fmt"
+	"sort"
+
+	"lfsc/internal/rng"
+)
+
+// Edge is a weighted SCN-task edge of the bipartite offloading graph;
+// it exists when task Task is inside SCN SCN's coverage.
+type Edge struct {
+	SCN  int
+	Task int
+	W    float64
+}
+
+// Greedy runs the paper's Alg. 4. numTasks bounds task indices; capacity is
+// the per-SCN limit c. It returns assigned[task] = SCN index or -1.
+//
+// Processing edges in descending weight order is exactly equivalent to the
+// paper's iterative arg-max with edge removal: when the heaviest remaining
+// edge's SCN is full the edge is discarded (Line 8); when its task is taken
+// all of the task's edges are discarded (Line 6); otherwise it is accepted.
+// Ties break deterministically by (SCN, task) so runs are reproducible.
+func Greedy(edges []Edge, numSCNs, numTasks, capacity int) []int {
+	assigned := make([]int, numTasks)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	if capacity <= 0 || numSCNs <= 0 {
+		return assigned
+	}
+	sorted := append([]Edge(nil), edges...)
+	sort.Slice(sorted, func(a, b int) bool {
+		ea, eb := sorted[a], sorted[b]
+		if ea.W != eb.W {
+			return ea.W > eb.W
+		}
+		if ea.SCN != eb.SCN {
+			return ea.SCN < eb.SCN
+		}
+		return ea.Task < eb.Task
+	})
+	counts := make([]int, numSCNs)
+	for _, e := range sorted {
+		if e.SCN < 0 || e.SCN >= numSCNs || e.Task < 0 || e.Task >= numTasks {
+			panic(fmt.Sprintf("assign: edge (%d,%d) out of range", e.SCN, e.Task))
+		}
+		if assigned[e.Task] != -1 || counts[e.SCN] >= capacity {
+			continue
+		}
+		assigned[e.Task] = e.SCN
+		counts[e.SCN]++
+	}
+	return assigned
+}
+
+// PerSCN converts assigned[task]=scn into per-SCN task lists (the paper's
+// I_{m,t} sets).
+func PerSCN(assigned []int, numSCNs int) [][]int {
+	out := make([][]int, numSCNs)
+	for task, m := range assigned {
+		if m >= 0 {
+			out[m] = append(out[m], task)
+		}
+	}
+	return out
+}
+
+// TotalWeight sums the weight of the selected edges under an assignment,
+// given a weight lookup.
+func TotalWeight(assigned []int, weight func(scn, task int) float64) float64 {
+	total := 0.0
+	for task, m := range assigned {
+		if m >= 0 {
+			total += weight(m, task)
+		}
+	}
+	return total
+}
+
+// Verify checks assignment feasibility: per-SCN counts ≤ capacity and SCN
+// indices in range. It returns nil when feasible.
+func Verify(assigned []int, numSCNs, capacity int) error {
+	counts := make([]int, numSCNs)
+	for task, m := range assigned {
+		if m == -1 {
+			continue
+		}
+		if m < 0 || m >= numSCNs {
+			return fmt.Errorf("assign: task %d assigned to invalid SCN %d", task, m)
+		}
+		counts[m]++
+		if counts[m] > capacity {
+			return fmt.Errorf("assign: SCN %d exceeds capacity %d", m, capacity)
+		}
+	}
+	return nil
+}
+
+// Random implements the paper's Random baseline: each SCN (visited in a
+// random order) picks up to capacity unassigned tasks uniformly from its
+// coverage set; no task is offloaded twice.
+func Random(coverage [][]int, numTasks, capacity int, r *rng.Stream) []int {
+	assigned := make([]int, numTasks)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	if capacity <= 0 {
+		return assigned
+	}
+	order := r.Perm(len(coverage))
+	for _, m := range order {
+		avail := make([]int, 0, len(coverage[m]))
+		for _, t := range coverage[m] {
+			if t < 0 || t >= numTasks {
+				panic(fmt.Sprintf("assign: coverage task %d out of range", t))
+			}
+			if assigned[t] == -1 {
+				avail = append(avail, t)
+			}
+		}
+		k := capacity
+		if k > len(avail) {
+			k = len(avail)
+		}
+		for _, pick := range r.Sample(len(avail), k) {
+			assigned[avail[pick]] = m
+		}
+	}
+	return assigned
+}
+
+// DepRound samples a subset S ⊆ [0,n) with |S| = round(Σp) such that
+// P(i ∈ S) = p[i] exactly, via Gandhi et al.'s dependent rounding: while two
+// fractional probabilities remain, shift mass between them so that at least
+// one becomes integral, choosing the direction with the probability that
+// preserves marginals. Inputs must lie in [0,1]; the sum should be within
+// rounding distance of an integer (as Exp3.M guarantees with Σp = c).
+//
+// Returned indices are in increasing order.
+func DepRound(p []float64, r *rng.Stream) []int {
+	const tol = 1e-9
+	w := append([]float64(nil), p...)
+	for i, v := range w {
+		if v < -tol || v > 1+tol {
+			panic(fmt.Sprintf("assign: DepRound probability %v out of [0,1]", v))
+		}
+		if v < 0 {
+			w[i] = 0
+		}
+		if v > 1 {
+			w[i] = 1
+		}
+	}
+	// Maintain a stack of fractional indices; each pairing makes at least
+	// one of the two integral, so the loop is linear.
+	isFrac := func(v float64) bool { return v > tol && v < 1-tol }
+	stack := make([]int, 0, len(w))
+	for i, v := range w {
+		if isFrac(v) {
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) >= 2 {
+		i := stack[len(stack)-1]
+		j := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		alpha := min2(1-w[i], w[j])
+		beta := min2(w[i], 1-w[j])
+		// With prob beta/(alpha+beta): w[i]+=alpha, w[j]-=alpha.
+		if r.Float64() < beta/(alpha+beta) {
+			w[i] += alpha
+			w[j] -= alpha
+		} else {
+			w[i] -= beta
+			w[j] += beta
+		}
+		if isFrac(w[i]) {
+			stack = append(stack, i)
+		}
+		if isFrac(w[j]) {
+			stack = append(stack, j)
+		}
+	}
+	// A single leftover fractional entry (sum not exactly integral):
+	// round it by its own probability.
+	if len(stack) == 1 {
+		k := stack[0]
+		if r.Float64() < w[k] {
+			w[k] = 1
+		} else {
+			w[k] = 0
+		}
+	}
+	out := make([]int, 0, len(w))
+	for i, v := range w {
+		if v >= 1-tol {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

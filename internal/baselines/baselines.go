@@ -1,0 +1,368 @@
+// Package baselines implements the four benchmark policies of the paper's
+// evaluation (Sec. 5):
+//
+//   - Oracle: knows the true means of U, V, Q and makes the best offloading
+//     decision under the system constraints; the performance upper bound.
+//   - vUCB: a variant of UCB1 over the same context hypercubes, combined
+//     with the greedy assignment; ignores constraints (1c)/(1d).
+//   - FML: a context-aware online learner with a deterministic
+//     under-exploration trigger, also constraint-blind, combined with the
+//     greedy assignment.
+//   - Random: each SCN picks c random tasks without duplicates.
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lfsc/internal/assign"
+	"lfsc/internal/env"
+	"lfsc/internal/mcmf"
+	"lfsc/internal/policy"
+	"lfsc/internal/rng"
+)
+
+// --- Random ---------------------------------------------------------------
+
+// Random implements the paper's random baseline.
+type Random struct {
+	numSCNs, capacity int
+	r                 *rng.Stream
+}
+
+// NewRandom constructs the random policy.
+func NewRandom(numSCNs, capacity int, r *rng.Stream) *Random {
+	return &Random{numSCNs: numSCNs, capacity: capacity, r: r}
+}
+
+// Name implements policy.Policy.
+func (p *Random) Name() string { return "Random" }
+
+// Decide implements policy.Policy.
+func (p *Random) Decide(view *policy.SlotView) []int {
+	coverage := make([][]int, len(view.SCNs))
+	for m := range view.SCNs {
+		for _, tv := range view.SCNs[m].Tasks {
+			coverage[m] = append(coverage[m], tv.Index)
+		}
+	}
+	return assign.Random(coverage, view.NumTasks, p.capacity, p.r)
+}
+
+// Observe implements policy.Policy (random learns nothing).
+func (p *Random) Observe(*policy.SlotView, []int, *policy.Feedback) {}
+
+// --- vUCB -----------------------------------------------------------------
+
+// VUCB is the paper's "variant UCB" benchmark: per (SCN, hypercube) it
+// maintains the empirical mean compound reward ḡ_f and pull count N_f, and
+// scores tasks by the UCB index ḡ_f + sqrt(2·ln t / N_f); unexplored cells
+// get an infinite index. Indices feed the greedy assignment. Constraints
+// (1c)/(1d) play no role, exactly as the paper notes.
+type VUCB struct {
+	numSCNs, capacity, cells int
+	sum                      [][]float64
+	count                    [][]int
+	slots                    int
+	edges                    []assign.Edge
+}
+
+// NewVUCB constructs the vUCB policy.
+func NewVUCB(numSCNs, capacity, cells int) *VUCB {
+	v := &VUCB{numSCNs: numSCNs, capacity: capacity, cells: cells}
+	v.sum = make([][]float64, numSCNs)
+	v.count = make([][]int, numSCNs)
+	for m := 0; m < numSCNs; m++ {
+		v.sum[m] = make([]float64, cells)
+		v.count[m] = make([]int, cells)
+	}
+	return v
+}
+
+// Name implements policy.Policy.
+func (p *VUCB) Name() string { return "vUCB" }
+
+// Decide implements policy.Policy.
+func (p *VUCB) Decide(view *policy.SlotView) []int {
+	p.slots++
+	logT := math.Log(float64(p.slots) + 1)
+	p.edges = p.edges[:0]
+	for m := range view.SCNs {
+		for _, tv := range view.SCNs[m].Tasks {
+			n := p.count[m][tv.Cell]
+			var index float64
+			if n == 0 {
+				// Force exploration of unseen cells; huge but finite so
+				// tie-breaking stays deterministic.
+				index = 1e9
+			} else {
+				index = p.sum[m][tv.Cell]/float64(n) + math.Sqrt(2*logT/float64(n))
+			}
+			p.edges = append(p.edges, assign.Edge{SCN: m, Task: tv.Index, W: index})
+		}
+	}
+	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
+}
+
+// Observe implements policy.Policy.
+func (p *VUCB) Observe(view *policy.SlotView, assigned []int, fb *policy.Feedback) {
+	for _, e := range fb.Execs {
+		p.sum[e.SCN][e.Cell] += e.Compound()
+		p.count[e.SCN][e.Cell]++
+	}
+}
+
+// --- FML ------------------------------------------------------------------
+
+// FML reproduces the paper's "Fast Machine Learning" benchmark: a
+// context-partition learner with a deterministic control function — a cell
+// is under-explored at slot t while N_f < t^z·ln(1+t), in which case it is
+// explored with priority; otherwise the empirical mean is exploited.
+// Like vUCB, it is constraint-blind and uses the greedy assignment stage
+// for the multi-SCN coordination (the paper's "slight modification").
+type FML struct {
+	numSCNs, capacity, cells int
+	z                        float64
+	sum                      [][]float64
+	count                    [][]int
+	slots                    int
+	edges                    []assign.Edge
+}
+
+// NewFML constructs the FML policy. z is the exploration exponent
+// (default 1/3 when zero — the canonical choice for 3-dimensional contexts).
+func NewFML(numSCNs, capacity, cells int, z float64) *FML {
+	if z <= 0 {
+		z = 1.0 / 3
+	}
+	f := &FML{numSCNs: numSCNs, capacity: capacity, cells: cells, z: z}
+	f.sum = make([][]float64, numSCNs)
+	f.count = make([][]int, numSCNs)
+	for m := 0; m < numSCNs; m++ {
+		f.sum[m] = make([]float64, cells)
+		f.count[m] = make([]int, cells)
+	}
+	return f
+}
+
+// Name implements policy.Policy.
+func (p *FML) Name() string { return "FML" }
+
+// Decide implements policy.Policy.
+func (p *FML) Decide(view *policy.SlotView) []int {
+	p.slots++
+	t := float64(p.slots)
+	threshold := math.Pow(t, p.z) * math.Log(1+t)
+	p.edges = p.edges[:0]
+	for m := range view.SCNs {
+		for _, tv := range view.SCNs[m].Tasks {
+			n := p.count[m][tv.Cell]
+			var w float64
+			if float64(n) < threshold {
+				// Exploration phase: prioritise the least-pulled cells.
+				w = 1e9 - float64(n)
+			} else {
+				w = p.sum[m][tv.Cell] / float64(n)
+			}
+			p.edges = append(p.edges, assign.Edge{SCN: m, Task: tv.Index, W: w})
+		}
+	}
+	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
+}
+
+// Observe implements policy.Policy.
+func (p *FML) Observe(view *policy.SlotView, assigned []int, fb *policy.Feedback) {
+	for _, e := range fb.Execs {
+		p.sum[e.SCN][e.Cell] += e.Compound()
+		p.count[e.SCN][e.Cell]++
+	}
+}
+
+// --- Oracle ---------------------------------------------------------------
+
+// OracleConfig parameterises the oracle.
+type OracleConfig struct {
+	// Capacity, Alpha, Beta are the system constraints.
+	Capacity int
+	Alpha    float64
+	Beta     float64
+	// ExactAssign uses min-cost max-flow instead of the greedy for the
+	// base assignment (slower, slightly better).
+	ExactAssign bool
+}
+
+// Oracle knows the environment's true means and solves each slot's
+// offloading problem under the constraints: a max-expected-compound-reward
+// assignment (greedy or exact flow) followed by per-SCN repair steps that
+// enforce the resource ceiling β and then improve the QoS floor α by
+// swaps/additions. On small instances the repair solution is within a few
+// percent of the exact ILP (verified in tests).
+type Oracle struct {
+	cfg OracleConfig
+	env *env.Env
+}
+
+// NewOracle constructs the oracle around ground truth e.
+func NewOracle(cfg OracleConfig, e *env.Env) (*Oracle, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("baselines: oracle capacity must be positive")
+	}
+	if cfg.Alpha < 0 || cfg.Beta < 0 {
+		return nil, fmt.Errorf("baselines: oracle alpha/beta must be non-negative")
+	}
+	if e == nil {
+		return nil, fmt.Errorf("baselines: oracle needs an environment")
+	}
+	return &Oracle{cfg: cfg, env: e}, nil
+}
+
+// Name implements policy.Policy.
+func (p *Oracle) Name() string { return "Oracle" }
+
+// Decide implements policy.Policy.
+func (p *Oracle) Decide(view *policy.SlotView) []int {
+	numSCNs := len(view.SCNs)
+	// cellOf[m][taskIndex] for repair lookups.
+	cellOf := make([]map[int]int, numSCNs)
+	for m := range view.SCNs {
+		cellOf[m] = make(map[int]int, len(view.SCNs[m].Tasks))
+		for _, tv := range view.SCNs[m].Tasks {
+			cellOf[m][tv.Index] = tv.Cell
+		}
+	}
+	var assigned []int
+	if p.cfg.ExactAssign {
+		weights := make([][]float64, numSCNs)
+		for m := range weights {
+			weights[m] = make([]float64, view.NumTasks)
+			for i := range weights[m] {
+				weights[m][i] = math.Inf(-1)
+			}
+			for _, tv := range view.SCNs[m].Tasks {
+				weights[m][tv.Index] = p.env.ExpectedCompound(m, tv.Cell)
+			}
+		}
+		assigned, _ = mcmf.AssignMax(weights, view.NumTasks, p.cfg.Capacity)
+	} else {
+		var edges []assign.Edge
+		for m := range view.SCNs {
+			for _, tv := range view.SCNs[m].Tasks {
+				edges = append(edges, assign.Edge{
+					SCN: m, Task: tv.Index,
+					W: p.env.ExpectedCompound(m, tv.Cell),
+				})
+			}
+		}
+		assigned = assign.Greedy(edges, numSCNs, view.NumTasks, p.cfg.Capacity)
+	}
+	p.repair(view, assigned, cellOf)
+	return assigned
+}
+
+// repair enforces β and improves α per SCN, in place.
+func (p *Oracle) repair(view *policy.SlotView, assigned []int, cellOf []map[int]int) {
+	perSCN := assign.PerSCN(assigned, len(view.SCNs))
+	for m := range view.SCNs {
+		sel := perSCN[m]
+		vOf := func(task int) float64 { return p.env.MeanLikelihood(m, cellOf[m][task]) }
+		qOf := func(task int) float64 { return p.env.MeanConsumption(m, cellOf[m][task]) }
+		gOf := func(task int) float64 { return p.env.ExpectedCompound(m, cellOf[m][task]) }
+		qSum, vSum := 0.0, 0.0
+		for _, task := range sel {
+			qSum += qOf(task)
+			vSum += vOf(task)
+		}
+		// β repair: drop the worst reward-per-resource task until feasible.
+		for qSum > p.cfg.Beta && len(sel) > 0 {
+			worst, worstVal := -1, math.Inf(1)
+			for k, task := range sel {
+				if val := gOf(task) / qOf(task); val < worstVal {
+					worstVal = val
+					worst = k
+				}
+			}
+			task := sel[worst]
+			qSum -= qOf(task)
+			vSum -= vOf(task)
+			assigned[task] = -1
+			sel = append(sel[:worst], sel[worst+1:]...)
+		}
+		// Refill: dropping a heavy task frees a beam that a lighter task
+		// may use profitably — add globally unassigned candidates by
+		// reward while β and the beam budget allow.
+		if len(sel) < p.cfg.Capacity {
+			var fill []int
+			for _, tv := range view.SCNs[m].Tasks {
+				if assigned[tv.Index] == -1 {
+					fill = append(fill, tv.Index)
+				}
+			}
+			sort.Slice(fill, func(a, b int) bool { return gOf(fill[a]) > gOf(fill[b]) })
+			for _, cand := range fill {
+				if len(sel) >= p.cfg.Capacity {
+					break
+				}
+				if qSum+qOf(cand) > p.cfg.Beta {
+					continue
+				}
+				assigned[cand] = m
+				sel = append(sel, cand)
+				qSum += qOf(cand)
+				vSum += vOf(cand)
+			}
+		}
+		// α repair: add or swap toward higher completion likelihood.
+		if vSum >= p.cfg.Alpha {
+			perSCN[m] = sel
+			continue
+		}
+		// Candidates: visible, globally unassigned tasks, best v̄ first.
+		var cands []int
+		for _, tv := range view.SCNs[m].Tasks {
+			if assigned[tv.Index] == -1 {
+				cands = append(cands, tv.Index)
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return vOf(cands[a]) > vOf(cands[b]) })
+		for _, cand := range cands {
+			if vSum >= p.cfg.Alpha {
+				break
+			}
+			if assigned[cand] != -1 {
+				continue // taken by an earlier swap? (defensive)
+			}
+			if len(sel) < p.cfg.Capacity && qSum+qOf(cand) <= p.cfg.Beta {
+				assigned[cand] = m
+				sel = append(sel, cand)
+				qSum += qOf(cand)
+				vSum += vOf(cand)
+				continue
+			}
+			// Swap with the lowest-v̄ selected task when it helps and fits.
+			worst, worstV := -1, math.Inf(1)
+			for k, task := range sel {
+				if v := vOf(task); v < worstV {
+					worstV = v
+					worst = k
+				}
+			}
+			if worst == -1 || vOf(cand) <= worstV {
+				break // no improving move exists
+			}
+			out := sel[worst]
+			if qSum-qOf(out)+qOf(cand) > p.cfg.Beta {
+				continue
+			}
+			assigned[out] = -1
+			assigned[cand] = m
+			qSum += qOf(cand) - qOf(out)
+			vSum += vOf(cand) - vOf(out)
+			sel[worst] = cand
+		}
+		perSCN[m] = sel
+	}
+}
+
+// Observe implements policy.Policy (the oracle has nothing to learn).
+func (p *Oracle) Observe(*policy.SlotView, []int, *policy.Feedback) {}

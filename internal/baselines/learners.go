@@ -1,0 +1,244 @@
+package baselines
+
+import (
+	"math"
+
+	"lfsc/internal/assign"
+	"lfsc/internal/policy"
+	"lfsc/internal/rng"
+)
+
+// --- Thompson sampling ------------------------------------------------------
+
+// Thompson is a Gaussian Thompson-sampling learner over the same context
+// hypercubes as vUCB: per (SCN, cell) it keeps the empirical mean and count
+// of the observed compound reward and scores tasks with a posterior sample
+// mean + N(0,1)/√n. It is a stochastic-bandit-style comparator that the
+// paper does not evaluate but that is standard in the MEC offloading
+// literature; like vUCB it is constraint-blind.
+type Thompson struct {
+	numSCNs, capacity, cells int
+	sum                      [][]float64
+	count                    [][]int
+	r                        *rng.Stream
+	edges                    []assign.Edge
+}
+
+// NewThompson constructs the policy.
+func NewThompson(numSCNs, capacity, cells int, r *rng.Stream) *Thompson {
+	p := &Thompson{numSCNs: numSCNs, capacity: capacity, cells: cells, r: r}
+	p.sum = make([][]float64, numSCNs)
+	p.count = make([][]int, numSCNs)
+	for m := 0; m < numSCNs; m++ {
+		p.sum[m] = make([]float64, cells)
+		p.count[m] = make([]int, cells)
+	}
+	return p
+}
+
+// Name implements policy.Policy.
+func (p *Thompson) Name() string { return "Thompson" }
+
+// Decide implements policy.Policy.
+func (p *Thompson) Decide(view *policy.SlotView) []int {
+	p.edges = p.edges[:0]
+	for m := range view.SCNs {
+		for _, tv := range view.SCNs[m].Tasks {
+			n := p.count[m][tv.Cell]
+			var score float64
+			if n == 0 {
+				score = 1 + p.r.Float64() // optimistic prior forces a first pull
+			} else {
+				mean := p.sum[m][tv.Cell] / float64(n)
+				score = mean + p.r.Normal(0, 1)/math.Sqrt(float64(n))
+			}
+			p.edges = append(p.edges, assign.Edge{SCN: m, Task: tv.Index, W: score})
+		}
+	}
+	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
+}
+
+// Observe implements policy.Policy.
+func (p *Thompson) Observe(view *policy.SlotView, assigned []int, fb *policy.Feedback) {
+	for _, e := range fb.Execs {
+		p.sum[e.SCN][e.Cell] += e.Compound()
+		p.count[e.SCN][e.Cell]++
+	}
+}
+
+// --- LinUCB -----------------------------------------------------------------
+
+// LinUCB is a contextual linear bandit working on the raw context vector
+// instead of the hypercube partition: per SCN it maintains a ridge
+// regression of the compound reward on [1, φ] and scores tasks with the
+// optimism bonus α·sqrt(xᵀA⁻¹x) (Li et al., WWW 2010). It probes whether
+// the partition of LFSC loses anything against a parametric context model;
+// like the other learner baselines it ignores constraints (1c)/(1d).
+type LinUCB struct {
+	numSCNs, capacity int
+	dim               int
+	alpha             float64
+	// Per SCN: A (dim×dim, row-major) and b (dim).
+	a     [][]float64
+	b     [][]float64
+	edges []assign.Edge
+}
+
+// NewLinUCB constructs the policy for contexts of the given dimension
+// (a bias term is added internally). alpha <= 0 selects the canonical 1.0.
+func NewLinUCB(numSCNs, capacity, ctxDim int, alpha float64) *LinUCB {
+	if alpha <= 0 {
+		alpha = 1.0
+	}
+	dim := ctxDim + 1
+	p := &LinUCB{numSCNs: numSCNs, capacity: capacity, dim: dim, alpha: alpha}
+	p.a = make([][]float64, numSCNs)
+	p.b = make([][]float64, numSCNs)
+	for m := 0; m < numSCNs; m++ {
+		p.a[m] = identity(dim)
+		p.b[m] = make([]float64, dim)
+	}
+	return p
+}
+
+// Name implements policy.Policy.
+func (p *LinUCB) Name() string { return "LinUCB" }
+
+func identity(n int) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 1
+	}
+	return a
+}
+
+// feature lifts a context into the regression feature vector [1, φ...].
+func (p *LinUCB) feature(ctx []float64) []float64 {
+	x := make([]float64, p.dim)
+	x[0] = 1
+	for i := 0; i < p.dim-1 && i < len(ctx); i++ {
+		x[i+1] = ctx[i]
+	}
+	return x
+}
+
+// Decide implements policy.Policy.
+func (p *LinUCB) Decide(view *policy.SlotView) []int {
+	p.edges = p.edges[:0]
+	for m := range view.SCNs {
+		if len(view.SCNs[m].Tasks) == 0 {
+			continue
+		}
+		inv := invert(p.a[m], p.dim)
+		theta := matVec(inv, p.b[m], p.dim)
+		for _, tv := range view.SCNs[m].Tasks {
+			x := p.feature(tv.Ctx)
+			mean := dot(theta, x)
+			ainvx := matVec(inv, x, p.dim)
+			bonus := p.alpha * math.Sqrt(math.Max(0, dot(x, ainvx)))
+			p.edges = append(p.edges, assign.Edge{SCN: m, Task: tv.Index, W: mean + bonus})
+		}
+	}
+	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
+}
+
+// Observe implements policy.Policy.
+func (p *LinUCB) Observe(view *policy.SlotView, assigned []int, fb *policy.Feedback) {
+	// Contexts live in the view; index them by (SCN, task).
+	ctxOf := make(map[[2]int][]float64)
+	for m := range view.SCNs {
+		for _, tv := range view.SCNs[m].Tasks {
+			ctxOf[[2]int{m, tv.Index}] = tv.Ctx
+		}
+	}
+	for _, e := range fb.Execs {
+		ctx, ok := ctxOf[[2]int{e.SCN, e.Task}]
+		if !ok {
+			continue
+		}
+		x := p.feature(ctx)
+		// A += x xᵀ; b += r x.
+		a := p.a[e.SCN]
+		for i := 0; i < p.dim; i++ {
+			for j := 0; j < p.dim; j++ {
+				a[i*p.dim+j] += x[i] * x[j]
+			}
+		}
+		r := e.Compound()
+		for i := 0; i < p.dim; i++ {
+			p.b[e.SCN][i] += r * x[i]
+		}
+	}
+}
+
+// dot returns the inner product of equal-length vectors.
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// matVec multiplies a row-major n×n matrix by a vector.
+func matVec(a, x []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		row := a[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// invert returns the inverse of a row-major n×n matrix via Gauss-Jordan
+// with partial pivoting. LinUCB's A = I + Σxxᵀ is symmetric positive
+// definite, so the pivot never vanishes.
+func invert(a []float64, n int) []float64 {
+	aug := make([]float64, n*2*n)
+	for i := 0; i < n; i++ {
+		copy(aug[i*2*n:i*2*n+n], a[i*n:(i+1)*n])
+		aug[i*2*n+n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(aug[col*2*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug[r*2*n+col]); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if pivot != col {
+			for j := 0; j < 2*n; j++ {
+				aug[col*2*n+j], aug[pivot*2*n+j] = aug[pivot*2*n+j], aug[col*2*n+j]
+			}
+		}
+		pv := aug[col*2*n+col]
+		inv := 1 / pv
+		for j := 0; j < 2*n; j++ {
+			aug[col*2*n+j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r*2*n+col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				aug[r*2*n+j] -= f * aug[col*2*n+j]
+			}
+		}
+	}
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		copy(out[i*n:(i+1)*n], aug[i*2*n+n:i*2*n+2*n])
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"lfsc/internal/policy"
+	"lfsc/internal/rng"
+	"lfsc/internal/task"
+)
+
+func TestThompsonFeasibleAndLearns(t *testing.T) {
+	p := NewThompson(1, 1, 2, rng.New(1))
+	if p.Name() != "Thompson" {
+		t.Fatal("name")
+	}
+	best, other := 0, 0
+	for slot := 0; slot < 600; slot++ {
+		view := makeView(slot, [][]int{{0, 1}})
+		assigned := p.Decide(view)
+		if err := policy.ValidateAssignment(view, assigned, 1); err != nil {
+			t.Fatal(err)
+		}
+		fb := feedbackFor(view, assigned, func(m, cell int) (float64, float64, float64) {
+			if cell == 0 {
+				return 0.9, 1, 1
+			}
+			return 0.1, 1, 1
+		})
+		p.Observe(view, assigned, fb)
+		if slot > 300 {
+			if assigned[0] == 0 {
+				best++
+			} else if assigned[1] == 0 {
+				other++
+			}
+		}
+	}
+	if best <= 3*other {
+		t.Fatalf("Thompson picks best cell %d vs other %d", best, other)
+	}
+}
+
+func TestThompsonExploresAllCells(t *testing.T) {
+	p := NewThompson(1, 2, 5, rng.New(2))
+	pulled := map[int]bool{}
+	for slot := 0; slot < 30; slot++ {
+		view := makeView(slot, [][]int{{0, 1, 2, 3, 4}})
+		assigned := p.Decide(view)
+		fb := feedbackFor(view, assigned, func(m, cell int) (float64, float64, float64) {
+			pulled[cell] = true
+			return 0.5, 1, 1
+		})
+		p.Observe(view, assigned, fb)
+	}
+	if len(pulled) != 5 {
+		t.Fatalf("Thompson explored %d/5 cells", len(pulled))
+	}
+}
+
+// ctxView builds a view whose tasks carry real-valued contexts; cell
+// indices are synthetic.
+func ctxView(t int, ctxs [][]float64) *policy.SlotView {
+	v := &policy.SlotView{T: t, NumTasks: len(ctxs)}
+	var scn policy.SCNView
+	for i, c := range ctxs {
+		scn.Tasks = append(scn.Tasks, policy.TaskView{Index: i, Cell: 0, Ctx: task.Context(c)})
+	}
+	v.SCNs = []policy.SCNView{scn}
+	return v
+}
+
+func TestLinUCBLearnsLinearReward(t *testing.T) {
+	// Ground truth reward = 0.8*x0 (plus nothing else): LinUCB must learn
+	// to prefer high-x0 tasks.
+	p := NewLinUCB(1, 1, 2, 0)
+	if p.Name() != "LinUCB" {
+		t.Fatal("name")
+	}
+	r := rng.New(3)
+	good, bad := 0, 0
+	for slot := 0; slot < 500; slot++ {
+		ctxs := [][]float64{
+			{0.9, r.Float64()},
+			{0.1, r.Float64()},
+		}
+		view := ctxView(slot, ctxs)
+		assigned := p.Decide(view)
+		if err := policy.ValidateAssignment(view, assigned, 1); err != nil {
+			t.Fatal(err)
+		}
+		fb := &policy.Feedback{}
+		for i, m := range assigned {
+			if m != 0 {
+				continue
+			}
+			u := 0.8 * ctxs[i][0]
+			fb.Execs = append(fb.Execs, policy.Exec{SCN: 0, Task: i, Cell: 0, U: u, V: 1, Q: 1})
+		}
+		p.Observe(view, assigned, fb)
+		if slot > 250 {
+			if assigned[0] == 0 {
+				good++
+			} else if assigned[1] == 0 {
+				bad++
+			}
+		}
+	}
+	if good <= 4*bad {
+		t.Fatalf("LinUCB prefers good context %d vs bad %d", good, bad)
+	}
+}
+
+func TestLinUCBFeasibility(t *testing.T) {
+	p := NewLinUCB(2, 2, 3, 1.5)
+	r := rng.New(4)
+	for slot := 0; slot < 50; slot++ {
+		view := &policy.SlotView{T: slot, NumTasks: 6}
+		for m := 0; m < 2; m++ {
+			var scn policy.SCNView
+			for k := 0; k < 3; k++ {
+				idx := m*3 + k
+				scn.Tasks = append(scn.Tasks, policy.TaskView{
+					Index: idx, Cell: 0,
+					Ctx: task.Context{r.Float64(), r.Float64(), r.Float64()},
+				})
+			}
+			view.SCNs = append(view.SCNs, scn)
+		}
+		assigned := p.Decide(view)
+		if err := policy.ValidateAssignment(view, assigned, 2); err != nil {
+			t.Fatal(err)
+		}
+		p.Observe(view, assigned, &policy.Feedback{})
+	}
+}
+
+func TestInvert(t *testing.T) {
+	// Random SPD matrices: A·A⁻¹ = I.
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(4)
+		// SPD via I + BBᵀ.
+		b := make([]float64, n*n)
+		for i := range b {
+			b[i] = r.Normal(0, 1)
+		}
+		a := identity(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					a[i*n+j] += b[i*n+k] * b[j*n+k]
+				}
+			}
+		}
+		inv := invert(append([]float64(nil), a...), n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				got := 0.0
+				for k := 0; k < n; k++ {
+					got += a[i*n+k] * inv[k*n+j]
+				}
+				if math.Abs(got-want) > 1e-8 {
+					t.Fatalf("trial %d: (A·A⁻¹)[%d][%d] = %v", trial, i, j, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMatVecAndDot(t *testing.T) {
+	a := []float64{1, 2, 3, 4} // [[1,2],[3,4]]
+	x := []float64{5, 6}
+	out := matVec(a, x, 2)
+	if out[0] != 17 || out[1] != 39 {
+		t.Fatalf("matVec = %v", out)
+	}
+	if dot(x, x) != 61 {
+		t.Fatal("dot")
+	}
+}

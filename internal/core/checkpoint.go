@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpoint is the serialised learner state. Only the learned quantities
+// are stored; the configuration travels separately (a checkpoint can only
+// be restored into a policy with a compatible shape).
+type checkpoint struct {
+	Version int         `json:"version"`
+	SCNs    int         `json:"scns"`
+	Cells   int         `json:"cells"`
+	LogW    [][]float64 `json:"log_weights"`
+	Lambda1 []float64   `json:"lambda1"`
+	Lambda2 []float64   `json:"lambda2"`
+}
+
+// Save serialises the learner's state (hypercube log-weights and Lagrange
+// multipliers) to w as JSON. A deployment can checkpoint a trained MBS
+// controller and restore it after a restart instead of re-exploring.
+func (l *LFSC) Save(w io.Writer) error {
+	cp := checkpoint{
+		Version: checkpointVersion,
+		SCNs:    l.cfg.SCNs,
+		Cells:   l.cfg.Cells,
+		LogW:    make([][]float64, l.cfg.SCNs),
+		Lambda1: make([]float64, l.cfg.SCNs),
+		Lambda2: make([]float64, l.cfg.SCNs),
+	}
+	for m, st := range l.scns {
+		cp.LogW[m] = append([]float64(nil), st.logW...)
+		cp.Lambda1[m] = st.lambda1
+		cp.Lambda2[m] = st.lambda2
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&cp)
+}
+
+// Load restores learner state previously written by Save. The checkpoint
+// must match the policy's SCN count and cell count exactly; all values must
+// be finite and multipliers non-negative.
+func (l *LFSC) Load(r io.Reader) error {
+	var cp checkpoint
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&cp); err != nil {
+		return fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	if cp.SCNs != l.cfg.SCNs || cp.Cells != l.cfg.Cells {
+		return fmt.Errorf("core: checkpoint shape %dx%d, policy %dx%d",
+			cp.SCNs, cp.Cells, l.cfg.SCNs, l.cfg.Cells)
+	}
+	if len(cp.LogW) != cp.SCNs || len(cp.Lambda1) != cp.SCNs || len(cp.Lambda2) != cp.SCNs {
+		return fmt.Errorf("core: checkpoint arrays inconsistent with SCN count")
+	}
+	for m := 0; m < cp.SCNs; m++ {
+		if len(cp.LogW[m]) != cp.Cells {
+			return fmt.Errorf("core: SCN %d has %d weights, want %d", m, len(cp.LogW[m]), cp.Cells)
+		}
+		for _, v := range cp.LogW[m] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: SCN %d has non-finite weight", m)
+			}
+		}
+		if cp.Lambda1[m] < 0 || cp.Lambda2[m] < 0 ||
+			math.IsNaN(cp.Lambda1[m]) || math.IsNaN(cp.Lambda2[m]) {
+			return fmt.Errorf("core: SCN %d has invalid multipliers", m)
+		}
+	}
+	// All validated; commit.
+	for m, st := range l.scns {
+		copy(st.logW, cp.LogW[m])
+		st.lambda1 = cp.Lambda1[m]
+		st.lambda2 = cp.Lambda2[m]
+		st.probs = nil
+		st.capped = nil
+	}
+	return nil
+}

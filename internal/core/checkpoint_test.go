@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lfsc/internal/rng"
+)
+
+func trainedLFSC(t *testing.T, seed uint64) *LFSC {
+	t.Helper()
+	cfg := testConfig()
+	l := MustNew(cfg, rng.New(seed))
+	r := rng.New(seed + 1)
+	truth := map[int][3]float64{
+		0: {0.9, 0.9, 1.1}, 1: {0.2, 0.4, 1.8},
+		2: {0.6, 0.7, 1.3}, 3: {0.4, 0.2, 1.9},
+	}
+	for t0 := 0; t0 < 100; t0++ {
+		view := makeView(t0, [][]int{{0, 1, 2, 3, 0, 1}, {2, 3, 0, 1}})
+		runSlot(l, view, truth, r)
+	}
+	return l
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	l := trainedLFSC(t, 30)
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := MustNew(testConfig(), rng.New(31))
+	if err := fresh.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < testConfig().SCNs; m++ {
+		wa, wb := l.Weights(m), fresh.Weights(m)
+		for f := range wa {
+			if wa[f] != wb[f] {
+				t.Fatalf("weight [%d][%d] differs after restore", m, f)
+			}
+		}
+		la1, la2 := l.Multipliers(m)
+		lb1, lb2 := fresh.Multipliers(m)
+		if la1 != lb1 || la2 != lb2 {
+			t.Fatalf("multipliers differ after restore")
+		}
+	}
+}
+
+func TestCheckpointRestoredPolicyBehavesIdentically(t *testing.T) {
+	l := trainedLFSC(t, 32)
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a policy with the SAME RNG seed as a copy of l would
+	// have; decisions must coincide when the streams coincide.
+	a := MustNew(testConfig(), rng.New(77))
+	b := MustNew(testConfig(), rng.New(77))
+	if err := a.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	view := makeView(0, [][]int{{0, 1, 2, 3, 0, 1}, {2, 3, 0, 1}})
+	da, db := a.Decide(view), b.Decide(view)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatal("restored twins diverged")
+		}
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	l := trainedLFSC(t, 33)
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := testConfig()
+	other.SCNs = 3
+	wrong := MustNew(other, rng.New(1))
+	if err := wrong.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestCheckpointRejectsCorrupt(t *testing.T) {
+	l := MustNew(testConfig(), rng.New(34))
+	cases := []string{
+		"not json",
+		`{"version":99}`,
+		`{"version":1,"scns":2,"cells":4,"log_weights":[[1,2,3,4]],"lambda1":[0,0],"lambda2":[0,0]}`,
+		`{"version":1,"scns":2,"cells":4,"log_weights":[[1,2,3],[1,2,3,4]],"lambda1":[0,0],"lambda2":[0,0]}`,
+		`{"version":1,"scns":2,"cells":4,"log_weights":[[1,2,3,4],[1,2,3,4]],"lambda1":[-1,0],"lambda2":[0,0]}`,
+	}
+	for i, c := range cases {
+		if err := l.Load(strings.NewReader(c)); err == nil {
+			t.Fatalf("corrupt checkpoint %d accepted", i)
+		}
+	}
+	// Failed loads must not partially mutate state.
+	w := l.Weights(0)
+	for _, v := range w {
+		if v != 0 {
+			t.Fatal("failed load mutated weights")
+		}
+	}
+}

@@ -1,0 +1,627 @@
+// Package core implements LFSC, the paper's primary contribution: an online
+// learning framework for task offloading in 5G small cell networks
+// (Alg. 1–4). Per SCN it runs a contextual multiple-play adversarial bandit
+// over context hypercubes (an Exp3.M core with weight capping), augments the
+// exponential weight update with Lagrangian penalty terms for the QoS floor
+// (1c) and the resource ceiling (1d), and coordinates SCNs with the greedy
+// bipartite assignment of Alg. 4.
+//
+// Reconstruction notes (the published pseudo-code is OCR-damaged; each
+// choice below is also discussed in DESIGN.md §2):
+//
+//   - Probability computation (Alg. 2) is Exp3.M's: cap weights at ε so no
+//     task exceeds probability 1, then p_i = c[(1−γ)w̃_i/Σw̃ + γ/K]. Capped
+//     hypercubes (the set S') skip the weight update this slot, exactly as
+//     Alg. 3 lines 11-12 prescribe.
+//   - The paper describes Alg. 2 as "a randomized algorithm" and its
+//     estimators divide by p_i, which is only unbiased when tasks really are
+//     selected with marginal ≈ p_i. We therefore sample each SCN's candidate
+//     set by dependent rounding (DepRound — the Exp3.M selection semantics,
+//     marginals exactly p_i), resolve cross-SCN conflicts with the greedy of
+//     Alg. 4 over p, and backfill beams freed by conflicts in probability
+//     order. An exponential-race mode and the literal deterministic reading
+//     (edge weight = p_i) are kept for the selection ablation, which shows
+//     DepRound dominating both on the performance ratio.
+//   - The Lagrangian update (Alg. 3 lines 15-17) is projected gradient
+//     ascent with decay: λ ← [(1−ηδ)λ + η·slack]₊, where slack is the
+//     per-slot constraint slack normalised by the beam budget c so all
+//     exponent terms share the scale of ĝ.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lfsc/internal/assign"
+	"lfsc/internal/parallel"
+	"lfsc/internal/policy"
+	"lfsc/internal/rng"
+)
+
+// SelectionMode chooses how selection probabilities drive the assignment.
+type SelectionMode int
+
+const (
+	// DepRoundMode (default) samples, per SCN, a candidate set of c tasks
+	// by dependent rounding with marginals exactly p_i (the Exp3.M
+	// selection semantics), resolves cross-SCN conflicts with the greedy
+	// of Alg. 4 over p, and backfills freed beams by p. This keeps the
+	// importance-weighted estimators (which divide by p_i) unbiased up to
+	// conflict effects.
+	DepRoundMode SelectionMode = iota
+	// Race draws an exponential race per edge with rate p_i. Noisier than
+	// DepRound (pairwise win odds are only proportional to p); kept for
+	// the selection ablation.
+	Race
+	// Deterministic uses p_i directly as the greedy edge weight — the
+	// literal reading of Alg. 4's input; pure exploitation, no sampling.
+	Deterministic
+)
+
+// Config parameterises LFSC.
+type Config struct {
+	// SCNs is the number of small cell nodes M.
+	SCNs int
+	// Capacity is the per-slot beam budget c of each SCN.
+	Capacity int
+	// Alpha is the per-SCN minimum completed task threshold (1c).
+	Alpha float64
+	// Beta is the per-SCN resource capacity (1d).
+	Beta float64
+	// Cells is the number of context hypercubes (h_T)^{D_b}.
+	Cells int
+	// KMax is the bound K_m on per-SCN visible tasks per slot.
+	KMax int
+	// Horizon is the time horizon T used in the parameter schedule.
+	Horizon int
+	// Gamma, Eta, Delta override the Theorem-1 schedule when positive.
+	Gamma, Eta, Delta float64
+	// WeightDecay is the per-slot exponential forgetting rate ρ applied to
+	// log-weights (logW ← (1−ρ)·logW, an Exp3.S-style drift toward
+	// uniform). Without it, weights integrate the entire history: every
+	// cell whose λ-adjusted drift was ever positive ratchets up to the
+	// Exp3.M cap and stays, so the effective top set dilutes over a long
+	// run and per-slot violations creep back up. With forgetting, the
+	// ranking tracks the *recent* drift, giving a stable equilibrium (and
+	// robustness to non-stationary rewards). Negative disables; zero
+	// selects the default.
+	WeightDecay float64
+	// LambdaRate scales the multiplier step size relative to η (the
+	// multiplier update uses η·LambdaRate). Zero selects the default.
+	// Larger values make the constraint response faster at the cost of
+	// larger oscillations around the dual optimum.
+	LambdaRate float64
+	// SlackPull is the asymmetry of the dual update: the rate at which
+	// constraint slack (being safely inside the feasible region) pulls a
+	// multiplier back down, relative to the rate at which violations push
+	// it up. The violation metrics are hinges — only shortfall/excess
+	// counts — so a symmetric (=1) ascent lets λ undershoot as soon as the
+	// constraint is met and per-slot violations oscillate. 0 would be the
+	// pure hinge subgradient (λ only ratchets up). Zero selects the
+	// default; negative selects the pure hinge.
+	SlackPull float64
+	// Mode selects randomized or deterministic edge priorities.
+	Mode SelectionMode
+	// DisableCapping turns off Exp3.M weight capping (ablation A5).
+	DisableCapping bool
+	// DisableLagrangian freezes λ1 = λ2 = 0, reducing LFSC to a pure
+	// constrained-blind Exp3.M (ablation A3).
+	DisableLagrangian bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.SCNs <= 0:
+		return fmt.Errorf("core: SCNs must be positive, got %d", c.SCNs)
+	case c.Capacity <= 0:
+		return fmt.Errorf("core: capacity must be positive, got %d", c.Capacity)
+	case c.Cells <= 0:
+		return fmt.Errorf("core: cells must be positive, got %d", c.Cells)
+	case c.KMax <= 0:
+		return fmt.Errorf("core: KMax must be positive, got %d", c.KMax)
+	case c.Horizon <= 0:
+		return fmt.Errorf("core: horizon must be positive, got %d", c.Horizon)
+	case c.Alpha < 0 || c.Beta < 0:
+		return fmt.Errorf("core: alpha/beta must be non-negative")
+	case c.Gamma < 0 || c.Gamma > 1:
+		return fmt.Errorf("core: gamma %v outside [0,1]", c.Gamma)
+	case c.Eta < 0 || c.Delta < 0:
+		return fmt.Errorf("core: eta/delta must be non-negative")
+	}
+	return nil
+}
+
+// Schedule returns the effective (γ, η, δ) after applying Theorem 1's
+// defaults for unset values:
+//
+//	γ = min(1, sqrt(K·ln(K/c) / ((e−1)·c·T)))   (Exp3.M optimal mixing)
+//	η = γ/F   where F is the number of hypercubes
+//	δ = η/√T
+//
+// The learning rate divides by the number of hypercubes F rather than the
+// task bound K: LFSC's weights (and hence its importance-weighted loss
+// estimates) live on the F context cells, so F is the effective arm count
+// for the exponential update, while K governs the exploration mixing over
+// the per-slot task list. With F ≪ K (paper: 27 cells vs up to 200 tasks)
+// the K-scaled rate is an order of magnitude too conservative to converge
+// within the paper's horizon.
+func (c Config) Schedule() (gamma, eta, delta float64) {
+	gamma = c.Gamma
+	if gamma == 0 {
+		k := float64(c.KMax)
+		cc := float64(c.Capacity)
+		ratio := k / cc
+		if ratio < math.E {
+			ratio = math.E // keep the log positive for K close to c
+		}
+		gamma = math.Min(1, math.Sqrt(k*math.Log(ratio)/((math.E-1)*cc*float64(c.Horizon))))
+	}
+	eta = c.Eta
+	if eta == 0 {
+		eta = gamma / float64(c.Cells)
+	}
+	delta = c.Delta
+	if delta == 0 {
+		delta = eta / math.Sqrt(float64(c.Horizon))
+	}
+	return gamma, eta, delta
+}
+
+// scnState is the per-SCN learner state.
+//
+// Weights are stored in log space: over a long horizon the exponential
+// update drives weight ratios past float64's dynamic range (a 10⁴-slot run
+// at paper scale reaches ratios of 1e30+), and once tail weights underflow
+// to zero their relative order — which ranks the candidates that fill most
+// of the beam budget — is destroyed. The Exp3.M probability formula and the
+// capping fixed point depend only on weight ratios, so shifting by the
+// maximum log-weight before exponentiating is exact.
+type scnState struct {
+	logW    []float64 // log-weights, one per hypercube
+	lambda1 float64   // multiplier for the QoS floor (1c)
+	lambda2 float64   // multiplier for the resource ceiling (1d)
+	// r is this SCN's private random stream (derived from the policy
+	// stream by SCN index), so per-SCN computation is independent of
+	// iteration order and safe to run in parallel.
+	r *rng.Stream
+	// Per-slot scratch, valid between Decide and Observe:
+	probs  map[int]float64 // slot-global task index → selection probability
+	capped map[int]bool    // hypercubes in S' this slot
+}
+
+// LFSC implements policy.Policy.
+type LFSC struct {
+	cfg               Config
+	gamma, eta, delta float64
+	lambdaRate        float64
+	decay             float64
+	slackPull         float64
+	scns              []*scnState
+	r                 *rng.Stream
+
+	// reusable scratch
+	edges []assign.Edge
+}
+
+// New constructs an LFSC policy. The stream drives the randomized edge
+// priorities only; all learning state is deterministic given the feedback.
+func New(cfg Config, r *rng.Stream) (*LFSC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := &LFSC{cfg: cfg, r: r}
+	l.gamma, l.eta, l.delta = cfg.Schedule()
+	l.lambdaRate = cfg.LambdaRate
+	if l.lambdaRate == 0 {
+		l.lambdaRate = defaultLambdaRate
+	}
+	l.decay = cfg.WeightDecay
+	if l.decay == 0 {
+		l.decay = defaultWeightDecay
+	}
+	if l.decay < 0 {
+		l.decay = 0
+	}
+	l.slackPull = cfg.SlackPull
+	if l.slackPull == 0 {
+		l.slackPull = defaultSlackPull
+	}
+	if l.slackPull < 0 {
+		l.slackPull = 0
+	}
+	for m := 0; m < cfg.SCNs; m++ {
+		l.scns = append(l.scns, &scnState{
+			logW: make([]float64, cfg.Cells),
+			r:    r.Derive(uint64(m)),
+		})
+	}
+	return l, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config, r *rng.Stream) *LFSC {
+	l, err := New(cfg, r)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Name implements policy.Policy.
+func (l *LFSC) Name() string { return "LFSC" }
+
+// Gamma returns the effective exploration rate (for reports).
+func (l *LFSC) Gamma() float64 { return l.gamma }
+
+// Multipliers returns SCN m's current Lagrange multipliers (λ1, λ2).
+func (l *LFSC) Multipliers(m int) (float64, float64) {
+	return l.scns[m].lambda1, l.scns[m].lambda2
+}
+
+// Weights returns SCN m's hypercube log-weights (for inspection). Only
+// differences are meaningful: the selection probability of a cell's tasks
+// is monotone in its log-weight.
+func (l *LFSC) Weights(m int) []float64 {
+	return append([]float64(nil), l.scns[m].logW...)
+}
+
+// Decide implements policy.Policy: Alg. 2 per SCN, then Alg. 4 globally.
+//
+// The per-SCN probability computation and candidate sampling are
+// independent (each SCN has private weights, multipliers and RNG stream),
+// so they run on all cores; only the collaborative greedy assignment is a
+// global step. Results are bit-identical to the sequential execution.
+func (l *LFSC) Decide(view *policy.SlotView) []int {
+	allProbs := make([][]float64, len(view.SCNs))
+	perSCNEdges := make([][]assign.Edge, len(view.SCNs))
+	parallel.For(len(view.SCNs), l.workersFor(view), func(m int) {
+		st := l.scns[m]
+		tasks := view.SCNs[m].Tasks
+		st.probs = make(map[int]float64, len(tasks))
+		st.capped = nil
+		if len(tasks) == 0 {
+			return
+		}
+		probs, capped := l.probabilities(st, tasks)
+		st.capped = capped
+		allProbs[m] = probs
+		for i, tv := range tasks {
+			st.probs[tv.Index] = probs[i]
+		}
+		edges := make([]assign.Edge, 0, len(tasks))
+		switch l.cfg.Mode {
+		case DepRoundMode:
+			// Sample the SCN's candidate set with marginals exactly p.
+			for _, i := range assign.DepRound(probs, st.r) {
+				tv := tasks[i]
+				edges = append(edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i]})
+			}
+		case Race:
+			for i, tv := range tasks {
+				edges = append(edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i] / st.r.Exponential(1)})
+			}
+		case Deterministic:
+			for i, tv := range tasks {
+				edges = append(edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i]})
+			}
+		}
+		perSCNEdges[m] = edges
+	})
+	l.edges = l.edges[:0]
+	for _, edges := range perSCNEdges {
+		l.edges = append(l.edges, edges...)
+	}
+	assigned := assign.Greedy(l.edges, l.cfg.SCNs, view.NumTasks, l.cfg.Capacity)
+	if l.cfg.Mode == DepRoundMode {
+		l.backfill(view, allProbs, assigned)
+	}
+	return assigned
+}
+
+// workersFor sizes the parallelism to the slot: tiny slots are cheaper to
+// process serially than to fan out.
+func (l *LFSC) workersFor(view *policy.SlotView) int {
+	total := 0
+	for m := range view.SCNs {
+		total += len(view.SCNs[m].Tasks)
+	}
+	if total < 256 {
+		return 1
+	}
+	return 0 // default worker count
+}
+
+// backfill tops up SCNs that lost sampled candidates to cross-SCN conflicts:
+// freed beams take the highest-probability unassigned visible tasks. This
+// mirrors the paper's cascade discussion — a SCN whose optimal task went to
+// a peer falls back to its next best choice rather than idling the beam.
+func (l *LFSC) backfill(view *policy.SlotView, allProbs [][]float64, assigned []int) {
+	counts := make([]int, l.cfg.SCNs)
+	for _, m := range assigned {
+		if m >= 0 {
+			counts[m]++
+		}
+	}
+	type cand struct {
+		idx  int
+		p    float64
+		logW float64
+	}
+	for m := range view.SCNs {
+		free := l.cfg.Capacity - counts[m]
+		if free <= 0 {
+			continue
+		}
+		st := l.scns[m]
+		tasks := view.SCNs[m].Tasks
+		var cands []cand
+		for i, tv := range tasks {
+			if assigned[tv.Index] == -1 {
+				cands = append(cands, cand{idx: tv.Index, p: allProbs[m][i], logW: st.logW[tv.Cell]})
+			}
+		}
+		// Rank by probability; probabilities tie when weights underflow
+		// (exploration floor) or saturate (capped at 1), so the exact
+		// log-weight breaks ties before the deterministic index.
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].p != cands[b].p {
+				return cands[a].p > cands[b].p
+			}
+			if cands[a].logW != cands[b].logW {
+				return cands[a].logW > cands[b].logW
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		for _, c := range cands {
+			if free == 0 {
+				break
+			}
+			if assigned[c.idx] != -1 {
+				continue
+			}
+			assigned[c.idx] = m
+			free--
+		}
+	}
+}
+
+// probabilities runs Exp3.M weight capping and the mixing formula for one
+// SCN's visible task list, returning per-task selection probabilities and
+// the set S' of capped hypercubes.
+func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) ([]float64, map[int]bool) {
+	k := len(tasks)
+	c := l.cfg.Capacity
+	probs := make([]float64, k)
+	if k <= c {
+		// Fewer tasks than beams: everything can be served.
+		for i := range probs {
+			probs[i] = 1
+		}
+		return probs, nil
+	}
+	// Shift log-weights by the slot maximum before exponentiating; both the
+	// mixing formula and the capping fixed point are scale-invariant. The
+	// shifted exponent is floored so no weight underflows to exact zero:
+	// with an all-zero tail the capping fixed point degenerates to ε = 0
+	// and the mixing denominator vanishes. A floor of e^-60 keeps 60 nats
+	// of ranking range — far beyond what selection can distinguish anyway.
+	const minLogDiff = -60.0
+	maxLog := math.Inf(-1)
+	for _, tv := range tasks {
+		if lw := st.logW[tv.Cell]; lw > maxLog {
+			maxLog = lw
+		}
+	}
+	w := make([]float64, k)
+	sum := 0.0
+	maxW := 0.0
+	for i, tv := range tasks {
+		d := st.logW[tv.Cell] - maxLog
+		if d < minLogDiff {
+			d = minLogDiff
+		}
+		w[i] = math.Exp(d)
+		sum += w[i]
+		if w[i] > maxW {
+			maxW = w[i]
+		}
+	}
+	// τ = (1/c − γ/K)/(1−γ): the weight-share above which p would exceed 1.
+	tau := (1/float64(c) - l.gamma/float64(k)) / (1 - l.gamma)
+	var capped map[int]bool
+	eps := math.Inf(1)
+	if !l.cfg.DisableCapping && tau > 0 && maxW >= tau*sum {
+		eps = solveCap(w, tau)
+		capped = make(map[int]bool)
+		for i, tv := range tasks {
+			if w[i] >= eps {
+				w[i] = eps
+				capped[tv.Cell] = true
+			}
+		}
+		sum = 0
+		for _, v := range w {
+			sum += v
+		}
+	}
+	for i := range probs {
+		p := float64(c) * ((1-l.gamma)*w[i]/sum + l.gamma/float64(k))
+		if p > 1 {
+			p = 1 // numerical safety; capping guarantees ≤ 1 analytically
+		}
+		if p < 0 {
+			p = 0
+		}
+		probs[i] = p
+	}
+	return probs, capped
+}
+
+// solveCap finds ε with ε = τ·Σ_i min(w_i, ε) (the Exp3.M cap fixed point).
+// With the top-j weights capped, ε_j = τ·rest_j/(1−jτ); the valid j is the
+// one with w_(j) ≥ ε_j ≥ w_(j+1) in the descending order statistics.
+func solveCap(w []float64, tau float64) float64 {
+	sorted := append([]float64(nil), w...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	// rest_j (the tail sum Σ_{i>j} w_(i)) is accumulated backward as a
+	// suffix sum: subtracting head weights from the total instead would
+	// cancel catastrophically when the tail is many orders of magnitude
+	// below the head (log-weights legitimately span e^±60 here).
+	suffix := make([]float64, len(sorted)+1)
+	for i := len(sorted) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + sorted[i]
+	}
+	for j := 1; j <= len(sorted); j++ {
+		rest := suffix[j]
+		denom := 1 - float64(j)*tau
+		if denom <= 0 {
+			break
+		}
+		eps := tau * rest / denom
+		lower := 0.0
+		if j < len(sorted) {
+			lower = sorted[j]
+		}
+		// Validity window with relative tolerance.
+		if eps <= sorted[j-1]*(1+1e-12) && eps >= lower*(1-1e-12) {
+			return eps
+		}
+	}
+	// Should be unreachable for K > c (existence is proven in the Exp3.M
+	// analysis); fall back to the identity cap (no weight modified) and
+	// rely on the final per-task clamp p ≤ 1.
+	return sorted[0]
+}
+
+// defaultSlackPull is the default dual-update asymmetry (see
+// Config.SlackPull).
+const defaultSlackPull = 0.25
+
+// defaultWeightDecay is the default forgetting rate ρ (see
+// Config.WeightDecay); chosen by the calibration sweep in EXPERIMENTS.md.
+const defaultWeightDecay = 1e-3
+
+// defaultLambdaRate is the default multiplier step scale (see
+// Config.LambdaRate); chosen by the calibration sweep in EXPERIMENTS.md:
+// rate 1 responds too slowly in the exploration phase, rate ≥ 10
+// oscillates around the dual optimum late in the run.
+const defaultLambdaRate = 3.0
+
+// maxExponent clamps weight-update exponents so a long streak of large
+// importance-weighted estimates cannot overflow float64 in one step.
+const maxExponent = 30.0
+
+// Observe implements policy.Policy: Alg. 3 for every SCN, in parallel
+// (each SCN only touches its own weights, multipliers and scratch).
+func (l *LFSC) Observe(view *policy.SlotView, assigned []int, fb *policy.Feedback) {
+	// Group executions by SCN for O(1) lookup.
+	execBySCN := make([]map[int]policy.Exec, l.cfg.SCNs)
+	for _, e := range fb.Execs {
+		if execBySCN[e.SCN] == nil {
+			execBySCN[e.SCN] = make(map[int]policy.Exec)
+		}
+		execBySCN[e.SCN][e.Task] = e
+	}
+	parallel.For(len(view.SCNs), l.workersFor(view), func(m int) {
+		st := l.scns[m]
+		tasks := view.SCNs[m].Tasks
+		if len(tasks) == 0 {
+			return
+		}
+		// Per-hypercube sums of the importance-weighted estimates and
+		// visible-task counts (Alg. 3 lines 2-8).
+		type cellAcc struct {
+			g, v, q float64
+			n       int
+		}
+		acc := make(map[int]*cellAcc, len(tasks))
+		var completed, consumed float64
+		for _, tv := range tasks {
+			a := acc[tv.Cell]
+			if a == nil {
+				a = &cellAcc{}
+				acc[tv.Cell] = a
+			}
+			a.n++
+			e, ok := execBySCN[m][tv.Index]
+			if !ok {
+				continue // unchosen task: estimate contributes 0
+			}
+			p := st.probs[tv.Index]
+			if p <= 0 {
+				continue // defensive: cannot importance-weight a 0-prob pick
+			}
+			a.g += e.Compound() / p
+			a.v += e.V / p
+			a.q += e.Q / p
+			completed += e.V
+			consumed += e.Q
+		}
+		// Weight update (Alg. 3 lines 9-14): capped cells are skipped.
+		// Log-space: the multiplicative exp(·) becomes an addition.
+		lam1, lam2 := st.lambda1, st.lambda2
+		if l.cfg.DisableLagrangian {
+			lam1, lam2 = 0, 0
+		}
+		for f, a := range acc {
+			if st.capped[f] {
+				continue
+			}
+			gHat := a.g / float64(a.n)
+			vHat := a.v / float64(a.n)
+			qHat := a.q / float64(a.n)
+			exp := l.eta * (gHat + lam1*vHat - lam2*qHat)
+			if exp > maxExponent {
+				exp = maxExponent
+			}
+			if exp < -maxExponent {
+				exp = -maxExponent
+			}
+			st.logW[f] += exp
+		}
+		if l.decay > 0 {
+			for f := range st.logW {
+				st.logW[f] *= 1 - l.decay
+			}
+		}
+		// Multiplier update (Alg. 3 lines 15-17): projected gradient ascent
+		// with decay; slack normalised by the beam budget so the λ·v̂ and
+		// λ·q̂ exponent terms share ĝ's scale.
+		if !l.cfg.DisableLagrangian {
+			// The violation metrics are hinges (only shortfall/excess
+			// counts), so the dual ascent is asymmetric: slack beyond the
+			// constraint pulls λ down at a fraction of the violation rate.
+			// A symmetric (linear-constraint) update makes λ undershoot as
+			// soon as the constraint is met, selection drifts back toward
+			// raw reward, and per-slot violations oscillate late in the
+			// run instead of decreasing as the paper reports.
+			g1 := l.cfg.Alpha - completed
+			g2 := consumed - l.cfg.Beta
+			if g1 < 0 {
+				g1 *= l.slackPull
+			}
+			if g2 < 0 {
+				g2 *= l.slackPull
+			}
+			etaL := l.eta * l.lambdaRate
+			st.lambda1 = project(st.lambda1, etaL, l.delta, g1)
+			st.lambda2 = project(st.lambda2, etaL, l.delta, g2)
+		}
+		st.probs = nil
+		st.capped = nil
+	})
+}
+
+// project applies λ ← [(1−ηδ)λ + η·grad]₊ with the theory's cap λ ≤ 1/δ.
+func project(lambda, eta, delta, grad float64) float64 {
+	l := (1-eta*delta)*lambda + eta*grad
+	if l < 0 {
+		return 0
+	}
+	if delta > 0 && l > 1/delta {
+		return 1 / delta
+	}
+	return l
+}

@@ -1,0 +1,333 @@
+// Package env implements the unknown stochastic environment of the paper's
+// Sec. 3.2: the three random processes governing what happens when SCN m
+// processes a task with context φ at slot t —
+//
+//	U^m_φ(t) ∈ [0,1]  reward for completing the task (may be non-stationary),
+//	V^m_φ(t) ∈ [0,1]  likelihood the task completes (mmWave blockage),
+//	Q^m_φ(t) ∈ [1,2]  resource consumption (paper evaluation range).
+//
+// The processes are independent across contexts and of each other. The
+// learner can only observe realisations of tasks it actually offloads; this
+// package is the ground truth hidden from every policy except the Oracle.
+//
+// Means are attached to (SCN, hypercube-cell) pairs — the same granularity
+// the paper's Hölder-continuity assumption justifies for the learner — and
+// realisations are drawn per task around those means. Three stationarity
+// modes for U reproduce the paper's "not necessarily stationary" remark:
+// Stationary, Drifting (bounded random walk) and Piecewise (abrupt change).
+package env
+
+import (
+	"fmt"
+	"math"
+
+	"lfsc/internal/rng"
+	"lfsc/internal/stats"
+)
+
+// Mode selects the stationarity regime of the reward process U.
+type Mode int
+
+const (
+	// Stationary keeps all means fixed for the whole horizon.
+	Stationary Mode = iota
+	// Drifting applies a bounded Gaussian random walk to reward means.
+	Drifting
+	// Piecewise redraws all reward means every SwitchEvery slots.
+	Piecewise
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Stationary:
+		return "stationary"
+	case Drifting:
+		return "drifting"
+	case Piecewise:
+		return "piecewise"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterises an environment.
+type Config struct {
+	// SCNs is the number of small cell nodes M.
+	SCNs int
+	// Cells is the number of context hypercubes (h_T)^{D_b}.
+	Cells int
+	// URange bounds the per-(SCN,cell) mean reward (default [0,1]).
+	URange [2]float64
+	// VRange bounds the per-(SCN,cell) mean completion likelihood. The
+	// paper's Fig. "different environments" varies exactly this range.
+	VRange [2]float64
+	// QRange bounds the per-(SCN,cell) mean resource consumption
+	// (paper evaluation: [1,2]).
+	QRange [2]float64
+	// UNoise is the std of the truncated-normal reward realisation noise.
+	UNoise float64
+	// QNoise is the half-width of the uniform consumption realisation
+	// noise around the cell mean.
+	QNoise float64
+	// Mode selects the stationarity regime of U.
+	Mode Mode
+	// DriftStd is the per-slot random-walk std for Drifting mode.
+	DriftStd float64
+	// SwitchEvery is the period of abrupt changes for Piecewise mode.
+	SwitchEvery int
+}
+
+// DefaultConfig returns the paper's evaluation setting for M SCNs and the
+// given number of context cells.
+func DefaultConfig(scns, cells int) Config {
+	return Config{
+		SCNs:        scns,
+		Cells:       cells,
+		URange:      [2]float64{0, 1},
+		VRange:      [2]float64{0, 1},
+		QRange:      [2]float64{1, 2},
+		UNoise:      0.1,
+		QNoise:      0.1,
+		Mode:        Stationary,
+		DriftStd:    0.002,
+		SwitchEvery: 2500,
+	}
+}
+
+// Validate checks configuration consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.SCNs <= 0:
+		return fmt.Errorf("env: SCNs must be positive, got %d", c.SCNs)
+	case c.Cells <= 0:
+		return fmt.Errorf("env: Cells must be positive, got %d", c.Cells)
+	case c.URange[1] < c.URange[0] || c.URange[0] < 0 || c.URange[1] > 1:
+		return fmt.Errorf("env: URange %v must be within [0,1]", c.URange)
+	case c.VRange[1] < c.VRange[0] || c.VRange[0] < 0 || c.VRange[1] > 1:
+		return fmt.Errorf("env: VRange %v must be within [0,1]", c.VRange)
+	case c.QRange[1] < c.QRange[0] || c.QRange[0] <= 0:
+		return fmt.Errorf("env: QRange %v must be positive", c.QRange)
+	case c.UNoise < 0 || c.QNoise < 0:
+		return fmt.Errorf("env: noise must be non-negative")
+	case c.Mode == Piecewise && c.SwitchEvery <= 0:
+		return fmt.Errorf("env: Piecewise mode needs SwitchEvery > 0")
+	case c.Mode == Drifting && c.DriftStd < 0:
+		return fmt.Errorf("env: DriftStd must be non-negative")
+	}
+	return nil
+}
+
+// Outcome is the realised feedback of processing one task: the triple the
+// MBS observes after execution (paper Alg. 3 line 1).
+type Outcome struct {
+	// U is the realised reward in [0,1].
+	U float64
+	// Completed is the realisation of the Bernoulli(V) completion draw;
+	// false models a mmWave blockage interrupting execution.
+	Completed bool
+	// Q is the realised resource consumption.
+	Q float64
+}
+
+// V returns the completion indicator as a float (the v fed to estimators).
+func (o Outcome) V() float64 {
+	if o.Completed {
+		return 1
+	}
+	return 0
+}
+
+// Compound returns the realised compound reward g = u·v/q.
+func (o Outcome) Compound() float64 {
+	if !o.Completed || o.Q <= 0 {
+		return 0
+	}
+	return o.U / o.Q
+}
+
+// Env is a concrete environment instance. Advance mutates reward means in
+// non-stationary modes; all other methods are read-only and safe for
+// concurrent use between Advance calls.
+type Env struct {
+	cfg Config
+	// uMean[m][f], vMean[m][f], qMean[m][f]
+	uMean [][]float64
+	vMean [][]float64
+	qMean [][]float64
+	// mbsU[f], mbsQ[f]: the macrocell base station's own reward and
+	// consumption profile, used by the MBS-fallback extension (the paper's
+	// Sec. 6 future work). Always generated; costs nothing when unused.
+	mbsU  []float64
+	mbsQ  []float64
+	drift *rng.Stream
+}
+
+// New creates an environment whose means are drawn from stream r.
+func New(cfg Config, r *rng.Stream) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Env{cfg: cfg, drift: r.Derive(0xd41f7)}
+	e.uMean = drawMeans(cfg.SCNs, cfg.Cells, cfg.URange, r.Derive(1))
+	e.vMean = drawMeans(cfg.SCNs, cfg.Cells, cfg.VRange, r.Derive(2))
+	e.qMean = drawMeans(cfg.SCNs, cfg.Cells, cfg.QRange, r.Derive(3))
+	e.mbsU = drawMeans(1, cfg.Cells, cfg.URange, r.Derive(4))[0]
+	e.mbsQ = drawMeans(1, cfg.Cells, cfg.QRange, r.Derive(5))[0]
+	return e, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config, r *rng.Stream) *Env {
+	e, err := New(cfg, r)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func drawMeans(scns, cells int, rge [2]float64, r *rng.Stream) [][]float64 {
+	out := make([][]float64, scns)
+	for m := range out {
+		row := make([]float64, cells)
+		for f := range row {
+			row[f] = r.Uniform(rge[0], rge[1])
+		}
+		out[m] = row
+	}
+	return out
+}
+
+// Config returns the environment configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// Advance applies the non-stationary dynamics for the transition into slot
+// t (1-based). It is a no-op in Stationary mode.
+func (e *Env) Advance(t int) {
+	switch e.cfg.Mode {
+	case Drifting:
+		for m := range e.uMean {
+			for f := range e.uMean[m] {
+				v := e.uMean[m][f] + e.drift.Normal(0, e.cfg.DriftStd)
+				e.uMean[m][f] = stats.Clamp(v, e.cfg.URange[0], e.cfg.URange[1])
+			}
+		}
+	case Piecewise:
+		if t > 0 && t%e.cfg.SwitchEvery == 0 {
+			for m := range e.uMean {
+				for f := range e.uMean[m] {
+					e.uMean[m][f] = e.drift.Uniform(e.cfg.URange[0], e.cfg.URange[1])
+				}
+			}
+		}
+	}
+}
+
+// MeanReward returns E[U] for (SCN m, cell f) at the current slot.
+func (e *Env) MeanReward(m, f int) float64 { return e.uMean[m][f] }
+
+// MeanLikelihood returns E[V] = P(complete) for (m, f).
+func (e *Env) MeanLikelihood(m, f int) float64 { return e.vMean[m][f] }
+
+// MeanConsumption returns E[Q] for (m, f).
+func (e *Env) MeanConsumption(m, f int) float64 { return e.qMean[m][f] }
+
+// ExpectedCompound returns E[G] = E[U]·E[V]·E[1/Q] for (m, f), using the
+// closed form of E[1/Q] for the uniform consumption realisation around the
+// cell mean. This is the quantity the Oracle optimises.
+func (e *Env) ExpectedCompound(m, f int) float64 {
+	return e.uMean[m][f] * e.vMean[m][f] * e.expectedInvQ(m, f)
+}
+
+// ExpectedCompoundWithLikelihood is ExpectedCompound with an externally
+// supplied completion likelihood (radio-model integration).
+func (e *Env) ExpectedCompoundWithLikelihood(m, f int, v float64) float64 {
+	return e.uMean[m][f] * stats.Clamp(v, 0, 1) * e.expectedInvQ(m, f)
+}
+
+func (e *Env) expectedInvQ(m, f int) float64 {
+	mean := e.qMean[m][f]
+	lo, hi := e.qBounds(mean)
+	if hi-lo < 1e-12 {
+		return 1 / mean
+	}
+	return math.Log(hi/lo) / (hi - lo)
+}
+
+// qBounds returns the support of the consumption realisation around mean,
+// clipped to the configured range and kept strictly positive.
+func (e *Env) qBounds(mean float64) (lo, hi float64) {
+	lo = math.Max(e.cfg.QRange[0], mean-e.cfg.QNoise)
+	hi = math.Min(e.cfg.QRange[1], mean+e.cfg.QNoise)
+	if hi < lo {
+		hi = lo
+	}
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	return lo, hi
+}
+
+// Draw samples the feedback of SCN m processing a task in cell f, using
+// stream r. The three draws are independent, matching the model.
+func (e *Env) Draw(m, f int, r *rng.Stream) Outcome {
+	return e.DrawWithLikelihood(m, f, e.vMean[m][f], r)
+}
+
+// DrawWithLikelihood samples feedback with an overridden completion
+// likelihood (e.g. computed from the physical radio model for the actual
+// SCN-WD distance instead of the cell mean).
+func (e *Env) DrawWithLikelihood(m, f int, v float64, r *rng.Stream) Outcome {
+	u := r.TruncNormal(e.uMean[m][f], e.cfg.UNoise, 0, 1)
+	if e.cfg.UNoise == 0 {
+		u = e.uMean[m][f]
+	}
+	lo, hi := e.qBounds(e.qMean[m][f])
+	q := lo
+	if hi > lo {
+		q = r.Uniform(lo, hi)
+	}
+	return Outcome{
+		U:         u,
+		Completed: r.Bernoulli(stats.Clamp(v, 0, 1)),
+		Q:         q,
+	}
+}
+
+// DrawMBS samples the feedback of the macrocell base station processing a
+// task in cell f. The MBS is reached over fibre, so the completion
+// likelihood is supplied by the caller (typically near 1) rather than drawn
+// from the mmWave blockage model, and penalty discounts the realised reward
+// (1 = none; latency-sensitive tasks suffer from the longer path).
+func (e *Env) DrawMBS(f int, likelihood, penalty float64, r *rng.Stream) Outcome {
+	u := r.TruncNormal(e.mbsU[f], e.cfg.UNoise, 0, 1)
+	if e.cfg.UNoise == 0 {
+		u = e.mbsU[f]
+	}
+	u *= stats.Clamp(penalty, 0, 1)
+	lo, hi := e.qBounds(e.mbsQ[f])
+	q := lo
+	if hi > lo {
+		q = r.Uniform(lo, hi)
+	}
+	return Outcome{
+		U:         u,
+		Completed: r.Bernoulli(stats.Clamp(likelihood, 0, 1)),
+		Q:         q,
+	}
+}
+
+// MeanRewardMBS returns the MBS's E[U] for cell f (before any penalty).
+func (e *Env) MeanRewardMBS(f int) float64 { return e.mbsU[f] }
+
+// BestExpectedCompound returns, for SCN m, the maximum expected compound
+// reward over all cells — a handy upper bound used in tests.
+func (e *Env) BestExpectedCompound(m int) float64 {
+	best := 0.0
+	for f := 0; f < e.cfg.Cells; f++ {
+		if g := e.ExpectedCompound(m, f); g > best {
+			best = g
+		}
+	}
+	return best
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testOptions keeps experiment tests fast: the shape checks in Notes are
+// asserted at full scale by the benchmark harness, not here.
+func testOptions() Options {
+	return Options{T: 300, Seed: 7, ChartWidth: 40, ChartHeight: 8}
+}
+
+func TestRunBaseAndFigures(t *testing.T) {
+	b, err := RunBase(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Series) != 5 {
+		t.Fatalf("base has %d series", len(b.Series))
+	}
+	for _, name := range []string{"Oracle", "LFSC", "vUCB", "FML", "Random"} {
+		if b.ByName[name] == nil {
+			t.Fatalf("missing %s", name)
+		}
+	}
+	for _, f := range []func(*Base) *Result{Fig2a, Fig2b, Fig2c, Ratio} {
+		r := f(b)
+		if r.ID == "" || r.Title == "" || r.Table == nil {
+			t.Fatalf("experiment %q incomplete", r.ID)
+		}
+		if len(r.Notes) == 0 {
+			t.Fatalf("experiment %q has no shape checks", r.ID)
+		}
+		if r.Table.String() == "" {
+			t.Fatalf("experiment %q renders empty table", r.ID)
+		}
+		if len(r.CSVHeaders) != len(r.CSVSeries) {
+			t.Fatalf("experiment %q CSV mismatch", r.ID)
+		}
+	}
+}
+
+func TestFig2aHasChartsAndCSV(t *testing.T) {
+	b, err := RunBase(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Fig2a(b)
+	if len(r.Charts) != 1 {
+		t.Fatal("fig2a should have one chart")
+	}
+	if len(r.CSVSeries) != 5 || len(r.CSVSeries[0]) != 300 {
+		t.Fatalf("fig2a CSV shape wrong: %d x %d", len(r.CSVSeries), len(r.CSVSeries[0]))
+	}
+	// Cumulative series must be non-decreasing.
+	for _, s := range r.CSVSeries {
+		for i := 1; i < len(s); i++ {
+			if s[i] < s[i-1]-1e-9 {
+				t.Fatal("cumulative reward decreased")
+			}
+		}
+	}
+}
+
+func TestFig3SweepShape(t *testing.T) {
+	opts := testOptions()
+	opts.T = 120
+	r, err := Fig3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "fig3" {
+		t.Fatal("id")
+	}
+	// 5 policies × 2 series each.
+	if len(r.CSVSeries) != 10 {
+		t.Fatalf("fig3 series count %d", len(r.CSVSeries))
+	}
+	for _, s := range r.CSVSeries {
+		if len(s) != 5 { // five α values
+			t.Fatalf("fig3 sweep length %d", len(s))
+		}
+	}
+	if len(r.Charts) != 2 {
+		t.Fatal("fig3 charts")
+	}
+}
+
+func TestFig4SweepShape(t *testing.T) {
+	opts := testOptions()
+	opts.T = 120
+	r, err := Fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.CSVSeries) != 10 {
+		t.Fatalf("fig4 series count %d", len(r.CSVSeries))
+	}
+	for _, s := range r.CSVSeries {
+		if len(s) != 4 { // four likelihood ranges
+			t.Fatalf("fig4 sweep length %d", len(s))
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	opts := testOptions()
+	opts.T = 150
+	for _, id := range []string{"abl-lagrangian", "abl-capping", "abl-selection"} {
+		runner := Registry()[id]
+		r, err := runner(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if r.Table == nil || len(r.Notes) == 0 {
+			t.Fatalf("%s incomplete", id)
+		}
+	}
+}
+
+func TestAblationGranularity(t *testing.T) {
+	opts := testOptions()
+	opts.T = 120
+	r, err := AblationGranularity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.CSVSeries) != 3 || len(r.CSVSeries[0]) != 4 {
+		t.Fatalf("granularity CSV shape wrong")
+	}
+}
+
+func TestAblationNonstationary(t *testing.T) {
+	opts := testOptions()
+	opts.T = 200
+	r, err := AblationNonstationary(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Table.String(), "piecewise") {
+		t.Fatal("missing piecewise row")
+	}
+}
+
+func TestAblationGreedyVsExact(t *testing.T) {
+	r, err := AblationGreedyVsExact(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean ratios must respect the Lemma-2 bound by a wide margin.
+	for i, ratio := range r.CSVSeries[1] {
+		if ratio < 0.5 {
+			t.Fatalf("capacity index %d: greedy ratio %v suspiciously low", i, ratio)
+		}
+		if ratio > 1+1e-9 {
+			t.Fatalf("greedy ratio %v exceeds optimal", ratio)
+		}
+	}
+	if len(r.Notes) == 0 {
+		t.Fatal("no notes")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, id := range Order() {
+		if reg[id] == nil {
+			t.Fatalf("experiment %q not in registry", id)
+		}
+	}
+	if len(reg) != len(Order()) {
+		t.Fatalf("registry has %d entries, order lists %d", len(reg), len(Order()))
+	}
+}
+
+func TestNotesFormat(t *testing.T) {
+	r := &Result{}
+	r.note(true, "x = %d", 5)
+	r.note(false, "y")
+	if r.Notes[0] != "PASS: x = 5" || r.Notes[1] != "WARN: y" {
+		t.Fatalf("notes = %v", r.Notes)
+	}
+}
+
+func TestOptionsFill(t *testing.T) {
+	o := Options{}
+	o.fill()
+	if o.T != 10000 || o.ChartWidth <= 0 || o.ChartHeight <= 0 {
+		t.Fatalf("fill defaults wrong: %+v", o)
+	}
+}
+
+func TestTheorem1(t *testing.T) {
+	opts := testOptions()
+	opts.T = 400
+	r, err := Theorem1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "thm1" || len(r.Notes) == 0 {
+		t.Fatal("thm1 incomplete")
+	}
+	if len(r.CSVSeries) != 2 || len(r.CSVSeries[0]) != 3 {
+		t.Fatalf("thm1 CSV shape wrong: %d x %d", len(r.CSVSeries), len(r.CSVSeries[0]))
+	}
+}
+
+func TestStressSweep(t *testing.T) {
+	opts := testOptions()
+	opts.T = 150
+	r, err := StressSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "abl-stress" {
+		t.Fatal("id")
+	}
+	if len(r.CSVSeries[0]) != 3 {
+		t.Fatal("stress sweep should cover three patterns")
+	}
+	if !strings.Contains(r.Table.String(), "flashcrowd") {
+		t.Fatal("missing flash crowd row")
+	}
+}

@@ -1,0 +1,17 @@
+package hypercube_test
+
+import (
+	"fmt"
+
+	"lfsc/internal/hypercube"
+	"lfsc/internal/task"
+)
+
+// ExamplePartition shows the paper's context partition: 3 dimensions split
+// in 3 gives 27 hypercubes, and a task's context maps to one cell index.
+func ExamplePartition() {
+	p := hypercube.MustNew(task.ContextDims, 3)
+	tk := &task.Task{InputMbit: 12, OutputMbit: 2, Resource: task.GPU}
+	fmt.Println(p.Cells(), p.Index(tk.Context()))
+	// Output: 27 13
+}

@@ -1,0 +1,316 @@
+// Package ilp solves small 0/1 integer linear programs exactly by LP-based
+// branch & bound, using the dense simplex in internal/lpsolve for node
+// relaxations.
+//
+// Its role in the reproduction is verification: the paper's per-slot
+// offloading problem (ILP (1)) is solved exactly on small instances to (i)
+// certify the Oracle heuristic used at paper scale and (ii) measure the real
+// approximation ratio of the greedy Alg. 4 against the true optimum, not
+// just against the matching bound of Lemma 2.
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"lfsc/internal/lpsolve"
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means the incumbent is proven optimal.
+	Optimal Status = iota
+	// Infeasible means no 0/1 point satisfies the constraints.
+	Infeasible
+	// NodeLimit means search stopped early; the incumbent (if any) is a
+	// feasible lower bound but not proven optimal.
+	NodeLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case NodeLimit:
+		return "node-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+type constraint struct {
+	coefs []float64
+	sense lpsolve.Sense
+	rhs   float64
+}
+
+// Problem is a 0/1 ILP: maximise obj·x, subject to linear constraints,
+// x ∈ {0,1}^n.
+type Problem struct {
+	n    int
+	obj  []float64
+	cons []constraint
+}
+
+// New creates a problem with n binary variables.
+func New(n int) *Problem {
+	if n <= 0 {
+		panic("ilp: need at least one variable")
+	}
+	return &Problem{n: n, obj: make([]float64, n)}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// SetObjective sets maximisation coefficients.
+func (p *Problem) SetObjective(coefs []float64) {
+	if len(coefs) != p.n {
+		panic("ilp: objective length mismatch")
+	}
+	copy(p.obj, coefs)
+}
+
+// AddConstraint appends coefs·x (sense) rhs.
+func (p *Problem) AddConstraint(coefs []float64, sense lpsolve.Sense, rhs float64) {
+	if len(coefs) != p.n {
+		panic("ilp: constraint length mismatch")
+	}
+	p.cons = append(p.cons, constraint{
+		coefs: append([]float64(nil), coefs...),
+		sense: sense,
+		rhs:   rhs,
+	})
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	// Status reports the search outcome.
+	Status Status
+	// X is the best 0/1 point found (nil when none).
+	X []int
+	// Objective is obj·X.
+	Objective float64
+	// Nodes is the number of branch & bound nodes explored.
+	Nodes int
+}
+
+const intTol = 1e-6
+
+// Solve runs best-incumbent depth-first branch & bound exploring at most
+// maxNodes nodes (<= 0 means a generous default).
+func (p *Problem) Solve(maxNodes int) Solution {
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	s := &solver{p: p, maxNodes: maxNodes, bestObj: math.Inf(-1)}
+	fixed := make([]int8, p.n) // -1 unfixed is represented as 2 below
+	for i := range fixed {
+		fixed[i] = unfixed
+	}
+	s.branch(fixed)
+	switch {
+	case s.bestX == nil && s.nodes >= s.maxNodes:
+		return Solution{Status: NodeLimit, Nodes: s.nodes}
+	case s.bestX == nil:
+		return Solution{Status: Infeasible, Nodes: s.nodes}
+	case s.nodes >= s.maxNodes:
+		return Solution{Status: NodeLimit, X: s.bestX, Objective: s.bestObj, Nodes: s.nodes}
+	default:
+		return Solution{Status: Optimal, X: s.bestX, Objective: s.bestObj, Nodes: s.nodes}
+	}
+}
+
+const unfixed = int8(2)
+
+type solver struct {
+	p        *Problem
+	maxNodes int
+	nodes    int
+	bestObj  float64
+	bestX    []int
+}
+
+// branch explores the subproblem with the given variable fixings.
+func (s *solver) branch(fixed []int8) {
+	if s.nodes >= s.maxNodes {
+		return
+	}
+	s.nodes++
+
+	sol := s.solveRelaxation(fixed)
+	if sol.Status != lpsolve.Optimal {
+		return // infeasible node (unbounded impossible: x ∈ [0,1]^n)
+	}
+	if sol.Objective <= s.bestObj+1e-9 {
+		return // bound prune
+	}
+	// Most fractional variable.
+	branchVar := -1
+	worst := intTol
+	for i, v := range sol.X {
+		if fixed[i] != unfixed {
+			continue
+		}
+		frac := math.Abs(v - math.Round(v))
+		if frac > worst {
+			worst = frac
+			branchVar = i
+		}
+	}
+	if branchVar == -1 {
+		// Integral solution.
+		x := make([]int, s.p.n)
+		for i, v := range sol.X {
+			x[i] = int(math.Round(v))
+		}
+		s.bestObj = sol.Objective
+		s.bestX = x
+		return
+	}
+	// Try the rounding the LP leans toward first (better incumbents sooner).
+	first, second := int8(1), int8(0)
+	if sol.X[branchVar] < 0.5 {
+		first, second = 0, 1
+	}
+	for _, val := range []int8{first, second} {
+		fixed[branchVar] = val
+		s.branch(fixed)
+		fixed[branchVar] = unfixed
+	}
+}
+
+// solveRelaxation solves the LP relaxation with [0,1] bounds and fixings.
+func (s *solver) solveRelaxation(fixed []int8) lpsolve.Solution {
+	lp := lpsolve.NewProblem(s.p.n)
+	lp.SetObjective(s.p.obj)
+	for _, c := range s.p.cons {
+		lp.AddConstraint(c.coefs, c.sense, c.rhs)
+	}
+	row := make([]float64, s.p.n)
+	for i, f := range fixed {
+		for j := range row {
+			row[j] = 0
+		}
+		row[i] = 1
+		switch f {
+		case unfixed:
+			lp.AddConstraint(row, lpsolve.LE, 1)
+		case 0:
+			lp.AddConstraint(row, lpsolve.EQ, 0)
+		case 1:
+			lp.AddConstraint(row, lpsolve.EQ, 1)
+		}
+	}
+	return lp.Solve()
+}
+
+// OffloadInstance is the paper's per-slot ILP (1) for one time slot:
+// binary x[m][i] (SCN m executes task i), maximising Σ g·x subject to
+// (1a) Σ_i x[m][i] ≤ C per SCN, (1b) Σ_m x[m][i] ≤ 1 per task,
+// (1c) Σ_i v[m][i]·x[m][i] ≥ Alpha per SCN, (1d) Σ_i q[m][i]·x[m][i] ≤ Beta.
+// Covered[m][i] marks visibility (D_{m,t}); uncovered pairs are forced 0.
+type OffloadInstance struct {
+	G       [][]float64 // expected compound reward per (SCN, task)
+	V       [][]float64 // expected completion likelihood
+	Q       [][]float64 // expected consumption
+	Covered [][]bool
+	C       int
+	Alpha   float64
+	Beta    float64
+	// SoftQoS relaxes (1c) from a hard constraint to "ignored" (the
+	// violation is measured, not enforced) — matching how the online
+	// algorithms are allowed to violate it per-slot.
+	SoftQoS bool
+}
+
+// Solve builds and solves the instance exactly. Variables are indexed
+// m*numTasks+i.
+func (inst *OffloadInstance) Solve(maxNodes int) Solution {
+	m := len(inst.G)
+	if m == 0 {
+		return Solution{Status: Optimal, X: nil}
+	}
+	n := len(inst.G[0])
+	p := New(m * n)
+	obj := make([]float64, m*n)
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			obj[j*n+i] = inst.G[j][i]
+		}
+	}
+	p.SetObjective(obj)
+	row := make([]float64, m*n)
+	clear := func() {
+		for k := range row {
+			row[k] = 0
+		}
+	}
+	for j := 0; j < m; j++ {
+		// (1a) cardinality.
+		clear()
+		for i := 0; i < n; i++ {
+			row[j*n+i] = 1
+		}
+		p.AddConstraint(row, lpsolve.LE, float64(inst.C))
+		// (1c) QoS floor.
+		if !inst.SoftQoS {
+			clear()
+			for i := 0; i < n; i++ {
+				row[j*n+i] = inst.V[j][i]
+			}
+			p.AddConstraint(row, lpsolve.GE, inst.Alpha)
+		}
+		// (1d) capacity ceiling.
+		clear()
+		for i := 0; i < n; i++ {
+			row[j*n+i] = inst.Q[j][i]
+		}
+		p.AddConstraint(row, lpsolve.LE, inst.Beta)
+	}
+	// (1b) uniqueness.
+	for i := 0; i < n; i++ {
+		clear()
+		for j := 0; j < m; j++ {
+			row[j*n+i] = 1
+		}
+		p.AddConstraint(row, lpsolve.LE, 1)
+	}
+	// Coverage: x = 0 outside D_{m,t}.
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			if !inst.Covered[j][i] {
+				clear()
+				row[j*n+i] = 1
+				p.AddConstraint(row, lpsolve.EQ, 0)
+			}
+		}
+	}
+	return p.Solve(maxNodes)
+}
+
+// Assignment converts a solution of inst into assigned[i] = m (or -1).
+func (inst *OffloadInstance) Assignment(sol Solution) []int {
+	m := len(inst.G)
+	if m == 0 || sol.X == nil {
+		return nil
+	}
+	n := len(inst.G[0])
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			if sol.X[j*n+i] == 1 {
+				out[i] = j
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"lfsc/internal/lpsolve"
+	"lfsc/internal/rng"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 6a + 10b + 12c s.t. a + 2b + 3c ≤ 5 (weights), binary.
+	// Optimal: b + c = 22, weight 5.
+	p := New(3)
+	p.SetObjective([]float64{6, 10, 12})
+	p.AddConstraint([]float64{1, 2, 3}, lpsolve.LE, 5)
+	s := p.Solve(0)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Objective-22) > 1e-6 {
+		t.Fatalf("objective %v, want 22", s.Objective)
+	}
+	if s.X[0] != 0 || s.X[1] != 1 || s.X[2] != 1 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestInfeasibleILP(t *testing.T) {
+	p := New(2)
+	p.SetObjective([]float64{1, 1})
+	p.AddConstraint([]float64{1, 1}, lpsolve.GE, 3) // max is 2 with binaries
+	s := p.Solve(0)
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestEqualityILP(t *testing.T) {
+	// Exactly two of three chosen, maximise value.
+	p := New(3)
+	p.SetObjective([]float64{5, 1, 3})
+	p.AddConstraint([]float64{1, 1, 1}, lpsolve.EQ, 2)
+	s := p.Solve(0)
+	if s.Status != Optimal || math.Abs(s.Objective-8) > 1e-6 {
+		t.Fatalf("got %v %v, want optimal 8", s.Status, s.Objective)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem needing branching, with a 1-node budget.
+	p := New(6)
+	p.SetObjective([]float64{3, 5, 6, 9, 10, 10})
+	p.AddConstraint([]float64{2, 3, 4, 5, 6, 7}, lpsolve.LE, 11)
+	s := p.Solve(1)
+	if s.Status != NodeLimit {
+		t.Fatalf("status %v, want node-limit", s.Status)
+	}
+}
+
+// bruteForce enumerates all 2^n points.
+func bruteForce(p *Problem, cons []constraint, obj []float64) (float64, bool) {
+	n := p.NumVars()
+	best := math.Inf(-1)
+	found := false
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, c := range cons {
+			lhs := 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					lhs += c.coefs[i]
+				}
+			}
+			switch c.sense {
+			case lpsolve.LE:
+				ok = ok && lhs <= c.rhs+1e-9
+			case lpsolve.GE:
+				ok = ok && lhs >= c.rhs-1e-9
+			case lpsolve.EQ:
+				ok = ok && math.Abs(lhs-c.rhs) <= 1e-9
+			}
+		}
+		if !ok {
+			continue
+		}
+		found = true
+		v := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += obj[i]
+			}
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best, found
+}
+
+func TestRandomILPsAgainstBruteForce(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + r.Intn(8)
+		p := New(n)
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = r.Uniform(-1, 2)
+		}
+		p.SetObjective(obj)
+		nc := 1 + r.Intn(3)
+		for k := 0; k < nc; k++ {
+			coefs := make([]float64, n)
+			for i := range coefs {
+				coefs[i] = r.Uniform(0, 2)
+			}
+			sense := lpsolve.LE
+			rhs := r.Uniform(1, float64(n))
+			if r.Bernoulli(0.3) {
+				sense = lpsolve.GE
+				rhs = r.Uniform(0, 2)
+			}
+			p.AddConstraint(coefs, sense, rhs)
+		}
+		want, feasible := bruteForce(p, p.cons, obj)
+		s := p.Solve(0)
+		if !feasible {
+			if s.Status != Infeasible {
+				t.Fatalf("trial %d: brute force infeasible, solver says %v", trial, s.Status)
+			}
+			continue
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		if math.Abs(s.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: bnb %v != brute force %v", trial, s.Objective, want)
+		}
+	}
+}
+
+func buildRandomOffload(r *rng.Stream, m, n int) *OffloadInstance {
+	inst := &OffloadInstance{
+		G: make([][]float64, m), V: make([][]float64, m),
+		Q: make([][]float64, m), Covered: make([][]bool, m),
+		C: 2, Alpha: 0.5, Beta: 3.0,
+	}
+	for j := 0; j < m; j++ {
+		inst.G[j] = make([]float64, n)
+		inst.V[j] = make([]float64, n)
+		inst.Q[j] = make([]float64, n)
+		inst.Covered[j] = make([]bool, n)
+		for i := 0; i < n; i++ {
+			inst.Covered[j][i] = r.Bernoulli(0.8)
+			inst.V[j][i] = r.Float64()
+			inst.Q[j][i] = r.Uniform(1, 2)
+			inst.G[j][i] = r.Float64() * inst.V[j][i] / inst.Q[j][i]
+		}
+	}
+	return inst
+}
+
+func TestOffloadInstanceFeasibilityOfSolution(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 30; trial++ {
+		inst := buildRandomOffload(r, 2, 5)
+		sol := inst.Solve(0)
+		if sol.Status == Infeasible {
+			continue // Alpha can make instances infeasible; fine.
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d status %v", trial, sol.Status)
+		}
+		// Check every constraint on the integral solution.
+		n := 5
+		for j := 0; j < 2; j++ {
+			count, vsum, qsum := 0, 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if sol.X[j*n+i] == 1 {
+					if !inst.Covered[j][i] {
+						t.Fatalf("assigned uncovered pair (%d,%d)", j, i)
+					}
+					count++
+					vsum += inst.V[j][i]
+					qsum += inst.Q[j][i]
+				}
+			}
+			if count > inst.C {
+				t.Fatalf("SCN %d over capacity", j)
+			}
+			if vsum < inst.Alpha-1e-6 {
+				t.Fatalf("SCN %d below QoS floor: %v", j, vsum)
+			}
+			if qsum > inst.Beta+1e-6 {
+				t.Fatalf("SCN %d over consumption: %v", j, qsum)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if sol.X[i]+sol.X[n+i] > 1 {
+				t.Fatalf("task %d assigned twice", i)
+			}
+		}
+	}
+}
+
+func TestOffloadSoftQoS(t *testing.T) {
+	r := rng.New(7)
+	inst := buildRandomOffload(r, 2, 4)
+	inst.Alpha = 100 // impossible hard floor
+	if s := inst.Solve(0); s.Status != Infeasible {
+		t.Fatalf("hard impossible QoS should be infeasible, got %v", s.Status)
+	}
+	inst.SoftQoS = true
+	s := inst.Solve(0)
+	if s.Status != Optimal {
+		t.Fatalf("soft QoS should solve, got %v", s.Status)
+	}
+}
+
+func TestOffloadAssignment(t *testing.T) {
+	inst := &OffloadInstance{
+		G:       [][]float64{{0.9, 0.1}},
+		V:       [][]float64{{1, 1}},
+		Q:       [][]float64{{1, 1}},
+		Covered: [][]bool{{true, true}},
+		C:       1, Alpha: 0, Beta: 10,
+	}
+	sol := inst.Solve(0)
+	asn := inst.Assignment(sol)
+	if asn[0] != 0 || asn[1] != -1 {
+		t.Fatalf("assignment %v", asn)
+	}
+	empty := &OffloadInstance{}
+	if empty.Assignment(empty.Solve(0)) != nil {
+		t.Fatal("empty instance assignment should be nil")
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("New(0)", func() { New(0) })
+	assertPanics("objective mismatch", func() { New(2).SetObjective([]float64{1}) })
+	assertPanics("constraint mismatch", func() { New(2).AddConstraint([]float64{1}, lpsolve.LE, 1) })
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{Optimal, Infeasible, NodeLimit, Status(9)} {
+		if s.String() == "" {
+			t.Fatal("empty status string")
+		}
+	}
+}
+
+func BenchmarkOffloadSmall(b *testing.B) {
+	r := rng.New(8)
+	inst := buildRandomOffload(r, 3, 6)
+	inst.SoftQoS = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = inst.Solve(0)
+	}
+}

@@ -1,0 +1,340 @@
+// Package lpsolve is a dense two-phase primal simplex solver for small
+// linear programs, written against Go's stdlib only.
+//
+// The repository uses it for the fractional relaxation of the paper's
+// per-slot ILP (1): maximise Σ g·x subject to per-SCN cardinality (1a),
+// per-task uniqueness (1b), the QoS floor (1c) and the capacity ceiling
+// (1d), with x ∈ [0,1]. The LP optimum upper-bounds every integral policy,
+// which gives the tests an independent certificate that the Oracle and the
+// exact ILP solver (internal/ilp, branch & bound on top of this package)
+// are correct.
+//
+// The implementation is a textbook dense tableau with Bland's rule, which
+// cannot cycle. It is O(rows·cols) per pivot — perfectly adequate for the
+// few-hundred-variable instances the tests and the small-scale oracle
+// solve, and deliberately simple enough to audit.
+package lpsolve
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint direction.
+type Sense int
+
+const (
+	// LE is a ≤ constraint.
+	LE Sense = iota
+	// EQ is an = constraint.
+	EQ
+	// GE is a ≥ constraint.
+	GE
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal bounded solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies all constraints.
+	Infeasible
+	// Unbounded means the objective can grow without limit.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+type constraint struct {
+	coefs []float64
+	sense Sense
+	rhs   float64
+}
+
+// Problem is a linear program: maximise obj·x subject to constraints and
+// x ≥ 0. Upper bounds on variables are ordinary ≤ constraints (AddBound).
+type Problem struct {
+	n    int
+	obj  []float64
+	cons []constraint
+}
+
+// NewProblem creates a problem with n non-negative variables and a zero
+// objective.
+func NewProblem(n int) *Problem {
+	if n <= 0 {
+		panic("lpsolve: need at least one variable")
+	}
+	return &Problem{n: n, obj: make([]float64, n)}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// SetObjective sets the maximisation objective coefficients.
+func (p *Problem) SetObjective(coefs []float64) {
+	if len(coefs) != p.n {
+		panic("lpsolve: objective length mismatch")
+	}
+	copy(p.obj, coefs)
+}
+
+// AddConstraint appends coefs·x (sense) rhs. The coefficient slice is
+// copied. Sparse callers can pass a full-length slice with zeros.
+func (p *Problem) AddConstraint(coefs []float64, sense Sense, rhs float64) {
+	if len(coefs) != p.n {
+		panic("lpsolve: constraint length mismatch")
+	}
+	for _, v := range coefs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic("lpsolve: non-finite coefficient")
+		}
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		panic("lpsolve: non-finite rhs")
+	}
+	p.cons = append(p.cons, constraint{
+		coefs: append([]float64(nil), coefs...),
+		sense: sense,
+		rhs:   rhs,
+	})
+}
+
+// AddBound appends x_i ≤ ub.
+func (p *Problem) AddBound(i int, ub float64) {
+	coefs := make([]float64, p.n)
+	coefs[i] = 1
+	p.AddConstraint(coefs, LE, ub)
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	// Status reports feasibility/boundedness.
+	Status Status
+	// X is the optimal point (nil unless Optimal).
+	X []float64
+	// Objective is obj·X (0 unless Optimal).
+	Objective float64
+}
+
+const tol = 1e-9
+
+// Solve runs two-phase simplex and returns the solution.
+func (p *Problem) Solve() Solution {
+	m := len(p.cons)
+	if m == 0 {
+		// No constraints: optimum is 0 if obj ≤ 0, otherwise unbounded.
+		for _, c := range p.obj {
+			if c > tol {
+				return Solution{Status: Unbounded}
+			}
+		}
+		return Solution{Status: Optimal, X: make([]float64, p.n)}
+	}
+
+	// Column layout: [x(0..n-1) | slack/surplus(one per constraint where
+	// applicable) | artificial(one per constraint needing it)] + rhs.
+	numSlack := 0
+	for _, c := range p.cons {
+		if c.sense != EQ {
+			numSlack++
+		}
+	}
+	// Normalise rhs ≥ 0 first to know which rows need artificials.
+	rows := make([]constraint, m)
+	for i, c := range p.cons {
+		rows[i] = constraint{coefs: append([]float64(nil), c.coefs...), sense: c.sense, rhs: c.rhs}
+		if rows[i].rhs < 0 {
+			for j := range rows[i].coefs {
+				rows[i].coefs[j] = -rows[i].coefs[j]
+			}
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].sense {
+			case LE:
+				rows[i].sense = GE
+			case GE:
+				rows[i].sense = LE
+			}
+		}
+	}
+	numArt := 0
+	for _, c := range rows {
+		if c.sense != LE {
+			numArt++
+		}
+	}
+	cols := p.n + numSlack + numArt + 1 // + rhs
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackAt := p.n
+	artAt := p.n + numSlack
+	for i, c := range rows {
+		tab[i] = make([]float64, cols)
+		copy(tab[i], c.coefs)
+		tab[i][cols-1] = c.rhs
+		switch c.sense {
+		case LE:
+			tab[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			tab[i][slackAt] = -1
+			slackAt++
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case EQ:
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+	}
+
+	// Phase 1: minimise sum of artificials ⇔ maximise -Σ art.
+	if numArt > 0 {
+		phase1 := make([]float64, cols-1)
+		for j := p.n + numSlack; j < cols-1; j++ {
+			phase1[j] = -1
+		}
+		z, status := simplex(tab, basis, phase1, cols)
+		if status == Unbounded {
+			// Cannot happen for a bounded-below phase-1 objective; treat
+			// defensively as infeasible.
+			return Solution{Status: Infeasible}
+		}
+		if z < -1e-7 {
+			return Solution{Status: Infeasible}
+		}
+		// Drive any artificial still in the basis (at value 0) out.
+		for i := 0; i < m; i++ {
+			if basis[i] < p.n+numSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < p.n+numSlack; j++ {
+				if math.Abs(tab[i][j]) > tol {
+					pivot(tab, basis, i, j, cols)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: harmless, artificial stays basic at 0.
+				_ = pivoted
+			}
+		}
+	}
+
+	// Phase 2: original objective; artificial columns are frozen by zeroing.
+	phase2 := make([]float64, cols-1)
+	copy(phase2, p.obj)
+	if numArt > 0 {
+		for i := range tab {
+			for j := p.n + numSlack; j < cols-1; j++ {
+				tab[i][j] = 0
+			}
+		}
+	}
+	z, status := simplex(tab, basis, phase2, cols)
+	if status == Unbounded {
+		return Solution{Status: Unbounded}
+	}
+	x := make([]float64, p.n)
+	for i, b := range basis {
+		if b < p.n {
+			x[b] = tab[i][cols-1]
+		}
+	}
+	return Solution{Status: Optimal, X: x, Objective: z}
+}
+
+// simplex maximises obj over the tableau with Bland's rule. It returns the
+// objective value at the final basic solution.
+func simplex(tab [][]float64, basis []int, obj []float64, cols int) (float64, Status) {
+	m := len(tab)
+	// Reduced costs row: r_j = obj_j - Σ_i obj_{basis[i]}·tab[i][j].
+	for iter := 0; ; iter++ {
+		if iter > 100000 {
+			// Bland's rule excludes cycling; this guards against a bug
+			// degenerating into an endless loop.
+			panic("lpsolve: iteration limit exceeded")
+		}
+		// Compute reduced costs lazily per column, entering = first positive
+		// (Bland).
+		enter := -1
+		for j := 0; j < cols-1; j++ {
+			r := obj[j]
+			for i := 0; i < m; i++ {
+				if c := obj[basis[i]]; c != 0 {
+					r -= c * tab[i][j]
+				}
+			}
+			if r > tol {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			z := 0.0
+			for i := 0; i < m; i++ {
+				if c := obj[basis[i]]; c != 0 {
+					z += c * tab[i][cols-1]
+				}
+			}
+			return z, Optimal
+		}
+		// Ratio test with Bland tie-break on smallest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > tol {
+				ratio := tab[i][cols-1] / tab[i][enter]
+				if ratio < best-tol || (ratio < best+tol && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, Unbounded
+		}
+		pivot(tab, basis, leave, enter, cols)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot making column enter basic in row leave.
+func pivot(tab [][]float64, basis []int, leave, enter, cols int) {
+	pv := tab[leave][enter]
+	inv := 1 / pv
+	for j := 0; j < cols; j++ {
+		tab[leave][j] *= inv
+	}
+	tab[leave][enter] = 1 // exact
+	for i := range tab {
+		if i == leave {
+			continue
+		}
+		f := tab[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			tab[i][j] -= f * tab[leave][j]
+		}
+		tab[i][enter] = 0 // exact
+	}
+	basis[leave] = enter
+}

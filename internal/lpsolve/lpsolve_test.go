@@ -1,0 +1,275 @@
+package lpsolve
+
+import (
+	"math"
+	"testing"
+
+	"lfsc/internal/rng"
+)
+
+func solveOrFail(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestTextbookLP(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, z=36.
+	p := NewProblem(2)
+	p.SetObjective([]float64{3, 5})
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Objective-36) > 1e-6 {
+		t.Fatalf("objective = %v, want 36", s.Objective)
+	}
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]-6) > 1e-6 {
+		t.Fatalf("x = %v, want (2,6)", s.X)
+	}
+}
+
+func TestGEConstraintsTwoPhase(t *testing.T) {
+	// max -x - y s.t. x + y ≥ 3, x ≤ 5, y ≤ 5 → x+y=3, z=-3.
+	p := NewProblem(2)
+	p.SetObjective([]float64{-1, -1})
+	p.AddConstraint([]float64{1, 1}, GE, 3)
+	p.AddBound(0, 5)
+	p.AddBound(1, 5)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Objective-(-3)) > 1e-6 {
+		t.Fatalf("objective = %v, want -3", s.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + 2y s.t. x + y = 4, y ≤ 3 → x=1, y=3, z=7.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 2})
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{0, 1}, LE, 3)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Objective-7) > 1e-6 {
+		t.Fatalf("objective = %v, want 7", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective([]float64{1})
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	if s := p.Solve(); s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 0})
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	if s := p.Solve(); s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{-1, -2})
+	s := p.Solve()
+	if s.Status != Optimal || s.Objective != 0 {
+		t.Fatalf("negative objective with no constraints: %v", s)
+	}
+	p2 := NewProblem(1)
+	p2.SetObjective([]float64{1})
+	if s := p2.Solve(); s.Status != Unbounded {
+		t.Fatal("positive objective with no constraints should be unbounded")
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x ≤ -1 with x ≥ 0 is infeasible.
+	p := NewProblem(1)
+	p.SetObjective([]float64{1})
+	p.AddConstraint([]float64{1}, LE, -1)
+	if s := p.Solve(); s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+	// -x ≤ -2 means x ≥ 2.
+	p2 := NewProblem(1)
+	p2.SetObjective([]float64{-1})
+	p2.AddConstraint([]float64{-1}, LE, -2)
+	p2.AddBound(0, 10)
+	s := solveOrFail(t, p2)
+	if math.Abs(s.Objective-(-2)) > 1e-6 {
+		t.Fatalf("objective = %v, want -2", s.Objective)
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Classic Beale cycling example (cycles under naive Dantzig pivoting).
+	p := NewProblem(4)
+	p.SetObjective([]float64{0.75, -150, 0.02, -6})
+	p.AddConstraint([]float64{0.25, -60, -1.0 / 25, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -1.0 / 50, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Objective-0.05) > 1e-6 {
+		t.Fatalf("Beale objective = %v, want 0.05", s.Objective)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("NewProblem(0)", func() { NewProblem(0) })
+	assertPanics("objective mismatch", func() { NewProblem(2).SetObjective([]float64{1}) })
+	assertPanics("constraint mismatch", func() { NewProblem(2).AddConstraint([]float64{1}, LE, 1) })
+	assertPanics("NaN coef", func() { NewProblem(1).AddConstraint([]float64{math.NaN()}, LE, 1) })
+	assertPanics("Inf rhs", func() { NewProblem(1).AddConstraint([]float64{1}, LE, math.Inf(1)) })
+}
+
+// enumerateVertices brute-forces tiny LPs: tries all constraint subsets of
+// size n as equalities, solves the linear system, keeps feasible points.
+func bruteForceLP2D(obj [2]float64, cons [][3]float64) (float64, bool) {
+	// cons rows are a,b,rhs meaning ax+by ≤ rhs. Variables x,y ≥ 0.
+	// Add axes x=0, y=0 as candidate active constraints.
+	lines := append([][3]float64{}, cons...)
+	lines = append(lines, [3]float64{-1, 0, 0}, [3]float64{0, -1, 0})
+	best := math.Inf(-1)
+	found := false
+	feasible := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for _, c := range cons {
+			if c[0]*x+c[1]*y > c[2]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			a1, b1, c1 := lines[i][0], lines[i][1], lines[i][2]
+			a2, b2, c2 := lines[j][0], lines[j][1], lines[j][2]
+			det := a1*b2 - a2*b1
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (c1*b2 - c2*b1) / det
+			y := (a1*c2 - a2*c1) / det
+			if feasible(x, y) {
+				found = true
+				if v := obj[0]*x + obj[1]*y; v > best {
+					best = v
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+func TestRandomLPsAgainstVertexEnumeration(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 300; trial++ {
+		nc := 2 + r.Intn(4)
+		cons := make([][3]float64, nc)
+		for i := range cons {
+			cons[i] = [3]float64{r.Uniform(0.1, 2), r.Uniform(0.1, 2), r.Uniform(1, 5)}
+		}
+		obj := [2]float64{r.Uniform(0.1, 3), r.Uniform(0.1, 3)}
+		want, ok := bruteForceLP2D(obj, cons)
+		if !ok {
+			continue
+		}
+		p := NewProblem(2)
+		p.SetObjective(obj[:])
+		for _, c := range cons {
+			p.AddConstraint([]float64{c[0], c[1]}, LE, c[2])
+		}
+		s := p.Solve()
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		if math.Abs(s.Objective-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %v != enumeration %v", trial, s.Objective, want)
+		}
+	}
+}
+
+func TestOffloadingRelaxation(t *testing.T) {
+	// 2 SCNs × 3 tasks, LP relaxation of ILP (1): x in [0,1], per-SCN
+	// cardinality ≤ 2, per-task total ≤ 1. Fractional optimum must be ≥ any
+	// integral assignment's value.
+	g := [][]float64{{0.9, 0.5, 0.4}, {0.8, 0.7, 0.2}}
+	p := NewProblem(6) // x[m][i] at index 3m+i
+	obj := make([]float64, 6)
+	for m := 0; m < 2; m++ {
+		for i := 0; i < 3; i++ {
+			obj[3*m+i] = g[m][i]
+		}
+	}
+	p.SetObjective(obj)
+	for m := 0; m < 2; m++ {
+		row := make([]float64, 6)
+		for i := 0; i < 3; i++ {
+			row[3*m+i] = 1
+		}
+		p.AddConstraint(row, LE, 2)
+	}
+	for i := 0; i < 3; i++ {
+		row := make([]float64, 6)
+		row[i], row[3+i] = 1, 1
+		p.AddConstraint(row, LE, 1)
+	}
+	for v := 0; v < 6; v++ {
+		p.AddBound(v, 1)
+	}
+	s := solveOrFail(t, p)
+	// Best integral: SCN0 gets task0 (0.9), SCN1 gets task1 (0.7) and
+	// task2 (0.2) → 1.8. LP can't beat picking the max per task: 0.9+0.7+0.4=2.0.
+	if s.Objective < 1.8-1e-9 {
+		t.Fatalf("LP relaxation %v below integral optimum 1.8", s.Objective)
+	}
+	if s.Objective > 2.0+1e-9 {
+		t.Fatalf("LP relaxation %v above trivial bound 2.0", s.Objective)
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	r := rng.New(3)
+	const vars, cons = 60, 40
+	obj := make([]float64, vars)
+	for i := range obj {
+		obj[i] = r.Float64()
+	}
+	rows := make([][]float64, cons)
+	for i := range rows {
+		rows[i] = make([]float64, vars)
+		for j := range rows[i] {
+			rows[i][j] = r.Float64()
+		}
+	}
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		p := NewProblem(vars)
+		p.SetObjective(obj)
+		for _, row := range rows {
+			p.AddConstraint(row, LE, 10)
+		}
+		if s := p.Solve(); s.Status != Optimal {
+			b.Fatal("not optimal")
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package mcmf implements min-cost max-flow via successive shortest paths
+// with Johnson potentials (Bellman-Ford initialisation, Dijkstra iterations).
+//
+// In this repository it serves as the *exact* assignment solver: the task
+// offloading sub-problem "assign each task to at most one SCN, at most c
+// tasks per SCN, maximising total weight" is an instance of transportation
+// min-cost flow. The paper's greedy Alg. 4 is (c+1)-approximate (Lemma 2);
+// we use this solver to measure how close the greedy actually gets, and as
+// an optional drop-in assignment stage.
+//
+// Costs are float64; the solver is exact up to floating-point comparison
+// with a small epsilon, which is sufficient for the bounded, well-scaled
+// weights used here (probabilities and rewards in [0,1]).
+package mcmf
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+const eps = 1e-12
+
+// Graph is a flow network under construction. Nodes are dense integers.
+type Graph struct {
+	n     int
+	edges []edge // forward/backward pairs at 2i, 2i+1
+	head  [][]int32
+}
+
+type edge struct {
+	to   int32
+	cap  int32
+	cost float64
+}
+
+// NewGraph creates a network with n nodes and no edges.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic("mcmf: graph needs at least one node")
+	}
+	return &Graph{n: n, head: make([][]int32, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds a directed edge u→v with the given capacity and per-unit
+// cost, returning the edge id (usable with Flow after solving).
+func (g *Graph) AddEdge(u, v, capacity int, cost float64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("mcmf: edge %d→%d out of range", u, v))
+	}
+	if capacity < 0 {
+		panic("mcmf: negative capacity")
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: int32(v), cap: int32(capacity), cost: cost})
+	g.edges = append(g.edges, edge{to: int32(u), cap: 0, cost: -cost})
+	g.head[u] = append(g.head[u], int32(id))
+	g.head[v] = append(g.head[v], int32(id+1))
+	return id
+}
+
+// Flow returns the flow routed on edge id after Solve.
+func (g *Graph) Flow(id int) int {
+	return int(g.edges[id^1].cap)
+}
+
+// Result summarises a solve.
+type Result struct {
+	// MaxFlow is the total flow routed from source to sink.
+	MaxFlow int
+	// Cost is the total cost of the routed flow.
+	Cost float64
+}
+
+// priority queue for Dijkstra
+type pqItem struct {
+	node int32
+	dist float64
+}
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve computes a min-cost max-flow from s to t. Negative edge costs are
+// allowed (handled by a Bellman-Ford potential initialisation); negative
+// cycles are not supported and cause a panic after too many relaxations.
+func (g *Graph) Solve(s, t int) Result { return g.solve(s, t, false) }
+
+// SolveProfitable augments only while the cheapest augmenting path has
+// strictly negative cost. With rewards encoded as negative costs this yields
+// the maximum-profit flow rather than the maximum flow — assignments skip
+// tasks that would not add value.
+func (g *Graph) SolveProfitable(s, t int) Result { return g.solve(s, t, true) }
+
+func (g *Graph) solve(s, t int, stopNonNegative bool) Result {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n || s == t {
+		panic("mcmf: invalid source/sink")
+	}
+	pot := g.initialPotentials(s)
+	dist := make([]float64, g.n)
+	prevEdge := make([]int32, g.n)
+	visited := make([]bool, g.n)
+	var res Result
+	for {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+			visited[i] = false
+		}
+		dist[s] = 0
+		q := pq{{node: int32(s), dist: 0}}
+		for len(q) > 0 {
+			it := heap.Pop(&q).(pqItem)
+			u := int(it.node)
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			for _, id := range g.head[u] {
+				e := &g.edges[id]
+				if e.cap <= 0 {
+					continue
+				}
+				v := int(e.to)
+				rc := e.cost + pot[u] - pot[v]
+				if rc < -1e-7 {
+					// Reduced costs must be non-negative with valid
+					// potentials; tolerate tiny float noise.
+					rc = 0
+				}
+				if nd := dist[u] + rc; nd+eps < dist[v] {
+					dist[v] = nd
+					prevEdge[v] = id
+					heap.Push(&q, pqItem{node: int32(v), dist: nd})
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			return res
+		}
+		for i := 0; i < g.n; i++ {
+			if !math.IsInf(dist[i], 1) {
+				pot[i] += dist[i]
+			}
+		}
+		// pot[s] stays 0 throughout, so pot[t] is the true (non-reduced)
+		// cost of the cheapest augmenting path.
+		if stopNonNegative && pot[t] >= -eps {
+			return res
+		}
+		// Find bottleneck along the shortest path.
+		bottleneck := int32(math.MaxInt32)
+		for v := t; v != s; {
+			id := prevEdge[v]
+			if g.edges[id].cap < bottleneck {
+				bottleneck = g.edges[id].cap
+			}
+			v = int(g.edges[id^1].to)
+		}
+		// Augment.
+		for v := t; v != s; {
+			id := prevEdge[v]
+			g.edges[id].cap -= bottleneck
+			g.edges[id^1].cap += bottleneck
+			res.Cost += float64(bottleneck) * g.edges[id].cost
+			v = int(g.edges[id^1].to)
+		}
+		res.MaxFlow += int(bottleneck)
+	}
+}
+
+// initialPotentials runs Bellman-Ford from s so Dijkstra can handle the
+// negative edge costs used to encode "maximise reward" as "minimise -reward".
+func (g *Graph) initialPotentials(s int) []float64 {
+	pot := make([]float64, g.n)
+	for i := range pot {
+		pot[i] = math.Inf(1)
+	}
+	pot[s] = 0
+	for iter := 0; iter < g.n; iter++ {
+		changed := false
+		for u := 0; u < g.n; u++ {
+			if math.IsInf(pot[u], 1) {
+				continue
+			}
+			for _, id := range g.head[u] {
+				e := &g.edges[id]
+				if e.cap <= 0 {
+					continue
+				}
+				if nd := pot[u] + e.cost; nd+eps < pot[int(e.to)] {
+					pot[int(e.to)] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == g.n-1 {
+			panic("mcmf: negative cycle detected")
+		}
+	}
+	for i := range pot {
+		if math.IsInf(pot[i], 1) {
+			pot[i] = 0 // unreachable: any finite potential is fine
+		}
+	}
+	return pot
+}
+
+// AssignMax solves the offloading assignment exactly: weights[m][i] is the
+// value of assigning task i to SCN m (math.Inf(-1) or NaN marks "not
+// covered"), cap is the per-SCN capacity c. It returns the assignment as
+// assigned[i] = m (or -1) and the total value. Only strictly positive
+// weights are worth assigning; zero/negative edges are left unassigned.
+func AssignMax(weights [][]float64, numTasks, capacity int) (assigned []int, total float64) {
+	m := len(weights)
+	assigned = make([]int, numTasks)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	if m == 0 || numTasks == 0 || capacity <= 0 {
+		return assigned, 0
+	}
+	// Nodes: 0 = source, 1..m = SCNs, m+1..m+numTasks = tasks, m+numTasks+1 = sink.
+	src := 0
+	sink := m + numTasks + 1
+	g := NewGraph(sink + 1)
+	for j := 0; j < m; j++ {
+		g.AddEdge(src, 1+j, capacity, 0)
+	}
+	type edgeRef struct{ id, m, i int }
+	var refs []edgeRef
+	for j := 0; j < m; j++ {
+		row := weights[j]
+		for i := 0; i < numTasks && i < len(row); i++ {
+			w := row[i]
+			if math.IsNaN(w) || math.IsInf(w, -1) || w <= 0 {
+				continue
+			}
+			id := g.AddEdge(1+j, 1+m+i, 1, -w)
+			refs = append(refs, edgeRef{id: id, m: j, i: i})
+		}
+	}
+	for i := 0; i < numTasks; i++ {
+		g.AddEdge(1+m+i, sink, 1, 0)
+	}
+	g.SolveProfitable(src, sink)
+	for _, r := range refs {
+		if g.Flow(r.id) > 0 {
+			assigned[r.i] = r.m
+			total += weights[r.m][r.i]
+		}
+	}
+	return assigned, total
+}

@@ -1,0 +1,258 @@
+package mcmf
+
+import (
+	"math"
+	"testing"
+
+	"lfsc/internal/rng"
+)
+
+func TestSimpleMaxFlow(t *testing.T) {
+	// s → a → t and s → b → t, unit capacities.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(0, 2, 1, 2)
+	g.AddEdge(1, 3, 1, 1)
+	g.AddEdge(2, 3, 1, 1)
+	res := g.Solve(0, 3)
+	if res.MaxFlow != 2 {
+		t.Fatalf("max flow = %d, want 2", res.MaxFlow)
+	}
+	if math.Abs(res.Cost-5) > 1e-9 {
+		t.Fatalf("cost = %v, want 5", res.Cost)
+	}
+}
+
+func TestChoosesCheaperPath(t *testing.T) {
+	// Two parallel 2-hop paths with different costs; capacity forces one unit.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1, 10)
+	g.AddEdge(0, 2, 1, 1)
+	g.AddEdge(1, 3, 1, 0)
+	g.AddEdge(2, 3, 1, 0)
+	// Only one unit can leave the source? No — both can. Limit the sink.
+	g2 := NewGraph(5)
+	g2.AddEdge(0, 1, 1, 10)
+	g2.AddEdge(0, 2, 1, 1)
+	g2.AddEdge(1, 3, 1, 0)
+	g2.AddEdge(2, 3, 1, 0)
+	g2.AddEdge(3, 4, 1, 0) // sink bottleneck
+	res := g2.Solve(0, 4)
+	if res.MaxFlow != 1 || math.Abs(res.Cost-1) > 1e-9 {
+		t.Fatalf("flow=%d cost=%v, want 1 unit at cost 1", res.MaxFlow, res.Cost)
+	}
+}
+
+func TestNegativeCosts(t *testing.T) {
+	// Negative edge reachable only via Bellman-Ford initial potentials.
+	g := NewGraph(3)
+	id := g.AddEdge(0, 1, 2, -5)
+	g.AddEdge(1, 2, 2, 1)
+	res := g.Solve(0, 2)
+	if res.MaxFlow != 2 {
+		t.Fatalf("max flow = %d", res.MaxFlow)
+	}
+	if math.Abs(res.Cost-(-8)) > 1e-9 {
+		t.Fatalf("cost = %v, want -8", res.Cost)
+	}
+	if g.Flow(id) != 2 {
+		t.Fatalf("edge flow = %d", g.Flow(id))
+	}
+}
+
+func TestSolveProfitableStopsAtZero(t *testing.T) {
+	// Path A has cost -3 (profitable), path B cost +2 (not). Max flow would
+	// take both; profitable flow takes only A.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1, -3)
+	g.AddEdge(1, 3, 1, 0)
+	g.AddEdge(0, 2, 1, 2)
+	g.AddEdge(2, 3, 1, 0)
+	res := g.SolveProfitable(0, 3)
+	if res.MaxFlow != 1 || math.Abs(res.Cost-(-3)) > 1e-9 {
+		t.Fatalf("profitable flow=%d cost=%v, want 1/-3", res.MaxFlow, res.Cost)
+	}
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("NewGraph(0)", func() { NewGraph(0) })
+	assertPanics("edge out of range", func() { NewGraph(2).AddEdge(0, 5, 1, 0) })
+	assertPanics("negative capacity", func() { NewGraph(2).AddEdge(0, 1, -1, 0) })
+	assertPanics("same source/sink", func() { NewGraph(2).Solve(1, 1) })
+}
+
+func TestAssignMaxSmall(t *testing.T) {
+	// 2 SCNs, 3 tasks, capacity 1: optimal picks the best task per SCN
+	// without conflicts.
+	weights := [][]float64{
+		{0.9, 0.8, 0.1},
+		{0.85, 0.2, 0.3},
+	}
+	assigned, total := AssignMax(weights, 3, 1)
+	// Optimal: SCN0→task1? No: SCN0 takes 0.9 (task0) forces SCN1 to 0.3 →
+	// 1.2; SCN0 takes 0.8 (task1), SCN1 takes 0.85 (task0) → 1.65. Optimal.
+	if math.Abs(total-1.65) > 1e-9 {
+		t.Fatalf("total = %v, want 1.65 (assigned %v)", total, assigned)
+	}
+	if assigned[0] != 1 || assigned[1] != 0 || assigned[2] != -1 {
+		t.Fatalf("assignment = %v", assigned)
+	}
+}
+
+func TestAssignMaxRespectsCapacity(t *testing.T) {
+	weights := [][]float64{{0.5, 0.6, 0.7, 0.8}}
+	assigned, total := AssignMax(weights, 4, 2)
+	count := 0
+	for _, m := range assigned {
+		if m == 0 {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("assigned %d tasks, capacity 2", count)
+	}
+	if math.Abs(total-1.5) > 1e-9 {
+		t.Fatalf("total = %v, want 0.7+0.8", total)
+	}
+}
+
+func TestAssignMaxSkipsNonPositive(t *testing.T) {
+	weights := [][]float64{{-1, 0, math.Inf(-1), math.NaN(), 0.4}}
+	assigned, total := AssignMax(weights, 5, 5)
+	for i := 0; i < 4; i++ {
+		if assigned[i] != -1 {
+			t.Fatalf("non-positive task %d assigned", i)
+		}
+	}
+	if assigned[4] != 0 || math.Abs(total-0.4) > 1e-9 {
+		t.Fatalf("assigned=%v total=%v", assigned, total)
+	}
+}
+
+func TestAssignMaxEmpty(t *testing.T) {
+	assigned, total := AssignMax(nil, 0, 3)
+	if len(assigned) != 0 || total != 0 {
+		t.Fatal("empty instance should be trivial")
+	}
+	assigned, total = AssignMax([][]float64{{0.5}}, 1, 0)
+	if assigned[0] != -1 || total != 0 {
+		t.Fatal("zero capacity should assign nothing")
+	}
+}
+
+// bruteForceAssign enumerates all assignments (m+1 choices per task) for
+// tiny instances.
+func bruteForceAssign(weights [][]float64, numTasks, capacity int) float64 {
+	m := len(weights)
+	best := 0.0
+	choice := make([]int, numTasks)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == numTasks {
+			counts := make([]int, m)
+			total := 0.0
+			for tsk, scn := range choice {
+				if scn < 0 {
+					continue
+				}
+				counts[scn]++
+				if counts[scn] > capacity {
+					return
+				}
+				w := weights[scn][tsk]
+				if math.IsNaN(w) || w <= 0 {
+					return
+				}
+				total += w
+			}
+			if total > best {
+				best = total
+			}
+			return
+		}
+		for c := -1; c < m; c++ {
+			choice[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestAssignMaxMatchesBruteForce(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + r.Intn(3)
+		n := 1 + r.Intn(5)
+		capacity := 1 + r.Intn(2)
+		weights := make([][]float64, m)
+		for j := range weights {
+			weights[j] = make([]float64, n)
+			for i := range weights[j] {
+				if r.Bernoulli(0.3) {
+					weights[j][i] = math.Inf(-1) // not covered
+				} else {
+					weights[j][i] = r.Float64()
+				}
+			}
+		}
+		_, got := AssignMax(weights, n, capacity)
+		want := bruteForceAssign(weights, n, capacity)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: mcmf %v != brute force %v (weights %v cap %d)",
+				trial, got, want, weights, capacity)
+		}
+	}
+}
+
+func TestAssignMaxNoDuplicateAssignment(t *testing.T) {
+	r := rng.New(7)
+	weights := make([][]float64, 5)
+	for j := range weights {
+		weights[j] = make([]float64, 40)
+		for i := range weights[j] {
+			weights[j][i] = r.Float64()
+		}
+	}
+	assigned, _ := AssignMax(weights, 40, 3)
+	counts := make([]int, 5)
+	for _, m := range assigned {
+		if m >= 0 {
+			counts[m]++
+		}
+	}
+	for j, c := range counts {
+		if c > 3 {
+			t.Fatalf("SCN %d assigned %d > capacity 3", j, c)
+		}
+	}
+}
+
+func BenchmarkAssignMaxPaperScale(b *testing.B) {
+	r := rng.New(1)
+	const m, n, capacity = 30, 2000, 20
+	weights := make([][]float64, m)
+	for j := range weights {
+		weights[j] = make([]float64, n)
+		for i := range weights[j] {
+			if r.Bernoulli(0.95) {
+				weights[j][i] = math.Inf(-1)
+			} else {
+				weights[j][i] = r.Float64()
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = AssignMax(weights, n, capacity)
+	}
+}

@@ -1,0 +1,246 @@
+// Package metrics implements the paper's evaluation metrics (Sec. 3.2 and
+// Sec. 5): per-slot and cumulative compound reward, the two violation
+// processes V1 (QoS shortfall against the per-SCN floor α, constraint (1c))
+// and V2 (resource excess against the per-SCN ceiling β, constraint (1d)),
+// regret against an oracle trajectory, and the performance ratio
+// reward/(1+violations). It also aggregates series across independent
+// simulation replicas.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"lfsc/internal/stats"
+)
+
+// Series is the full per-slot record of one policy in one run.
+type Series struct {
+	// Policy is the display name of the policy that produced the series.
+	Policy string
+	// Reward[t] is the total realised compound reward of slot t across SCNs.
+	Reward []float64
+	// V1[t] is Σ_m max(0, α − completed_m(t)): the QoS shortfall.
+	V1 []float64
+	// V2[t] is Σ_m max(0, consumed_m(t) − β): the resource excess.
+	V2 []float64
+	// Assigned[t] counts tasks offloaded in slot t.
+	Assigned []float64
+	// Completed[t] counts tasks that finished successfully in slot t.
+	Completed []float64
+	// MBSReward[t] is the compound reward earned by the macrocell base
+	// station fallback (the Sec. 6 future-work extension); nil unless the
+	// scenario enables it. It is tracked separately from Reward so the
+	// paper's SCN-level comparisons are unaffected.
+	MBSReward []float64
+}
+
+// NewSeries allocates a series for a horizon of T slots.
+func NewSeries(policy string, T int) *Series {
+	if T <= 0 {
+		panic("metrics: non-positive horizon")
+	}
+	return &Series{
+		Policy:    policy,
+		Reward:    make([]float64, T),
+		V1:        make([]float64, T),
+		V2:        make([]float64, T),
+		Assigned:  make([]float64, T),
+		Completed: make([]float64, T),
+	}
+}
+
+// T returns the horizon length.
+func (s *Series) T() int { return len(s.Reward) }
+
+// Record stores the outcome of slot t.
+func (s *Series) Record(t int, reward, v1, v2 float64, assigned, completed int) {
+	if t < 0 || t >= len(s.Reward) {
+		panic(fmt.Sprintf("metrics: slot %d out of horizon %d", t, len(s.Reward)))
+	}
+	if v1 < 0 || v2 < 0 {
+		panic("metrics: violations must be non-negative")
+	}
+	s.Reward[t] = reward
+	s.V1[t] = v1
+	s.V2[t] = v2
+	s.Assigned[t] = float64(assigned)
+	s.Completed[t] = float64(completed)
+}
+
+// RecordMBS stores the macrocell fallback reward of slot t, allocating the
+// series on first use.
+func (s *Series) RecordMBS(t int, reward float64) {
+	if t < 0 || t >= len(s.Reward) {
+		panic(fmt.Sprintf("metrics: slot %d out of horizon %d", t, len(s.Reward)))
+	}
+	if s.MBSReward == nil {
+		s.MBSReward = make([]float64, len(s.Reward))
+	}
+	s.MBSReward[t] = reward
+}
+
+// TotalMBSReward is the final cumulative macrocell fallback reward
+// (0 when the extension is disabled).
+func (s *Series) TotalMBSReward() float64 { return stats.Sum(s.MBSReward) }
+
+// CumReward returns the cumulative compound reward series (paper Fig. 2a).
+func (s *Series) CumReward() []float64 { return stats.Cumulative(s.Reward) }
+
+// CumV1 returns the cumulative QoS violation series.
+func (s *Series) CumV1() []float64 { return stats.Cumulative(s.V1) }
+
+// CumV2 returns the cumulative resource violation series.
+func (s *Series) CumV2() []float64 { return stats.Cumulative(s.V2) }
+
+// CumViolations returns the cumulative total violation series V1+V2.
+func (s *Series) CumViolations() []float64 {
+	out := make([]float64, s.T())
+	acc := 0.0
+	for t := range out {
+		acc += s.V1[t] + s.V2[t]
+		out[t] = acc
+	}
+	return out
+}
+
+// TotalReward is the final cumulative compound reward.
+func (s *Series) TotalReward() float64 { return stats.Sum(s.Reward) }
+
+// TotalV1 is the final cumulative QoS violation.
+func (s *Series) TotalV1() float64 { return stats.Sum(s.V1) }
+
+// TotalV2 is the final cumulative resource violation.
+func (s *Series) TotalV2() float64 { return stats.Sum(s.V2) }
+
+// TotalViolations is TotalV1 + TotalV2.
+func (s *Series) TotalViolations() float64 { return s.TotalV1() + s.TotalV2() }
+
+// PerformanceRatio is the paper's Sec. 5 metric relating achieved reward to
+// accumulated violations: total reward / (1 + total violations). The +1
+// keeps the ratio finite for violation-free runs.
+func (s *Series) PerformanceRatio() float64 {
+	return s.TotalReward() / (1 + s.TotalViolations())
+}
+
+// RegretVs returns the cumulative regret trajectory of s against a
+// reference (oracle) series on the same workload:
+// R(t) = Σ_{τ≤t} (reward_ref(τ) − reward_s(τ)).
+func (s *Series) RegretVs(ref *Series) []float64 {
+	if ref.T() != s.T() {
+		panic("metrics: horizon mismatch in RegretVs")
+	}
+	out := make([]float64, s.T())
+	acc := 0.0
+	for t := range out {
+		acc += ref.Reward[t] - s.Reward[t]
+		out[t] = acc
+	}
+	return out
+}
+
+// RegretExponent estimates the growth exponent θ of the cumulative regret
+// (sub-linear means θ < 1; Theorem 1 predicts θ ≈ 1/2 up to logs). Negative
+// or zero regret segments are skipped by the underlying fit.
+func (s *Series) RegretExponent(ref *Series) float64 {
+	return stats.GrowthExponent(s.RegretVs(ref))
+}
+
+// ViolationExponent estimates the growth exponent of cumulative V1+V2.
+func (s *Series) ViolationExponent() float64 {
+	return stats.GrowthExponent(s.CumViolations())
+}
+
+// WindowReward returns the trailing-window smoothed per-slot reward
+// (paper Fig. 2b is far more readable smoothed; window=1 is raw).
+func (s *Series) WindowReward(window int) []float64 {
+	return stats.WindowMean(s.Reward, window)
+}
+
+// Mean aggregates replicas point-wise into a mean series. All replicas must
+// share the policy name and horizon.
+func Mean(replicas []*Series) *Series {
+	if len(replicas) == 0 {
+		panic("metrics: no replicas to aggregate")
+	}
+	T := replicas[0].T()
+	name := replicas[0].Policy
+	out := NewSeries(name, T)
+	for _, r := range replicas {
+		if r.T() != T {
+			panic("metrics: replica horizon mismatch")
+		}
+		if r.Policy != name {
+			panic("metrics: aggregating different policies")
+		}
+		for t := 0; t < T; t++ {
+			out.Reward[t] += r.Reward[t]
+			out.V1[t] += r.V1[t]
+			out.V2[t] += r.V2[t]
+			out.Assigned[t] += r.Assigned[t]
+			out.Completed[t] += r.Completed[t]
+		}
+		if r.MBSReward != nil {
+			if out.MBSReward == nil {
+				out.MBSReward = make([]float64, T)
+			}
+			for t := 0; t < T; t++ {
+				out.MBSReward[t] += r.MBSReward[t]
+			}
+		}
+	}
+	inv := 1 / float64(len(replicas))
+	for t := 0; t < T; t++ {
+		out.Reward[t] *= inv
+		out.V1[t] *= inv
+		out.V2[t] *= inv
+		out.Assigned[t] *= inv
+		out.Completed[t] *= inv
+		if out.MBSReward != nil {
+			out.MBSReward[t] *= inv
+		}
+	}
+	return out
+}
+
+// FinalSummary condenses a set of replicas into scalar means with 95% CIs
+// for report tables.
+type FinalSummary struct {
+	Policy           string
+	Reward, RewardCI float64
+	V1, V1CI         float64
+	V2, V2CI         float64
+	Ratio            float64
+}
+
+// Summarize computes a FinalSummary over replicas.
+func Summarize(replicas []*Series) FinalSummary {
+	if len(replicas) == 0 {
+		panic("metrics: no replicas to summarize")
+	}
+	var rw, v1, v2, ratio stats.Summary
+	for _, r := range replicas {
+		rw.Add(r.TotalReward())
+		v1.Add(r.TotalV1())
+		v2.Add(r.TotalV2())
+		ratio.Add(r.PerformanceRatio())
+	}
+	return FinalSummary{
+		Policy: replicas[0].Policy,
+		Reward: rw.Mean(), RewardCI: rw.CI95(),
+		V1: v1.Mean(), V1CI: v1.CI95(),
+		V2: v2.Mean(), V2CI: v2.CI95(),
+		Ratio: ratio.Mean(),
+	}
+}
+
+// CheckSublinear reports whether the regret of s against ref grows
+// sub-linearly, allowing a small tolerance on the fitted exponent.
+func (s *Series) CheckSublinear(ref *Series, maxExponent float64) bool {
+	exp := s.RegretExponent(ref)
+	if math.IsNaN(exp) {
+		// Regret never became positive — trivially sub-linear.
+		return true
+	}
+	return exp <= maxExponent
+}

@@ -1,0 +1,259 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func fill(s *Series, reward, v1, v2 float64) {
+	for t := 0; t < s.T(); t++ {
+		s.Record(t, reward, v1, v2, 10, 5)
+	}
+}
+
+func TestRecordAndTotals(t *testing.T) {
+	s := NewSeries("lfsc", 100)
+	fill(s, 2, 0.5, 0.25)
+	if got := s.TotalReward(); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("total reward %v", got)
+	}
+	if got := s.TotalV1(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("total v1 %v", got)
+	}
+	if got := s.TotalV2(); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("total v2 %v", got)
+	}
+	if got := s.TotalViolations(); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("total violations %v", got)
+	}
+}
+
+func TestCumulativeSeries(t *testing.T) {
+	s := NewSeries("x", 3)
+	s.Record(0, 1, 1, 0, 1, 1)
+	s.Record(1, 2, 0, 1, 1, 1)
+	s.Record(2, 3, 1, 1, 1, 1)
+	cum := s.CumReward()
+	if cum[0] != 1 || cum[1] != 3 || cum[2] != 6 {
+		t.Fatalf("cum reward %v", cum)
+	}
+	cv := s.CumViolations()
+	if cv[0] != 1 || cv[1] != 2 || cv[2] != 4 {
+		t.Fatalf("cum violations %v", cv)
+	}
+	if s.CumV1()[2] != 2 || s.CumV2()[2] != 2 {
+		t.Fatal("cum v1/v2 wrong")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	s := NewSeries("x", 2)
+	for _, fn := range []func(){
+		func() { s.Record(5, 0, 0, 0, 0, 0) },
+		func() { s.Record(0, 1, -1, 0, 0, 0) },
+		func() { NewSeries("x", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPerformanceRatio(t *testing.T) {
+	s := NewSeries("x", 10)
+	fill(s, 5, 0, 0)
+	if got := s.PerformanceRatio(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("violation-free ratio %v, want 50", got)
+	}
+	fill(s, 5, 2, 2.9)
+	want := 50.0 / (1 + 49)
+	if got := s.PerformanceRatio(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ratio %v, want %v", got, want)
+	}
+}
+
+func TestRegretVs(t *testing.T) {
+	oracle := NewSeries("oracle", 4)
+	mine := NewSeries("lfsc", 4)
+	fill(oracle, 3, 0, 0)
+	fill(mine, 2, 0, 0)
+	reg := mine.RegretVs(oracle)
+	for i, want := range []float64{1, 2, 3, 4} {
+		if math.Abs(reg[i]-want) > 1e-9 {
+			t.Fatalf("regret %v", reg)
+		}
+	}
+}
+
+func TestRegretVsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("horizon mismatch accepted")
+		}
+	}()
+	NewSeries("a", 3).RegretVs(NewSeries("b", 4))
+}
+
+func TestRegretExponentSublinear(t *testing.T) {
+	// Reference gains 1/slot; mine gains 1 - 1/(2*sqrt(t)) ⇒ regret ~ sqrt(t).
+	T := 5000
+	oracle := NewSeries("oracle", T)
+	mine := NewSeries("lfsc", T)
+	for tt := 0; tt < T; tt++ {
+		oracle.Record(tt, 1, 0, 0, 1, 1)
+		mine.Record(tt, 1-1/(2*math.Sqrt(float64(tt+1))), 0, 0, 1, 1)
+	}
+	exp := mine.RegretExponent(oracle)
+	if math.Abs(exp-0.5) > 0.05 {
+		t.Fatalf("regret exponent %v, want ~0.5", exp)
+	}
+	if !mine.CheckSublinear(oracle, 0.8) {
+		t.Fatal("sqrt regret flagged as not sub-linear")
+	}
+	// Linear regret should fail the check.
+	lin := NewSeries("bad", T)
+	for tt := 0; tt < T; tt++ {
+		lin.Record(tt, 0.5, 0, 0, 1, 1)
+	}
+	if lin.CheckSublinear(oracle, 0.8) {
+		t.Fatal("linear regret passed the sub-linear check")
+	}
+}
+
+func TestCheckSublinearNegativeRegret(t *testing.T) {
+	T := 100
+	oracle := NewSeries("oracle", T)
+	better := NewSeries("better", T)
+	for tt := 0; tt < T; tt++ {
+		oracle.Record(tt, 1, 0, 0, 1, 1)
+		better.Record(tt, 2, 0, 0, 1, 1)
+	}
+	if !better.CheckSublinear(oracle, 0.8) {
+		t.Fatal("negative regret should pass trivially")
+	}
+}
+
+func TestViolationExponent(t *testing.T) {
+	T := 4000
+	s := NewSeries("x", T)
+	for tt := 0; tt < T; tt++ {
+		// per-slot violation decaying like 1/sqrt(t) ⇒ cumulative ~ sqrt(t).
+		s.Record(tt, 1, 1/math.Sqrt(float64(tt+1)), 0, 1, 1)
+	}
+	exp := s.ViolationExponent()
+	if math.Abs(exp-0.5) > 0.05 {
+		t.Fatalf("violation exponent %v, want ~0.5", exp)
+	}
+}
+
+func TestWindowReward(t *testing.T) {
+	s := NewSeries("x", 4)
+	for tt := 0; tt < 4; tt++ {
+		s.Record(tt, float64(tt+1), 0, 0, 1, 1)
+	}
+	w := s.WindowReward(2)
+	want := []float64{1, 1.5, 2.5, 3.5}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-9 {
+			t.Fatalf("window reward %v", w)
+		}
+	}
+}
+
+func TestMeanAggregation(t *testing.T) {
+	a := NewSeries("p", 2)
+	b := NewSeries("p", 2)
+	a.Record(0, 1, 2, 3, 4, 5)
+	a.Record(1, 2, 0, 0, 1, 1)
+	b.Record(0, 3, 0, 1, 2, 3)
+	b.Record(1, 4, 2, 2, 3, 3)
+	m := Mean([]*Series{a, b})
+	if m.Reward[0] != 2 || m.Reward[1] != 3 {
+		t.Fatalf("mean reward %v", m.Reward)
+	}
+	if m.V1[0] != 1 || m.V2[0] != 2 {
+		t.Fatal("mean violations wrong")
+	}
+	if m.Assigned[0] != 3 || m.Completed[0] != 4 {
+		t.Fatal("mean counters wrong")
+	}
+}
+
+func TestMeanValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Mean(nil) },
+		func() { Mean([]*Series{NewSeries("a", 2), NewSeries("a", 3)}) },
+		func() { Mean([]*Series{NewSeries("a", 2), NewSeries("b", 2)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	a := NewSeries("p", 10)
+	b := NewSeries("p", 10)
+	fill(a, 1, 0.1, 0.2)
+	fill(b, 3, 0.3, 0.4)
+	sum := Summarize([]*Series{a, b})
+	if sum.Policy != "p" {
+		t.Fatal("policy name lost")
+	}
+	if math.Abs(sum.Reward-20) > 1e-9 { // (10+30)/2
+		t.Fatalf("summary reward %v", sum.Reward)
+	}
+	if math.Abs(sum.V1-2) > 1e-9 || math.Abs(sum.V2-3) > 1e-9 {
+		t.Fatalf("summary violations %v %v", sum.V1, sum.V2)
+	}
+	if sum.RewardCI <= 0 {
+		t.Fatal("CI should be positive with differing replicas")
+	}
+}
+
+func TestRecordMBS(t *testing.T) {
+	s := NewSeries("x", 3)
+	if s.TotalMBSReward() != 0 {
+		t.Fatal("MBS reward should default to 0")
+	}
+	s.RecordMBS(1, 4.5)
+	if s.MBSReward == nil || s.TotalMBSReward() != 4.5 {
+		t.Fatalf("MBS total = %v", s.TotalMBSReward())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range RecordMBS did not panic")
+		}
+	}()
+	s.RecordMBS(9, 1)
+}
+
+func TestMeanWithMBS(t *testing.T) {
+	a := NewSeries("p", 2)
+	b := NewSeries("p", 2)
+	a.Record(0, 1, 0, 0, 1, 1)
+	b.Record(0, 3, 0, 0, 1, 1)
+	a.RecordMBS(0, 2)
+	b.RecordMBS(0, 6)
+	m := Mean([]*Series{a, b})
+	if m.MBSReward[0] != 4 {
+		t.Fatalf("mean MBS = %v", m.MBSReward[0])
+	}
+	// Mixing MBS and non-MBS replicas still aggregates.
+	c := NewSeries("p", 2)
+	c.Record(0, 5, 0, 0, 1, 1)
+	m2 := Mean([]*Series{a, c})
+	if m2.MBSReward == nil {
+		t.Fatal("partial MBS aggregation lost the series")
+	}
+}

@@ -1,0 +1,122 @@
+// Package policy defines the contract between the time-slotted simulator
+// and the decision algorithms (LFSC, Oracle, vUCB, FML, Random): what a
+// policy sees at the start of a slot (SlotView — tasks, contexts, coverage,
+// never the environment's hidden means), what it must produce (an
+// assignment), and what feedback it receives afterwards (realised u/v/q for
+// executed tasks only, the paper's bandit feedback model).
+package policy
+
+import (
+	"fmt"
+
+	"lfsc/internal/task"
+)
+
+// TaskView is one task as visible to a SCN in a slot.
+type TaskView struct {
+	// Index is the slot-global task index (into the slot's task list).
+	Index int
+	// Cell is the hypercube index of the task's context, precomputed by
+	// the simulator with the run's shared partition.
+	Cell int
+	// Ctx is the task's normalised context (for context-aware baselines
+	// that do not use the shared partition).
+	Ctx task.Context
+}
+
+// SCNView is the slot information local to one SCN: its coverage set
+// D_{m,t} with contexts.
+type SCNView struct {
+	// Tasks are the tasks within this SCN's coverage this slot.
+	Tasks []TaskView
+}
+
+// SlotView is everything observable at the start of a slot.
+type SlotView struct {
+	// T is the slot index (0-based).
+	T int
+	// NumTasks is the number of distinct tasks in the slot.
+	NumTasks int
+	// SCNs holds the per-SCN coverage views.
+	SCNs []SCNView
+}
+
+// Exec is the realised feedback for one executed (SCN, task) pair.
+type Exec struct {
+	// SCN executed the task.
+	SCN int
+	// Task is the slot-global task index.
+	Task int
+	// Cell is the task's hypercube index.
+	Cell int
+	// U is the realised reward in [0,1].
+	U float64
+	// V is the realised completion indicator (1 completed, 0 blocked).
+	V float64
+	// Q is the realised resource consumption.
+	Q float64
+}
+
+// Compound returns the realised compound reward u·v/q of the execution.
+func (e Exec) Compound() float64 {
+	if e.Q <= 0 {
+		return 0
+	}
+	return e.U * e.V / e.Q
+}
+
+// Feedback delivers the slot's executions to the policy. Only executed
+// tasks appear — unchosen tasks reveal nothing (bandit feedback).
+type Feedback struct {
+	Execs []Exec
+}
+
+// Policy is a task offloading decision algorithm.
+//
+// The simulator calls Decide then Observe exactly once per slot, in order.
+// Implementations may keep per-slot scratch state between the two calls
+// (e.g. LFSC stores its selection probabilities for the importance-weighted
+// estimators).
+type Policy interface {
+	// Name returns the display name used in reports.
+	Name() string
+	// Decide returns assigned[task] = SCN index or -1 for each slot-global
+	// task index. The returned assignment must respect the per-SCN
+	// capacity and assign tasks only to covering SCNs.
+	Decide(view *SlotView) []int
+	// Observe delivers the feedback for the assignment Decide produced.
+	Observe(view *SlotView, assigned []int, fb *Feedback)
+}
+
+// ValidateAssignment checks that an assignment is structurally legal for a
+// view: SCN indices in range, every assigned task inside the SCN's
+// coverage, and per-SCN counts at most capacity.
+func ValidateAssignment(view *SlotView, assigned []int, capacity int) error {
+	if len(assigned) != view.NumTasks {
+		return fmt.Errorf("policy: assignment length %d != %d tasks", len(assigned), view.NumTasks)
+	}
+	counts := make([]int, len(view.SCNs))
+	covered := make([]map[int]bool, len(view.SCNs))
+	for m := range view.SCNs {
+		covered[m] = make(map[int]bool, len(view.SCNs[m].Tasks))
+		for _, tv := range view.SCNs[m].Tasks {
+			covered[m][tv.Index] = true
+		}
+	}
+	for taskIdx, m := range assigned {
+		if m == -1 {
+			continue
+		}
+		if m < 0 || m >= len(view.SCNs) {
+			return fmt.Errorf("policy: task %d assigned to invalid SCN %d", taskIdx, m)
+		}
+		if !covered[m][taskIdx] {
+			return fmt.Errorf("policy: task %d not covered by SCN %d", taskIdx, m)
+		}
+		counts[m]++
+		if counts[m] > capacity {
+			return fmt.Errorf("policy: SCN %d exceeds capacity %d", m, capacity)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"lfsc/internal/task"
+)
+
+func view2x3() *SlotView {
+	// SCN0 sees tasks {0,1}, SCN1 sees tasks {1,2}.
+	return &SlotView{
+		T:        5,
+		NumTasks: 3,
+		SCNs: []SCNView{
+			{Tasks: []TaskView{{Index: 0, Cell: 0}, {Index: 1, Cell: 1}}},
+			{Tasks: []TaskView{{Index: 1, Cell: 1}, {Index: 2, Cell: 2}}},
+		},
+	}
+}
+
+func TestValidateAssignmentAccepts(t *testing.T) {
+	v := view2x3()
+	for _, asn := range [][]int{
+		{-1, -1, -1},
+		{0, -1, 1},
+		{0, 1, 1},
+		{-1, 0, 1},
+	} {
+		if err := ValidateAssignment(v, asn, 2); err != nil {
+			t.Fatalf("valid assignment %v rejected: %v", asn, err)
+		}
+	}
+}
+
+func TestValidateAssignmentRejects(t *testing.T) {
+	v := view2x3()
+	cases := []struct {
+		name string
+		asn  []int
+		cap  int
+	}{
+		{"wrong length", []int{0, 1}, 2},
+		{"invalid SCN", []int{5, -1, -1}, 2},
+		{"negative SCN", []int{-2, -1, -1}, 2},
+		{"uncovered task", []int{1, -1, -1}, 2}, // task 0 not covered by SCN 1
+		{"over capacity", []int{0, 0, -1}, 1},
+	}
+	for _, c := range cases {
+		if err := ValidateAssignment(v, c.asn, c.cap); err == nil {
+			t.Fatalf("%s: assignment %v accepted", c.name, c.asn)
+		}
+	}
+}
+
+func TestExecCompound(t *testing.T) {
+	e := Exec{U: 0.6, V: 1, Q: 1.5}
+	if got := e.Compound(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("compound = %v", got)
+	}
+	e.V = 0
+	if e.Compound() != 0 {
+		t.Fatal("failed execution should have zero compound reward")
+	}
+	e = Exec{U: 1, V: 1, Q: 0}
+	if e.Compound() != 0 {
+		t.Fatal("zero consumption must not divide by zero")
+	}
+}
+
+func TestTaskViewCarriesContext(t *testing.T) {
+	tv := TaskView{Index: 3, Cell: 7, Ctx: task.Context{0.1, 0.2, 0.3}}
+	if len(tv.Ctx) != 3 || tv.Cell != 7 {
+		t.Fatal("TaskView fields wrong")
+	}
+}
+
+func TestValidateAssignmentEmptyView(t *testing.T) {
+	v := &SlotView{NumTasks: 0, SCNs: []SCNView{{}, {}}}
+	if err := ValidateAssignment(v, []int{}, 1); err != nil {
+		t.Fatalf("empty assignment rejected: %v", err)
+	}
+}

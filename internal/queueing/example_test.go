@@ -1,0 +1,22 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"lfsc/internal/queueing"
+)
+
+// ExampleServer drains two jobs at one work unit per slot under FIFO.
+func ExampleServer() {
+	s := queueing.MustNewServer(1.0, queueing.FIFO)
+	s.Submit(1, 0.6, 0)
+	s.Submit(2, 0.8, 0)
+	for now := 0; now < 3; now++ {
+		for _, c := range s.Step(now) {
+			fmt.Printf("job %d finished at slot %d (sojourn %d)\n", c.ID, c.Finished, c.Sojourn())
+		}
+	}
+	// Output:
+	// job 1 finished at slot 0 (sojourn 1)
+	// job 2 finished at slot 1 (sojourn 2)
+}

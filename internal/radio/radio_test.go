@@ -1,0 +1,173 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"lfsc/internal/rng"
+)
+
+func mustChannel(t *testing.T) *Channel {
+	t.Helper()
+	ch, err := NewChannel(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.CarrierGHz = 0 },
+		func(c *Config) { c.BandwidthMHz = -1 },
+		func(c *Config) { c.LoSScaleM = 0 },
+		func(c *Config) { c.Beams = 0 },
+		func(c *Config) { c.RangeM = 0 },
+		func(c *Config) { c.ShadowingStdDB = -2 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+		if _, err := NewChannel(c); err == nil {
+			t.Fatalf("NewChannel accepted bad config %d", i)
+		}
+	}
+}
+
+func TestLoSProbabilityMonotone(t *testing.T) {
+	ch := mustChannel(t)
+	if p := ch.LoSProbability(0); p != 1 {
+		t.Fatalf("LoS at 0 m = %v", p)
+	}
+	prev := 1.0
+	for d := 10.0; d <= 500; d += 10 {
+		p := ch.LoSProbability(d)
+		if p < 0 || p > 1 {
+			t.Fatalf("LoS probability %v out of [0,1]", p)
+		}
+		if p > prev {
+			t.Fatalf("LoS probability increased with distance at %v m", d)
+		}
+		prev = p
+	}
+}
+
+func TestPathLossMonotone(t *testing.T) {
+	ch := mustChannel(t)
+	prev := -math.Inf(1)
+	for d := 1.0; d <= 500; d *= 1.5 {
+		pl := ch.PathLossDB(d, true)
+		if pl <= prev {
+			t.Fatalf("LoS path loss not increasing at %v m", d)
+		}
+		prev = pl
+	}
+	// NLoS always lossier than LoS at the same distance.
+	for _, d := range []float64{5, 50, 200} {
+		if ch.PathLossDB(d, false) <= ch.PathLossDB(d, true) {
+			t.Fatalf("NLoS path loss not above LoS at %v m", d)
+		}
+	}
+	// Sub-1m distances clamp rather than produce negative loss.
+	if ch.PathLossDB(0.1, true) != ch.PathLossDB(1, true) {
+		t.Fatal("sub-1m distance not clamped")
+	}
+}
+
+func TestSNRAndRate(t *testing.T) {
+	ch := mustChannel(t)
+	// Rate decreases with distance, is positive at short range.
+	r10 := ch.RateMbps(ch.SNRdB(ch.PathLossDB(10, true), 0))
+	r200 := ch.RateMbps(ch.SNRdB(ch.PathLossDB(200, true), 0))
+	if r10 <= r200 {
+		t.Fatalf("rate should fall with distance: %v vs %v", r10, r200)
+	}
+	if r10 < 100 {
+		t.Fatalf("10 m LoS mmWave rate suspiciously low: %v Mbps", r10)
+	}
+	if ch.RateMbps(-100) < 0 {
+		t.Fatal("rate must be non-negative")
+	}
+}
+
+func TestSampleRealisations(t *testing.T) {
+	ch := mustChannel(t)
+	r := rng.New(1)
+	losCount := 0
+	const n = 5000
+	d := ch.Config().LoSScaleM // at the scale distance, P_LoS = 1/e
+	for i := 0; i < n; i++ {
+		l := ch.Sample(d, r)
+		if l.DistanceM != d {
+			t.Fatal("sample distance mismatch")
+		}
+		if l.RateMbps < 0 {
+			t.Fatal("negative rate")
+		}
+		if l.LoS {
+			losCount++
+		}
+	}
+	p := float64(losCount) / n
+	want := math.Exp(-1)
+	if math.Abs(p-want) > 0.02 {
+		t.Fatalf("empirical LoS fraction %v, want ~%v", p, want)
+	}
+}
+
+func TestCompletionLikelihoodProperties(t *testing.T) {
+	ch := mustChannel(t)
+	prev := 1.1
+	for d := 1.0; d <= 400; d += 5 {
+		v := ch.CompletionLikelihood(d, 12, 1.0)
+		if v < 0 || v > 1 {
+			t.Fatalf("likelihood %v out of [0,1] at %v m", v, d)
+		}
+		if v > prev+1e-12 {
+			t.Fatalf("likelihood increased with distance at %v m", d)
+		}
+		prev = v
+	}
+	// Bigger payloads are harder to complete.
+	small := ch.CompletionLikelihood(150, 5, 1.0)
+	big := ch.CompletionLikelihood(150, 2000, 1.0)
+	if big > small {
+		t.Fatalf("larger payload should not raise likelihood: %v vs %v", small, big)
+	}
+	if ch.CompletionLikelihood(10, 12, 0) != 0 {
+		t.Fatal("zero slot length should give 0")
+	}
+	// Zero payload reduces to availability.
+	if v := ch.CompletionLikelihood(10, 0, 1); v <= 0 || v > 1 {
+		t.Fatalf("zero payload likelihood %v", v)
+	}
+}
+
+func TestCompletionLikelihoodNearIsHigh(t *testing.T) {
+	ch := mustChannel(t)
+	v := ch.CompletionLikelihood(5, 12, 1.0)
+	if v < 0.9 {
+		t.Fatalf("5 m likelihood %v, want near 1", v)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	ch, _ := NewChannel(DefaultConfig())
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = ch.Sample(120, r)
+	}
+}
+
+func BenchmarkCompletionLikelihood(b *testing.B) {
+	ch, _ := NewChannel(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		_ = ch.CompletionLikelihood(120, 12, 1)
+	}
+}

@@ -1,0 +1,232 @@
+// Package report renders experiment results for terminals and files: ASCII
+// tables with aligned columns, multi-series ASCII line charts (the textual
+// stand-ins for the paper's figures), and CSV export so the series can be
+// re-plotted with external tooling.
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"lfsc/internal/stats"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := 0; i < len(t.headers) && i < len(cells); i++ {
+		row[i] = cells[i]
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered with
+// %v for strings/ints and %.4g for floats.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		case float32:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if t.title != "" {
+		fmt.Fprintf(bw, "%s\n", t.title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(bw, "| %-*s ", widths[i], c)
+		}
+		fmt.Fprintln(bw, "|")
+	}
+	sep := func() {
+		for _, wd := range widths {
+			fmt.Fprintf(bw, "+%s", strings.Repeat("-", wd+2))
+		}
+		fmt.Fprintln(bw, "+")
+	}
+	sep()
+	line(t.headers)
+	sep()
+	for _, row := range t.rows {
+		line(row)
+	}
+	sep()
+	return bw.Flush()
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// LineChart renders several y-series sharing an implicit x-axis 0..N-1 as
+// an ASCII chart — the terminal stand-in for the paper's figures.
+type LineChart struct {
+	title  string
+	width  int
+	height int
+	names  []string
+	series [][]float64
+}
+
+// chartGlyphs mark the successive series on the canvas.
+const chartGlyphs = "o*x+#@%&"
+
+// NewLineChart creates a chart with the given canvas size (sensible
+// minimums are enforced).
+func NewLineChart(title string, width, height int) *LineChart {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &LineChart{title: title, width: width, height: height}
+}
+
+// Add appends a named series.
+func (c *LineChart) Add(name string, ys []float64) {
+	c.names = append(c.names, name)
+	c.series = append(c.series, append([]float64(nil), ys...))
+}
+
+// Render writes the chart to w.
+func (c *LineChart) Render(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if c.title != "" {
+		fmt.Fprintf(bw, "%s\n", c.title)
+	}
+	if len(c.series) == 0 {
+		fmt.Fprintln(bw, "(no data)")
+		return bw.Flush()
+	}
+	// Downsample every series to the canvas width and find global bounds.
+	ds := make([][]float64, len(c.series))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for i, s := range c.series {
+		_, v := stats.Downsample(s, c.width)
+		ds[i] = v
+		for _, y := range v {
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	canvas := make([][]byte, c.height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", c.width))
+	}
+	for i, v := range ds {
+		glyph := chartGlyphs[i%len(chartGlyphs)]
+		for x, y := range v {
+			r := int((hi - y) / (hi - lo) * float64(c.height-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= c.height {
+				r = c.height - 1
+			}
+			canvas[r][x] = glyph
+		}
+	}
+	for r, row := range canvas {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%.4g", hi)
+		case c.height - 1:
+			label = fmt.Sprintf("%.4g", lo)
+		}
+		fmt.Fprintf(bw, "%10s |%s|\n", label, row)
+	}
+	fmt.Fprintf(bw, "%10s +%s+\n", "", strings.Repeat("-", c.width))
+	fmt.Fprintf(bw, "%10s t=0%*s\n", "", c.width-3, fmt.Sprintf("t=%d", maxLen-1))
+	for i, name := range c.names {
+		fmt.Fprintf(bw, "%10s %c = %s\n", "", chartGlyphs[i%len(chartGlyphs)], name)
+	}
+	return bw.Flush()
+}
+
+// String renders the chart to a string.
+func (c *LineChart) String() string {
+	var sb strings.Builder
+	_ = c.Render(&sb)
+	return sb.String()
+}
+
+// WriteSeriesCSV writes named y-series as CSV with a slot column. All
+// series must share a length.
+func WriteSeriesCSV(w io.Writer, names []string, series [][]float64) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("report: %d names for %d series", len(names), len(series))
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	n := len(series[0])
+	for i, s := range series {
+		if len(s) != n {
+			return fmt.Errorf("report: series %d has length %d, want %d", i, len(s), n)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "slot,%s\n", strings.Join(names, ","))
+	for t := 0; t < n; t++ {
+		fmt.Fprintf(bw, "%d", t)
+		for _, s := range series {
+			fmt.Fprintf(bw, ",%.8g", s[t])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Results", "policy", "reward", "violations")
+	tb.AddRow("LFSC", "123.4", "5.6")
+	tb.AddRowf("Oracle", 130.123456, 2)
+	out := tb.String()
+	if !strings.Contains(out, "Results") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "LFSC") || !strings.Contains(out, "Oracle") {
+		t.Fatal("missing rows")
+	}
+	if !strings.Contains(out, "130.1") {
+		t.Fatalf("float formatting wrong: %s", out)
+	}
+	// All rendered lines of the grid have equal width.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	width := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != width {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "dropped-extra")
+	out := tb.String()
+	if strings.Contains(out, "dropped-extra") {
+		t.Fatal("extra cell not dropped")
+	}
+	if !strings.Contains(out, "only-one") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	ch := NewLineChart("Fig 2a", 40, 8)
+	up := make([]float64, 100)
+	down := make([]float64, 100)
+	for i := range up {
+		up[i] = float64(i)
+		down[i] = float64(100 - i)
+	}
+	ch.Add("up", up)
+	ch.Add("down", down)
+	out := ch.String()
+	if !strings.Contains(out, "Fig 2a") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "o = up") || !strings.Contains(out, "* = down") {
+		t.Fatalf("missing legend: %s", out)
+	}
+	// The rising series should put an 'o' in the top row region and the
+	// bottom row region.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "o") && !strings.Contains(lines[1], "*") {
+		t.Fatalf("top row empty:\n%s", out)
+	}
+}
+
+func TestLineChartEmptyAndFlat(t *testing.T) {
+	ch := NewLineChart("empty", 20, 5)
+	if !strings.Contains(ch.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	flat := NewLineChart("flat", 20, 5)
+	flat.Add("const", []float64{2, 2, 2, 2})
+	out := flat.String()
+	if out == "" || !strings.Contains(out, "o = const") {
+		t.Fatal("flat series failed to render")
+	}
+}
+
+func TestLineChartMinimumDims(t *testing.T) {
+	ch := NewLineChart("tiny", 1, 1)
+	ch.Add("s", []float64{1, 2, 3})
+	if ch.String() == "" {
+		t.Fatal("tiny chart failed")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, []string{"a", "b"}, [][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "slot,a,b\n0,1,3\n1,2,4\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteSeriesCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, []string{"a"}, nil); err == nil {
+		t.Fatal("mismatched names accepted")
+	}
+	if err := WriteSeriesCSV(&buf, nil, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if err := WriteSeriesCSV(&buf, []string{"a", "b"}, [][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+}

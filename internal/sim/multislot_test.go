@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+
+	"lfsc/internal/env"
+	"lfsc/internal/rng"
+	"lfsc/internal/task"
+	"lfsc/internal/trace"
+)
+
+func multiScenario(T int, frac float64) *Scenario {
+	return &Scenario{
+		Cfg: Config{T: T, Capacity: 4, Alpha: 2, Beta: 7, H: 3, Strict: true,
+			MultiSlot: &MultiSlotConfig{}},
+		NewGenerator: func(r *rng.Stream) (trace.Generator, error) {
+			return trace.NewSynthetic(trace.SyntheticConfig{
+				SCNs: 4, MinTasks: 8, MaxTasks: 16, Overlap: 0.2,
+				MultiSlotFrac: frac, MaxDuration: 3,
+			}, r)
+		},
+		EnvCfg: env.DefaultConfig(4, 27),
+	}
+}
+
+func TestMultiSlotRunsAndEarns(t *testing.T) {
+	s, err := Run(multiScenario(200, 0.4), LFSCFactory(nil), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalReward() <= 0 {
+		t.Fatal("multi-slot run earned nothing")
+	}
+	// Deterministic given the seed.
+	s2, err := Run(multiScenario(200, 0.4), LFSCFactory(nil), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Reward {
+		if s.Reward[i] != s2.Reward[i] {
+			t.Fatal("multi-slot run not deterministic")
+		}
+	}
+}
+
+func TestMultiSlotZeroFracMatchesBase(t *testing.T) {
+	// With no multi-slot tasks the extension must be a strict no-op.
+	a, err := Run(multiScenario(60, 0), RandomFactory(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := multiScenario(60, 0)
+	base.Cfg.MultiSlot = nil
+	b, err := Run(base, RandomFactory(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Reward {
+		if a.Reward[i] != b.Reward[i] || a.V1[i] != b.V1[i] || a.V2[i] != b.V2[i] {
+			t.Fatalf("slot %d differs with inactive extension", i)
+		}
+	}
+}
+
+func TestMSTrackerLifecycle(t *testing.T) {
+	ms := newMSTracker(&MultiSlotConfig{StageBonus: 0.5})
+	tk := &task.Task{ID: 7, DurationSlots: 3, InputMbit: 10, OutputMbit: 2}
+	good := env.Outcome{U: 0.8, Completed: true, Q: 1.6}
+
+	// Stage 1: intermediate.
+	res := ms.process(tk, 2, good)
+	if res.completedFinal {
+		t.Fatal("finished after one of three stages")
+	}
+	if res.reward <= 0 || res.reward >= good.Compound() {
+		t.Fatalf("intermediate reward %v out of (0, full)", res.reward)
+	}
+	if res.fbU <= good.U {
+		t.Fatal("intermediate feedback not boosted")
+	}
+	if ms.Inflight() != 1 {
+		t.Fatal("task not tracked")
+	}
+	ms.sweep()
+
+	// Stage 2: intermediate again.
+	if res = ms.process(tk, 2, good); res.completedFinal {
+		t.Fatal("finished after two of three stages")
+	}
+	ms.sweep()
+
+	// Stage 3: final.
+	res = ms.process(tk, 2, good)
+	if !res.completedFinal {
+		t.Fatal("did not finish after three stages")
+	}
+	if res.reward != good.Compound() {
+		t.Fatalf("final reward %v != full compound %v", res.reward, good.Compound())
+	}
+	if ms.Inflight() != 0 {
+		t.Fatal("finished task still tracked")
+	}
+}
+
+func TestMSTrackerAbortOnBlockage(t *testing.T) {
+	ms := newMSTracker(&MultiSlotConfig{})
+	tk := &task.Task{ID: 1, DurationSlots: 2}
+	ms.process(tk, 0, env.Outcome{U: 0.5, Completed: true, Q: 1.5})
+	if ms.Inflight() != 1 {
+		t.Fatal("not tracked")
+	}
+	res := ms.process(tk, 0, env.Outcome{U: 0.5, Completed: false, Q: 1.5})
+	if res.reward != 0 || res.completedFinal {
+		t.Fatal("blocked stage must yield nothing")
+	}
+	if ms.Inflight() != 0 {
+		t.Fatal("blocked task still tracked (progress should be lost)")
+	}
+}
+
+func TestMSTrackerSweepAborts(t *testing.T) {
+	ms := newMSTracker(&MultiSlotConfig{})
+	tk := &task.Task{ID: 1, DurationSlots: 3}
+	ms.process(tk, 0, env.Outcome{U: 0.5, Completed: true, Q: 1.5})
+	ms.sweep() // touched this slot: survives
+	if ms.Inflight() != 1 {
+		t.Fatal("task dropped despite being executed")
+	}
+	ms.sweep() // not re-selected: aborted
+	if ms.Inflight() != 0 {
+		t.Fatal("unselected continuation not aborted")
+	}
+}
+
+func TestMSInjection(t *testing.T) {
+	ms := newMSTracker(&MultiSlotConfig{})
+	tk := &task.Task{ID: 42, DurationSlots: 2}
+	ms.process(tk, 1, env.Outcome{U: 0.5, Completed: true, Q: 1.5})
+	orig := &trace.Slot{
+		Tasks:    []*task.Task{{ID: 100}},
+		Coverage: [][]int{{0}, {}},
+	}
+	aug := ms.inject(orig)
+	if aug == orig {
+		t.Fatal("injection must copy")
+	}
+	if len(aug.Tasks) != 2 || aug.Tasks[1].ID != 42 {
+		t.Fatalf("continuation not injected: %d tasks", len(aug.Tasks))
+	}
+	if len(aug.Coverage[1]) != 1 || aug.Coverage[1][0] != 1 {
+		t.Fatalf("continuation not visible to its SCN: %v", aug.Coverage)
+	}
+	if len(orig.Tasks) != 1 || len(orig.Coverage[1]) != 0 {
+		t.Fatal("original slot mutated")
+	}
+	// Empty tracker passes the slot through untouched.
+	ms2 := newMSTracker(&MultiSlotConfig{})
+	if ms2.inject(orig) != orig {
+		t.Fatal("empty tracker should not copy")
+	}
+}

@@ -1,0 +1,451 @@
+// Package sim is the time-slotted simulation engine of the reproduction:
+// it advances the environment, draws the workload, presents each policy
+// with a SlotView, executes the returned assignment against the hidden
+// ground truth, measures the paper's metrics, and feeds realised outcomes
+// back to the policy (bandit feedback).
+//
+// Comparability across policies uses common random numbers: the outcome of
+// "SCN m executes task i in slot t" is drawn from a stream derived from
+// (seed, t, m, i), so two policies making the same decision observe the
+// same realisation — the variance-reduction the paper's Fig. 2(b)
+// comparison implicitly relies on.
+package sim
+
+import (
+	"fmt"
+
+	"lfsc/internal/baselines"
+	"lfsc/internal/core"
+	"lfsc/internal/env"
+	"lfsc/internal/hypercube"
+	"lfsc/internal/metrics"
+	"lfsc/internal/parallel"
+	"lfsc/internal/policy"
+	"lfsc/internal/rng"
+	"lfsc/internal/task"
+	"lfsc/internal/trace"
+)
+
+// Config is the system configuration of a simulation scenario.
+type Config struct {
+	// T is the horizon (number of time slots).
+	T int
+	// Capacity is c, the per-SCN beam budget per slot (paper: 20).
+	Capacity int
+	// Alpha is the per-SCN QoS floor (paper: 15).
+	Alpha float64
+	// Beta is the per-SCN resource ceiling (paper: 27).
+	Beta float64
+	// H is the hypercube partition granularity h_T (paper: 3).
+	H int
+	// UseLatencyContext switches to the 4-D context including the latency
+	// class (default: the paper's 3-D context).
+	UseLatencyContext bool
+	// Strict re-validates every assignment a policy returns (useful in
+	// tests and when developing custom policies; modest overhead).
+	Strict bool
+	// MBS enables the paper's future-work extension (Sec. 6): tasks that
+	// no SCN selects are offloaded to the macrocell base station instead
+	// of being dropped. Nil disables the extension.
+	MBS *MBSConfig
+	// MultiSlot enables the multi-slot execution extension for tasks with
+	// DurationSlots > 1 (see MultiSlotConfig). Nil treats every task as
+	// single-slot, the paper's base model.
+	MultiSlot *MultiSlotConfig
+}
+
+// MBSConfig parameterises the macrocell fallback extension. The MBS sits
+// behind fibre (no mmWave blockage) but farther from the devices, so
+// latency-sensitive tasks lose part of their reward there — the paper's
+// motivation for preferring SCNs and sending "tasks that do not restrict
+// the latency but consume large amounts of computing resources" to the MBS.
+type MBSConfig struct {
+	// Capacity bounds fallback executions per slot (backhaul/compute
+	// budget); <= 0 means unlimited.
+	Capacity int
+	// Likelihood is the wired-path completion probability (default 0.98
+	// when zero).
+	Likelihood float64
+	// LatencyPenalty multiplies the reward of latency-sensitive tasks
+	// executed at the MBS (default 0.3 when zero; 1 disables the penalty).
+	LatencyPenalty float64
+}
+
+func (m *MBSConfig) likelihood() float64 {
+	if m.Likelihood == 0 {
+		return 0.98
+	}
+	return m.Likelihood
+}
+
+func (m *MBSConfig) penalty() float64 {
+	if m.LatencyPenalty == 0 {
+		return 0.3
+	}
+	return m.LatencyPenalty
+}
+
+// DefaultConfig returns the paper's evaluation configuration.
+func DefaultConfig() Config {
+	return Config{T: 10000, Capacity: 20, Alpha: 15, Beta: 27, H: 3}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.T <= 0:
+		return fmt.Errorf("sim: T must be positive, got %d", c.T)
+	case c.Capacity <= 0:
+		return fmt.Errorf("sim: capacity must be positive, got %d", c.Capacity)
+	case c.Alpha < 0 || c.Beta < 0:
+		return fmt.Errorf("sim: alpha/beta must be non-negative")
+	case c.H <= 0:
+		return fmt.Errorf("sim: H must be positive, got %d", c.H)
+	}
+	return nil
+}
+
+// contextDims returns the context dimensionality implied by the config.
+func (c Config) contextDims() int {
+	if c.UseLatencyContext {
+		return task.ContextDims + 1
+	}
+	return task.ContextDims
+}
+
+// Partition builds the hypercube partition implied by the config.
+func (c Config) Partition() (*hypercube.Partition, error) {
+	return hypercube.New(c.contextDims(), c.H)
+}
+
+// Scenario bundles the configuration with the workload and environment
+// recipes. Recipes (not instances) so each run can rebuild identical
+// workload/environment from the seed — policies are compared on exactly
+// the same draws.
+type Scenario struct {
+	Cfg Config
+	// NewGenerator builds the workload source from a derived stream.
+	NewGenerator func(r *rng.Stream) (trace.Generator, error)
+	// EnvCfg is the environment configuration; Cells is overwritten with
+	// the partition size and SCNs with the generator's SCN count.
+	EnvCfg env.Config
+}
+
+// PaperScenario returns the full evaluation setup of Sec. 5: 30 SCNs,
+// |D_{m,t}| ∈ [35,100], U,V ~ U[0,1], Q ~ U[1,2], c=20, α=15, β=27, h=3.
+func PaperScenario() *Scenario {
+	return &Scenario{
+		Cfg: DefaultConfig(),
+		NewGenerator: func(r *rng.Stream) (trace.Generator, error) {
+			return trace.NewSynthetic(trace.DefaultSyntheticConfig(), r)
+		},
+		EnvCfg: env.DefaultConfig(30, 27),
+	}
+}
+
+// RunContext is handed to policy factories: everything a policy
+// constructor may need.
+type RunContext struct {
+	Cfg       Config
+	Partition *hypercube.Partition
+	Gen       trace.Generator
+	Env       *env.Env
+	Rng       *rng.Stream
+}
+
+// Factory constructs a fresh policy for one run.
+type Factory func(rc *RunContext) (policy.Policy, error)
+
+// LFSCFactory builds the paper's algorithm with the Theorem-1 schedule;
+// mutate is optional and may adjust the config (ablations, overrides).
+func LFSCFactory(mutate func(*core.Config)) Factory {
+	return func(rc *RunContext) (policy.Policy, error) {
+		cfg := core.Config{
+			SCNs:     rc.Gen.SCNs(),
+			Capacity: rc.Cfg.Capacity,
+			Alpha:    rc.Cfg.Alpha,
+			Beta:     rc.Cfg.Beta,
+			Cells:    rc.Partition.Cells(),
+			KMax:     rc.Gen.MaxPerSCN(),
+			Horizon:  rc.Cfg.T,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return core.New(cfg, rc.Rng)
+	}
+}
+
+// OracleFactory builds the ground-truth oracle.
+func OracleFactory(exact bool) Factory {
+	return func(rc *RunContext) (policy.Policy, error) {
+		return baselines.NewOracle(baselines.OracleConfig{
+			Capacity:    rc.Cfg.Capacity,
+			Alpha:       rc.Cfg.Alpha,
+			Beta:        rc.Cfg.Beta,
+			ExactAssign: exact,
+		}, rc.Env)
+	}
+}
+
+// VUCBFactory builds the vUCB benchmark.
+func VUCBFactory() Factory {
+	return func(rc *RunContext) (policy.Policy, error) {
+		return baselines.NewVUCB(rc.Gen.SCNs(), rc.Cfg.Capacity, rc.Partition.Cells()), nil
+	}
+}
+
+// FMLFactory builds the FML benchmark (z <= 0 uses the default exponent).
+func FMLFactory(z float64) Factory {
+	return func(rc *RunContext) (policy.Policy, error) {
+		return baselines.NewFML(rc.Gen.SCNs(), rc.Cfg.Capacity, rc.Partition.Cells(), z), nil
+	}
+}
+
+// RandomFactory builds the random benchmark.
+func RandomFactory() Factory {
+	return func(rc *RunContext) (policy.Policy, error) {
+		return baselines.NewRandom(rc.Gen.SCNs(), rc.Cfg.Capacity, rc.Rng), nil
+	}
+}
+
+// ThompsonFactory builds the Gaussian Thompson-sampling comparator.
+func ThompsonFactory() Factory {
+	return func(rc *RunContext) (policy.Policy, error) {
+		return baselines.NewThompson(rc.Gen.SCNs(), rc.Cfg.Capacity, rc.Partition.Cells(), rc.Rng), nil
+	}
+}
+
+// LinUCBFactory builds the contextual linear bandit comparator
+// (alpha <= 0 uses the canonical exploration weight).
+func LinUCBFactory(alpha float64) Factory {
+	return func(rc *RunContext) (policy.Policy, error) {
+		return baselines.NewLinUCB(rc.Gen.SCNs(), rc.Cfg.Capacity, rc.Partition.Dims(), alpha), nil
+	}
+}
+
+// StandardFactories returns the paper's five policies in evaluation order.
+func StandardFactories() []Factory {
+	return []Factory{
+		OracleFactory(false),
+		LFSCFactory(nil),
+		VUCBFactory(),
+		FMLFactory(0),
+		RandomFactory(),
+	}
+}
+
+// Run simulates one policy over the scenario with the given master seed
+// and returns its metric series.
+func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
+	if err := sc.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	part, err := sc.Cfg.Partition()
+	if err != nil {
+		return nil, err
+	}
+	master := rng.New(seed)
+	gen, err := sc.NewGenerator(master.Derive(1))
+	if err != nil {
+		return nil, fmt.Errorf("sim: generator: %w", err)
+	}
+	envCfg := sc.EnvCfg
+	envCfg.Cells = part.Cells()
+	envCfg.SCNs = gen.SCNs()
+	e, err := env.New(envCfg, master.Derive(2))
+	if err != nil {
+		return nil, fmt.Errorf("sim: environment: %w", err)
+	}
+	rc := &RunContext{Cfg: sc.Cfg, Partition: part, Gen: gen, Env: e, Rng: master.Derive(3)}
+	pol, err := factory(rc)
+	if err != nil {
+		return nil, fmt.Errorf("sim: policy: %w", err)
+	}
+	realRoot := master.Derive(4)
+
+	series := metrics.NewSeries(pol.Name(), sc.Cfg.T)
+	numSCNs := gen.SCNs()
+	var ms *msTracker
+	if sc.Cfg.MultiSlot != nil {
+		ms = newMSTracker(sc.Cfg.MultiSlot)
+	}
+	for t := 0; t < sc.Cfg.T; t++ {
+		e.Advance(t)
+		slot := gen.Next(t)
+		if ms != nil {
+			slot = ms.inject(slot)
+		}
+		view, cells := buildView(t, slot, part, sc.Cfg.UseLatencyContext)
+		assigned := pol.Decide(view)
+		if sc.Cfg.Strict {
+			if err := policy.ValidateAssignment(view, assigned, sc.Cfg.Capacity); err != nil {
+				return nil, fmt.Errorf("sim: slot %d: policy %q: %w", t, pol.Name(), err)
+			}
+		} else if len(assigned) != view.NumTasks {
+			return nil, fmt.Errorf("sim: slot %d: policy %q returned %d assignments for %d tasks",
+				t, pol.Name(), len(assigned), view.NumTasks)
+		}
+		// Execute against ground truth with common random numbers.
+		slotReal := realRoot.Derive(uint64(t))
+		fb := &policy.Feedback{}
+		reward := 0.0
+		completed := make([]float64, numSCNs)
+		consumed := make([]float64, numSCNs)
+		totalAssigned, totalCompleted := 0, 0
+		for taskIdx, m := range assigned {
+			if m < 0 {
+				continue
+			}
+			cell := cells[taskIdx]
+			out := e.Draw(m, cell, slotReal.Derive(uint64(m)<<32|uint64(taskIdx)))
+			fbU := out.U
+			tk := slot.Tasks[taskIdx]
+			totalAssigned++
+			consumed[m] += out.Q
+			if ms != nil && tk.Duration() > 1 {
+				res := ms.process(tk, m, out)
+				reward += res.reward
+				fbU = res.fbU
+				if res.completedFinal {
+					completed[m]++
+					totalCompleted++
+				}
+			} else {
+				reward += out.Compound()
+				completed[m] += out.V()
+				if out.Completed {
+					totalCompleted++
+				}
+			}
+			fb.Execs = append(fb.Execs, policy.Exec{
+				SCN: m, Task: taskIdx, Cell: cell,
+				U: fbU, V: out.V(), Q: out.Q,
+			})
+		}
+		if ms != nil {
+			ms.sweep()
+		}
+		v1, v2 := 0.0, 0.0
+		for m := 0; m < numSCNs; m++ {
+			if d := sc.Cfg.Alpha - completed[m]; d > 0 {
+				v1 += d
+			}
+			if d := consumed[m] - sc.Cfg.Beta; d > 0 {
+				v2 += d
+			}
+		}
+		series.Record(t, reward, v1, v2, totalAssigned, totalCompleted)
+		if sc.Cfg.MBS != nil {
+			series.RecordMBS(t, runMBSFallback(sc.Cfg.MBS, slot, assigned, cells, e, slotReal, ms != nil))
+		}
+		pol.Observe(view, assigned, fb)
+	}
+	return series, nil
+}
+
+// runMBSFallback executes unselected tasks at the macrocell base station
+// and returns the slot's fallback compound reward. Tasks are taken in slot
+// order up to the backhaul capacity; latency-sensitive tasks have their
+// reward discounted by the configured penalty.
+// skipMulti excludes multi-slot tasks from the fallback when the multi-slot
+// extension is active — their lifecycle is owned by the SCN re-selection
+// protocol, not the MBS.
+func runMBSFallback(cfg *MBSConfig, slot *trace.Slot, assigned, cells []int,
+	e *env.Env, slotReal *rng.Stream, skipMulti bool) float64 {
+	// Labels for MBS draws live in a disjoint space from the SCN draws
+	// (which use m<<32|task), keeping common random numbers intact.
+	const mbsLabel = uint64(1) << 62
+	reward := 0.0
+	used := 0
+	for taskIdx, m := range assigned {
+		if m != -1 {
+			continue
+		}
+		if cfg.Capacity > 0 && used >= cfg.Capacity {
+			break
+		}
+		if skipMulti && slot.Tasks[taskIdx].Duration() > 1 {
+			continue
+		}
+		used++
+		penalty := 1.0
+		if slot.Tasks[taskIdx].LatencySensitive {
+			penalty = cfg.penalty()
+		}
+		out := e.DrawMBS(cells[taskIdx], cfg.likelihood(), penalty,
+			slotReal.Derive(mbsLabel|uint64(taskIdx)))
+		reward += out.Compound()
+	}
+	return reward
+}
+
+// buildView converts a workload slot into the policy-facing view, indexing
+// every task's context exactly once.
+func buildView(t int, slot *trace.Slot, part *hypercube.Partition, latencyCtx bool) (*policy.SlotView, []int) {
+	cells := make([]int, len(slot.Tasks))
+	ctxs := make([]task.Context, len(slot.Tasks))
+	for i, tk := range slot.Tasks {
+		var ctx task.Context
+		if latencyCtx {
+			ctx = tk.ContextWithLatency()
+		} else {
+			ctx = tk.Context()
+		}
+		ctxs[i] = ctx
+		cells[i] = part.Index(ctx)
+	}
+	view := &policy.SlotView{T: t, NumTasks: len(slot.Tasks), SCNs: make([]policy.SCNView, len(slot.Coverage))}
+	for m, cov := range slot.Coverage {
+		tasks := make([]policy.TaskView, len(cov))
+		for k, idx := range cov {
+			tasks[k] = policy.TaskView{Index: idx, Cell: cells[idx], Ctx: ctxs[idx]}
+		}
+		view.SCNs[m].Tasks = tasks
+	}
+	return view, cells
+}
+
+// RunAll simulates several policies on the identical scenario and seed.
+// Policies run in parallel — each run rebuilds its own generator,
+// environment and RNG streams from the shared seed, so results are
+// independent of scheduling.
+func RunAll(sc *Scenario, factories []Factory, seed uint64, workers int) ([]*metrics.Series, error) {
+	out := make([]*metrics.Series, len(factories))
+	errs := make([]error, len(factories))
+	parallel.For(len(factories), workers, func(i int) {
+		out[i], errs[i] = Run(sc, factories[i], seed)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunReplicas simulates one policy across independent seeds in parallel
+// and returns the per-seed series.
+func RunReplicas(sc *Scenario, factory Factory, seeds []uint64, workers int) ([]*metrics.Series, error) {
+	out := make([]*metrics.Series, len(seeds))
+	errs := make([]error, len(seeds))
+	parallel.ForDynamic(len(seeds), workers, func(i int) {
+		out[i], errs[i] = Run(sc, factory, seeds[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Seeds derives n well-separated seeds from a base seed.
+func Seeds(base uint64, n int) []uint64 {
+	r := rng.New(base)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}

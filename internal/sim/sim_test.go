@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"lfsc/internal/env"
+	"lfsc/internal/metrics"
+	"lfsc/internal/policy"
+	"lfsc/internal/rng"
+	"lfsc/internal/trace"
+)
+
+// smallScenario is a scaled-down paper scenario that runs fast in tests.
+func smallScenario(T int) *Scenario {
+	return &Scenario{
+		Cfg: Config{T: T, Capacity: 4, Alpha: 2, Beta: 7, H: 3, Strict: true},
+		NewGenerator: func(r *rng.Stream) (trace.Generator, error) {
+			return trace.NewSynthetic(trace.SyntheticConfig{
+				SCNs: 5, MinTasks: 8, MaxTasks: 20, Overlap: 0.3,
+			}, r)
+		},
+		EnvCfg: env.DefaultConfig(5, 27),
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{T: 0, Capacity: 1, H: 1},
+		{T: 1, Capacity: 0, H: 1},
+		{T: 1, Capacity: 1, H: 0},
+		{T: 1, Capacity: 1, H: 1, Alpha: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPartitionDims(t *testing.T) {
+	c := DefaultConfig()
+	p, err := c.Partition()
+	if err != nil || p.Cells() != 27 {
+		t.Fatalf("default partition %v %v", p, err)
+	}
+	c.UseLatencyContext = true
+	p, err = c.Partition()
+	if err != nil || p.Cells() != 81 {
+		t.Fatalf("latency partition %v %v", p, err)
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	sc := smallScenario(60)
+	series, err := RunAll(sc, StandardFactories(), 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("got %d series", len(series))
+	}
+	names := map[string]bool{}
+	for _, s := range series {
+		names[s.Policy] = true
+		if s.T() != 60 {
+			t.Fatalf("%s horizon %d", s.Policy, s.T())
+		}
+		if s.TotalReward() <= 0 {
+			t.Fatalf("%s earned no reward", s.Policy)
+		}
+	}
+	for _, want := range []string{"Oracle", "LFSC", "vUCB", "FML", "Random"} {
+		if !names[want] {
+			t.Fatalf("missing policy %s in %v", want, names)
+		}
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	sc := smallScenario(30)
+	a, err := Run(sc, LFSCFactory(nil), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc, LFSCFactory(nil), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Reward {
+		if a.Reward[i] != b.Reward[i] || a.V1[i] != b.V1[i] || a.V2[i] != b.V2[i] {
+			t.Fatalf("same seed diverged at slot %d", i)
+		}
+	}
+	c, err := Run(sc, LFSCFactory(nil), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Reward {
+		if a.Reward[i] != c.Reward[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical series")
+	}
+}
+
+func TestCommonRandomNumbers(t *testing.T) {
+	// Two runs of the *same* seed with different policies must share the
+	// environment: the oracle's mean reward trajectory is identical.
+	sc := smallScenario(20)
+	a, _ := Run(sc, OracleFactory(false), 3)
+	b, _ := Run(sc, OracleFactory(false), 3)
+	for i := range a.Reward {
+		if a.Reward[i] != b.Reward[i] {
+			t.Fatal("oracle runs with equal seed differ")
+		}
+	}
+}
+
+func TestOracleBeatsRandom(t *testing.T) {
+	sc := smallScenario(150)
+	series, err := RunAll(sc, []Factory{OracleFactory(false), RandomFactory()}, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, random := series[0], series[1]
+	if oracle.TotalReward() <= random.TotalReward() {
+		t.Fatalf("oracle %v not above random %v", oracle.TotalReward(), random.TotalReward())
+	}
+	if oracle.TotalViolations() >= random.TotalViolations() {
+		t.Fatalf("oracle violations %v not below random %v",
+			oracle.TotalViolations(), random.TotalViolations())
+	}
+}
+
+func TestLFSCLearns(t *testing.T) {
+	// Late-window per-slot reward should beat the early window once LFSC
+	// has explored (constraint pressure is mild in this scenario).
+	sc := smallScenario(1200)
+	sc.Cfg.Alpha = 0
+	s, err := Run(sc, LFSCFactory(nil), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := Run(sc, RandomFactory(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LFSC must clearly beat Random over the horizon.
+	if s.TotalReward() <= rnd.TotalReward() {
+		t.Fatalf("LFSC %v did not beat Random %v", s.TotalReward(), rnd.TotalReward())
+	}
+}
+
+// overAssigner is a deliberately broken policy: it assigns every visible
+// task to SCN 0 regardless of capacity.
+type overAssigner struct{}
+
+func (overAssigner) Name() string { return "broken" }
+func (overAssigner) Decide(view *policy.SlotView) []int {
+	out := make([]int, view.NumTasks)
+	for i := range out {
+		out[i] = -1
+	}
+	for _, tv := range view.SCNs[0].Tasks {
+		out[tv.Index] = 0
+	}
+	return out
+}
+func (overAssigner) Observe(*policy.SlotView, []int, *policy.Feedback) {}
+
+func TestStrictModeCatchesBadPolicy(t *testing.T) {
+	sc := smallScenario(5)
+	_, err := Run(sc, func(rc *RunContext) (policy.Policy, error) {
+		return overAssigner{}, nil
+	}, 1)
+	if err == nil {
+		t.Fatal("strict mode accepted an over-assigning policy")
+	}
+}
+
+func TestRunReplicasAndSeeds(t *testing.T) {
+	sc := smallScenario(25)
+	seeds := Seeds(99, 4)
+	if len(seeds) != 4 {
+		t.Fatal("seed count")
+	}
+	uniq := map[uint64]bool{}
+	for _, s := range seeds {
+		uniq[s] = true
+	}
+	if len(uniq) != 4 {
+		t.Fatal("seeds not distinct")
+	}
+	reps, err := RunReplicas(sc, RandomFactory(), seeds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 4 {
+		t.Fatal("replica count")
+	}
+	mean := metrics.Mean(reps)
+	if mean.TotalReward() <= 0 {
+		t.Fatal("mean replica reward non-positive")
+	}
+}
+
+func TestViolationsNonNegative(t *testing.T) {
+	sc := smallScenario(50)
+	s, err := Run(sc, VUCBFactory(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.V1 {
+		if s.V1[i] < 0 || s.V2[i] < 0 {
+			t.Fatal("negative violation recorded")
+		}
+	}
+	if math.IsNaN(s.TotalReward()) {
+		t.Fatal("NaN reward")
+	}
+}
+
+func TestGeneratorErrorPropagates(t *testing.T) {
+	sc := smallScenario(10)
+	sc.NewGenerator = func(r *rng.Stream) (trace.Generator, error) {
+		return trace.NewSynthetic(trace.SyntheticConfig{}, r) // invalid
+	}
+	if _, err := Run(sc, RandomFactory(), 1); err == nil {
+		t.Fatal("invalid generator config accepted")
+	}
+}
+
+func TestPaperScenarioShape(t *testing.T) {
+	sc := PaperScenario()
+	if sc.Cfg.Capacity != 20 || sc.Cfg.Alpha != 15 || sc.Cfg.Beta != 27 {
+		t.Fatal("paper constants wrong")
+	}
+	gen, err := sc.NewGenerator(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.SCNs() != 30 {
+		t.Fatalf("paper SCNs = %d", gen.SCNs())
+	}
+	// One-slot smoke run at paper scale.
+	sc.Cfg.T = 2
+	if _, err := Run(sc, LFSCFactory(nil), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMBSFallback(t *testing.T) {
+	sc := smallScenario(40)
+	sc.Cfg.MBS = &MBSConfig{Capacity: 10}
+	s, err := Run(sc, RandomFactory(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MBSReward == nil {
+		t.Fatal("MBS reward series missing")
+	}
+	if s.TotalMBSReward() <= 0 {
+		t.Fatal("MBS fallback earned nothing despite unselected tasks")
+	}
+	// SCN-level metrics must be identical with and without the extension.
+	sc2 := smallScenario(40)
+	s2, err := Run(sc2, RandomFactory(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Reward {
+		if s.Reward[i] != s2.Reward[i] || s.V1[i] != s2.V1[i] {
+			t.Fatal("MBS extension changed SCN-level metrics")
+		}
+	}
+	if s2.TotalMBSReward() != 0 {
+		t.Fatal("disabled MBS recorded reward")
+	}
+}
+
+func TestMBSCapacityBindsAndPenaltyHurts(t *testing.T) {
+	// Unlimited capacity earns at least as much as a tight one.
+	mk := func(capacity int, penalty float64) float64 {
+		sc := smallScenario(40)
+		sc.Cfg.MBS = &MBSConfig{Capacity: capacity, LatencyPenalty: penalty}
+		s, err := Run(sc, RandomFactory(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.TotalMBSReward()
+	}
+	tight := mk(2, 0.3)
+	loose := mk(0, 0.3) // 0 = unlimited
+	if loose < tight {
+		t.Fatalf("unlimited MBS capacity earned less (%v) than capacity 2 (%v)", loose, tight)
+	}
+	soft := mk(0, 1.0) // no latency penalty
+	if soft < loose {
+		t.Fatalf("penalty-free MBS earned less (%v) than penalised (%v)", soft, loose)
+	}
+}
+
+func TestExtraLearnerFactories(t *testing.T) {
+	sc := smallScenario(60)
+	series, err := RunAll(sc, []Factory{ThompsonFactory(), LinUCBFactory(0)}, 17, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range series {
+		names[s.Policy] = true
+		if s.TotalReward() <= 0 {
+			t.Fatalf("%s earned nothing", s.Policy)
+		}
+	}
+	if !names["Thompson"] || !names["LinUCB"] {
+		t.Fatalf("missing learners: %v", names)
+	}
+}

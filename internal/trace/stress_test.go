@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"testing"
+
+	"lfsc/internal/rng"
+	"lfsc/internal/task"
+)
+
+func stressBase() SyntheticConfig {
+	return SyntheticConfig{SCNs: 10, MinTasks: 5, MaxTasks: 20, Overlap: 0.2}
+}
+
+func TestStressValidate(t *testing.T) {
+	good := StressConfig{Base: stressBase(), Kind: Diurnal}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []StressConfig{
+		{Base: SyntheticConfig{}},
+		{Base: stressBase(), HotFraction: 2},
+		{Base: stressBase(), PeriodSlots: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad stress config %d accepted", i)
+		}
+	}
+	if _, err := NewStress(bad[0], rng.New(1)); err == nil {
+		t.Fatal("NewStress accepted bad config")
+	}
+}
+
+func TestStressKindString(t *testing.T) {
+	for _, k := range []StressKind{Diurnal, Hotspot, FlashCrowd, StressKind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+}
+
+func TestDiurnalModulatesLoad(t *testing.T) {
+	cfg := StressConfig{Base: stressBase(), Kind: Diurnal, PeriodSlots: 100}
+	g, err := NewStress(cfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track SCN 0's load over a full period: it must span most of the
+	// configured range.
+	lo, hi := 1<<30, 0
+	for t0 := 0; t0 < 100; t0++ {
+		s := g.Next(t0)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		n := len(s.Coverage[0])
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if hi-lo < 10 {
+		t.Fatalf("diurnal swing too small: [%d,%d]", lo, hi)
+	}
+}
+
+func TestHotspotConcentratesAndRotates(t *testing.T) {
+	cfg := StressConfig{Base: stressBase(), Kind: Hotspot, PeriodSlots: 10, HotFraction: 0.2}
+	g, _ := NewStress(cfg, rng.New(3))
+	s := g.Next(0)
+	hot, cold := 0, 0
+	for m := range s.Coverage {
+		// Own tasks only — strip overlap inflow by bounding from config.
+		if len(s.Coverage[m]) >= cfg.Base.MaxTasks {
+			hot++
+		} else if len(s.Coverage[m]) <= cfg.Base.MinTasks+cfg.Base.MaxTasks/3 {
+			cold++
+		}
+	}
+	if hot == 0 || cold == 0 {
+		t.Fatalf("hotspot pattern missing: %d hot, %d cold", hot, cold)
+	}
+	// Rotation: hot set at t=0 differs from t=50.
+	hotAt := func(t0 int) map[int]bool {
+		s := g.Next(t0)
+		out := map[int]bool{}
+		for m := range s.Coverage {
+			if len(s.Coverage[m]) >= cfg.Base.MaxTasks {
+				out[m] = true
+			}
+		}
+		return out
+	}
+	a, b := hotAt(0), hotAt(50)
+	same := true
+	for m := range a {
+		if !b[m] {
+			same = false
+		}
+	}
+	if same && len(a) == len(b) {
+		t.Fatal("hotspot never rotated")
+	}
+}
+
+func TestFlashCrowdBursts(t *testing.T) {
+	cfg := StressConfig{Base: stressBase(), Kind: FlashCrowd, PeriodSlots: 60, BurstSlots: 10}
+	g, _ := NewStress(cfg, rng.New(4))
+	sawBurst := false
+	for t0 := 0; t0 < 400; t0++ {
+		s := g.Next(t0)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		gpu := 0
+		for _, tk := range s.Tasks {
+			total++
+			if tk.Resource == task.GPU {
+				gpu++
+			}
+		}
+		// Burst slots: every SCN at MaxTasks and all-GPU narrow contexts.
+		if total >= cfg.Base.MaxTasks*cfg.Base.SCNs && gpu == total {
+			sawBurst = true
+		}
+	}
+	if !sawBurst {
+		t.Fatal("no flash crowd observed in 400 slots")
+	}
+}
+
+func TestStressDeterminism(t *testing.T) {
+	cfg := StressConfig{Base: stressBase(), Kind: FlashCrowd}
+	a, _ := NewStress(cfg, rng.New(5))
+	b, _ := NewStress(cfg, rng.New(5))
+	for t0 := 0; t0 < 20; t0++ {
+		sa, sb := a.Next(t0), b.Next(t0)
+		if len(sa.Tasks) != len(sb.Tasks) {
+			t.Fatalf("slot %d: task counts differ", t0)
+		}
+	}
+}
+
+func TestStressImplementsGenerator(t *testing.T) {
+	var _ Generator = &Stress{}
+	g, _ := NewStress(StressConfig{Base: stressBase(), Kind: Diurnal}, rng.New(6))
+	if g.SCNs() != 10 || g.MaxPerSCN() <= 0 {
+		t.Fatal("generator metadata wrong")
+	}
+}

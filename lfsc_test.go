@@ -1,0 +1,113 @@
+package lfsc_test
+
+import (
+	"testing"
+
+	"lfsc"
+
+	"lfsc/internal/env"
+	"lfsc/internal/rng"
+	"lfsc/internal/trace"
+)
+
+// smallScenario is a quick scenario exercised purely through the facade.
+func smallScenario(T int) *lfsc.Scenario {
+	return &lfsc.Scenario{
+		Cfg: lfsc.Config{T: T, Capacity: 3, Alpha: 1.5, Beta: 5, H: 3, Strict: true},
+		NewGenerator: func(r *rng.Stream) (lfsc.Generator, error) {
+			return trace.NewSynthetic(trace.SyntheticConfig{
+				SCNs: 4, MinTasks: 6, MaxTasks: 12, Overlap: 0.3,
+			}, r)
+		},
+		EnvCfg: env.DefaultConfig(4, 27),
+	}
+}
+
+func TestFacadeRunAll(t *testing.T) {
+	series, err := lfsc.RunAll(smallScenario(50), lfsc.StandardFactories(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, s := range series {
+		if s.TotalReward() <= 0 {
+			t.Fatalf("%s earned nothing", s.Policy)
+		}
+	}
+}
+
+func TestFacadePaperScenario(t *testing.T) {
+	sc := lfsc.PaperScenario()
+	if sc.Cfg.Capacity != 20 || sc.Cfg.Alpha != 15 || sc.Cfg.Beta != 27 || sc.Cfg.T != 10000 {
+		t.Fatalf("paper constants wrong: %+v", sc.Cfg)
+	}
+	if lfsc.DefaultConfig().H != 3 {
+		t.Fatal("default partition granularity wrong")
+	}
+}
+
+// constantPolicy assigns nothing — a minimal custom Policy through the
+// facade types.
+type constantPolicy struct{}
+
+func (constantPolicy) Name() string { return "noop" }
+func (constantPolicy) Decide(view *lfsc.SlotView) []int {
+	out := make([]int, view.NumTasks)
+	for i := range out {
+		out[i] = -1
+	}
+	return out
+}
+func (constantPolicy) Observe(*lfsc.SlotView, []int, *lfsc.Feedback) {}
+
+func TestFacadeCustomPolicy(t *testing.T) {
+	s, err := lfsc.Run(smallScenario(20), func(rc *lfsc.RunContext) (lfsc.Policy, error) {
+		return constantPolicy{}, nil
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalReward() != 0 {
+		t.Fatal("noop policy earned reward")
+	}
+	if s.TotalV1() == 0 {
+		t.Fatal("noop policy should violate the QoS floor")
+	}
+}
+
+func TestFacadeLFSCConstruction(t *testing.T) {
+	cfg := lfsc.LFSCConfig{
+		SCNs: 2, Capacity: 2, Alpha: 1, Beta: 4,
+		Cells: 27, KMax: 10, Horizon: 100, Mode: lfsc.DepRoundMode,
+	}
+	pol, err := lfsc.NewLFSC(cfg, lfsc.NewStream(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != "LFSC" {
+		t.Fatal("name")
+	}
+}
+
+func TestFacadeReplicasAndAggregation(t *testing.T) {
+	reps, err := lfsc.RunReplicas(smallScenario(25), lfsc.RandomFactory(), lfsc.Seeds(9, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := lfsc.MeanSeries(reps)
+	sum := lfsc.SummarizeSeries(reps)
+	if mean.TotalReward() <= 0 || sum.Reward <= 0 {
+		t.Fatal("aggregation broken")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	reg := lfsc.Experiments()
+	for _, id := range lfsc.ExperimentOrder() {
+		if reg[id] == nil {
+			t.Fatalf("experiment %q missing", id)
+		}
+	}
+}
