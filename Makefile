@@ -1,0 +1,46 @@
+# Development targets for the LFSC reproduction. Everything uses only the
+# Go toolchain — no external dependencies.
+
+GO ?= go
+
+# Packages that carry the concurrency contract (bit-identical results
+# under parallel.For) and therefore must stay clean under the race
+# detector, including the Workers=1 vs Workers=N determinism test in
+# internal/sim.
+RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim
+
+.PHONY: all build vet test test-race bench-short bench json clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Quick perf snapshot of the hot path: the allocation-free micro kernels
+# (Decide/Update/Greedy/DepRound/hypercube indexing). All benchmarks
+# report allocs/op; the steady-state kernels must show 0.
+bench-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkDecide|BenchmarkUpdate' -benchtime 10x ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkGreedyAssign|BenchmarkDepRound' -benchtime 100x ./internal/assign
+	$(GO) test -run '^$$' -bench 'BenchmarkHypercubeIndex' -benchtime 100x ./internal/hypercube
+
+# Full benchmark suite (figure-level harness included; slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Regenerate the perf-trajectory artifact (ns/slot, allocs/slot,
+# LFSC/Oracle ratio at the paper horizon).
+json:
+	$(GO) run ./cmd/lfscbench -benchjson BENCH_core.json
+
+clean:
+	$(GO) clean ./...

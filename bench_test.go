@@ -34,6 +34,7 @@ func countPass(notes []string) (pass, total int) {
 
 // BenchmarkFig2aCumulativeReward regenerates Fig. 2(a).
 func BenchmarkFig2aCumulativeReward(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		base, err := experiments.RunBase(benchOpts(benchT))
 		if err != nil {
@@ -50,6 +51,7 @@ func BenchmarkFig2aCumulativeReward(b *testing.B) {
 
 // BenchmarkFig2bPerSlotReward regenerates Fig. 2(b).
 func BenchmarkFig2bPerSlotReward(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		base, err := experiments.RunBase(benchOpts(benchT))
 		if err != nil {
@@ -63,6 +65,7 @@ func BenchmarkFig2bPerSlotReward(b *testing.B) {
 
 // BenchmarkFig2cViolations regenerates the violation figures.
 func BenchmarkFig2cViolations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		base, err := experiments.RunBase(benchOpts(benchT))
 		if err != nil {
@@ -79,6 +82,7 @@ func BenchmarkFig2cViolations(b *testing.B) {
 
 // BenchmarkFig3AlphaSweep regenerates Fig. 3 (α ∈ {13..17}).
 func BenchmarkFig3AlphaSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig3(benchOpts(benchSweepT))
 		if err != nil {
@@ -91,6 +95,7 @@ func BenchmarkFig3AlphaSweep(b *testing.B) {
 
 // BenchmarkFig4LikelihoodSweep regenerates Fig. 4 (V support sweep).
 func BenchmarkFig4LikelihoodSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig4(benchOpts(benchSweepT))
 		if err != nil {
@@ -103,6 +108,7 @@ func BenchmarkFig4LikelihoodSweep(b *testing.B) {
 
 // BenchmarkPerformanceRatio regenerates the Sec. 5 ratio comparison.
 func BenchmarkPerformanceRatio(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		base, err := experiments.RunBase(benchOpts(benchT))
 		if err != nil {
@@ -118,6 +124,7 @@ func BenchmarkPerformanceRatio(b *testing.B) {
 // BenchmarkAblationGreedyVsExact measures the Lemma-2 greedy against the
 // exact min-cost-flow matching.
 func BenchmarkAblationGreedyVsExact(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationGreedyVsExact(benchOpts(benchT))
 		if err != nil {
@@ -131,6 +138,7 @@ func BenchmarkAblationGreedyVsExact(b *testing.B) {
 
 // BenchmarkAblationGranularity sweeps the partition granularity h.
 func BenchmarkAblationGranularity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationGranularity(benchOpts(benchSweepT)); err != nil {
 			b.Fatal(err)
@@ -140,6 +148,7 @@ func BenchmarkAblationGranularity(b *testing.B) {
 
 // BenchmarkAblationLagrangian toggles the Lagrangian multipliers.
 func BenchmarkAblationLagrangian(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationLagrangian(benchOpts(benchT))
 		if err != nil {
@@ -152,6 +161,7 @@ func BenchmarkAblationLagrangian(b *testing.B) {
 
 // BenchmarkAblationCapping toggles Exp3.M weight capping.
 func BenchmarkAblationCapping(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationCapping(benchOpts(benchT)); err != nil {
 			b.Fatal(err)
@@ -161,6 +171,7 @@ func BenchmarkAblationCapping(b *testing.B) {
 
 // BenchmarkAblationSelection compares the three selection modes.
 func BenchmarkAblationSelection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationSelection(benchOpts(benchT)); err != nil {
 			b.Fatal(err)
@@ -170,6 +181,7 @@ func BenchmarkAblationSelection(b *testing.B) {
 
 // BenchmarkAblationNonstationary stresses drifting/piecewise rewards.
 func BenchmarkAblationNonstationary(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationNonstationary(benchOpts(benchT)); err != nil {
 			b.Fatal(err)
@@ -180,6 +192,7 @@ func BenchmarkAblationNonstationary(b *testing.B) {
 // BenchmarkSimSlotPaperScale measures the per-slot cost of the full
 // pipeline (workload → LFSC decide → execution → observe) at paper scale.
 func BenchmarkSimSlotPaperScale(b *testing.B) {
+	b.ReportAllocs()
 	sc := PaperScenario()
 	sc.Cfg.T = b.N
 	if sc.Cfg.T < 1 {
@@ -194,6 +207,7 @@ func BenchmarkSimSlotPaperScale(b *testing.B) {
 // BenchmarkTheorem1Sublinearity probes the sub-linear regret/violation
 // claim across a horizon ladder.
 func BenchmarkTheorem1Sublinearity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Theorem1(benchOpts(benchT))
 		if err != nil {
@@ -206,6 +220,7 @@ func BenchmarkTheorem1Sublinearity(b *testing.B) {
 
 // BenchmarkAblationStress runs the adversarial-workload robustness sweep.
 func BenchmarkAblationStress(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.StressSweep(benchOpts(benchSweepT)); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lfsc/internal/core"
+	"lfsc/internal/sim"
+)
+
+// benchResult is the schema of the -benchjson artifact (BENCH_core.json):
+// one steady-state figure per commit so the perf trajectory of the hot
+// path can be tracked across the repo's history.
+type benchResult struct {
+	Name      string `json:"name"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	TSlots  int    `json:"t_slots"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+
+	// NsPerSlot is wall time of the full LFSC simulation loop (workload
+	// generation + Decide + environment + Observe) divided by T.
+	NsPerSlot float64 `json:"ns_per_slot"`
+	// AllocsPerSlot is the heap-allocation count of the same loop divided
+	// by T. The policy hot path itself is allocation-free in steady state
+	// (see internal/core/alloc_test.go); what remains is the workload
+	// generator and the metrics series.
+	AllocsPerSlot float64 `json:"allocs_per_slot"`
+
+	LFSCTotalReward   float64 `json:"lfsc_total_reward"`
+	OracleTotalReward float64 `json:"oracle_total_reward"`
+	// LFSCOracleRatio is achieved reward relative to the ground-truth
+	// oracle on the identical task sequence (the paper's headline
+	// competitiveness signal, ~0.9 at T=10000).
+	LFSCOracleRatio float64 `json:"lfsc_oracle_ratio"`
+}
+
+// runBenchJSON runs the paper scenario once with LFSC under measurement
+// and once with the oracle for the reward ratio, then writes the result
+// as JSON to path.
+func runBenchJSON(path string, horizon int, seed uint64, workers int) error {
+	sc := sim.PaperScenario()
+	sc.Cfg.T = horizon
+
+	fmt.Printf("bench: LFSC on paper scenario (T=%d, seed=%d, workers=%d)...\n",
+		horizon, seed, workers)
+	factory := sim.LFSCFactory(func(c *core.Config) { c.Workers = workers })
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	lfscSeries, err := sim.Run(sc, factory, seed)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return fmt.Errorf("lfsc run: %w", err)
+	}
+
+	fmt.Printf("bench: oracle reference run...\n")
+	oracleSeries, err := sim.Run(sc, sim.OracleFactory(false), seed)
+	if err != nil {
+		return fmt.Errorf("oracle run: %w", err)
+	}
+
+	res := benchResult{
+		Name:              "lfsc-core",
+		Timestamp:         time.Now().UTC().Format(time.RFC3339),
+		GoVersion:         runtime.Version(),
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		NumCPU:            runtime.NumCPU(),
+		TSlots:            horizon,
+		Seed:              seed,
+		Workers:           workers,
+		NsPerSlot:         float64(elapsed.Nanoseconds()) / float64(horizon),
+		AllocsPerSlot:     float64(after.Mallocs-before.Mallocs) / float64(horizon),
+		LFSCTotalReward:   lfscSeries.TotalReward(),
+		OracleTotalReward: oracleSeries.TotalReward(),
+	}
+	if res.OracleTotalReward != 0 {
+		res.LFSCOracleRatio = res.LFSCTotalReward / res.OracleTotalReward
+	}
+
+	buf, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %.0f ns/slot, %.1f allocs/slot, LFSC/Oracle reward ratio %.4f\n",
+		res.NsPerSlot, res.AllocsPerSlot, res.LFSCOracleRatio)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -4,11 +4,19 @@
 // Usage:
 //
 //	lfscbench [-exp all|fig2a|fig2b|fig2c|fig3|fig4|ratio|abl-...] \
-//	          [-T 10000] [-seed 42] [-outdir results/] [-workers 0]
+//	          [-T 10000] [-seed 42] [-outdir results/] [-workers 0] \
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof] \
+//	          [-benchjson BENCH_core.json]
 //
 // Experiment ids and what they reproduce are listed by -list. The full
 // five-policy paper run (T=10000) takes a few minutes on a laptop; the
 // base run is shared across fig2a/fig2b/fig2c/ratio.
+//
+// -benchjson runs the single-policy perf harness instead of the
+// experiment suite: one LFSC pass over the paper scenario measured for
+// ns/slot and allocs/slot, one oracle pass for the reward ratio, written
+// as JSON (see benchResult in bench.go). -cpuprofile/-memprofile wrap
+// whichever mode runs in pprof capture.
 package main
 
 import (
@@ -16,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"lfsc/internal/experiments"
@@ -24,12 +34,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all'")
-		horizon = flag.Int("T", 10000, "time horizon (paper: 10000)")
-		seed    = flag.Uint64("seed", 42, "master random seed")
-		outdir  = flag.String("outdir", "", "directory for CSV exports (optional)")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "all", "experiment id or 'all'")
+		horizon    = flag.Int("T", 10000, "time horizon (paper: 10000)")
+		seed       = flag.Uint64("seed", 42, "master random seed")
+		outdir     = flag.String("outdir", "", "directory for CSV exports (optional)")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchjson  = flag.String("benchjson", "", "run the perf harness and write its JSON result to this file")
 	)
 	flag.Parse()
 
@@ -37,6 +50,41 @@ func main() {
 		fmt.Println("experiments:")
 		for _, id := range experiments.Order() {
 			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *benchjson != "" {
+		if err := runBenchJSON(*benchjson, *horizon, *seed, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

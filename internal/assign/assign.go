@@ -16,7 +16,7 @@ package assign
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"lfsc/internal/rng"
 )
@@ -29,6 +29,30 @@ type Edge struct {
 	W    float64
 }
 
+// GreedyScratch holds the reusable working memory of GreedyInto: the sorted
+// edge copy and the per-SCN beam counters. A zero value is ready to use; the
+// buffers grow to the high-water mark of the calls that share them and are
+// never shrunk. A scratch value must not be shared between concurrent calls.
+type GreedyScratch struct {
+	sorted []Edge
+	counts []int
+}
+
+// cmpEdge orders edges by descending weight, breaking ties deterministically
+// by (SCN, task) so runs are reproducible.
+func cmpEdge(a, b Edge) int {
+	switch {
+	case a.W > b.W:
+		return -1
+	case a.W < b.W:
+		return 1
+	case a.SCN != b.SCN:
+		return a.SCN - b.SCN
+	default:
+		return a.Task - b.Task
+	}
+}
+
 // Greedy runs the paper's Alg. 4. numTasks bounds task indices; capacity is
 // the per-SCN limit c. It returns assigned[task] = SCN index or -1.
 //
@@ -37,35 +61,45 @@ type Edge struct {
 // edge's SCN is full the edge is discarded (Line 8); when its task is taken
 // all of the task's edges are discarded (Line 6); otherwise it is accepted.
 // Ties break deterministically by (SCN, task) so runs are reproducible.
+//
+// Greedy allocates its result and working memory per call; steady-state
+// callers should hold a GreedyScratch and use GreedyInto instead.
 func Greedy(edges []Edge, numSCNs, numTasks, capacity int) []int {
-	assigned := make([]int, numTasks)
+	var s GreedyScratch
+	return GreedyInto(nil, &s, edges, numSCNs, numTasks, capacity)
+}
+
+// GreedyInto is Greedy with caller-owned memory: the assignment is written
+// into assigned (grown as needed — pass the previous slot's slice back in)
+// and all working memory comes from s. It allocates nothing once assigned
+// and s have reached the steady-state sizes.
+func GreedyInto(assigned []int, s *GreedyScratch, edges []Edge, numSCNs, numTasks, capacity int) []int {
+	if cap(assigned) < numTasks {
+		assigned = make([]int, numTasks)
+	}
+	assigned = assigned[:numTasks]
 	for i := range assigned {
 		assigned[i] = -1
 	}
 	if capacity <= 0 || numSCNs <= 0 {
 		return assigned
 	}
-	sorted := append([]Edge(nil), edges...)
-	sort.Slice(sorted, func(a, b int) bool {
-		ea, eb := sorted[a], sorted[b]
-		if ea.W != eb.W {
-			return ea.W > eb.W
-		}
-		if ea.SCN != eb.SCN {
-			return ea.SCN < eb.SCN
-		}
-		return ea.Task < eb.Task
-	})
-	counts := make([]int, numSCNs)
-	for _, e := range sorted {
+	s.sorted = append(s.sorted[:0], edges...)
+	slices.SortFunc(s.sorted, cmpEdge)
+	if cap(s.counts) < numSCNs {
+		s.counts = make([]int, numSCNs)
+	}
+	s.counts = s.counts[:numSCNs]
+	clear(s.counts)
+	for _, e := range s.sorted {
 		if e.SCN < 0 || e.SCN >= numSCNs || e.Task < 0 || e.Task >= numTasks {
 			panic(fmt.Sprintf("assign: edge (%d,%d) out of range", e.SCN, e.Task))
 		}
-		if assigned[e.Task] != -1 || counts[e.SCN] >= capacity {
+		if assigned[e.Task] != -1 || s.counts[e.SCN] >= capacity {
 			continue
 		}
 		assigned[e.Task] = e.SCN
-		counts[e.SCN]++
+		s.counts[e.SCN]++
 	}
 	return assigned
 }
@@ -146,6 +180,17 @@ func Random(coverage [][]int, numTasks, capacity int, r *rng.Stream) []int {
 	return assigned
 }
 
+// DepRoundScratch holds the reusable working memory of DepRoundInto: the
+// mutable probability copy, the fractional-index stack, and the output
+// buffer. A zero value is ready to use; buffers grow to the high-water mark
+// and are never shrunk. A scratch value must not be shared between
+// concurrent calls (LFSC keeps one per SCN).
+type DepRoundScratch struct {
+	w     []float64
+	stack []int
+	out   []int
+}
+
 // DepRound samples a subset S ⊆ [0,n) with |S| = round(Σp) such that
 // P(i ∈ S) = p[i] exactly, via Gandhi et al.'s dependent rounding: while two
 // fractional probabilities remain, shift mass between them so that at least
@@ -153,10 +198,21 @@ func Random(coverage [][]int, numTasks, capacity int, r *rng.Stream) []int {
 // preserves marginals. Inputs must lie in [0,1]; the sum should be within
 // rounding distance of an integer (as Exp3.M guarantees with Σp = c).
 //
-// Returned indices are in increasing order.
+// Returned indices are in increasing order. DepRound allocates per call;
+// steady-state callers should hold a DepRoundScratch and use DepRoundInto.
 func DepRound(p []float64, r *rng.Stream) []int {
+	var s DepRoundScratch
+	return DepRoundInto(&s, p, r)
+}
+
+// DepRoundInto is DepRound with caller-owned memory. The returned slice
+// aliases s.out and is only valid until the next call with the same scratch.
+// It consumes the random stream exactly as DepRound does, so swapping one
+// for the other never changes what is sampled.
+func DepRoundInto(s *DepRoundScratch, p []float64, r *rng.Stream) []int {
 	const tol = 1e-9
-	w := append([]float64(nil), p...)
+	w := append(s.w[:0], p...)
+	s.w = w
 	for i, v := range w {
 		if v < -tol || v > 1+tol {
 			panic(fmt.Sprintf("assign: DepRound probability %v out of [0,1]", v))
@@ -171,7 +227,7 @@ func DepRound(p []float64, r *rng.Stream) []int {
 	// Maintain a stack of fractional indices; each pairing makes at least
 	// one of the two integral, so the loop is linear.
 	isFrac := func(v float64) bool { return v > tol && v < 1-tol }
-	stack := make([]int, 0, len(w))
+	stack := s.stack[:0]
 	for i, v := range w {
 		if isFrac(v) {
 			stack = append(stack, i)
@@ -208,12 +264,14 @@ func DepRound(p []float64, r *rng.Stream) []int {
 			w[k] = 0
 		}
 	}
-	out := make([]int, 0, len(w))
+	s.stack = stack
+	out := s.out[:0]
 	for i, v := range w {
 		if v >= 1-tol {
 			out = append(out, i)
 		}
 	}
+	s.out = out
 	return out
 }
 

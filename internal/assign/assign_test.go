@@ -253,31 +253,3 @@ func TestDepRoundPanicsOnBadProbability(t *testing.T) {
 	}()
 	DepRound([]float64{1.5}, rng.New(10))
 }
-
-func BenchmarkGreedyPaperScale(b *testing.B) {
-	r := rng.New(11)
-	const numSCNs, perSCN, capacity = 30, 70, 20
-	numTasks := numSCNs * perSCN
-	var edges []Edge
-	for m := 0; m < numSCNs; m++ {
-		for k := 0; k < perSCN; k++ {
-			edges = append(edges, Edge{SCN: m, Task: m*perSCN + k, W: r.Float64()})
-		}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = Greedy(edges, numSCNs, numTasks, capacity)
-	}
-}
-
-func BenchmarkDepRound(b *testing.B) {
-	r := rng.New(12)
-	p := make([]float64, 100)
-	for i := range p {
-		p[i] = 0.2
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = DepRound(p, r)
-	}
-}

@@ -1,0 +1,75 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+
+	"lfsc/internal/rng"
+)
+
+// TestGreedyIntoMatchesGreedy checks that the scratch-buffer form produces
+// exactly the assignment of the allocating wrapper, including when the
+// scratch is reused across slots of varying size (the LFSC steady state).
+func TestGreedyIntoMatchesGreedy(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var s GreedyScratch
+	var assigned []int
+	for trial := 0; trial < 200; trial++ {
+		numSCNs := 1 + r.Intn(8)
+		numTasks := 1 + r.Intn(50)
+		capacity := 1 + r.Intn(5)
+		edges := make([]Edge, r.Intn(60))
+		for i := range edges {
+			edges[i] = Edge{SCN: r.Intn(numSCNs), Task: r.Intn(numTasks), W: r.Float64()}
+		}
+		want := Greedy(edges, numSCNs, numTasks, capacity)
+		assigned = GreedyInto(assigned, &s, edges, numSCNs, numTasks, capacity)
+		if len(assigned) != len(want) {
+			t.Fatalf("trial %d: length %d, want %d", trial, len(assigned), len(want))
+		}
+		for i := range want {
+			if assigned[i] != want[i] {
+				t.Fatalf("trial %d: task %d assigned to %d, want %d",
+					trial, i, assigned[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDepRoundIntoMatchesDepRound checks that the scratch-buffer form
+// consumes the RNG stream identically to the allocating wrapper and returns
+// the same selection, with the scratch reused across varying problem sizes.
+func TestDepRoundIntoMatchesDepRound(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var s DepRoundScratch
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + r.Intn(40)
+		c := 1 + r.Intn(k)
+		p := make([]float64, k)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		// Scale marginals to sum to the integer c (DepRound's contract).
+		sum := 0.0
+		for _, v := range p {
+			sum += v
+		}
+		for i := range p {
+			p[i] *= float64(c) / sum
+			if p[i] > 1 {
+				p[i] = 1
+			}
+		}
+		seed := uint64(1000 + trial)
+		want := DepRound(append([]float64(nil), p...), rng.New(seed))
+		got := DepRoundInto(&s, append([]float64(nil), p...), rng.New(seed))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: selected %d tasks, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: selection[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

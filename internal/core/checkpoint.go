@@ -81,8 +81,7 @@ func (l *LFSC) Load(r io.Reader) error {
 		copy(st.logW, cp.LogW[m])
 		st.lambda1 = cp.Lambda1[m]
 		st.lambda2 = cp.Lambda2[m]
-		st.probs = nil
-		st.capped = nil
+		st.resetSlot() // any in-flight slot scratch is stale now
 	}
 	return nil
 }

@@ -26,12 +26,18 @@
 //     ascent with decay: λ ← [(1−ηδ)λ + η·slack]₊, where slack is the
 //     per-slot constraint slack normalised by the beam budget c so all
 //     exponent terms share the scale of ĝ.
+//
+// Performance: the per-slot Decide/Observe pair is the hot kernel of every
+// figure benchmark (executed T × replicas × scenarios times), so its steady
+// state is allocation-free. Each scnState owns a scratch arena sized once at
+// New from KMax/Cells/Capacity; the policy owns the cross-SCN buffers. See
+// DESIGN.md §"Performance" for the ownership rules.
 package core
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"lfsc/internal/assign"
 	"lfsc/internal/parallel"
@@ -101,6 +107,13 @@ type Config struct {
 	// pure hinge subgradient (λ only ratchets up). Zero selects the
 	// default; negative selects the pure hinge.
 	SlackPull float64
+	// Workers forces the number of goroutines used for the per-SCN
+	// Decide/Observe computation: 1 runs strictly serially, larger values
+	// bound the fan-out, 0 (default) sizes the parallelism to the slot.
+	// Results are bit-identical for every setting — parallelism never
+	// changes what is computed (each SCN owns its weights, multipliers,
+	// RNG stream, and scratch arena).
+	Workers int
 	// Mode selects randomized or deterministic edge priorities.
 	Mode SelectionMode
 	// DisableCapping turns off Exp3.M weight capping (ablation A5).
@@ -129,6 +142,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: gamma %v outside [0,1]", c.Gamma)
 	case c.Eta < 0 || c.Delta < 0:
 		return fmt.Errorf("core: eta/delta must be non-negative")
+	case c.Workers < 0:
+		return fmt.Errorf("core: workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }
@@ -178,6 +193,13 @@ func (c Config) Schedule() (gamma, eta, delta float64) {
 // of the beam budget — is destroyed. The Exp3.M probability formula and the
 // capping fixed point depend only on weight ratios, so shifting by the
 // maximum log-weight before exponentiating is exact.
+//
+// Everything below the learner state is the SCN's private scratch arena:
+// buffers sized once (from KMax, Cells, Capacity) and reset by re-slicing,
+// never reallocated in steady state. Only the goroutine processing SCN m
+// inside Decide/Observe may touch SCN m's arena — that ownership is what
+// makes the parallel per-SCN loop race-free and bit-identical to serial
+// execution.
 type scnState struct {
 	logW    []float64 // log-weights, one per hypercube
 	lambda1 float64   // multiplier for the QoS floor (1c)
@@ -186,9 +208,63 @@ type scnState struct {
 	// stream by SCN index), so per-SCN computation is independent of
 	// iteration order and safe to run in parallel.
 	r *rng.Stream
-	// Per-slot scratch, valid between Decide and Observe:
-	probs  map[int]float64 // slot-global task index → selection probability
-	capped map[int]bool    // hypercubes in S' this slot
+
+	// Per-slot scratch, written by Decide and read by Observe:
+	probs      []float64 // selection probability per visible-task position
+	capped     []bool    // capped[f] ⇔ hypercube f ∈ S' this slot
+	cappedList []int     // hypercubes currently flagged in capped
+
+	// Decide-internal scratch:
+	w      []float64              // Exp3.M weight buffer (one per task)
+	sorted []float64              // solveCap descending order statistics
+	suffix []float64              // solveCap suffix sums (len(w)+1)
+	edges  []assign.Edge          // this SCN's bipartite edges
+	dep    assign.DepRoundScratch // DepRound working memory
+
+	// Observe-internal scratch: per-hypercube accumulator pools for the
+	// importance-weighted estimates (the former map[int]*cellAcc), plus
+	// the list of cells touched this slot for O(touched) iteration/reset.
+	accG, accV, accQ []float64
+	accN             []int
+	touched          []int
+}
+
+// newSCNState builds SCN state with the arena pre-sized from the config.
+func newSCNState(cfg Config, r *rng.Stream) *scnState {
+	return &scnState{
+		logW:       make([]float64, cfg.Cells),
+		r:          r,
+		probs:      make([]float64, 0, cfg.KMax),
+		capped:     make([]bool, cfg.Cells),
+		cappedList: make([]int, 0, cfg.Cells),
+		w:          make([]float64, 0, cfg.KMax),
+		sorted:     make([]float64, 0, cfg.KMax),
+		suffix:     make([]float64, 0, cfg.KMax+1),
+		edges:      make([]assign.Edge, 0, cfg.KMax),
+		accG:       make([]float64, cfg.Cells),
+		accV:       make([]float64, cfg.Cells),
+		accQ:       make([]float64, cfg.Cells),
+		accN:       make([]int, cfg.Cells),
+		touched:    make([]int, 0, cfg.Cells),
+	}
+}
+
+// resetSlot clears the cross-call scratch (probabilities and the capped
+// set) at the start of a new Decide.
+func (st *scnState) resetSlot() {
+	st.probs = st.probs[:0]
+	for _, f := range st.cappedList {
+		st.capped[f] = false
+	}
+	st.cappedList = st.cappedList[:0]
+}
+
+// setCapped flags hypercube f as a member of S' this slot.
+func (st *scnState) setCapped(f int) {
+	if !st.capped[f] {
+		st.capped[f] = true
+		st.cappedList = append(st.cappedList, f)
+	}
 }
 
 // LFSC implements policy.Policy.
@@ -201,8 +277,17 @@ type LFSC struct {
 	scns              []*scnState
 	r                 *rng.Stream
 
-	// reusable scratch
-	edges []assign.Edge
+	// Policy-global scratch, owned by the single goroutine driving
+	// Decide/Observe (the per-SCN workers only write their own index of
+	// allProbs/perSCNEdges):
+	allProbs    [][]float64 // per-SCN views into each scnState's probs
+	perSCNEdges [][]assign.Edge
+	edges       []assign.Edge // concatenated edge list for the greedy
+	assigned    []int         // assignment buffer returned by Decide
+	greedy      assign.GreedyScratch
+	counts      []int          // backfill per-SCN beam counters
+	cands       []backfillCand // backfill candidate buffer
+	execByTask  []int32        // slot-global task index → fb.Execs index
 }
 
 // New constructs an LFSC policy. The stream drives the randomized edge
@@ -232,11 +317,13 @@ func New(cfg Config, r *rng.Stream) (*LFSC, error) {
 		l.slackPull = 0
 	}
 	for m := 0; m < cfg.SCNs; m++ {
-		l.scns = append(l.scns, &scnState{
-			logW: make([]float64, cfg.Cells),
-			r:    r.Derive(uint64(m)),
-		})
+		l.scns = append(l.scns, newSCNState(cfg, r.Derive(uint64(m))))
 	}
+	l.allProbs = make([][]float64, cfg.SCNs)
+	l.perSCNEdges = make([][]assign.Edge, cfg.SCNs)
+	l.edges = make([]assign.Edge, 0, cfg.SCNs*cfg.Capacity)
+	l.counts = make([]int, cfg.SCNs)
+	l.cands = make([]backfillCand, 0, cfg.KMax)
 	return l, nil
 }
 
@@ -270,59 +357,82 @@ func (l *LFSC) Weights(m int) []float64 {
 // Decide implements policy.Policy: Alg. 2 per SCN, then Alg. 4 globally.
 //
 // The per-SCN probability computation and candidate sampling are
-// independent (each SCN has private weights, multipliers and RNG stream),
-// so they run on all cores; only the collaborative greedy assignment is a
-// global step. Results are bit-identical to the sequential execution.
+// independent (each SCN has private weights, multipliers, RNG stream, and
+// scratch arena), so they run on all cores; only the collaborative greedy
+// assignment is a global step. Results are bit-identical to the sequential
+// execution.
+//
+// The returned assignment aliases a policy-owned buffer: it is valid until
+// the next Decide call, which matches the simulator's slot protocol
+// (Decide → execute → Observe, then the next slot).
 func (l *LFSC) Decide(view *policy.SlotView) []int {
-	allProbs := make([][]float64, len(view.SCNs))
-	perSCNEdges := make([][]assign.Edge, len(view.SCNs))
-	parallel.For(len(view.SCNs), l.workersFor(view), func(m int) {
-		st := l.scns[m]
-		tasks := view.SCNs[m].Tasks
-		st.probs = make(map[int]float64, len(tasks))
-		st.capped = nil
-		if len(tasks) == 0 {
-			return
+	if len(view.SCNs) > len(l.allProbs) {
+		// Defensive: a view wider than the configured SCN count.
+		l.allProbs = make([][]float64, len(view.SCNs))
+		l.perSCNEdges = make([][]assign.Edge, len(view.SCNs))
+	}
+	if workers := l.workersFor(view); workers == 1 {
+		// Serial fast path: no goroutine fan-out, no closure — the
+		// steady-state Decide allocates nothing.
+		for m := range view.SCNs {
+			l.decideSCN(view, m)
 		}
-		probs, capped := l.probabilities(st, tasks)
-		st.capped = capped
-		allProbs[m] = probs
-		for i, tv := range tasks {
-			st.probs[tv.Index] = probs[i]
-		}
-		edges := make([]assign.Edge, 0, len(tasks))
-		switch l.cfg.Mode {
-		case DepRoundMode:
-			// Sample the SCN's candidate set with marginals exactly p.
-			for _, i := range assign.DepRound(probs, st.r) {
-				tv := tasks[i]
-				edges = append(edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i]})
-			}
-		case Race:
-			for i, tv := range tasks {
-				edges = append(edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i] / st.r.Exponential(1)})
-			}
-		case Deterministic:
-			for i, tv := range tasks {
-				edges = append(edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i]})
-			}
-		}
-		perSCNEdges[m] = edges
-	})
+	} else {
+		parallel.For(len(view.SCNs), workers, func(m int) { l.decideSCN(view, m) })
+	}
 	l.edges = l.edges[:0]
-	for _, edges := range perSCNEdges {
+	for _, edges := range l.perSCNEdges[:len(view.SCNs)] {
 		l.edges = append(l.edges, edges...)
 	}
-	assigned := assign.Greedy(l.edges, l.cfg.SCNs, view.NumTasks, l.cfg.Capacity)
+	l.assigned = assign.GreedyInto(l.assigned, &l.greedy, l.edges, l.cfg.SCNs, view.NumTasks, l.cfg.Capacity)
 	if l.cfg.Mode == DepRoundMode {
-		l.backfill(view, allProbs, assigned)
+		l.backfill(view, l.allProbs, l.assigned)
 	}
-	return assigned
+	return l.assigned
+}
+
+// decideSCN runs Alg. 2 for one SCN: probabilities, then candidate edges.
+// It touches only SCN m's arena and the m-th slots of the policy-global
+// views, so any number of decideSCN calls for distinct SCNs may run
+// concurrently.
+func (l *LFSC) decideSCN(view *policy.SlotView, m int) {
+	st := l.scns[m]
+	st.resetSlot()
+	l.allProbs[m] = nil
+	l.perSCNEdges[m] = nil
+	tasks := view.SCNs[m].Tasks
+	if len(tasks) == 0 {
+		return
+	}
+	probs := l.probabilities(st, tasks)
+	l.allProbs[m] = probs
+	st.edges = st.edges[:0]
+	switch l.cfg.Mode {
+	case DepRoundMode:
+		// Sample the SCN's candidate set with marginals exactly p.
+		for _, i := range assign.DepRoundInto(&st.dep, probs, st.r) {
+			tv := tasks[i]
+			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i]})
+		}
+	case Race:
+		for i, tv := range tasks {
+			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i] / st.r.Exponential(1)})
+		}
+	case Deterministic:
+		for i, tv := range tasks {
+			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i]})
+		}
+	}
+	l.perSCNEdges[m] = st.edges
 }
 
 // workersFor sizes the parallelism to the slot: tiny slots are cheaper to
-// process serially than to fan out.
+// process serially than to fan out. A positive Config.Workers overrides the
+// heuristic.
 func (l *LFSC) workersFor(view *policy.SlotView) int {
+	if l.cfg.Workers > 0 {
+		return l.cfg.Workers
+	}
 	total := 0
 	for m := range view.SCNs {
 		total += len(view.SCNs[m].Tasks)
@@ -333,21 +443,45 @@ func (l *LFSC) workersFor(view *policy.SlotView) int {
 	return 0 // default worker count
 }
 
+// backfillCand is one backfill candidate (an unassigned visible task).
+type backfillCand struct {
+	idx  int
+	p    float64
+	logW float64
+}
+
+// cmpBackfill ranks candidates by probability; probabilities tie when
+// weights underflow (exploration floor) or saturate (capped at 1), so the
+// exact log-weight breaks ties before the deterministic index.
+func cmpBackfill(a, b backfillCand) int {
+	switch {
+	case a.p > b.p:
+		return -1
+	case a.p < b.p:
+		return 1
+	case a.logW > b.logW:
+		return -1
+	case a.logW < b.logW:
+		return 1
+	default:
+		return a.idx - b.idx
+	}
+}
+
 // backfill tops up SCNs that lost sampled candidates to cross-SCN conflicts:
 // freed beams take the highest-probability unassigned visible tasks. This
 // mirrors the paper's cascade discussion — a SCN whose optimal task went to
 // a peer falls back to its next best choice rather than idling the beam.
 func (l *LFSC) backfill(view *policy.SlotView, allProbs [][]float64, assigned []int) {
-	counts := make([]int, l.cfg.SCNs)
+	counts := l.counts[:0]
+	for m := 0; m < l.cfg.SCNs; m++ {
+		counts = append(counts, 0)
+	}
+	l.counts = counts
 	for _, m := range assigned {
 		if m >= 0 {
 			counts[m]++
 		}
-	}
-	type cand struct {
-		idx  int
-		p    float64
-		logW float64
 	}
 	for m := range view.SCNs {
 		free := l.cfg.Capacity - counts[m]
@@ -356,24 +490,14 @@ func (l *LFSC) backfill(view *policy.SlotView, allProbs [][]float64, assigned []
 		}
 		st := l.scns[m]
 		tasks := view.SCNs[m].Tasks
-		var cands []cand
+		cands := l.cands[:0]
 		for i, tv := range tasks {
 			if assigned[tv.Index] == -1 {
-				cands = append(cands, cand{idx: tv.Index, p: allProbs[m][i], logW: st.logW[tv.Cell]})
+				cands = append(cands, backfillCand{idx: tv.Index, p: allProbs[m][i], logW: st.logW[tv.Cell]})
 			}
 		}
-		// Rank by probability; probabilities tie when weights underflow
-		// (exploration floor) or saturate (capped at 1), so the exact
-		// log-weight breaks ties before the deterministic index.
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].p != cands[b].p {
-				return cands[a].p > cands[b].p
-			}
-			if cands[a].logW != cands[b].logW {
-				return cands[a].logW > cands[b].logW
-			}
-			return cands[a].idx < cands[b].idx
-		})
+		l.cands = cands
+		slices.SortFunc(cands, cmpBackfill)
 		for _, c := range cands {
 			if free == 0 {
 				break
@@ -388,18 +512,19 @@ func (l *LFSC) backfill(view *policy.SlotView, allProbs [][]float64, assigned []
 }
 
 // probabilities runs Exp3.M weight capping and the mixing formula for one
-// SCN's visible task list, returning per-task selection probabilities and
-// the set S' of capped hypercubes.
-func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) ([]float64, map[int]bool) {
+// SCN's visible task list. The returned slice is st's probs arena (one
+// entry per task position, valid until the next Decide); capped hypercubes
+// (the set S') are flagged in st.capped.
+func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) []float64 {
 	k := len(tasks)
 	c := l.cfg.Capacity
-	probs := make([]float64, k)
+	probs := growFloats(&st.probs, k)
 	if k <= c {
 		// Fewer tasks than beams: everything can be served.
 		for i := range probs {
 			probs[i] = 1
 		}
-		return probs, nil
+		return probs
 	}
 	// Shift log-weights by the slot maximum before exponentiating; both the
 	// mixing formula and the capping fixed point are scale-invariant. The
@@ -414,7 +539,7 @@ func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) ([]float64, 
 			maxLog = lw
 		}
 	}
-	w := make([]float64, k)
+	w := growFloats(&st.w, k)
 	sum := 0.0
 	maxW := 0.0
 	for i, tv := range tasks {
@@ -430,15 +555,13 @@ func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) ([]float64, 
 	}
 	// τ = (1/c − γ/K)/(1−γ): the weight-share above which p would exceed 1.
 	tau := (1/float64(c) - l.gamma/float64(k)) / (1 - l.gamma)
-	var capped map[int]bool
 	eps := math.Inf(1)
 	if !l.cfg.DisableCapping && tau > 0 && maxW >= tau*sum {
-		eps = solveCap(w, tau)
-		capped = make(map[int]bool)
+		eps = solveCapInto(&st.sorted, &st.suffix, w, tau)
 		for i, tv := range tasks {
 			if w[i] >= eps {
 				w[i] = eps
-				capped[tv.Cell] = true
+				st.setCapped(tv.Cell)
 			}
 		}
 		sum = 0
@@ -456,20 +579,51 @@ func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) ([]float64, 
 		}
 		probs[i] = p
 	}
-	return probs, capped
+	return probs
+}
+
+// growFloats re-slices *buf to length n, reallocating only when the arena
+// capacity is exceeded (first slots of a run, or a workload spike).
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n, n+n/2)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// cmpFloatDesc orders float64s descending (weights here are never NaN).
+func cmpFloatDesc(a, b float64) int {
+	switch {
+	case a > b:
+		return -1
+	case a < b:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // solveCap finds ε with ε = τ·Σ_i min(w_i, ε) (the Exp3.M cap fixed point).
 // With the top-j weights capped, ε_j = τ·rest_j/(1−jτ); the valid j is the
 // one with w_(j) ≥ ε_j ≥ w_(j+1) in the descending order statistics.
 func solveCap(w []float64, tau float64) float64 {
-	sorted := append([]float64(nil), w...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var sorted, suffix []float64
+	return solveCapInto(&sorted, &suffix, w, tau)
+}
+
+// solveCapInto is solveCap with caller-owned scratch for the order
+// statistics and suffix sums (LFSC passes the SCN's arena).
+func solveCapInto(sortedBuf, suffixBuf *[]float64, w []float64, tau float64) float64 {
+	sorted := append((*sortedBuf)[:0], w...)
+	*sortedBuf = sorted
+	slices.SortFunc(sorted, cmpFloatDesc)
 	// rest_j (the tail sum Σ_{i>j} w_(i)) is accumulated backward as a
 	// suffix sum: subtracting head weights from the total instead would
 	// cancel catastrophically when the tail is many orders of magnitude
 	// below the head (log-weights legitimately span e^±60 here).
-	suffix := make([]float64, len(sorted)+1)
+	suffix := growFloats(suffixBuf, len(sorted)+1)
+	suffix[len(sorted)] = 0
 	for i := len(sorted) - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + sorted[i]
 	}
@@ -516,102 +670,121 @@ const maxExponent = 30.0
 // Observe implements policy.Policy: Alg. 3 for every SCN, in parallel
 // (each SCN only touches its own weights, multipliers and scratch).
 func (l *LFSC) Observe(view *policy.SlotView, assigned []int, fb *policy.Feedback) {
-	// Group executions by SCN for O(1) lookup.
-	execBySCN := make([]map[int]policy.Exec, l.cfg.SCNs)
-	for _, e := range fb.Execs {
-		if execBySCN[e.SCN] == nil {
-			execBySCN[e.SCN] = make(map[int]policy.Exec)
-		}
-		execBySCN[e.SCN][e.Task] = e
+	// Index executions by slot-global task for O(1) lookup: a task executes
+	// on at most one SCN per slot, so one flat table replaces the former
+	// per-SCN maps. Built serially before the fan-out, read-only inside it.
+	if cap(l.execByTask) < view.NumTasks {
+		l.execByTask = make([]int32, view.NumTasks, view.NumTasks+view.NumTasks/2)
 	}
-	parallel.For(len(view.SCNs), l.workersFor(view), func(m int) {
-		st := l.scns[m]
-		tasks := view.SCNs[m].Tasks
-		if len(tasks) == 0 {
-			return
+	l.execByTask = l.execByTask[:view.NumTasks]
+	for i := range l.execByTask {
+		l.execByTask[i] = -1
+	}
+	for i, e := range fb.Execs {
+		l.execByTask[e.Task] = int32(i)
+	}
+	if workers := l.workersFor(view); workers == 1 {
+		for m := range view.SCNs {
+			l.observeSCN(view, fb, m)
 		}
-		// Per-hypercube sums of the importance-weighted estimates and
-		// visible-task counts (Alg. 3 lines 2-8).
-		type cellAcc struct {
-			g, v, q float64
-			n       int
+	} else {
+		parallel.For(len(view.SCNs), workers, func(m int) { l.observeSCN(view, fb, m) })
+	}
+}
+
+// observeSCN runs Alg. 3 for one SCN. Like decideSCN it touches only SCN
+// m's arena (plus the read-only exec index), so distinct SCNs may run
+// concurrently.
+func (l *LFSC) observeSCN(view *policy.SlotView, fb *policy.Feedback, m int) {
+	st := l.scns[m]
+	tasks := view.SCNs[m].Tasks
+	if len(tasks) == 0 {
+		return
+	}
+	// Per-hypercube sums of the importance-weighted estimates and
+	// visible-task counts (Alg. 3 lines 2-8), accumulated in the arena's
+	// cell pools; touched lists the cells with at least one visible task.
+	for _, f := range st.touched {
+		st.accG[f], st.accV[f], st.accQ[f] = 0, 0, 0
+		st.accN[f] = 0
+	}
+	st.touched = st.touched[:0]
+	var completed, consumed float64
+	for i, tv := range tasks {
+		f := tv.Cell
+		if st.accN[f] == 0 {
+			st.touched = append(st.touched, f)
 		}
-		acc := make(map[int]*cellAcc, len(tasks))
-		var completed, consumed float64
-		for _, tv := range tasks {
-			a := acc[tv.Cell]
-			if a == nil {
-				a = &cellAcc{}
-				acc[tv.Cell] = a
-			}
-			a.n++
-			e, ok := execBySCN[m][tv.Index]
-			if !ok {
-				continue // unchosen task: estimate contributes 0
-			}
-			p := st.probs[tv.Index]
-			if p <= 0 {
-				continue // defensive: cannot importance-weight a 0-prob pick
-			}
-			a.g += e.Compound() / p
-			a.v += e.V / p
-			a.q += e.Q / p
-			completed += e.V
-			consumed += e.Q
+		st.accN[f]++
+		ei := l.execByTask[tv.Index]
+		if ei < 0 {
+			continue // unchosen task: estimate contributes 0
 		}
-		// Weight update (Alg. 3 lines 9-14): capped cells are skipped.
-		// Log-space: the multiplicative exp(·) becomes an addition.
-		lam1, lam2 := st.lambda1, st.lambda2
-		if l.cfg.DisableLagrangian {
-			lam1, lam2 = 0, 0
+		e := fb.Execs[ei]
+		if e.SCN != m {
+			continue // executed by a peer SCN: nothing observed here
 		}
-		for f, a := range acc {
-			if st.capped[f] {
-				continue
-			}
-			gHat := a.g / float64(a.n)
-			vHat := a.v / float64(a.n)
-			qHat := a.q / float64(a.n)
-			exp := l.eta * (gHat + lam1*vHat - lam2*qHat)
-			if exp > maxExponent {
-				exp = maxExponent
-			}
-			if exp < -maxExponent {
-				exp = -maxExponent
-			}
-			st.logW[f] += exp
+		p := st.probs[i]
+		if p <= 0 {
+			continue // defensive: cannot importance-weight a 0-prob pick
 		}
-		if l.decay > 0 {
-			for f := range st.logW {
-				st.logW[f] *= 1 - l.decay
-			}
+		st.accG[f] += e.Compound() / p
+		st.accV[f] += e.V / p
+		st.accQ[f] += e.Q / p
+		completed += e.V
+		consumed += e.Q
+	}
+	// Weight update (Alg. 3 lines 9-14): capped cells are skipped.
+	// Log-space: the multiplicative exp(·) becomes an addition.
+	lam1, lam2 := st.lambda1, st.lambda2
+	if l.cfg.DisableLagrangian {
+		lam1, lam2 = 0, 0
+	}
+	for _, f := range st.touched {
+		if st.capped[f] {
+			continue
 		}
-		// Multiplier update (Alg. 3 lines 15-17): projected gradient ascent
-		// with decay; slack normalised by the beam budget so the λ·v̂ and
-		// λ·q̂ exponent terms share ĝ's scale.
-		if !l.cfg.DisableLagrangian {
-			// The violation metrics are hinges (only shortfall/excess
-			// counts), so the dual ascent is asymmetric: slack beyond the
-			// constraint pulls λ down at a fraction of the violation rate.
-			// A symmetric (linear-constraint) update makes λ undershoot as
-			// soon as the constraint is met, selection drifts back toward
-			// raw reward, and per-slot violations oscillate late in the
-			// run instead of decreasing as the paper reports.
-			g1 := l.cfg.Alpha - completed
-			g2 := consumed - l.cfg.Beta
-			if g1 < 0 {
-				g1 *= l.slackPull
-			}
-			if g2 < 0 {
-				g2 *= l.slackPull
-			}
-			etaL := l.eta * l.lambdaRate
-			st.lambda1 = project(st.lambda1, etaL, l.delta, g1)
-			st.lambda2 = project(st.lambda2, etaL, l.delta, g2)
+		n := float64(st.accN[f])
+		gHat := st.accG[f] / n
+		vHat := st.accV[f] / n
+		qHat := st.accQ[f] / n
+		exp := l.eta * (gHat + lam1*vHat - lam2*qHat)
+		if exp > maxExponent {
+			exp = maxExponent
 		}
-		st.probs = nil
-		st.capped = nil
-	})
+		if exp < -maxExponent {
+			exp = -maxExponent
+		}
+		st.logW[f] += exp
+	}
+	if l.decay > 0 {
+		for f := range st.logW {
+			st.logW[f] *= 1 - l.decay
+		}
+	}
+	// Multiplier update (Alg. 3 lines 15-17): projected gradient ascent
+	// with decay; slack normalised by the beam budget so the λ·v̂ and
+	// λ·q̂ exponent terms share ĝ's scale.
+	if !l.cfg.DisableLagrangian {
+		// The violation metrics are hinges (only shortfall/excess
+		// counts), so the dual ascent is asymmetric: slack beyond the
+		// constraint pulls λ down at a fraction of the violation rate.
+		// A symmetric (linear-constraint) update makes λ undershoot as
+		// soon as the constraint is met, selection drifts back toward
+		// raw reward, and per-slot violations oscillate late in the
+		// run instead of decreasing as the paper reports.
+		g1 := l.cfg.Alpha - completed
+		g2 := consumed - l.cfg.Beta
+		if g1 < 0 {
+			g1 *= l.slackPull
+		}
+		if g2 < 0 {
+			g2 *= l.slackPull
+		}
+		etaL := l.eta * l.lambdaRate
+		st.lambda1 = project(st.lambda1, etaL, l.delta, g1)
+		st.lambda2 = project(st.lambda2, etaL, l.delta, g2)
+	}
 }
 
 // project applies λ ← [(1−ηδ)λ + η·grad]₊ with the theory's cap λ ≤ 1/δ.

@@ -37,7 +37,7 @@ func TestProbabilityInvariantsQuick(t *testing.T) {
 		for i, c := range cellChoices {
 			tasks = append(tasks, policy.TaskView{Index: i, Cell: int(c) % cfg.Cells})
 		}
-		probs, _ := l.probabilities(st, tasks)
+		probs := l.probabilities(st, tasks)
 		sum := 0.0
 		for _, p := range probs {
 			if p < -1e-12 || p > 1+1e-9 || math.IsNaN(p) {
@@ -132,7 +132,8 @@ func TestSelectionTracksProbabilities(t *testing.T) {
 	// Unequal weights: cell 0 heavy.
 	l.scns[0].logW[0] = 1.5
 	view := makeView(0, [][]int{{0, 0, 1, 1, 1, 1}})
-	probs, _ := l.probabilities(l.scns[0], view.SCNs[0].Tasks)
+	// Copy out of the arena: Decide below overwrites the probs scratch.
+	probs := append([]float64(nil), l.probabilities(l.scns[0], view.SCNs[0].Tasks)...)
 	counts := make([]float64, 6)
 	const rounds = 20000
 	for it := 0; it < rounds; it++ {

@@ -1,0 +1,28 @@
+package hypercube
+
+import (
+	"testing"
+
+	"lfsc/internal/rng"
+	"lfsc/internal/task"
+)
+
+// BenchmarkHypercubeIndex measures context→cell mapping at slot granularity:
+// one op indexes a full paper-scale slot (2000 contexts) through IndexAll,
+// the hot path of Alg. 2 lines 1-5.
+func BenchmarkHypercubeIndex(b *testing.B) {
+	const numCtx = 2000
+	p := MustNew(3, 3)
+	r := rng.New(17)
+	ctxs := make([]task.Context, numCtx)
+	for i := range ctxs {
+		ctxs[i] = task.Context{r.Float64(), r.Float64(), r.Float64()}
+	}
+	into := make([]int, numCtx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		into = p.IndexAll(ctxs, into)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*numCtx), "ns/index")
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+
+	"lfsc/internal/core"
+	"lfsc/internal/metrics"
+	"lfsc/internal/parallel"
+)
+
+// TestLFSCWorkersBitIdentical is the determinism regression guard for the
+// scratch-arena runtime: the same paper-scale scenario run with Workers=1
+// (strictly serial) and Workers=DefaultWorkers() (full fan-out) must
+// produce bit-identical reward and violation series. This pins the
+// "parallelism never changes what is computed" contract of
+// internal/parallel — each SCN owns its weights, multipliers, RNG stream,
+// and scratch arena, so scheduling cannot leak into results. Run under
+// -race (make test-race) it also proves the arenas are properly
+// partitioned between worker goroutines.
+func TestLFSCWorkersBitIdentical(t *testing.T) {
+	sc := PaperScenario()
+	sc.Cfg.T = 120 // paper-scale slots (≈2000 tasks), short horizon
+	run := func(workers int) *metrics.Series {
+		s, err := Run(sc, LFSCFactory(func(c *core.Config) { c.Workers = workers }), 42)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return s
+	}
+	serial := run(1)
+	fanout := run(parallel.DefaultWorkers())
+	series := func(s *metrics.Series, name string) []float64 {
+		switch name {
+		case "Reward":
+			return s.Reward
+		case "V1":
+			return s.V1
+		case "V2":
+			return s.V2
+		case "Assigned":
+			return s.Assigned
+		case "Completed":
+			return s.Completed
+		}
+		panic("unknown series " + name)
+	}
+	for _, name := range []string{"Reward", "V1", "V2", "Assigned", "Completed"} {
+		a, b := series(serial, name), series(fanout, name)
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s diverges at slot %d: serial %x vs parallel %x",
+					name, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -270,13 +270,21 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 	if sc.Cfg.MultiSlot != nil {
 		ms = newMSTracker(sc.Cfg.MultiSlot)
 	}
+	// Per-slot buffers are reused across the horizon: the slot protocol
+	// (Decide → execute → Observe) guarantees policies do not retain the
+	// view or feedback beyond the slot, so Run recycles them instead of
+	// allocating T times.
+	var scratch slotScratch
+	fb := &policy.Feedback{}
+	completed := make([]float64, numSCNs)
+	consumed := make([]float64, numSCNs)
 	for t := 0; t < sc.Cfg.T; t++ {
 		e.Advance(t)
 		slot := gen.Next(t)
 		if ms != nil {
 			slot = ms.inject(slot)
 		}
-		view, cells := buildView(t, slot, part, sc.Cfg.UseLatencyContext)
+		view, cells := scratch.buildView(t, slot, part, sc.Cfg.UseLatencyContext)
 		assigned := pol.Decide(view)
 		if sc.Cfg.Strict {
 			if err := policy.ValidateAssignment(view, assigned, sc.Cfg.Capacity); err != nil {
@@ -288,10 +296,11 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 		}
 		// Execute against ground truth with common random numbers.
 		slotReal := realRoot.Derive(uint64(t))
-		fb := &policy.Feedback{}
+		fb.Execs = fb.Execs[:0]
 		reward := 0.0
-		completed := make([]float64, numSCNs)
-		consumed := make([]float64, numSCNs)
+		for m := 0; m < numSCNs; m++ {
+			completed[m], consumed[m] = 0, 0
+		}
 		totalAssigned, totalCompleted := 0, 0
 		for taskIdx, m := range assigned {
 			if m < 0 {
@@ -380,30 +389,64 @@ func runMBSFallback(cfg *MBSConfig, slot *trace.Slot, assigned, cells []int,
 	return reward
 }
 
+// slotScratch holds the reusable per-slot buffers of one Run loop: context
+// coordinates (packed into a single backing array), hypercube indices, and
+// the policy-facing view with its per-SCN task lists. Buffers grow to the
+// workload's high-water mark and are then recycled every slot; everything
+// handed to the policy is only valid for the current slot.
+type slotScratch struct {
+	cells    []int
+	ctxBuf   []float64
+	ctxs     []task.Context
+	view     policy.SlotView
+	taskBufs [][]policy.TaskView
+}
+
 // buildView converts a workload slot into the policy-facing view, indexing
-// every task's context exactly once.
-func buildView(t int, slot *trace.Slot, part *hypercube.Partition, latencyCtx bool) (*policy.SlotView, []int) {
-	cells := make([]int, len(slot.Tasks))
-	ctxs := make([]task.Context, len(slot.Tasks))
-	for i, tk := range slot.Tasks {
-		var ctx task.Context
-		if latencyCtx {
-			ctx = tk.ContextWithLatency()
-		} else {
-			ctx = tk.Context()
-		}
-		ctxs[i] = ctx
-		cells[i] = part.Index(ctx)
+// every task's context exactly once. The returned view and cell slice alias
+// the scratch and are valid until the next buildView call.
+func (s *slotScratch) buildView(t int, slot *trace.Slot, part *hypercube.Partition, latencyCtx bool) (*policy.SlotView, []int) {
+	n := len(slot.Tasks)
+	dims := task.ContextDims
+	if latencyCtx {
+		dims++
 	}
-	view := &policy.SlotView{T: t, NumTasks: len(slot.Tasks), SCNs: make([]policy.SCNView, len(slot.Coverage))}
+	if cap(s.cells) < n {
+		s.cells = make([]int, n)
+		s.ctxs = make([]task.Context, n)
+	}
+	s.cells = s.cells[:n]
+	s.ctxs = s.ctxs[:n]
+	// Pack all contexts into one backing array first (appends may grow the
+	// buffer, so sub-slices are taken only after the loop).
+	s.ctxBuf = s.ctxBuf[:0]
+	for i := range slot.Tasks {
+		s.ctxBuf = slot.Tasks[i].AppendContext(s.ctxBuf, latencyCtx)
+	}
+	for i := 0; i < n; i++ {
+		ctx := task.Context(s.ctxBuf[i*dims : (i+1)*dims : (i+1)*dims])
+		s.ctxs[i] = ctx
+		s.cells[i] = part.Index(ctx)
+	}
+	numSCNs := len(slot.Coverage)
+	if cap(s.view.SCNs) < numSCNs {
+		s.view.SCNs = make([]policy.SCNView, numSCNs)
+	}
+	s.view.SCNs = s.view.SCNs[:numSCNs]
+	for len(s.taskBufs) < numSCNs {
+		s.taskBufs = append(s.taskBufs, nil)
+	}
 	for m, cov := range slot.Coverage {
-		tasks := make([]policy.TaskView, len(cov))
-		for k, idx := range cov {
-			tasks[k] = policy.TaskView{Index: idx, Cell: cells[idx], Ctx: ctxs[idx]}
+		buf := s.taskBufs[m][:0]
+		for _, idx := range cov {
+			buf = append(buf, policy.TaskView{Index: idx, Cell: s.cells[idx], Ctx: s.ctxs[idx]})
 		}
-		view.SCNs[m].Tasks = tasks
+		s.taskBufs[m] = buf
+		s.view.SCNs[m].Tasks = buf
 	}
-	return view, cells
+	s.view.T = t
+	s.view.NumTasks = n
+	return &s.view, s.cells
 }
 
 // RunAll simulates several policies on the identical scenario and seed.

@@ -152,6 +152,25 @@ func (t *Task) ContextWithLatency() Context {
 	return append(t.Context(), lat)
 }
 
+// AppendContext appends the task's context coordinates to dst and returns
+// the extended slice — the allocation-free form of Context for hot loops
+// that pack many contexts into one backing array (the simulator's slot
+// builder). withLatency appends the 4th (latency class) coordinate.
+func (t *Task) AppendContext(dst []float64, withLatency bool) []float64 {
+	dst = append(dst,
+		normalize(t.InputMbit, MinInputMbit, MaxInputMbit),
+		normalize(t.OutputMbit, MinOutputMbit, MaxOutputMbit),
+		resourceCoord(t.Resource))
+	if withLatency {
+		lat := 0.0
+		if t.LatencySensitive {
+			lat = 1.0
+		}
+		dst = append(dst, lat)
+	}
+	return dst
+}
+
 // normalize min-max scales v into [0,1], clamping out-of-range inputs so a
 // malformed trace row cannot push a context outside Φ.
 func normalize(v, lo, hi float64) float64 {
