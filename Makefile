@@ -4,12 +4,13 @@
 GO ?= go
 
 # Packages that carry the concurrency contract (bit-identical results
-# under parallel.For) and therefore must stay clean under the race
-# detector, including the Workers=1 vs Workers=N determinism test in
+# under parallel.For and under concurrent shared-trace replay) and
+# therefore must stay clean under the race detector, including the
+# Workers=1 vs Workers=N determinism test and the RunAll replay test in
 # internal/sim.
-RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim
+RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim ./internal/trace
 
-.PHONY: all build vet test test-race bench-short bench json clean
+.PHONY: all build vet test test-race bench-short bench json bench-diff ci clean
 
 all: vet test
 
@@ -41,6 +42,21 @@ bench:
 # LFSC/Oracle ratio at the paper horizon).
 json:
 	$(GO) run ./cmd/lfscbench -benchjson BENCH_core.json
+
+# Measure the working tree against the committed perf artifact: runs the
+# paper-horizon benchmark into a scratch file and diffs it against
+# BENCH_core.json. Fails (exit 1) on a >25% timing/allocation regression
+# or ANY reward-ratio drift — the simulation is deterministic, so a ratio
+# change means the computation itself changed.
+bench-diff:
+	$(GO) run ./cmd/lfscbench -benchjson /tmp/BENCH_head.json
+	$(GO) run ./cmd/benchdiff BENCH_core.json /tmp/BENCH_head.json
+
+# Everything a commit must pass, in the order a CI runner would execute:
+# static checks, the full test suite, the race-detector suite over the
+# concurrency-contract packages, and the quick perf kernels (which also
+# assert 0 allocs/op on the steady-state paths).
+ci: vet test test-race bench-short
 
 clean:
 	$(GO) clean ./...

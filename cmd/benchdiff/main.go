@@ -1,0 +1,118 @@
+// Command benchdiff compares two BENCH_core.json perf-trajectory artifacts
+// (see cmd/lfscbench -benchjson) and reports the deltas in the figures the
+// repo tracks across commits: ns/slot, allocs/slot, and the LFSC/Oracle
+// reward ratio.
+//
+// Usage:
+//
+//	benchdiff [flags] OLD.json NEW.json
+//
+// The exit status encodes the verdict so the comparison can gate CI or a
+// local pre-commit check (make bench-diff): 0 when NEW is within the
+// regression thresholds, 1 on a perf regression or a reward-ratio drift,
+// 2 on usage/IO errors. Timing is compared with a relative threshold
+// (default 25%, generous because single-run wall clock on a shared box is
+// noisy); the reward ratio is compared with an absolute epsilon (default
+// 1e-9) because the simulation is deterministic — any drift there means
+// the computation itself changed, not the machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// benchResult mirrors the fields of cmd/lfscbench's -benchjson schema that
+// the diff consumes; unknown fields are ignored so the schemas can evolve
+// independently.
+type benchResult struct {
+	Name          string  `json:"name"`
+	Timestamp     string  `json:"timestamp"`
+	TSlots        int     `json:"t_slots"`
+	Seed          uint64  `json:"seed"`
+	NsPerSlot     float64 `json:"ns_per_slot"`
+	AllocsPerSlot float64 `json:"allocs_per_slot"`
+	Ratio         float64 `json:"lfsc_oracle_ratio"`
+}
+
+func load(path string) (*benchResult, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchResult
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.TSlots <= 0 || r.NsPerSlot <= 0 {
+		return nil, fmt.Errorf("%s: not a lfscbench artifact (t_slots=%d, ns_per_slot=%v)",
+			path, r.TSlots, r.NsPerSlot)
+	}
+	return &r, nil
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func main() {
+	maxNsRegress := flag.Float64("max-ns-regress", 0.25,
+		"fail when ns/slot grows by more than this fraction")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.25,
+		"fail when allocs/slot grows by more than this fraction (plus a +2 absolute grace for tiny baselines)")
+	maxRatioDrift := flag.Float64("max-ratio-drift", 1e-9,
+		"fail when |Δ lfsc_oracle_ratio| exceeds this absolute epsilon")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	new_, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("benchdiff: %s (T=%d seed=%d) -> %s (T=%d seed=%d)\n",
+		flag.Arg(0), old.TSlots, old.Seed, flag.Arg(1), new_.TSlots, new_.Seed)
+	if old.TSlots != new_.TSlots || old.Seed != new_.Seed {
+		fmt.Println("  warning: horizons/seeds differ; figures are not directly comparable")
+	}
+	fmt.Printf("  %-16s %14.1f -> %14.1f  (%+.1f%%)\n", "ns/slot", old.NsPerSlot, new_.NsPerSlot, pct(old.NsPerSlot, new_.NsPerSlot))
+	fmt.Printf("  %-16s %14.2f -> %14.2f  (%+.1f%%)\n", "allocs/slot", old.AllocsPerSlot, new_.AllocsPerSlot, pct(old.AllocsPerSlot, new_.AllocsPerSlot))
+	fmt.Printf("  %-16s %14.10f -> %14.10f  (Δ %.3e)\n", "reward ratio", old.Ratio, new_.Ratio, new_.Ratio-old.Ratio)
+
+	failed := false
+	if new_.NsPerSlot > old.NsPerSlot*(1+*maxNsRegress) {
+		fmt.Printf("  FAIL ns/slot regressed beyond %.0f%%\n", *maxNsRegress*100)
+		failed = true
+	}
+	if new_.AllocsPerSlot > old.AllocsPerSlot*(1+*maxAllocRegress)+2 {
+		fmt.Printf("  FAIL allocs/slot regressed beyond %.0f%%\n", *maxAllocRegress*100)
+		failed = true
+	}
+	if math.Abs(new_.Ratio-old.Ratio) > *maxRatioDrift {
+		fmt.Printf("  FAIL reward ratio drifted beyond %g — the deterministic computation changed\n", *maxRatioDrift)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("  OK within thresholds")
+}

@@ -39,7 +39,7 @@ type benchResult struct {
 	OracleTotalReward float64 `json:"oracle_total_reward"`
 	// LFSCOracleRatio is achieved reward relative to the ground-truth
 	// oracle on the identical task sequence (the paper's headline
-	// competitiveness signal, ~0.9 at T=10000).
+	// competitiveness signal; measured 0.8427 at T=10000, seed 42).
 	LFSCOracleRatio float64 `json:"lfsc_oracle_ratio"`
 }
 

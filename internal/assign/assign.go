@@ -16,6 +16,7 @@ package assign
 
 import (
 	"fmt"
+	"math"
 	"slices"
 
 	"lfsc/internal/rng"
@@ -29,13 +30,17 @@ type Edge struct {
 	W    float64
 }
 
-// GreedyScratch holds the reusable working memory of GreedyInto: the sorted
-// edge copy and the per-SCN beam counters. A zero value is ready to use; the
-// buffers grow to the high-water mark of the calls that share them and are
-// never shrunk. A scratch value must not be shared between concurrent calls.
+// GreedyScratch holds the reusable working memory of GreedyInto and
+// GreedyMergeInto: the sorted edge copy, the per-SCN beam counters, and the
+// k-way merge cursors/heap. A zero value is ready to use; the buffers grow to
+// the high-water mark of the calls that share them and are never shrunk. A
+// scratch value must not be shared between concurrent calls.
 type GreedyScratch struct {
 	sorted []Edge
 	counts []int
+	heads  []int32
+	heap   []int32
+	cur    []Edge
 }
 
 // cmpEdge orders edges by descending weight, breaking ties deterministically
@@ -92,6 +97,182 @@ func GreedyInto(assigned []int, s *GreedyScratch, edges []Edge, numSCNs, numTask
 	s.counts = s.counts[:numSCNs]
 	clear(s.counts)
 	for _, e := range s.sorted {
+		if e.SCN < 0 || e.SCN >= numSCNs || e.Task < 0 || e.Task >= numTasks {
+			panic(fmt.Sprintf("assign: edge (%d,%d) out of range", e.SCN, e.Task))
+		}
+		if assigned[e.Task] != -1 || s.counts[e.SCN] >= capacity {
+			continue
+		}
+		assigned[e.Task] = e.SCN
+		s.counts[e.SCN]++
+	}
+	return assigned
+}
+
+// SortEdges sorts an edge list in the greedy consumption order (descending
+// weight, ties by SCN then task). The order is a strict total order over
+// distinct (SCN, task) pairs, so the sorted sequence is unique — any correct
+// comparison sort produces the same permutation, which lets this use a
+// specialized in-place quicksort whose comparator inlines instead of going
+// through slices.SortFunc's func-value indirection.
+func SortEdges(edges []Edge) {
+	sortEdges(edges)
+}
+
+// edgeLess is cmpEdge < 0 in a form the compiler inlines into the sort loops.
+func edgeLess(a, b Edge) bool {
+	if a.W != b.W {
+		return a.W > b.W
+	}
+	if a.SCN != b.SCN {
+		return a.SCN < b.SCN
+	}
+	return a.Task < b.Task
+}
+
+// sortEdges is a median-of-three Hoare quicksort with an insertion-sort
+// cutoff, recursing on the smaller half so stack depth stays logarithmic.
+func sortEdges(e []Edge) {
+	for len(e) > 24 {
+		mid, hi := len(e)/2, len(e)-1
+		if edgeLess(e[mid], e[0]) {
+			e[mid], e[0] = e[0], e[mid]
+		}
+		if edgeLess(e[hi], e[mid]) {
+			e[hi], e[mid] = e[mid], e[hi]
+			if edgeLess(e[mid], e[0]) {
+				e[mid], e[0] = e[0], e[mid]
+			}
+		}
+		pivot := e[mid]
+		i, j := -1, len(e)
+		for {
+			for {
+				i++
+				if !edgeLess(e[i], pivot) {
+					break
+				}
+			}
+			for {
+				j--
+				if !edgeLess(pivot, e[j]) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			e[i], e[j] = e[j], e[i]
+		}
+		if j+1 < len(e)-j-1 {
+			sortEdges(e[:j+1])
+			e = e[j+1:]
+		} else {
+			sortEdges(e[j+1:])
+			e = e[:j+1]
+		}
+	}
+	for i := 1; i < len(e); i++ {
+		v := e[i]
+		j := i - 1
+		for j >= 0 && edgeLess(v, e[j]) {
+			e[j+1] = e[j]
+			j--
+		}
+		e[j+1] = v
+	}
+}
+
+// GreedyMergeInto is GreedyInto for edges delivered as per-source lists that
+// are each already in SortEdges order (LFSC sorts each SCN's edges inside the
+// parallel per-SCN stage). The lists are consumed through a k-way heap merge,
+// which visits edges in exactly the unique globally sorted order — the result
+// is bit-identical to concatenating and re-sorting, without the dominant
+// O(E log E) comparison-function sort of the hot path. Lists found out of
+// order panic rather than silently reordering the greedy.
+func GreedyMergeInto(assigned []int, s *GreedyScratch, perSrc [][]Edge, numSCNs, numTasks, capacity int) []int {
+	if cap(assigned) < numTasks {
+		assigned = make([]int, numTasks)
+	}
+	assigned = assigned[:numTasks]
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	if capacity <= 0 || numSCNs <= 0 {
+		return assigned
+	}
+	if cap(s.counts) < numSCNs {
+		s.counts = make([]int, numSCNs)
+	}
+	s.counts = s.counts[:numSCNs]
+	clear(s.counts)
+	if cap(s.heads) < len(perSrc) {
+		s.heads = make([]int32, len(perSrc))
+	}
+	if cap(s.cur) < len(perSrc) {
+		s.cur = make([]Edge, len(perSrc))
+	}
+	heads := s.heads[:len(perSrc)]
+	cur := s.cur[:len(perSrc)]
+	heap := s.heap[:0]
+	for li := range perSrc {
+		heads[li] = 0
+		if len(perSrc[li]) > 0 {
+			cur[li] = perSrc[li][0]
+			heap = append(heap, int32(li))
+		}
+	}
+	s.heap = heap
+	// less orders heap entries by their lists' head edges (cached in cur to
+	// spare a double indirection per comparison); heads from distinct lists
+	// never tie when each list has a distinct SCN, and equal outcomes would
+	// only make the pop order of *equal* edges ambiguous — which cmpEdge
+	// precludes for distinct (SCN, task) pairs.
+	less := func(a, b int32) bool {
+		ea, eb := &cur[a], &cur[b]
+		if ea.W != eb.W {
+			return ea.W > eb.W
+		}
+		if ea.SCN != eb.SCN {
+			return ea.SCN < eb.SCN
+		}
+		return ea.Task < eb.Task
+	}
+	siftDown := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(heap) {
+				return
+			}
+			if c+1 < len(heap) && less(heap[c+1], heap[c]) {
+				c++
+			}
+			if !less(heap[c], heap[i]) {
+				return
+			}
+			heap[i], heap[c] = heap[c], heap[i]
+			i = c
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	prev := Edge{W: math.Inf(1), SCN: -1}
+	for len(heap) > 0 {
+		li := heap[0]
+		e := cur[li]
+		heads[li]++
+		if int(heads[li]) < len(perSrc[li]) {
+			cur[li] = perSrc[li][heads[li]]
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
+		if cmpEdge(prev, e) > 0 {
+			panic("assign: GreedyMergeInto input list not in SortEdges order")
+		}
+		prev = e
 		if e.SCN < 0 || e.SCN >= numSCNs || e.Task < 0 || e.Task >= numTasks {
 			panic(fmt.Sprintf("assign: edge (%d,%d) out of range", e.SCN, e.Task))
 		}
@@ -213,30 +394,35 @@ func DepRoundInto(s *DepRoundScratch, p []float64, r *rng.Stream) []int {
 	const tol = 1e-9
 	w := append(s.w[:0], p...)
 	s.w = w
+	// Clamp and collect the stack of fractional indices in one pass (a
+	// clamped value is integral, so clamping never changes membership).
+	// Each pairing below pops two entries and pushes back at most one
+	// still-fractional index plus possibly its partner, so the stack never
+	// outgrows its initial size and the loop is linear; a fixed-capacity
+	// array with a manual pointer keeps the hot loop free of slice-header
+	// updates.
+	if cap(s.stack) < len(w) {
+		s.stack = make([]int, len(w))
+	}
+	stack := s.stack[:cap(s.stack)]
+	sp := 0
 	for i, v := range w {
 		if v < -tol || v > 1+tol {
 			panic(fmt.Sprintf("assign: DepRound probability %v out of [0,1]", v))
 		}
 		if v < 0 {
 			w[i] = 0
-		}
-		if v > 1 {
+		} else if v > 1 {
 			w[i] = 1
+		} else if v > tol && v < 1-tol {
+			stack[sp] = i
+			sp++
 		}
 	}
-	// Maintain a stack of fractional indices; each pairing makes at least
-	// one of the two integral, so the loop is linear.
-	isFrac := func(v float64) bool { return v > tol && v < 1-tol }
-	stack := s.stack[:0]
-	for i, v := range w {
-		if isFrac(v) {
-			stack = append(stack, i)
-		}
-	}
-	for len(stack) >= 2 {
-		i := stack[len(stack)-1]
-		j := stack[len(stack)-2]
-		stack = stack[:len(stack)-2]
+	for sp >= 2 {
+		i := stack[sp-1]
+		j := stack[sp-2]
+		sp -= 2
 		alpha := min2(1-w[i], w[j])
 		beta := min2(w[i], 1-w[j])
 		// With prob beta/(alpha+beta): w[i]+=alpha, w[j]-=alpha.
@@ -247,16 +433,18 @@ func DepRoundInto(s *DepRoundScratch, p []float64, r *rng.Stream) []int {
 			w[i] -= beta
 			w[j] += beta
 		}
-		if isFrac(w[i]) {
-			stack = append(stack, i)
+		if wi := w[i]; wi > tol && wi < 1-tol {
+			stack[sp] = i
+			sp++
 		}
-		if isFrac(w[j]) {
-			stack = append(stack, j)
+		if wj := w[j]; wj > tol && wj < 1-tol {
+			stack[sp] = j
+			sp++
 		}
 	}
 	// A single leftover fractional entry (sum not exactly integral):
 	// round it by its own probability.
-	if len(stack) == 1 {
+	if sp == 1 {
 		k := stack[0]
 		if r.Float64() < w[k] {
 			w[k] = 1
@@ -264,7 +452,6 @@ func DepRoundInto(s *DepRoundScratch, p []float64, r *rng.Stream) []int {
 			w[k] = 0
 		}
 	}
-	s.stack = stack
 	out := s.out[:0]
 	for i, v := range w {
 		if v >= 1-tol {

@@ -215,37 +215,60 @@ type scnState struct {
 	cappedList []int     // hypercubes currently flagged in capped
 
 	// Decide-internal scratch:
-	w      []float64              // Exp3.M weight buffer (one per task)
-	sorted []float64              // solveCap descending order statistics
-	suffix []float64              // solveCap suffix sums (len(w)+1)
+	sorted []float64              // solveCap ascending order statistics
+	suffix []float64              // solveCap prefix sums (k+1)
 	edges  []assign.Edge          // this SCN's bipartite edges
 	dep    assign.DepRoundScratch // DepRound working memory
+	// Cell-grouped weight scratch: tasks share a weight whenever they share
+	// a hypercube, so the exp/cap/mixing math runs once per *present cell*
+	// (≤ min(K, Cells) distinct values) instead of once per task. The
+	// census (cellCnt, cellList, taskCells) is taken by Decide's
+	// probabilities call and read again by the same slot's Observe, which
+	// saves recounting.
+	cellW     []float64 // shifted weight per hypercube (present cells only)
+	cellCnt   []int     // visible-task count per hypercube
+	cellList  []int     // hypercubes present this slot, first-touch order
+	taskCells []int32   // hypercube per visible-task position
+	capV      []float64 // solveCapCells distinct values, ascending
+	capN      []int     // solveCapCells multiplicities, parallel to capV
+	// order holds every hypercube sorted ascending by logW. The weight
+	// update barely perturbs the ranking, so solveCapCells repairs it with
+	// an insertion pass over a nearly sorted array and gets its ascending
+	// order statistics for free — exp is monotone, so logW order IS
+	// shifted-weight order.
+	order []int
 
 	// Observe-internal scratch: per-hypercube accumulator pools for the
-	// importance-weighted estimates (the former map[int]*cellAcc), plus
-	// the list of cells touched this slot for O(touched) iteration/reset.
+	// importance-weighted estimates (the former map[int]*cellAcc); the
+	// cells with at least one visible task are listed in cellList above.
 	accG, accV, accQ []float64
-	accN             []int
-	touched          []int
 }
 
 // newSCNState builds SCN state with the arena pre-sized from the config.
 func newSCNState(cfg Config, r *rng.Stream) *scnState {
+	order := make([]int, cfg.Cells)
+	for f := range order {
+		order[f] = f
+	}
 	return &scnState{
+		order:      order,
 		logW:       make([]float64, cfg.Cells),
 		r:          r,
 		probs:      make([]float64, 0, cfg.KMax),
 		capped:     make([]bool, cfg.Cells),
 		cappedList: make([]int, 0, cfg.Cells),
-		w:          make([]float64, 0, cfg.KMax),
 		sorted:     make([]float64, 0, cfg.KMax),
 		suffix:     make([]float64, 0, cfg.KMax+1),
 		edges:      make([]assign.Edge, 0, cfg.KMax),
+		cellW:      make([]float64, cfg.Cells),
+		cellCnt:    make([]int, cfg.Cells),
+		cellList:   make([]int, 0, cfg.Cells),
+		taskCells:  make([]int32, 0, cfg.KMax),
+		capV:       make([]float64, 0, cfg.Cells),
+		capN:       make([]int, 0, cfg.Cells),
 		accG:       make([]float64, cfg.Cells),
 		accV:       make([]float64, cfg.Cells),
 		accQ:       make([]float64, cfg.Cells),
-		accN:       make([]int, cfg.Cells),
-		touched:    make([]int, 0, cfg.Cells),
 	}
 }
 
@@ -282,12 +305,13 @@ type LFSC struct {
 	// allProbs/perSCNEdges):
 	allProbs    [][]float64 // per-SCN views into each scnState's probs
 	perSCNEdges [][]assign.Edge
-	edges       []assign.Edge // concatenated edge list for the greedy
-	assigned    []int         // assignment buffer returned by Decide
+	assigned    []int // assignment buffer returned by Decide
 	greedy      assign.GreedyScratch
-	counts      []int          // backfill per-SCN beam counters
-	cands       []backfillCand // backfill candidate buffer
-	execByTask  []int32        // slot-global task index → fb.Execs index
+	counts      []int     // backfill per-SCN beam counters
+	selP        []float64 // backfill top-free selection: probabilities,
+	selLW       []float64 // log-weight tie-breaks,
+	selIdx      []int     // and slot-global task indices (≤ Capacity each)
+	execByTask  []int32   // slot-global task index → fb.Execs index
 }
 
 // New constructs an LFSC policy. The stream drives the randomized edge
@@ -321,9 +345,10 @@ func New(cfg Config, r *rng.Stream) (*LFSC, error) {
 	}
 	l.allProbs = make([][]float64, cfg.SCNs)
 	l.perSCNEdges = make([][]assign.Edge, cfg.SCNs)
-	l.edges = make([]assign.Edge, 0, cfg.SCNs*cfg.Capacity)
 	l.counts = make([]int, cfg.SCNs)
-	l.cands = make([]backfillCand, 0, cfg.KMax)
+	l.selP = make([]float64, cfg.Capacity)
+	l.selLW = make([]float64, cfg.Capacity)
+	l.selIdx = make([]int, cfg.Capacity)
 	return l, nil
 }
 
@@ -380,11 +405,10 @@ func (l *LFSC) Decide(view *policy.SlotView) []int {
 	} else {
 		parallel.For(len(view.SCNs), workers, func(m int) { l.decideSCN(view, m) })
 	}
-	l.edges = l.edges[:0]
-	for _, edges := range l.perSCNEdges[:len(view.SCNs)] {
-		l.edges = append(l.edges, edges...)
-	}
-	l.assigned = assign.GreedyInto(l.assigned, &l.greedy, l.edges, l.cfg.SCNs, view.NumTasks, l.cfg.Capacity)
+	// Each SCN's edge list was sorted inside the parallel per-SCN stage, so
+	// the global greedy consumes them through a k-way merge — bit-identical
+	// to concatenating and sorting, minus the dominant comparison sort.
+	l.assigned = assign.GreedyMergeInto(l.assigned, &l.greedy, l.perSCNEdges[:len(view.SCNs)], l.cfg.SCNs, view.NumTasks, l.cfg.Capacity)
 	if l.cfg.Mode == DepRoundMode {
 		l.backfill(view, l.allProbs, l.assigned)
 	}
@@ -411,18 +435,20 @@ func (l *LFSC) decideSCN(view *policy.SlotView, m int) {
 	case DepRoundMode:
 		// Sample the SCN's candidate set with marginals exactly p.
 		for _, i := range assign.DepRoundInto(&st.dep, probs, st.r) {
-			tv := tasks[i]
-			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i]})
+			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tasks[i].Index, W: probs[i]})
 		}
 	case Race:
-		for i, tv := range tasks {
-			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i] / st.r.Exponential(1)})
+		for i := range tasks {
+			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tasks[i].Index, W: probs[i] / st.r.Exponential(1)})
 		}
 	case Deterministic:
-		for i, tv := range tasks {
-			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tv.Index, W: probs[i]})
+		for i := range tasks {
+			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tasks[i].Index, W: probs[i]})
 		}
 	}
+	// Pre-sort this SCN's edges (in the parallel stage) so the global
+	// greedy can k-way merge the lists instead of sorting the union.
+	assign.SortEdges(st.edges)
 	l.perSCNEdges[m] = st.edges
 }
 
@@ -443,35 +469,18 @@ func (l *LFSC) workersFor(view *policy.SlotView) int {
 	return 0 // default worker count
 }
 
-// backfillCand is one backfill candidate (an unassigned visible task).
-type backfillCand struct {
-	idx  int
-	p    float64
-	logW float64
-}
-
-// cmpBackfill ranks candidates by probability; probabilities tie when
-// weights underflow (exploration floor) or saturate (capped at 1), so the
-// exact log-weight breaks ties before the deterministic index.
-func cmpBackfill(a, b backfillCand) int {
-	switch {
-	case a.p > b.p:
-		return -1
-	case a.p < b.p:
-		return 1
-	case a.logW > b.logW:
-		return -1
-	case a.logW < b.logW:
-		return 1
-	default:
-		return a.idx - b.idx
-	}
-}
-
 // backfill tops up SCNs that lost sampled candidates to cross-SCN conflicts:
 // freed beams take the highest-probability unassigned visible tasks. This
 // mirrors the paper's cascade discussion — a SCN whose optimal task went to
 // a peer falls back to its next best choice rather than idling the beam.
+//
+// Candidates are ranked by probability; probabilities tie when weights
+// underflow (exploration floor) or saturate (capped at 1), so the exact
+// log-weight breaks ties before the deterministic task index. That ranking
+// is a strict total order, so taking the best remaining candidate `free`
+// times selects exactly the prefix a full descending sort would — without
+// building or sorting a candidate list (free ≤ c is small; the conflicts
+// being repaired rarely free more than a few beams).
 func (l *LFSC) backfill(view *policy.SlotView, allProbs [][]float64, assigned []int) {
 	counts := l.counts[:0]
 	for m := 0; m < l.cfg.SCNs; m++ {
@@ -490,35 +499,90 @@ func (l *LFSC) backfill(view *policy.SlotView, allProbs [][]float64, assigned []
 		}
 		st := l.scns[m]
 		tasks := view.SCNs[m].Tasks
-		cands := l.cands[:0]
-		for i, tv := range tasks {
-			if assigned[tv.Index] == -1 {
-				cands = append(cands, backfillCand{idx: tv.Index, p: allProbs[m][i], logW: st.logW[tv.Cell]})
-			}
-		}
-		l.cands = cands
-		slices.SortFunc(cands, cmpBackfill)
-		for _, c := range cands {
-			if free == 0 {
-				break
-			}
-			if assigned[c.idx] != -1 {
+		probs := allProbs[m]
+		// One-pass bounded selection: keep the best `free` candidates seen
+		// so far in rank order (insertion into a ≤Capacity-sized window,
+		// most candidates rejected on one comparison with the window's
+		// worst). The window ends holding exactly the prefix a full
+		// descending sort of the candidates would, in the same order.
+		n := 0
+		for i := range tasks {
+			tv := &tasks[i]
+			if assigned[tv.Index] != -1 {
 				continue
 			}
-			assigned[c.idx] = m
-			free--
+			p, lw, idx := probs[i], st.logW[tv.Cell], tv.Index
+			if n == free && !backfillBeats(p, lw, idx, l.selP[n-1], l.selLW[n-1], l.selIdx[n-1]) {
+				continue
+			}
+			j := n
+			if n == free {
+				j = n - 1
+			} else {
+				n++
+			}
+			for j > 0 && backfillBeats(p, lw, idx, l.selP[j-1], l.selLW[j-1], l.selIdx[j-1]) {
+				l.selP[j], l.selLW[j], l.selIdx[j] = l.selP[j-1], l.selLW[j-1], l.selIdx[j-1]
+				j--
+			}
+			l.selP[j], l.selLW[j], l.selIdx[j] = p, lw, idx
+		}
+		for x := 0; x < n; x++ {
+			assigned[l.selIdx[x]] = m
 		}
 	}
+}
+
+// backfillBeats reports whether candidate a outranks candidate b in the
+// backfill order: probability descending, then log-weight descending (exact
+// tie-break when probabilities saturate at the cap or the exploration
+// floor), then task index ascending — a strict total order over distinct
+// tasks.
+func backfillBeats(aP, aLW float64, aIdx int, bP, bLW float64, bIdx int) bool {
+	if aP != bP {
+		return aP > bP
+	}
+	if aLW != bLW {
+		return aLW > bLW
+	}
+	return aIdx < bIdx
 }
 
 // probabilities runs Exp3.M weight capping and the mixing formula for one
 // SCN's visible task list. The returned slice is st's probs arena (one
 // entry per task position, valid until the next Decide); capped hypercubes
 // (the set S') are flagged in st.capped.
+//
+// Tasks in the same hypercube share a weight, so the transcendental and
+// capping arithmetic is grouped per *present cell* (≤ min(K, Cells) distinct
+// values — 27 in the paper setup vs up to 100 tasks): one exp, one cap test
+// and one mixing division per cell. Every per-task accumulation (the weight
+// sums) keeps its original task-order iteration, and per-cell expressions
+// are bit-for-bit the ones previously evaluated per task, so the produced
+// probabilities are bit-identical to the ungrouped computation.
 func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) []float64 {
 	k := len(tasks)
 	c := l.cfg.Capacity
 	probs := growFloats(&st.probs, k)
+	// Reset the previous slot's census, then count tasks per hypercube;
+	// cellList records present cells in first-touch order (deterministic —
+	// coverage order is deterministic). taskCells caches each position's
+	// cell so the later passes scan a compact int32 array instead of the
+	// task views. Observe reads the census back for its per-cell averages.
+	for _, f := range st.cellList {
+		st.cellCnt[f] = 0
+	}
+	cells := st.cellList[:0]
+	taskCells := growInt32(&st.taskCells, k)
+	for i := range tasks {
+		f := tasks[i].Cell
+		taskCells[i] = int32(f)
+		if st.cellCnt[f] == 0 {
+			cells = append(cells, f)
+		}
+		st.cellCnt[f]++
+	}
+	st.cellList = cells
 	if k <= c {
 		// Fewer tasks than beams: everything can be served.
 		for i := range probs {
@@ -534,52 +598,115 @@ func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) []float64 {
 	// of ranking range — far beyond what selection can distinguish anyway.
 	const minLogDiff = -60.0
 	maxLog := math.Inf(-1)
-	for _, tv := range tasks {
-		if lw := st.logW[tv.Cell]; lw > maxLog {
+	for _, f := range cells {
+		if lw := st.logW[f]; lw > maxLog {
 			maxLog = lw
 		}
 	}
-	w := growFloats(&st.w, k)
-	sum := 0.0
-	maxW := 0.0
-	for i, tv := range tasks {
-		d := st.logW[tv.Cell] - maxLog
+	for _, f := range cells {
+		d := st.logW[f] - maxLog
 		if d < minLogDiff {
 			d = minLogDiff
 		}
-		w[i] = math.Exp(d)
-		sum += w[i]
-		if w[i] > maxW {
-			maxW = w[i]
+		st.cellW[f] = math.Exp(d)
+	}
+	sum := 0.0
+	maxW := 0.0
+	for _, f := range taskCells {
+		wi := st.cellW[f]
+		sum += wi
+		if wi > maxW {
+			maxW = wi
 		}
 	}
 	// τ = (1/c − γ/K)/(1−γ): the weight-share above which p would exceed 1.
 	tau := (1/float64(c) - l.gamma/float64(k)) / (1 - l.gamma)
-	eps := math.Inf(1)
 	if !l.cfg.DisableCapping && tau > 0 && maxW >= tau*sum {
-		eps = solveCapInto(&st.sorted, &st.suffix, w, tau)
-		for i, tv := range tasks {
-			if w[i] >= eps {
-				w[i] = eps
-				st.setCapped(tv.Cell)
+		eps := solveCapCells(st, k, tau)
+		for _, f := range cells {
+			if st.cellW[f] >= eps {
+				st.cellW[f] = eps
+				st.setCapped(f)
 			}
 		}
 		sum = 0
-		for _, v := range w {
-			sum += v
+		for _, f := range taskCells {
+			sum += st.cellW[f]
 		}
 	}
-	for i := range probs {
-		p := float64(c) * ((1-l.gamma)*w[i]/sum + l.gamma/float64(k))
+	// Mixing formula once per cell (identical expression, value shared by
+	// the cell's tasks), then fan the per-cell probability out to tasks.
+	for _, f := range cells {
+		p := float64(c) * ((1-l.gamma)*st.cellW[f]/sum + l.gamma/float64(k))
 		if p > 1 {
 			p = 1 // numerical safety; capping guarantees ≤ 1 analytically
 		}
 		if p < 0 {
 			p = 0
 		}
-		probs[i] = p
+		st.cellW[f] = p
+	}
+	for i, f := range taskCells {
+		probs[i] = st.cellW[f]
 	}
 	return probs
+}
+
+// growInt32 re-slices *buf to length n, reallocating only when the arena
+// capacity is exceeded (first slots of a run, or a workload spike).
+func growInt32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n, n+n/2)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// solveCapCells solves the cap fixed point over the grouped weights: the
+// ascending order statistics of the per-task weight multiset are produced by
+// walking the persistent logW-sorted cell order and expanding each present
+// value by its task count. Equal values are interchangeable in an
+// order-statistics array, so the expansion is element-for-element the array
+// solveCapInto would sort, without any per-slot comparison sort.
+func solveCapCells(st *scnState, k int, tau float64) float64 {
+	// Repair the persistent ascending-by-logW cell order. Between calls the
+	// weight update moves only a handful of cells (and the decay is
+	// order-preserving: x < y ⟹ (1−ρ)x < (1−ρ)y for every sign), so the
+	// array is nearly sorted and this insertion pass degenerates to a
+	// verification scan; arbitrary external logW edits are also absorbed,
+	// just more slowly.
+	ord := st.order
+	for i := 1; i < len(ord); i++ {
+		f := ord[i]
+		lw := st.logW[f]
+		j := i
+		for j > 0 && st.logW[ord[j-1]] > lw {
+			ord[j] = ord[j-1]
+			j--
+		}
+		ord[j] = f
+	}
+	// The shifted weight exp(clamp(logW − maxLog)) is monotone
+	// non-decreasing in logW, so filtering the order to present cells
+	// yields the distinct values already ascending — no per-slot sort.
+	vals := st.capV[:0]
+	cnts := st.capN[:0]
+	for _, f := range st.order {
+		if st.cellCnt[f] > 0 {
+			vals = append(vals, st.cellW[f])
+			cnts = append(cnts, st.cellCnt[f])
+		}
+	}
+	st.capV, st.capN = vals, cnts
+	asc := growFloats(&st.sorted, k)
+	pos := 0
+	for i, v := range vals {
+		for x := 0; x < cnts[i]; x++ {
+			asc[pos] = v
+			pos++
+		}
+	}
+	return solveCapSorted(&st.suffix, asc, tau)
 }
 
 // growFloats re-slices *buf to length n, reallocating only when the arena
@@ -592,18 +719,6 @@ func growFloats(buf *[]float64, n int) []float64 {
 	return *buf
 }
 
-// cmpFloatDesc orders float64s descending (weights here are never NaN).
-func cmpFloatDesc(a, b float64) int {
-	switch {
-	case a > b:
-		return -1
-	case a < b:
-		return 1
-	default:
-		return 0
-	}
-}
-
 // solveCap finds ε with ε = τ·Σ_i min(w_i, ε) (the Exp3.M cap fixed point).
 // With the top-j weights capped, ε_j = τ·rest_j/(1−jτ); the valid j is the
 // one with w_(j) ≥ ε_j ≥ w_(j+1) in the descending order statistics.
@@ -614,39 +729,54 @@ func solveCap(w []float64, tau float64) float64 {
 
 // solveCapInto is solveCap with caller-owned scratch for the order
 // statistics and suffix sums (LFSC passes the SCN's arena).
+//
+// The order statistics are kept ascending and indexed from the back: the
+// specialized slices.Sort on a bare []float64 is several times faster than a
+// comparison-function sort, and weights are never NaN, so the descending
+// view asc[n-1-x] is exactly the old explicitly-descending array.
 func solveCapInto(sortedBuf, suffixBuf *[]float64, w []float64, tau float64) float64 {
-	sorted := append((*sortedBuf)[:0], w...)
-	*sortedBuf = sorted
-	slices.SortFunc(sorted, cmpFloatDesc)
-	// rest_j (the tail sum Σ_{i>j} w_(i)) is accumulated backward as a
-	// suffix sum: subtracting head weights from the total instead would
-	// cancel catastrophically when the tail is many orders of magnitude
-	// below the head (log-weights legitimately span e^±60 here).
-	suffix := growFloats(suffixBuf, len(sorted)+1)
-	suffix[len(sorted)] = 0
-	for i := len(sorted) - 1; i >= 0; i-- {
-		suffix[i] = suffix[i+1] + sorted[i]
+	asc := append((*sortedBuf)[:0], w...)
+	*sortedBuf = asc
+	slices.Sort(asc)
+	return solveCapSorted(suffixBuf, asc, tau)
+}
+
+// solveCapSorted runs the fixed-point search over ascending order
+// statistics (the tail of solveCapInto, shared with solveCapCells).
+func solveCapSorted(suffixBuf *[]float64, asc []float64, tau float64) float64 {
+	n := len(asc)
+	// rest_j (the tail sum Σ_{i>j} w_(j)) is accumulated smallest-first as a
+	// prefix sum over the ascending order: subtracting head weights from the
+	// total instead would cancel catastrophically when the tail is many
+	// orders of magnitude below the head (log-weights legitimately span
+	// e^±60 here). pre[i] = Σ of the i smallest weights, so the descending
+	// tail sum past rank j is pre[n-j] — added in the identical
+	// smallest-first order as the former backward suffix loop.
+	pre := growFloats(suffixBuf, n+1)
+	pre[0] = 0
+	for i := 0; i < n; i++ {
+		pre[i+1] = pre[i] + asc[i]
 	}
-	for j := 1; j <= len(sorted); j++ {
-		rest := suffix[j]
+	for j := 1; j <= n; j++ {
+		rest := pre[n-j]
 		denom := 1 - float64(j)*tau
 		if denom <= 0 {
 			break
 		}
 		eps := tau * rest / denom
 		lower := 0.0
-		if j < len(sorted) {
-			lower = sorted[j]
+		if j < n {
+			lower = asc[n-1-j]
 		}
 		// Validity window with relative tolerance.
-		if eps <= sorted[j-1]*(1+1e-12) && eps >= lower*(1-1e-12) {
+		if eps <= asc[n-j]*(1+1e-12) && eps >= lower*(1-1e-12) {
 			return eps
 		}
 	}
 	// Should be unreachable for K > c (existence is proven in the Exp3.M
 	// analysis); fall back to the identity cap (no weight modified) and
 	// rely on the final per-task clamp p ≤ 1.
-	return sorted[0]
+	return asc[n-1]
 }
 
 // defaultSlackPull is the default dual-update asymmetry (see
@@ -701,22 +831,17 @@ func (l *LFSC) observeSCN(view *policy.SlotView, fb *policy.Feedback, m int) {
 	if len(tasks) == 0 {
 		return
 	}
-	// Per-hypercube sums of the importance-weighted estimates and
-	// visible-task counts (Alg. 3 lines 2-8), accumulated in the arena's
-	// cell pools; touched lists the cells with at least one visible task.
-	for _, f := range st.touched {
+	// Per-hypercube sums of the importance-weighted estimates (Alg. 3
+	// lines 2-8), accumulated in the arena's cell pools. The per-cell
+	// visible-task census (cellCnt, cellList) was already taken by this
+	// slot's Decide — Observe reuses it instead of recounting, so the task
+	// loop only has to resolve executions.
+	for _, f := range st.cellList {
 		st.accG[f], st.accV[f], st.accQ[f] = 0, 0, 0
-		st.accN[f] = 0
 	}
-	st.touched = st.touched[:0]
 	var completed, consumed float64
-	for i, tv := range tasks {
-		f := tv.Cell
-		if st.accN[f] == 0 {
-			st.touched = append(st.touched, f)
-		}
-		st.accN[f]++
-		ei := l.execByTask[tv.Index]
+	for i := range tasks {
+		ei := l.execByTask[tasks[i].Index]
 		if ei < 0 {
 			continue // unchosen task: estimate contributes 0
 		}
@@ -728,6 +853,7 @@ func (l *LFSC) observeSCN(view *policy.SlotView, fb *policy.Feedback, m int) {
 		if p <= 0 {
 			continue // defensive: cannot importance-weight a 0-prob pick
 		}
+		f := int(st.taskCells[i])
 		st.accG[f] += e.Compound() / p
 		st.accV[f] += e.V / p
 		st.accQ[f] += e.Q / p
@@ -740,11 +866,11 @@ func (l *LFSC) observeSCN(view *policy.SlotView, fb *policy.Feedback, m int) {
 	if l.cfg.DisableLagrangian {
 		lam1, lam2 = 0, 0
 	}
-	for _, f := range st.touched {
+	for _, f := range st.cellList {
 		if st.capped[f] {
 			continue
 		}
-		n := float64(st.accN[f])
+		n := float64(st.cellCnt[f])
 		gHat := st.accG[f] / n
 		vHat := st.accV[f] / n
 		qHat := st.accQ[f] / n
@@ -758,6 +884,7 @@ func (l *LFSC) observeSCN(view *policy.SlotView, fb *policy.Feedback, m int) {
 		st.logW[f] += exp
 	}
 	if l.decay > 0 {
+		// Order-preserving for every sign of logW: x < y ⟹ (1−ρ)x < (1−ρ)y.
 		for f := range st.logW {
 			st.logW[f] *= 1 - l.decay
 		}

@@ -161,6 +161,14 @@ type Env struct {
 	mbsU  []float64
 	mbsQ  []float64
 	drift *rng.Stream
+	// Precomputed per-(m,f) consumption tables. qMean is static (Advance
+	// only mutates uMean), so the realisation support [qLo,qHi] and the
+	// closed-form E[1/Q] are computed once at construction instead of per
+	// draw — expectedInvQ in particular costs a log, and the Oracle queries
+	// it for every (task, SCN) pair of every slot.
+	qLo, qHi     [][]float64
+	invQ         [][]float64
+	mbsLo, mbsHi []float64
 }
 
 // New creates an environment whose means are drawn from stream r.
@@ -174,6 +182,28 @@ func New(cfg Config, r *rng.Stream) (*Env, error) {
 	e.qMean = drawMeans(cfg.SCNs, cfg.Cells, cfg.QRange, r.Derive(3))
 	e.mbsU = drawMeans(1, cfg.Cells, cfg.URange, r.Derive(4))[0]
 	e.mbsQ = drawMeans(1, cfg.Cells, cfg.QRange, r.Derive(5))[0]
+	e.qLo = make([][]float64, cfg.SCNs)
+	e.qHi = make([][]float64, cfg.SCNs)
+	e.invQ = make([][]float64, cfg.SCNs)
+	for m := 0; m < cfg.SCNs; m++ {
+		e.qLo[m] = make([]float64, cfg.Cells)
+		e.qHi[m] = make([]float64, cfg.Cells)
+		e.invQ[m] = make([]float64, cfg.Cells)
+		for f := 0; f < cfg.Cells; f++ {
+			lo, hi := e.qBounds(e.qMean[m][f])
+			e.qLo[m][f], e.qHi[m][f] = lo, hi
+			if hi-lo < 1e-12 {
+				e.invQ[m][f] = 1 / e.qMean[m][f]
+			} else {
+				e.invQ[m][f] = math.Log(hi/lo) / (hi - lo)
+			}
+		}
+	}
+	e.mbsLo = make([]float64, cfg.Cells)
+	e.mbsHi = make([]float64, cfg.Cells)
+	for f := 0; f < cfg.Cells; f++ {
+		e.mbsLo[f], e.mbsHi[f] = e.qBounds(e.mbsQ[f])
+	}
 	return e, nil
 }
 
@@ -245,14 +275,7 @@ func (e *Env) ExpectedCompoundWithLikelihood(m, f int, v float64) float64 {
 	return e.uMean[m][f] * stats.Clamp(v, 0, 1) * e.expectedInvQ(m, f)
 }
 
-func (e *Env) expectedInvQ(m, f int) float64 {
-	mean := e.qMean[m][f]
-	lo, hi := e.qBounds(mean)
-	if hi-lo < 1e-12 {
-		return 1 / mean
-	}
-	return math.Log(hi/lo) / (hi - lo)
-}
+func (e *Env) expectedInvQ(m, f int) float64 { return e.invQ[m][f] }
 
 // qBounds returns the support of the consumption realisation around mean,
 // clipped to the configured range and kept strictly positive.
@@ -282,7 +305,7 @@ func (e *Env) DrawWithLikelihood(m, f int, v float64, r *rng.Stream) Outcome {
 	if e.cfg.UNoise == 0 {
 		u = e.uMean[m][f]
 	}
-	lo, hi := e.qBounds(e.qMean[m][f])
+	lo, hi := e.qLo[m][f], e.qHi[m][f]
 	q := lo
 	if hi > lo {
 		q = r.Uniform(lo, hi)
@@ -305,7 +328,7 @@ func (e *Env) DrawMBS(f int, likelihood, penalty float64, r *rng.Stream) Outcome
 		u = e.mbsU[f]
 	}
 	u *= stats.Clamp(penalty, 0, 1)
-	lo, hi := e.qBounds(e.mbsQ[f])
+	lo, hi := e.mbsLo[f], e.mbsHi[f]
 	q := lo
 	if hi > lo {
 		q = r.Uniform(lo, hi)

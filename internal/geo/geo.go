@@ -167,6 +167,31 @@ func Coverage(scns []Point, wds []Point, radius float64) [][]int {
 	return out
 }
 
+// CoverageInto is the pooled form of Coverage: it fills dst (one row per
+// SCN, rows re-sliced to length zero and grown to their high-water mark) and
+// returns it. dst must have len(scns) rows; rows may be nil on first use.
+func CoverageInto(dst [][]int, scns []Point, wds []Point, radius float64) [][]int {
+	r2 := radius * radius
+	for m, s := range scns {
+		covered := dst[m][:0]
+		for i, w := range wds {
+			dx := s.X - w.X
+			if dx < -radius || dx > radius {
+				continue
+			}
+			dy := s.Y - w.Y
+			if dy < -radius || dy > radius {
+				continue
+			}
+			if dx*dx+dy*dy <= r2 {
+				covered = append(covered, i)
+			}
+		}
+		dst[m] = covered
+	}
+	return dst
+}
+
 // CoverageCounts returns |D_{m,t}| per SCN for a coverage relation.
 func CoverageCounts(cov [][]int) []int {
 	counts := make([]int, len(cov))

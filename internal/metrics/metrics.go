@@ -68,6 +68,15 @@ func (s *Series) Record(t int, reward, v1, v2 float64, assigned, completed int) 
 	s.Completed[t] = float64(completed)
 }
 
+// EnableMBS preallocates the macrocell fallback series so the recording loop
+// stays allocation-free. Idempotent; RecordMBS still allocates lazily for
+// callers that skip it.
+func (s *Series) EnableMBS() {
+	if s.MBSReward == nil {
+		s.MBSReward = make([]float64, len(s.Reward))
+	}
+}
+
 // RecordMBS stores the macrocell fallback reward of slot t, allocating the
 // series on first use.
 func (s *Series) RecordMBS(t int, reward float64) {

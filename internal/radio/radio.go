@@ -184,3 +184,53 @@ func (ch *Channel) CompletionLikelihood(d, dataMbit, slotSeconds float64) float6
 	}
 	return avail * margin
 }
+
+// LikelihoodTable is a precomputed CompletionLikelihood curve for one
+// (data volume, slot length) pair, sampled uniformly over [0, maxD] and
+// evaluated by linear interpolation. CompletionLikelihood costs an exp, two
+// log10s and a pow per call; per-slot link sampling over every covered WD
+// turns that into the dominant cost of the mobility scenario, while the
+// curve itself is static. The table is read-only after construction and
+// safe for concurrent use.
+type LikelihoodTable struct {
+	maxD    float64
+	invStep float64
+	vals    []float64
+}
+
+// LikelihoodTable precomputes V(d) on [0, maxD] with the given sample count
+// (minimum 2; 256 is plenty for the curve's curvature — interpolation error
+// is far below the model's own fidelity). Distances beyond maxD clamp to the
+// last sample, matching the curve's monotone tail.
+func (ch *Channel) LikelihoodTable(maxD, dataMbit, slotSeconds float64, samples int) *LikelihoodTable {
+	if samples < 2 {
+		samples = 2
+	}
+	if maxD <= 0 {
+		maxD = ch.cfg.RangeM
+	}
+	t := &LikelihoodTable{
+		maxD:    maxD,
+		invStep: float64(samples-1) / maxD,
+		vals:    make([]float64, samples),
+	}
+	for i := range t.vals {
+		d := maxD * float64(i) / float64(samples-1)
+		t.vals[i] = ch.CompletionLikelihood(d, dataMbit, slotSeconds)
+	}
+	return t
+}
+
+// At returns the interpolated likelihood at distance d meters.
+func (t *LikelihoodTable) At(d float64) float64 {
+	if d <= 0 {
+		return t.vals[0]
+	}
+	if d >= t.maxD {
+		return t.vals[len(t.vals)-1]
+	}
+	x := d * t.invStep
+	i := int(x)
+	frac := x - float64(i)
+	return t.vals[i] + frac*(t.vals[i+1]-t.vals[i])
+}

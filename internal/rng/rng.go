@@ -47,14 +47,20 @@ func New(seed uint64) *Stream {
 // NewSeq returns a stream with an explicit sequence selector. Streams with
 // different sequence selectors are independent even for equal seeds.
 func NewSeq(seed, seq uint64) *Stream {
-	s := &Stream{inc: (seq << 1) | 1}
+	s := &Stream{}
+	s.init(seed, seq)
+	return s
+}
+
+// init seeds s in place; it is the allocation-free core of NewSeq.
+func (s *Stream) init(seed, seq uint64) {
+	s.inc = (seq << 1) | 1
 	s.state = 0
 	s.Uint32()
 	mixed := seed
 	s.state += splitMix64(&mixed)
 	s.Uint32()
 	s.root = seed ^ (seq * 0x9e3779b97f4a7c15)
-	return s
 }
 
 // Derive deterministically derives an independent child stream. The label
@@ -65,10 +71,20 @@ func NewSeq(seed, seq uint64) *Stream {
 // Derive does not advance the parent stream, making stream layout
 // independent of call order.
 func (s *Stream) Derive(label uint64) *Stream {
+	d := &Stream{}
+	s.DeriveInto(label, d)
+	return d
+}
+
+// DeriveInto is Derive without the heap allocation: it overwrites dst with
+// the state of the child stream for label, producing a stream bit-identical
+// to Derive(label). Hot loops keep a stack-allocated Stream value and call
+// DeriveInto per slot/task instead of allocating a fresh child each time.
+func (s *Stream) DeriveInto(label uint64, dst *Stream) {
 	st := s.root ^ (0x9e3779b97f4a7c15 * (label + 1))
 	sq := (s.inc >> 1) ^ (0xd1342543de82ef95 * (label + 0x632be59bd9b4e019))
 	// One extra mixing round each so that close labels map to distant states.
-	return NewSeq(splitMix64(&st), splitMix64(&sq))
+	dst.init(splitMix64(&st), splitMix64(&sq))
 }
 
 // Uint32 returns the next 32 uniformly distributed bits.

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"lfsc/internal/core"
+)
+
+// TestRunSteadyStateAllocs pins the full-loop allocation budget: the
+// per-slot cost of Run (generation + view building + Decide + environment
+// + Observe + metrics) beyond one-time setup. The seed of this repo spent
+// ~2878 allocs/slot; the pooled workload arena and the scratch-buffer
+// runtime bring the steady state down to single digits (metrics growth and
+// occasional arena high-water bumps). The bound is deliberately loose —
+// it exists to catch a reintroduced per-task allocation (which would cost
+// thousands per slot), not to freeze the exact figure.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale horizons")
+	}
+	run := func(T int) float64 {
+		sc := PaperScenario()
+		sc.Cfg.T = T
+		return testing.AllocsPerRun(1, func() {
+			if _, err := Run(sc, LFSCFactory(func(c *core.Config) { c.Workers = 1 }), 42); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	const tShort, tLong = 100, 500
+	short := run(tShort)
+	long := run(tLong)
+	// Differencing the two horizons cancels the one-time setup allocations
+	// (policy construction, arenas, series backing arrays).
+	perSlot := (long - short) / float64(tLong-tShort)
+	if perSlot > 64 {
+		t.Fatalf("steady-state allocations: %.1f/slot (T=%d: %.0f, T=%d: %.0f), want ≤ 64",
+			perSlot, tShort, short, tLong, long)
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkRunLFSC measures the full simulation loop (generation + view
+// building + Decide + execution + Observe) at paper scale; b.N counts slots.
+func BenchmarkRunLFSC(b *testing.B) {
+	sc := PaperScenario()
+	sc.Cfg.T = b.N
+	if sc.Cfg.T < 10 {
+		sc.Cfg.T = 10
+	}
+	b.ResetTimer()
+	if _, err := Run(sc, LFSCFactory(nil), 42); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRunAllStandard measures the five-policy comparison with the
+// shared-trace replay path RunAll installs automatically.
+func BenchmarkRunAllStandard(b *testing.B) {
+	sc := PaperScenario()
+	sc.Cfg.T = b.N
+	if sc.Cfg.T < 10 {
+		sc.Cfg.T = 10
+	}
+	b.ResetTimer()
+	if _, err := RunAll(sc, StandardFactories(), 42, 1); err != nil {
+		b.Fatal(err)
+	}
+}

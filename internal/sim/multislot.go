@@ -121,7 +121,11 @@ func (ms *msTracker) process(tk *task.Task, m int, out env.Outcome) msResult {
 		return msResult{reward: out.Compound(), fbU: out.U, completedFinal: true}
 	}
 	if st == nil {
-		st = &msState{tk: tk, touched: true}
+		// Copy the task into tracker-owned memory: with pooled generation
+		// the slot's task structs live in the generator's arena and are
+		// overwritten next slot, but this state must survive across slots.
+		cp := *tk
+		st = &msState{tk: &cp, touched: true}
 		ms.inflight[tk.ID] = st
 	}
 	st.stage = stage

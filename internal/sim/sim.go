@@ -129,6 +129,40 @@ type Scenario struct {
 	// EnvCfg is the environment configuration; Cells is overwritten with
 	// the partition size and SCNs with the generator's SCN count.
 	EnvCfg env.Config
+	// Shared optionally replays a pre-materialized workload trace instead
+	// of regenerating it per run. Run uses it only when its seed matches
+	// the run's seed (the trace is a pure function of (scenario, seed), so
+	// a mismatched seed silently falls back to live generation, which is
+	// bit-identical anyway). RunAll installs one automatically.
+	Shared *SharedTrace
+}
+
+// SharedTrace binds a materialized workload trace (trace.SharedTrace) to
+// the seed it was generated from, so runs can tell whether replaying it
+// reproduces their own generation pass.
+type SharedTrace struct {
+	// Seed is the master seed the trace was derived from.
+	Seed uint64
+	tr   *trace.SharedTrace
+}
+
+// NewSharedTrace materializes the scenario's workload at the given seed for
+// `readers` replay passes (one per policy run that will consume it). The
+// generator is built from the same derived stream Run would use, so replayed
+// slots are bit-identical to live generation.
+func NewSharedTrace(sc *Scenario, seed uint64, readers int) (*SharedTrace, error) {
+	if err := sc.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := sc.NewGenerator(rng.New(seed).Derive(1))
+	if err != nil {
+		return nil, fmt.Errorf("sim: generator: %w", err)
+	}
+	tr, err := trace.NewSharedTrace(gen, sc.Cfg.T, trace.SharedTraceConfig{Readers: readers})
+	if err != nil {
+		return nil, err
+	}
+	return &SharedTrace{Seed: seed, tr: tr}, nil
 }
 
 // PaperScenario returns the full evaluation setup of Sec. 5: 30 SCNs,
@@ -246,9 +280,25 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 		return nil, err
 	}
 	master := rng.New(seed)
-	gen, err := sc.NewGenerator(master.Derive(1))
-	if err != nil {
-		return nil, fmt.Errorf("sim: generator: %w", err)
+	// Workload source: replay the shared trace when one is installed for
+	// this seed (skipping master.Derive(1) is safe — Derive does not advance
+	// the parent, so the other streams are unaffected), otherwise generate
+	// live. Both paths produce bit-identical slots.
+	var gen trace.Generator
+	var reader *trace.TraceReader
+	if sc.Shared != nil && sc.Shared.Seed == seed && sc.Shared.tr.Horizon() >= sc.Cfg.T {
+		if r, rerr := sc.Shared.tr.NewReader(); rerr == nil {
+			reader = r
+			gen = r
+			defer reader.Close()
+		}
+	}
+	if gen == nil {
+		var err error
+		gen, err = sc.NewGenerator(master.Derive(1))
+		if err != nil {
+			return nil, fmt.Errorf("sim: generator: %w", err)
+		}
 	}
 	envCfg := sc.EnvCfg
 	envCfg.Cells = part.Cells()
@@ -278,9 +328,26 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 	fb := &policy.Feedback{}
 	completed := make([]float64, numSCNs)
 	consumed := make([]float64, numSCNs)
+	if sc.Cfg.MBS != nil {
+		series.EnableMBS()
+	}
+	// Pooled generation and stack-derived RNG streams: the slot buffer is
+	// refilled in place when the generator supports it, and the per-slot /
+	// per-task streams are derived into stack values instead of allocating
+	// a child stream per draw. Draw consumption is identical either way.
+	into, pooled := gen.(trace.IntoGenerator)
+	var slotBuf trace.Slot
+	var slotReal rng.Stream
+	var taskReal rng.Stream
 	for t := 0; t < sc.Cfg.T; t++ {
 		e.Advance(t)
-		slot := gen.Next(t)
+		var slot *trace.Slot
+		if pooled {
+			into.NextInto(t, &slotBuf)
+			slot = &slotBuf
+		} else {
+			slot = gen.Next(t)
+		}
 		if ms != nil {
 			slot = ms.inject(slot)
 		}
@@ -295,7 +362,7 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 				t, pol.Name(), len(assigned), view.NumTasks)
 		}
 		// Execute against ground truth with common random numbers.
-		slotReal := realRoot.Derive(uint64(t))
+		realRoot.DeriveInto(uint64(t), &slotReal)
 		fb.Execs = fb.Execs[:0]
 		reward := 0.0
 		for m := 0; m < numSCNs; m++ {
@@ -307,7 +374,8 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 				continue
 			}
 			cell := cells[taskIdx]
-			out := e.Draw(m, cell, slotReal.Derive(uint64(m)<<32|uint64(taskIdx)))
+			slotReal.DeriveInto(uint64(m)<<32|uint64(taskIdx), &taskReal)
+			out := e.Draw(m, cell, &taskReal)
 			fbU := out.U
 			tk := slot.Tasks[taskIdx]
 			totalAssigned++
@@ -346,7 +414,7 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 		}
 		series.Record(t, reward, v1, v2, totalAssigned, totalCompleted)
 		if sc.Cfg.MBS != nil {
-			series.RecordMBS(t, runMBSFallback(sc.Cfg.MBS, slot, assigned, cells, e, slotReal, ms != nil))
+			series.RecordMBS(t, runMBSFallback(sc.Cfg.MBS, slot, assigned, cells, e, &slotReal, ms != nil))
 		}
 		pol.Observe(view, assigned, fb)
 	}
@@ -367,6 +435,7 @@ func runMBSFallback(cfg *MBSConfig, slot *trace.Slot, assigned, cells []int,
 	const mbsLabel = uint64(1) << 62
 	reward := 0.0
 	used := 0
+	var taskReal rng.Stream
 	for taskIdx, m := range assigned {
 		if m != -1 {
 			continue
@@ -382,8 +451,8 @@ func runMBSFallback(cfg *MBSConfig, slot *trace.Slot, assigned, cells []int,
 		if slot.Tasks[taskIdx].LatencySensitive {
 			penalty = cfg.penalty()
 		}
-		out := e.DrawMBS(cells[taskIdx], cfg.likelihood(), penalty,
-			slotReal.Derive(mbsLabel|uint64(taskIdx)))
+		slotReal.DeriveInto(mbsLabel|uint64(taskIdx), &taskReal)
+		out := e.DrawMBS(cells[taskIdx], cfg.likelihood(), penalty, &taskReal)
 		reward += out.Compound()
 	}
 	return reward
@@ -437,9 +506,13 @@ func (s *slotScratch) buildView(t int, slot *trace.Slot, part *hypercube.Partiti
 		s.taskBufs = append(s.taskBufs, nil)
 	}
 	for m, cov := range slot.Coverage {
-		buf := s.taskBufs[m][:0]
-		for _, idx := range cov {
-			buf = append(buf, policy.TaskView{Index: idx, Cell: s.cells[idx], Ctx: s.ctxs[idx]})
+		buf := s.taskBufs[m]
+		if cap(buf) < len(cov) {
+			buf = make([]policy.TaskView, len(cov), len(cov)+len(cov)/2)
+		}
+		buf = buf[:len(cov)]
+		for j, idx := range cov {
+			buf[j] = policy.TaskView{Index: idx, Cell: s.cells[idx], Ctx: s.ctxs[idx]}
 		}
 		s.taskBufs[m] = buf
 		s.view.SCNs[m].Tasks = buf
@@ -450,10 +523,21 @@ func (s *slotScratch) buildView(t int, slot *trace.Slot, part *hypercube.Partiti
 }
 
 // RunAll simulates several policies on the identical scenario and seed.
-// Policies run in parallel — each run rebuilds its own generator,
-// environment and RNG streams from the shared seed, so results are
-// independent of scheduling.
+// Policies run in parallel — each run rebuilds its own environment and RNG
+// streams from the shared seed, so results are independent of scheduling.
+// The workload itself is materialized once into a SharedTrace (unless the
+// scenario already carries one) and replayed read-only by every run: common
+// random numbers with a single generation pass instead of one per policy.
 func RunAll(sc *Scenario, factories []Factory, seed uint64, workers int) ([]*metrics.Series, error) {
+	if sc.Shared == nil && len(factories) > 1 {
+		if shared, err := NewSharedTrace(sc, seed, len(factories)); err == nil {
+			cp := *sc
+			cp.Shared = shared
+			sc = &cp
+		}
+		// On error fall through to per-run generation: Run reports any
+		// real scenario problem with full context.
+	}
 	out := make([]*metrics.Series, len(factories))
 	errs := make([]error, len(factories))
 	parallel.For(len(factories), workers, func(i int) {
@@ -468,7 +552,10 @@ func RunAll(sc *Scenario, factories []Factory, seed uint64, workers int) ([]*met
 }
 
 // RunReplicas simulates one policy across independent seeds in parallel
-// and returns the per-seed series.
+// and returns the per-seed series. A Scenario.Shared trace is honoured only
+// by the replica whose seed matches it — common random numbers deduplicate
+// generation across policies, not across seeds, so the other replicas
+// generate their workload live.
 func RunReplicas(sc *Scenario, factory Factory, seeds []uint64, workers int) ([]*metrics.Series, error) {
 	out := make([]*metrics.Series, len(seeds))
 	errs := make([]error, len(seeds))

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"testing"
+
+	"lfsc/internal/geo"
+	"lfsc/internal/rng"
+)
+
+// The pooled NextInto path must be allocation-free in steady state: after
+// the arena has grown to the workload's high-water mark, generating a slot
+// touches only generator-owned memory. These tests pin that contract for
+// every in-tree generator so a stray append or boxing conversion in the
+// per-slot path shows up as a test failure rather than as a silent
+// regression of BENCH_core.json's allocs/slot figure.
+
+func assertAllocFree(t *testing.T, name string, warmup int, next func(t int)) {
+	t.Helper()
+	for i := 0; i < warmup; i++ {
+		next(i)
+	}
+	slot := warmup
+	avg := testing.AllocsPerRun(100, func() {
+		next(slot)
+		slot++
+	})
+	if avg != 0 {
+		t.Errorf("%s: NextInto allocates %.1f objects/slot in steady state, want 0", name, avg)
+	}
+}
+
+func TestSyntheticNextIntoAllocFree(t *testing.T) {
+	g, err := NewSynthetic(DefaultSyntheticConfig(), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Slot
+	assertAllocFree(t, "synthetic", 8, func(tt int) { g.NextInto(tt, &s) })
+}
+
+func TestStressNextIntoAllocFree(t *testing.T) {
+	for _, kind := range []StressKind{Diurnal, Hotspot, FlashCrowd} {
+		g, err := NewStress(StressConfig{Base: DefaultSyntheticConfig(), Kind: kind, PeriodSlots: 40}, rng.New(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s Slot
+		// Warm across a full stress period so burst/hotspot peaks have
+		// already forced the arena to its high-water mark.
+		assertAllocFree(t, "stress/"+kind.String(), 50, func(tt int) { g.NextInto(tt, &s) })
+	}
+}
+
+func TestGeoNextIntoAllocFree(t *testing.T) {
+	area := geo.Area{W: 600, H: 600}
+	g, err := NewGeo(GeoConfig{
+		Area:         area,
+		SCNPositions: geo.PlaceGrid(area, 9),
+		RadiusM:      180,
+		WDs:          300,
+		TaskProb:     0.5,
+		MinSpeed:     1,
+		MaxSpeed:     10,
+		MaxPause:     3,
+	}, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Slot
+	assertAllocFree(t, "geo", 20, func(tt int) { g.NextInto(tt, &s) })
+}

@@ -98,7 +98,9 @@ type Stress struct {
 	cfg       StressConfig
 	r         *rng.Stream
 	inner     *Synthetic
-	burstFrom int // next flash-crowd start
+	burstFrom int   // next flash-crowd start
+	counts    []int // per-SCN target counts, reused across slots
+	arena     *slotArena
 }
 
 // NewStress builds the generator.
@@ -110,7 +112,11 @@ func NewStress(cfg StressConfig, r *rng.Stream) (*Stress, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Stress{cfg: cfg, r: r.Derive(2), inner: inner}
+	s := &Stress{
+		cfg: cfg, r: r.Derive(2), inner: inner,
+		counts: make([]int, cfg.Base.SCNs),
+		arena:  newSlotArena(cfg.Base.SCNs*cfg.Base.MaxTasks, cfg.Base.SCNs),
+	}
 	s.burstFrom = s.cfg.period() + s.r.Intn(s.cfg.period())
 	return s, nil
 }
@@ -123,27 +129,48 @@ func (s *Stress) MaxPerSCN() int { return s.inner.MaxPerSCN() }
 
 // Next implements Generator.
 func (s *Stress) Next(t int) *Slot {
-	switch s.cfg.Kind {
-	case Diurnal:
-		return s.diurnal(t)
-	case Hotspot:
-		return s.hotspot(t)
-	case FlashCrowd:
-		return s.flashCrowd(t)
-	default:
-		return s.inner.Next(t)
+	if s.cfg.Kind == Diurnal || s.cfg.Kind == Hotspot || s.cfg.Kind == FlashCrowd {
+		out := &Slot{Coverage: make([][]int, s.cfg.Base.SCNs)}
+		s.genInto(t, out, false)
+		return out
 	}
+	return s.inner.Next(t)
 }
 
-// generate builds one slot with per-SCN target counts and an optional
-// context override.
-func (s *Stress) generate(counts []int, narrow bool) *Slot {
-	out := &Slot{Coverage: make([][]int, s.cfg.Base.SCNs)}
+// NextInto implements IntoGenerator: identical draws and slot content as
+// Next, backed by the generator's arena (valid until the next NextInto).
+func (s *Stress) NextInto(t int, out *Slot) {
+	if s.cfg.Kind == Diurnal || s.cfg.Kind == Hotspot || s.cfg.Kind == FlashCrowd {
+		s.arena.begin(out)
+		s.genInto(t, out, true)
+		return
+	}
+	s.inner.NextInto(t, out)
+}
+
+// genInto computes the per-SCN target counts for slot t and generates the
+// slot; pooled selects arena-backed versus freshly allocated tasks.
+func (s *Stress) genInto(t int, out *Slot, pooled bool) {
+	var narrow bool
+	switch s.cfg.Kind {
+	case Diurnal:
+		s.diurnalCounts(t)
+	case Hotspot:
+		s.hotspotCounts(t)
+	case FlashCrowd:
+		narrow = s.flashCrowdCounts(t)
+	}
 	for m := 0; m < s.cfg.Base.SCNs; m++ {
-		n := counts[m]
+		n := s.counts[m]
 		for k := 0; k < n; k++ {
 			idx := len(out.Tasks)
-			tk := s.inner.newTask()
+			var tk *task.Task
+			if pooled {
+				tk = s.arena.nextTask()
+			} else {
+				tk = &task.Task{}
+			}
+			s.inner.fillTask(tk)
 			if narrow {
 				// Flash crowd: everyone requests near-identical work.
 				tk.InputMbit = task.MinInputMbit + 0.1*(task.MaxInputMbit-task.MinInputMbit)*s.r.Float64()
@@ -158,51 +185,65 @@ func (s *Stress) generate(counts []int, narrow bool) *Slot {
 			}
 		}
 	}
-	return out
 }
 
-func (s *Stress) diurnal(t int) *Slot {
-	counts := make([]int, s.cfg.Base.SCNs)
+func (s *Stress) diurnalCounts(t int) {
 	period := float64(s.cfg.period())
-	for m := range counts {
+	for m := range s.counts {
 		// Phase-shifted sinusoid per SCN: cells peak at different times.
-		phase := 2 * math.Pi * (float64(t)/period + float64(m)/float64(len(counts)))
+		phase := 2 * math.Pi * (float64(t)/period + float64(m)/float64(len(s.counts)))
 		level := 0.5 + 0.5*math.Sin(phase)
 		lo, hi := s.cfg.Base.MinTasks, s.cfg.Base.MaxTasks
-		counts[m] = lo + int(level*float64(hi-lo))
+		s.counts[m] = lo + int(level*float64(hi-lo))
 	}
-	return s.generate(counts, false)
 }
 
-func (s *Stress) hotspot(t int) *Slot {
-	counts := make([]int, s.cfg.Base.SCNs)
+func (s *Stress) hotspotCounts(t int) {
 	rotation := (t / s.cfg.period()) % s.cfg.Base.SCNs
 	hot := int(math.Ceil(s.cfg.hotFraction() * float64(s.cfg.Base.SCNs)))
-	for m := range counts {
+	for m := range s.counts {
 		// The hot window [rotation, rotation+hot) wraps around the ring.
 		d := (m - rotation + s.cfg.Base.SCNs) % s.cfg.Base.SCNs
 		if d < hot {
-			counts[m] = s.cfg.Base.MaxTasks
+			s.counts[m] = s.cfg.Base.MaxTasks
 		} else {
-			counts[m] = s.cfg.Base.MinTasks
+			s.counts[m] = s.cfg.Base.MinTasks
 		}
 	}
-	return s.generate(counts, false)
 }
 
-func (s *Stress) flashCrowd(t int) *Slot {
-	inBurst := t >= s.burstFrom && t < s.burstFrom+s.cfg.burst()
+func (s *Stress) flashCrowdCounts(t int) (inBurst bool) {
+	inBurst = t >= s.burstFrom && t < s.burstFrom+s.cfg.burst()
 	if t >= s.burstFrom+s.cfg.burst() {
 		s.burstFrom = t + s.cfg.period()/2 + s.r.Intn(s.cfg.period())
 	}
-	counts := make([]int, s.cfg.Base.SCNs)
-	for m := range counts {
+	for m := range s.counts {
 		if inBurst {
-			counts[m] = s.cfg.Base.MaxTasks
+			s.counts[m] = s.cfg.Base.MaxTasks
 		} else {
-			counts[m] = s.cfg.Base.MinTasks +
+			s.counts[m] = s.cfg.Base.MinTasks +
 				s.r.Intn(s.cfg.Base.MaxTasks-s.cfg.Base.MinTasks+1)
 		}
 	}
-	return s.generate(counts, inBurst)
+	return inBurst
+}
+
+// stressState is the Snapshot payload of Stress.
+type stressState struct {
+	r         rng.Stream
+	burstFrom int
+	inner     GenState
+}
+
+// SnapshotState implements Snapshottable.
+func (s *Stress) SnapshotState() GenState {
+	return stressState{r: *s.r, burstFrom: s.burstFrom, inner: s.inner.SnapshotState()}
+}
+
+// RestoreState implements Snapshottable.
+func (s *Stress) RestoreState(st GenState) {
+	v := st.(stressState)
+	*s.r = v.r
+	s.burstFrom = v.burstFrom
+	s.inner.RestoreState(v.inner)
 }

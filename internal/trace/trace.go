@@ -124,14 +124,17 @@ type Synthetic struct {
 	cfg    SyntheticConfig
 	r      *rng.Stream
 	nextID int64
+	arena  *slotArena
 }
 
-// NewSynthetic constructs the generator; draws come from stream r.
+// NewSynthetic constructs the generator; draws come from stream r. The
+// pooled-slot arena (see NextInto) is sized once here from the worst-case
+// slot SCNs×MaxTasks.
 func NewSynthetic(cfg SyntheticConfig, r *rng.Stream) (*Synthetic, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Synthetic{cfg: cfg, r: r}, nil
+	return &Synthetic{cfg: cfg, r: r, arena: newSlotArena(cfg.SCNs*cfg.MaxTasks, cfg.SCNs)}, nil
 }
 
 // SCNs implements Generator.
@@ -154,11 +157,30 @@ func (g *Synthetic) MaxPerSCN() int {
 // adjacent, overlapping cells. Counts stay within [MinTasks, MaxTasks(1+ov)].
 func (g *Synthetic) Next(t int) *Slot {
 	s := &Slot{Coverage: make([][]int, g.cfg.SCNs)}
+	g.genInto(s, false)
+	return s
+}
+
+// NextInto implements IntoGenerator: identical draws and slot content as
+// Next, but every task and coverage row lives in the generator's arena. The
+// slot is valid until the next NextInto call.
+func (g *Synthetic) NextInto(t int, s *Slot) {
+	g.arena.begin(s)
+	g.genInto(s, true)
+}
+
+// genInto is the single generation path behind Next and NextInto; pooled
+// selects arena-backed versus freshly allocated tasks. The RNG consumption
+// is identical either way, which is what keeps pooled and allocating runs
+// bit-identical.
+func (g *Synthetic) genInto(s *Slot, pooled bool) {
 	for m := 0; m < g.cfg.SCNs; m++ {
 		n := g.r.IntRange(g.cfg.MinTasks, g.cfg.MaxTasks)
 		for k := 0; k < n; k++ {
 			idx := len(s.Tasks)
-			s.Tasks = append(s.Tasks, g.newTask())
+			tk := g.allocTask(pooled)
+			g.fillTask(tk)
+			s.Tasks = append(s.Tasks, tk)
 			s.Coverage[m] = append(s.Coverage[m], idx)
 			if g.cfg.SCNs > 1 && g.r.Bernoulli(g.cfg.Overlap) {
 				peer := (m + 1) % g.cfg.SCNs
@@ -166,17 +188,23 @@ func (g *Synthetic) Next(t int) *Slot {
 			}
 		}
 	}
-	return s
 }
 
-func (g *Synthetic) newTask() *task.Task {
-	g.nextID++
-	tk := &task.Task{
-		ID:               g.nextID,
-		WD:               int(g.nextID), // synthetic mode: one WD per task
-		LatencySensitive: g.r.Bernoulli(g.cfg.LatencySensitiveFrac),
-		Resource:         task.ResourceKind(g.r.Intn(task.NumResourceKinds)),
+func (g *Synthetic) allocTask(pooled bool) *task.Task {
+	if pooled {
+		return g.arena.nextTask()
 	}
+	return &task.Task{}
+}
+
+// fillTask populates a zeroed task, drawing its attributes in the model's
+// canonical order (latency class, resource kind, duration, sizes).
+func (g *Synthetic) fillTask(tk *task.Task) {
+	g.nextID++
+	tk.ID = g.nextID
+	tk.WD = int(g.nextID) // synthetic mode: one WD per task
+	tk.LatencySensitive = g.r.Bernoulli(g.cfg.LatencySensitiveFrac)
+	tk.Resource = task.ResourceKind(g.r.Intn(task.NumResourceKinds))
 	if g.cfg.MultiSlotFrac > 0 && g.r.Bernoulli(g.cfg.MultiSlotFrac) {
 		maxD := g.cfg.MaxDuration
 		if maxD < 2 {
@@ -191,7 +219,24 @@ func (g *Synthetic) newTask() *task.Task {
 		tk.InputMbit = g.r.Uniform(task.MinInputMbit, task.MaxInputMbit)
 		tk.OutputMbit = g.r.Uniform(task.MinOutputMbit, task.MaxOutputMbit)
 	}
-	return tk
+}
+
+// syntheticState is the Snapshot payload of Synthetic.
+type syntheticState struct {
+	r      rng.Stream
+	nextID int64
+}
+
+// SnapshotState implements Snapshottable.
+func (g *Synthetic) SnapshotState() GenState {
+	return syntheticState{r: *g.r, nextID: g.nextID}
+}
+
+// RestoreState implements Snapshottable.
+func (g *Synthetic) RestoreState(st GenState) {
+	s := st.(syntheticState)
+	*g.r = s.r
+	g.nextID = s.nextID
 }
 
 func clampf(v, lo, hi float64) float64 {
@@ -252,10 +297,17 @@ type Geo struct {
 	wds    []*geo.Waypoint
 	nextID int64
 	// LastPositions exposes WD positions of the most recent slot so callers
-	// (e.g. a radio-model likelihood hook) can compute distances.
+	// (e.g. a radio-model likelihood hook) can compute distances. After a
+	// NextInto call they alias the generator's arena and are overwritten by
+	// the following slot; after Next they are freshly allocated.
 	LastPositions []geo.Point
-	// LastWDs maps slot-task index to WD index.
+	// LastWDs maps slot-task index to WD index (same aliasing rules).
 	LastWDs []int
+	// pooled-slot arena (see NextInto): tasks plus the per-slot position and
+	// WD-index buffers, sized by the worst case of every WD submitting.
+	arena  *slotArena
+	posBuf []geo.Point
+	wdBuf  []int
 }
 
 // NewGeo constructs the generator.
@@ -263,7 +315,13 @@ func NewGeo(cfg GeoConfig, r *rng.Stream) (*Geo, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	g := &Geo{cfg: cfg, r: r}
+	g := &Geo{
+		cfg:    cfg,
+		r:      r,
+		arena:  newSlotArena(cfg.WDs, len(cfg.SCNPositions)),
+		posBuf: make([]geo.Point, 0, cfg.WDs),
+		wdBuf:  make([]int, 0, cfg.WDs),
+	}
 	mob := r.Derive(100)
 	for i := 0; i < cfg.WDs; i++ {
 		g.wds = append(g.wds, geo.NewWaypoint(cfg.Area, cfg.MinSpeed, cfg.MaxSpeed, cfg.MaxPause, mob.Derive(uint64(i))))
@@ -284,34 +342,91 @@ func (g *Geo) SCNPositions() []geo.Point { return g.cfg.SCNPositions }
 // Next implements Generator: move devices, draw submissions, compute
 // geometric coverage.
 func (g *Geo) Next(t int) *Slot {
-	mob := g.r.Derive(uint64(200 + t))
-	for _, w := range g.wds {
-		w.Step(g.cfg.Area, mob)
-	}
 	s := &Slot{Coverage: make([][]int, g.SCNs())}
+	g.genInto(t, s, false)
+	return s
+}
+
+// NextInto implements IntoGenerator: identical draws and slot content as
+// Next, backed by the generator's arena (tasks, coverage rows, position and
+// WD-index buffers). The slot — and LastPositions/LastWDs — stay valid until
+// the next NextInto call.
+func (g *Geo) NextInto(t int, s *Slot) {
+	g.arena.begin(s)
+	g.genInto(t, s, true)
+}
+
+// genInto is the single generation path behind Next and NextInto. The RNG
+// consumption is identical either way: the per-slot mobility stream is
+// derived by label (Derive does not advance g.r), then submissions and task
+// attributes are drawn from g.r in the model's canonical order.
+func (g *Geo) genInto(t int, s *Slot, pooled bool) {
+	var mob rng.Stream
+	g.r.DeriveInto(uint64(200+t), &mob)
+	for _, w := range g.wds {
+		w.Step(g.cfg.Area, &mob)
+	}
 	var positions []geo.Point
 	var wdIdx []int
+	if pooled {
+		positions = g.posBuf[:0]
+		wdIdx = g.wdBuf[:0]
+	}
 	for i, w := range g.wds {
 		if !g.r.Bernoulli(g.cfg.TaskProb) {
 			continue
 		}
 		g.nextID++
-		s.Tasks = append(s.Tasks, &task.Task{
-			ID:               g.nextID,
-			WD:               i,
-			InputMbit:        g.r.Uniform(task.MinInputMbit, task.MaxInputMbit),
-			OutputMbit:       g.r.Uniform(task.MinOutputMbit, task.MaxOutputMbit),
-			LatencySensitive: g.r.Bernoulli(g.cfg.LatencySensitiveFrac),
-			Resource:         task.ResourceKind(g.r.Intn(task.NumResourceKinds)),
-		})
+		var tk *task.Task
+		if pooled {
+			tk = g.arena.nextTask()
+		} else {
+			tk = &task.Task{}
+		}
+		tk.ID = g.nextID
+		tk.WD = i
+		tk.InputMbit = g.r.Uniform(task.MinInputMbit, task.MaxInputMbit)
+		tk.OutputMbit = g.r.Uniform(task.MinOutputMbit, task.MaxOutputMbit)
+		tk.LatencySensitive = g.r.Bernoulli(g.cfg.LatencySensitiveFrac)
+		tk.Resource = task.ResourceKind(g.r.Intn(task.NumResourceKinds))
+		s.Tasks = append(s.Tasks, tk)
 		positions = append(positions, w.Pos)
 		wdIdx = append(wdIdx, i)
 	}
-	cov := geo.Coverage(g.cfg.SCNPositions, positions, g.cfg.RadiusM)
-	s.Coverage = cov
+	if pooled {
+		s.Coverage = geo.CoverageInto(s.Coverage, g.cfg.SCNPositions, positions, g.cfg.RadiusM)
+	} else {
+		s.Coverage = geo.Coverage(g.cfg.SCNPositions, positions, g.cfg.RadiusM)
+	}
 	g.LastPositions = positions
 	g.LastWDs = wdIdx
-	return s
+}
+
+// geoState is the Snapshot payload of Geo: the task stream plus every WD's
+// mobility state (Waypoint is a pure value, so copying suffices).
+type geoState struct {
+	r      rng.Stream
+	nextID int64
+	wds    []geo.Waypoint
+}
+
+// SnapshotState implements Snapshottable.
+func (g *Geo) SnapshotState() GenState {
+	wds := make([]geo.Waypoint, len(g.wds))
+	for i, w := range g.wds {
+		wds[i] = *w
+	}
+	return geoState{r: *g.r, nextID: g.nextID, wds: wds}
+}
+
+// RestoreState implements Snapshottable.
+func (g *Geo) RestoreState(st GenState) {
+	v := st.(geoState)
+	*g.r = v.r
+	g.nextID = v.nextID
+	for i := range v.wds {
+		*g.wds[i] = v.wds[i]
+	}
 }
 
 // --- CSV trace I/O -------------------------------------------------------

@@ -67,7 +67,17 @@ type (
 	// MultiSlotConfig enables the multi-slot execution extension (paper
 	// Sec. 3.3/6 future work) via Config.MultiSlot.
 	MultiSlotConfig = sim.MultiSlotConfig
+	// SharedTrace is a materialized workload trace replayed read-only
+	// across runs (common random numbers, one generation pass).
+	SharedTrace = sim.SharedTrace
 )
+
+// NewSharedTrace materializes a scenario's workload at a seed for the given
+// number of replay passes; install it via Scenario.Shared (RunAll does this
+// automatically).
+func NewSharedTrace(sc *Scenario, seed uint64, readers int) (*SharedTrace, error) {
+	return sim.NewSharedTrace(sc, seed, readers)
+}
 
 // Policy contract (implement this to plug in your own algorithm).
 type (
