@@ -7,8 +7,10 @@ GO ?= go
 # under parallel.For and under concurrent shared-trace replay) and
 # therefore must stay clean under the race detector, including the
 # Workers=1 vs Workers=N determinism test and the RunAll replay test in
-# internal/sim.
-RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim ./internal/trace
+# internal/sim. internal/obs is included because its probe/registry/ring
+# types are shared across RunAll goroutines, and internal/metrics because
+# RunAll aggregates its Series concurrently.
+RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim ./internal/trace ./internal/obs ./internal/metrics
 
 .PHONY: all build vet test test-race bench-short bench json bench-diff ci clean
 

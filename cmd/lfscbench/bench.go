@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lfsc/internal/core"
+	"lfsc/internal/obs"
 	"lfsc/internal/sim"
 )
 
@@ -45,10 +46,14 @@ type benchResult struct {
 
 // runBenchJSON runs the paper scenario once with LFSC under measurement
 // and once with the oracle for the reward ratio, then writes the result
-// as JSON to path.
-func runBenchJSON(path string, horizon int, seed uint64, workers int) error {
+// as JSON to path. obsOpts (from -observe) is plumbed into both runs so a
+// paper-horizon benchmark can be watched live; it is nil in the default
+// measurement configuration — the numbers BENCH_core.json pins are taken
+// with the probe's nil fast path, like every production run.
+func runBenchJSON(path string, horizon int, seed uint64, workers int, obsOpts *obs.Options) error {
 	sc := sim.PaperScenario()
 	sc.Cfg.T = horizon
+	sc.Cfg.Obs = obsOpts
 
 	fmt.Printf("bench: LFSC on paper scenario (T=%d, seed=%d, workers=%d)...\n",
 		horizon, seed, workers)

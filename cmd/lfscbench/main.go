@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"lfsc/internal/experiments"
+	"lfsc/internal/obs"
 	"lfsc/internal/report"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchjson  = flag.String("benchjson", "", "run the perf harness and write its JSON result to this file")
+		observe    = flag.String("observe", "", "serve live telemetry on this address (/lfsc/status, /debug/vars, /debug/pprof)")
 	)
 	flag.Parse()
 
@@ -81,8 +83,24 @@ func main() {
 		}()
 	}
 
+	// -observe watches any long run live: the per-phase probe and run
+	// registry are threaded through every simulation the experiment suite
+	// (or the perf harness) starts. The probe is only created alongside
+	// the server — without -observe the hot loop keeps its nil fast path.
+	var obsOpts *obs.Options
+	if *observe != "" {
+		obsOpts = &obs.Options{Probe: obs.NewProbe(), Registry: obs.NewRegistry()}
+		srv, err := obs.StartServer(*observe, obsOpts.Probe, obsOpts.Registry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "observe: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observe: serving http://%s/lfsc/status\n", srv.Addr())
+	}
+
 	if *benchjson != "" {
-		if err := runBenchJSON(*benchjson, *horizon, *seed, *workers); err != nil {
+		if err := runBenchJSON(*benchjson, *horizon, *seed, *workers, obsOpts); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -93,6 +111,7 @@ func main() {
 	opts.T = *horizon
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.Obs = obsOpts
 
 	ids := experiments.Order()
 	if *exp != "all" {

@@ -7,9 +7,19 @@
 //	        [-policies oracle,lfsc,vucb,fml,random] [-seed 42]
 //	        [-replicas 1] [-min 35] [-max 100] [-overlap 0.3]
 //	        [-vlo 0] [-vhi 1] [-mode stationary|drifting|piecewise]
+//	        [-observe addr] [-progress] [-trace] [-snapshots f.jsonl]
 //
 // With -replicas > 1 the run repeats across independent seeds (in
 // parallel) and reports means with 95% confidence intervals.
+//
+// Results (tables, charts) go to stdout; progress and diagnostic chatter
+// go to stderr, so stdout stays machine-parseable. The observability
+// flags surface the run's internals: -observe serves /lfsc/status,
+// /debug/vars and /debug/pprof on the given address for watching long
+// runs live; -progress prints slot-rate updates to stderr; -trace prints
+// the per-phase timing breakdown after the run; -snapshots samples the
+// policy's bandit state (multipliers, weight entropy, exploration mass)
+// every -snap-every slots as JSONL.
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 
 	"lfsc/internal/env"
 	"lfsc/internal/metrics"
+	"lfsc/internal/obs"
 	"lfsc/internal/report"
 	"lfsc/internal/rng"
 	"lfsc/internal/sim"
@@ -49,6 +60,11 @@ func main() {
 		mbs      = flag.Bool("mbs", false, "enable the macrocell fallback extension")
 		mbsCap   = flag.Int("mbscap", 0, "MBS fallback capacity per slot (0 = unlimited)")
 		stress   = flag.String("stress", "", "stress workload: diurnal|hotspot|flashcrowd (default: paper i.i.d.)")
+		observe  = flag.String("observe", "", "serve live telemetry on this address (/lfsc/status, /debug/vars, /debug/pprof)")
+		progress = flag.Bool("progress", false, "print slot-rate progress updates to stderr")
+		tracePh  = flag.Bool("trace", false, "record per-phase timings and print the breakdown table")
+		snapPath = flag.String("snapshots", "", "write policy-state snapshots as JSONL to this file")
+		snapK    = flag.Int("snap-every", 100, "snapshot sampling period in slots")
 	)
 	flag.Parse()
 
@@ -134,7 +150,52 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("scenario: M=%d c=%d α=%g β=%g h=%d T=%d V∈[%g,%g] %s, seed=%d, replicas=%d\n\n",
+	// Observability wiring: any of the four flags enables the obs layer
+	// for every run below. The registry feeds -progress and -observe, the
+	// probe feeds -trace and the status page, and -snapshots streams the
+	// policy's bandit state as JSONL.
+	var (
+		obsOpts *obs.Options
+		probe   *obs.Probe
+		jsonlW  *obs.JSONLWriter
+	)
+	if *observe != "" || *progress || *tracePh || *snapPath != "" {
+		obsOpts = &obs.Options{Registry: obs.NewRegistry()}
+		if *tracePh || *observe != "" {
+			probe = obs.NewProbe()
+			obsOpts.Probe = probe
+		}
+		if *snapPath != "" {
+			f, err := os.Create(*snapPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "snapshots: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			jsonlW = obs.NewJSONLWriter(f)
+			obsOpts.SnapshotEvery = *snapK
+			obsOpts.SnapshotSink = jsonlW
+			obsOpts.SampleRuntime = true
+		}
+		sc.Cfg.Obs = obsOpts
+	}
+	if *observe != "" {
+		srv, err := obs.StartServer(*observe, probe, obsOpts.Registry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "observe: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observe: serving http://%s/lfsc/status\n", srv.Addr())
+	}
+	if *progress {
+		stop := obs.StartProgressLogger(os.Stderr, obsOpts.Registry, time.Second)
+		defer stop()
+	}
+
+	// Diagnostic chatter goes to stderr; stdout carries only the result
+	// tables and charts so it stays machine-parseable.
+	fmt.Fprintf(os.Stderr, "scenario: M=%d c=%d α=%g β=%g h=%d T=%d V∈[%g,%g] %s, seed=%d, replicas=%d\n\n",
 		*scns, *capacity, *alpha, *beta, *hGrain, *horizon, *vlo, *vhi, *mode, *seed, *replicas)
 
 	start := time.Now()
@@ -176,5 +237,18 @@ func main() {
 	if *chart {
 		fmt.Println(lineChart.String())
 	}
-	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	wall := time.Since(start)
+	if *tracePh && probe != nil {
+		fmt.Println(report.PhaseTable(probe.Stats(), wall).String())
+	}
+	if jsonlW != nil {
+		if probe != nil {
+			jsonlW.WritePhases(probe.Stats(), wall)
+		}
+		jsonlW.WriteRuns(obsOpts.Registry)
+		if err := jsonlW.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshots: %v\n", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "elapsed: %v\n", wall.Round(time.Millisecond))
 }

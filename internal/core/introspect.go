@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+
+	"lfsc/internal/obs"
+)
+
+// Snapshot implements obs.Snapshotter: it copies the learner's internal
+// state into the caller-owned snapshot buffers — per-SCN Lagrange
+// multipliers, the effective (γ, η, δ) schedule, per-SCN weight entropy,
+// the size of the Exp3.M capped set S' from the most recent Decide, and
+// the exploration mass (softmax weight below the uniform share, the mass
+// selection reaches only through γ-mixing).
+//
+// Snapshot only reads learner state; it never touches an RNG stream or
+// any scratch arena, so sampling it mid-run cannot perturb results. It
+// must be called from the goroutine driving Decide/Observe (the
+// simulator's loop), between slots — the same single-writer rule the
+// scratch arenas already impose. Repeated calls into the same snapshot
+// are allocation-free once its buffers have grown to the SCN count.
+func (l *LFSC) Snapshot(into *obs.PolicySnapshot) {
+	n := len(l.scns)
+	into.Policy = l.Name()
+	into.Gamma, into.Eta, into.Delta = l.gamma, l.eta, l.delta
+	lam1 := obs.GrowFloats(&into.Lambda1, n)
+	lam2 := obs.GrowFloats(&into.Lambda2, n)
+	entropy := obs.GrowFloats(&into.Entropy, n)
+	explore := obs.GrowFloats(&into.ExplorationMass, n)
+	capped := obs.GrowInts(&into.CappedCells, n)
+	for m, st := range l.scns {
+		lam1[m], lam2[m] = st.lambda1, st.lambda2
+		entropy[m], explore[m] = weightEntropy(st.logW)
+		capped[m] = len(st.cappedList)
+	}
+}
+
+// weightEntropy computes, over the softmax of one SCN's log-weights, the
+// normalized entropy H/ln(F) ∈ [0,1] and the probability mass on cells
+// below the uniform share 1/F. Log-sum-exp with a max shift keeps the
+// softmax exact for the e^±60 dynamic range the weights legitimately span.
+func weightEntropy(logW []float64) (normEntropy, lowMass float64) {
+	f := len(logW)
+	if f <= 1 {
+		return 0, 0
+	}
+	maxLog := math.Inf(-1)
+	for _, lw := range logW {
+		if lw > maxLog {
+			maxLog = lw
+		}
+	}
+	sum := 0.0
+	for _, lw := range logW {
+		sum += math.Exp(lw - maxLog)
+	}
+	logZ := maxLog + math.Log(sum)
+	uniform := 1 / float64(f)
+	h := 0.0
+	for _, lw := range logW {
+		p := math.Exp(lw - logZ)
+		if p > 0 {
+			h -= p * (lw - logZ)
+		}
+		if p < uniform {
+			lowMass += p
+		}
+	}
+	return h / math.Log(float64(f)), lowMass
+}

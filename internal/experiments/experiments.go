@@ -26,6 +26,7 @@ import (
 	"lfsc/internal/env"
 	"lfsc/internal/mcmf"
 	"lfsc/internal/metrics"
+	"lfsc/internal/obs"
 	"lfsc/internal/report"
 	"lfsc/internal/rng"
 	"lfsc/internal/sim"
@@ -42,6 +43,9 @@ type Options struct {
 	Workers int
 	// ChartWidth/ChartHeight size the ASCII figures.
 	ChartWidth, ChartHeight int
+	// Obs optionally wires the observability layer (phase probe, live run
+	// registry, snapshot sinks) into every simulation an experiment runs.
+	Obs *obs.Options
 }
 
 // DefaultOptions returns the paper's horizon with a fixed seed.
@@ -100,6 +104,7 @@ func RunBase(opts Options) (*Base, error) {
 	opts.fill()
 	sc := sim.PaperScenario()
 	sc.Cfg.T = opts.T
+	sc.Cfg.Obs = opts.Obs
 	series, err := sim.RunAll(sc, sim.StandardFactories(), opts.Seed, opts.Workers)
 	if err != nil {
 		return nil, err
@@ -252,6 +257,7 @@ func Fig3(opts Options) (*Result, error) {
 	for _, alpha := range alphas {
 		sc := sim.PaperScenario()
 		sc.Cfg.T = opts.T
+		sc.Cfg.Obs = opts.Obs
 		sc.Cfg.Alpha = alpha
 		series, err := sim.RunAll(sc, factories, opts.Seed, opts.Workers)
 		if err != nil {
@@ -339,6 +345,7 @@ func Fig4(opts Options) (*Result, error) {
 	for _, vr := range ranges {
 		sc := sim.PaperScenario()
 		sc.Cfg.T = opts.T
+		sc.Cfg.Obs = opts.Obs
 		sc.EnvCfg.VRange = vr
 		series, err := sim.RunAll(sc, sim.StandardFactories(), opts.Seed, opts.Workers)
 		if err != nil {
@@ -395,6 +402,7 @@ func AblationLagrangian(opts Options) (*Result, error) {
 	r := &Result{ID: "abl-lagrangian", Title: "Ablation — Lagrangian multipliers on/off"}
 	sc := sim.PaperScenario()
 	sc.Cfg.T = opts.T
+	sc.Cfg.Obs = opts.Obs
 	series, err := sim.RunAll(sc, []sim.Factory{
 		sim.LFSCFactory(nil),
 		sim.LFSCFactory(func(c *core.Config) { c.DisableLagrangian = true }),
@@ -428,6 +436,7 @@ func AblationCapping(opts Options) (*Result, error) {
 	r := &Result{ID: "abl-capping", Title: "Ablation — Exp3.M weight capping on/off"}
 	sc := sim.PaperScenario()
 	sc.Cfg.T = opts.T
+	sc.Cfg.Obs = opts.Obs
 	series, err := sim.RunAll(sc, []sim.Factory{
 		sim.LFSCFactory(nil),
 		sim.LFSCFactory(func(c *core.Config) { c.DisableCapping = true }),
@@ -462,6 +471,7 @@ func AblationGranularity(opts Options) (*Result, error) {
 	for _, h := range hs {
 		sc := sim.PaperScenario()
 		sc.Cfg.T = opts.T
+		sc.Cfg.Obs = opts.Obs
 		sc.Cfg.H = h
 		series, err := sim.RunAll(sc, []sim.Factory{sim.LFSCFactory(nil)}, opts.Seed, opts.Workers)
 		if err != nil {
@@ -494,6 +504,7 @@ func AblationSelection(opts Options) (*Result, error) {
 	labels := []string{"DepRound", "Race", "Deterministic"}
 	sc := sim.PaperScenario()
 	sc.Cfg.T = opts.T
+	sc.Cfg.Obs = opts.Obs
 	var factories []sim.Factory
 	for _, mode := range modes {
 		m := mode
@@ -529,6 +540,7 @@ func AblationNonstationary(opts Options) (*Result, error) {
 	for _, mode := range modes {
 		sc := sim.PaperScenario()
 		sc.Cfg.T = opts.T
+		sc.Cfg.Obs = opts.Obs
 		sc.EnvCfg.Mode = mode
 		sc.EnvCfg.SwitchEvery = opts.T / 4
 		if sc.EnvCfg.SwitchEvery < 1 {

@@ -257,3 +257,87 @@ func TestMeanWithMBS(t *testing.T) {
 		t.Fatal("partial MBS aggregation lost the series")
 	}
 }
+
+// TestMeanMixedMBSValues pins the semantics of aggregating replicas where
+// only some carry an MBS series: a replica without one contributes 0 to
+// every slot, and the mean divides by the full replica count — regardless
+// of whether the MBS-carrying replica comes first or last.
+func TestMeanMixedMBSValues(t *testing.T) {
+	withMBS := NewSeries("p", 2)
+	withMBS.Record(0, 1, 0, 0, 1, 1)
+	withMBS.RecordMBS(0, 6)
+	withMBS.RecordMBS(1, 3)
+	bare1 := NewSeries("p", 2)
+	bare1.Record(0, 2, 0, 0, 1, 1)
+	bare2 := NewSeries("p", 2)
+	bare2.Record(0, 3, 0, 0, 1, 1)
+
+	for name, order := range map[string][]*Series{
+		"mbs-first": {withMBS, bare1, bare2},
+		"mbs-last":  {bare1, bare2, withMBS},
+	} {
+		m := Mean(order)
+		if m.MBSReward == nil {
+			t.Fatalf("%s: mixed aggregation dropped the MBS series", name)
+		}
+		if got := m.MBSReward[0]; got != 2 {
+			t.Fatalf("%s: mean MBS slot 0 = %v, want 6/3 = 2", name, got)
+		}
+		if got := m.MBSReward[1]; got != 1 {
+			t.Fatalf("%s: mean MBS slot 1 = %v, want 3/3 = 1", name, got)
+		}
+		if got := m.Reward[0]; got != 2 {
+			t.Fatalf("%s: mean reward slot 0 = %v, want 2", name, got)
+		}
+	}
+	// All-bare aggregation keeps MBSReward nil.
+	if m := Mean([]*Series{bare1, bare2}); m.MBSReward != nil {
+		t.Fatal("bare replicas must not grow an MBS series")
+	}
+}
+
+// TestSummarizeMixedMBS: Summarize works over mixed MBS replicas — the
+// scalar summary is MBS-agnostic (reward/violations/ratio only) and must
+// not be perturbed or panic when MBSReward is nil on some replicas.
+func TestSummarizeMixedMBS(t *testing.T) {
+	withMBS := NewSeries("p", 4)
+	bare := NewSeries("p", 4)
+	fill(withMBS, 2, 1, 0)
+	fill(bare, 4, 3, 0)
+	withMBS.RecordMBS(0, 100) // must not leak into the summary
+	sum := Summarize([]*Series{withMBS, bare})
+	if sum.Policy != "p" {
+		t.Fatalf("policy %q", sum.Policy)
+	}
+	if got, want := sum.Reward, (2.0*4+4.0*4)/2; got != want {
+		t.Fatalf("summary reward %v, want %v", got, want)
+	}
+	if got, want := sum.V1, (1.0*4+3.0*4)/2; got != want {
+		t.Fatalf("summary V1 %v, want %v", got, want)
+	}
+	wantRatio := (withMBS.PerformanceRatio() + bare.PerformanceRatio()) / 2
+	if math.Abs(sum.Ratio-wantRatio) > 1e-12 {
+		t.Fatalf("summary ratio %v, want %v", sum.Ratio, wantRatio)
+	}
+}
+
+// TestRegretExponentAllNegative pins the NaN path: when the policy beats
+// the reference everywhere, cumulative regret never becomes positive, the
+// log-log fit has no usable points, RegretExponent returns NaN, and
+// CheckSublinear treats that as trivially sub-linear.
+func TestRegretExponentAllNegative(t *testing.T) {
+	T := 200
+	ref := NewSeries("oracle", T)
+	better := NewSeries("lfsc", T)
+	for tt := 0; tt < T; tt++ {
+		ref.Record(tt, 1, 0, 0, 1, 1)
+		better.Record(tt, 1.5, 0, 0, 1, 1)
+	}
+	exp := better.RegretExponent(ref)
+	if !math.IsNaN(exp) {
+		t.Fatalf("all-negative regret exponent = %v, want NaN", exp)
+	}
+	if !better.CheckSublinear(ref, 0.0) {
+		t.Fatal("NaN exponent must pass CheckSublinear even with a zero threshold")
+	}
+}

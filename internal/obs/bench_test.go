@@ -1,0 +1,47 @@
+package obs
+
+import "testing"
+
+// BenchmarkProbeDisabled measures the per-slot cost of the observability
+// hooks with the probe off — the path every un-instrumented run takes.
+// Each iteration performs the full set of per-slot probe calls (one Start,
+// five Laps, one EndSlot); the whole thing must optimize down to a few
+// nil checks, i.e. ~1 ns and 0 allocs.
+func BenchmarkProbeDisabled(b *testing.B) {
+	var p *Probe
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		span := p.Start()
+		span = p.Lap(PhaseGen, span)
+		span = p.Lap(PhaseView, span)
+		span = p.Lap(PhaseDecide, span)
+		span = p.Lap(PhaseRealize, span)
+		p.Lap(PhaseObserve, span)
+		p.EndSlot()
+	}
+}
+
+// BenchmarkProbeEnabled is the same call sequence with recording on: five
+// clock reads plus a handful of atomic adds, still allocation-free.
+func BenchmarkProbeEnabled(b *testing.B) {
+	p := NewProbe()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		span := p.Start()
+		span = p.Lap(PhaseGen, span)
+		span = p.Lap(PhaseView, span)
+		span = p.Lap(PhaseDecide, span)
+		span = p.Lap(PhaseRealize, span)
+		p.Lap(PhaseObserve, span)
+		p.EndSlot()
+	}
+}
+
+// BenchmarkRunStatusRecordSlot measures the live-telemetry counter update.
+func BenchmarkRunStatusRecordSlot(b *testing.B) {
+	rs := NewRegistry().NewRun("LFSC", b.N)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs.RecordSlot(0.5)
+	}
+}

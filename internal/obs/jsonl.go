@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// JSONLWriter streams observability events as one JSON object per line —
+// the machine-readable sibling of the status page. It is a SnapshotSink;
+// the mutex makes it safe for the concurrent runs of RunAll (snapshots
+// arrive every K slots per run, so contention is negligible).
+//
+// Event schema: every line carries a "type" field.
+//
+//	{"type":"snapshot","data":{PolicySnapshot}}
+//	{"type":"phases","wall_ns":N,"data":[PhaseStat...]}
+//	{"type":"run","policy":"LFSC","slots":N,"cum_reward":R,"elapsed_ns":E}
+type JSONLWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter wraps w (typically a file) as an event sink.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// snapshotEvent and friends are the wire forms of the JSONL events.
+type snapshotEvent struct {
+	Type string          `json:"type"`
+	Data *PolicySnapshot `json:"data"`
+}
+
+type phasesEvent struct {
+	Type   string      `json:"type"`
+	WallNS int64       `json:"wall_ns"`
+	Data   []PhaseStat `json:"data"`
+}
+
+type runEvent struct {
+	Type      string  `json:"type"`
+	Policy    string  `json:"policy"`
+	Slots     int64   `json:"slots"`
+	CumReward float64 `json:"cum_reward"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+}
+
+// OnSnapshot implements SnapshotSink.
+func (w *JSONLWriter) OnSnapshot(s *PolicySnapshot) {
+	w.write(snapshotEvent{Type: "snapshot", Data: s})
+}
+
+// WritePhases emits the end-of-run phase breakdown.
+func (w *JSONLWriter) WritePhases(stats []PhaseStat, wall time.Duration) {
+	w.write(phasesEvent{Type: "phases", WallNS: wall.Nanoseconds(), Data: stats})
+}
+
+// WriteRuns emits one summary line per registered run.
+func (w *JSONLWriter) WriteRuns(g *Registry) {
+	for _, r := range g.Runs() {
+		w.write(runEvent{
+			Type: "run", Policy: r.Policy, Slots: r.Slots(),
+			CumReward: r.CumReward(), ElapsedNS: r.Elapsed().Nanoseconds(),
+		})
+	}
+}
+
+// Err returns the first write error, if any.
+func (w *JSONLWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *JSONLWriter) write(ev any) {
+	w.mu.Lock()
+	if err := w.enc.Encode(ev); err != nil && w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}

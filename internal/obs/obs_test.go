@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilProbeIsSafe(t *testing.T) {
+	var p *Probe
+	span := p.Start()
+	span = p.Lap(PhaseDecide, span)
+	p.Lap(PhaseObserve, span)
+	p.EndSlot()
+	p.Reset()
+	if p.Slots() != 0 || p.TotalNS() != 0 || p.Stats() != nil {
+		t.Fatal("nil probe must report nothing")
+	}
+}
+
+func TestProbeRecordsPhases(t *testing.T) {
+	p := NewProbe()
+	for i := 0; i < 10; i++ {
+		span := p.Start()
+		time.Sleep(time.Millisecond)
+		span = p.Lap(PhaseDecide, span)
+		p.Lap(PhaseObserve, span)
+		p.EndSlot()
+	}
+	if got := p.Slots(); got != 10 {
+		t.Fatalf("slots = %d, want 10", got)
+	}
+	stats := p.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d phases, want 2: %+v", len(stats), stats)
+	}
+	decide := stats[0]
+	if decide.Phase != "decide" || decide.Count != 10 {
+		t.Fatalf("unexpected first stat: %+v", decide)
+	}
+	// The decide spans slept ~1ms each; the log-bucket percentiles are
+	// coarse (±50%) but must land in the right order of magnitude.
+	if decide.MeanNS < 5e5 || decide.MeanNS > 1e8 {
+		t.Fatalf("decide mean %.0f ns implausible for a 1ms sleep", decide.MeanNS)
+	}
+	if decide.P50NS <= 0 || decide.P90NS < decide.P50NS || decide.P99NS < decide.P90NS {
+		t.Fatalf("percentiles not monotone: %+v", decide)
+	}
+	if p.TotalNS() != stats[0].TotalNS+stats[1].TotalNS {
+		t.Fatal("TotalNS must sum the phase totals")
+	}
+	p.Reset()
+	if p.Slots() != 0 || len(p.Stats()) != 0 {
+		t.Fatal("Reset must clear all counters")
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	for _, ns := range []uint64{0, 1, 2, 3, 1023, 1024, 1 << 30} {
+		b := bucketOf(ns)
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", ns, b)
+		}
+		if ns > 0 {
+			mid := bucketMidNS(b)
+			if mid < float64(ns)/2 || mid > float64(ns)*2 {
+				t.Fatalf("bucket mid %.0f not within 2x of %d", mid, ns)
+			}
+		}
+	}
+	// Durations beyond the last bucket boundary clamp instead of panicking.
+	if b := bucketOf(1 << 62); b != histBuckets-1 {
+		t.Fatalf("huge duration bucket = %d, want %d", b, histBuckets-1)
+	}
+}
+
+func TestHistPercentileEmpty(t *testing.T) {
+	var hist [histBuckets]uint64
+	if got := histPercentile(&hist, 0.5); got != 0 {
+		t.Fatalf("empty histogram percentile = %v, want 0", got)
+	}
+}
+
+func makeSnap(scns int, slot int) *PolicySnapshot {
+	s := &PolicySnapshot{Policy: "LFSC", Slot: slot, CumReward: float64(slot) * 1.5,
+		Gamma: 0.1, Eta: 0.01, Delta: 0.001}
+	lam1 := GrowFloats(&s.Lambda1, scns)
+	lam2 := GrowFloats(&s.Lambda2, scns)
+	ent := GrowFloats(&s.Entropy, scns)
+	exp := GrowFloats(&s.ExplorationMass, scns)
+	capped := GrowInts(&s.CappedCells, scns)
+	for m := 0; m < scns; m++ {
+		lam1[m], lam2[m] = float64(m), float64(m)*2
+		ent[m], exp[m] = 0.5, 0.25
+		capped[m] = m % 3
+	}
+	return s
+}
+
+func TestSnapshotRing(t *testing.T) {
+	ring := NewSnapshotRing(3)
+	for i := 0; i < 5; i++ {
+		ring.OnSnapshot(makeSnap(4, i*100))
+	}
+	got := ring.Snapshots()
+	if len(got) != 3 {
+		t.Fatalf("ring kept %d snapshots, want 3", len(got))
+	}
+	for i, s := range got {
+		wantSlot := (i + 2) * 100
+		if s.Slot != wantSlot {
+			t.Fatalf("snapshot %d slot = %d, want %d (oldest-first order)", i, s.Slot, wantSlot)
+		}
+		if len(s.Lambda1) != 4 || s.Lambda1[2] != 2 {
+			t.Fatalf("snapshot %d lost per-SCN state: %+v", i, s)
+		}
+	}
+}
+
+func TestSnapshotRingCopies(t *testing.T) {
+	ring := NewSnapshotRing(2)
+	src := makeSnap(2, 7)
+	ring.OnSnapshot(src)
+	src.Lambda1[0] = -99 // mutate the producer's reused buffer
+	src.Slot = 1234
+	got := ring.Snapshots()
+	if got[0].Slot != 7 || got[0].Lambda1[0] != 0 {
+		t.Fatal("ring must deep-copy snapshots, not alias the producer buffer")
+	}
+}
+
+func TestGrowHelpersReuse(t *testing.T) {
+	var f []float64
+	a := GrowFloats(&f, 8)
+	a[3] = 42
+	b := GrowFloats(&f, 4)
+	if &a[0] != &b[0] {
+		t.Fatal("GrowFloats must reuse capacity on shrink")
+	}
+	if b[3] = 0; f[:8][3] != 0 { // b zeroed its window
+		t.Fatal("GrowFloats must zero the returned window")
+	}
+	var n []int
+	if got := GrowInts(&n, 3); len(got) != 3 {
+		t.Fatalf("GrowInts length %d, want 3", len(got))
+	}
+}
+
+func TestJSONLWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	w.OnSnapshot(makeSnap(3, 500))
+	p := NewProbe()
+	span := p.Start()
+	p.Lap(PhaseGen, span)
+	w.WritePhases(p.Stats(), 123*time.Millisecond)
+	reg := NewRegistry()
+	rs := reg.NewRun("LFSC", 1000)
+	rs.RecordSlot(2.5)
+	rs.Finish()
+	w.WriteRuns(reg)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var types []string
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line does not parse as JSON: %v\n%s", err, sc.Text())
+		}
+		types = append(types, ev["type"].(string))
+		if ev["type"] == "snapshot" {
+			data := ev["data"].(map[string]any)
+			if data["policy"] != "LFSC" || data["slot"].(float64) != 500 {
+				t.Fatalf("bad snapshot event: %v", data)
+			}
+			if len(data["lambda1"].([]any)) != 3 {
+				t.Fatalf("snapshot lambda1 wrong length: %v", data["lambda1"])
+			}
+		}
+	}
+	if strings.Join(types, ",") != "snapshot,phases,run" {
+		t.Fatalf("event types = %v", types)
+	}
+}
+
+func TestRegistryAndRunStatus(t *testing.T) {
+	var nilReg *Registry
+	if rs := nilReg.NewRun("x", 1); rs != nil {
+		t.Fatal("nil registry must return a nil run")
+	}
+	var nilRS *RunStatus
+	nilRS.RecordSlot(1) // must not panic
+	nilRS.Finish()
+	if nilRS.Slots() != 0 || nilRS.CumReward() != 0 || nilRS.Done() || nilRS.Rate() != 0 {
+		t.Fatal("nil RunStatus must report zeroes")
+	}
+
+	reg := NewRegistry()
+	a := reg.NewRun("LFSC", 100)
+	b := reg.NewRun("Oracle", 100)
+	for i := 0; i < 10; i++ {
+		a.RecordSlot(0.5)
+	}
+	b.RecordSlot(1)
+	if got := reg.TotalSlots(); got != 11 {
+		t.Fatalf("TotalSlots = %d, want 11", got)
+	}
+	if got := a.CumReward(); got != 5 {
+		t.Fatalf("CumReward = %v, want 5", got)
+	}
+	if a.Done() {
+		t.Fatal("run not finished yet")
+	}
+	a.Finish()
+	if !a.Done() {
+		t.Fatal("run should be done after Finish")
+	}
+	frozen := a.Elapsed()
+	time.Sleep(2 * time.Millisecond)
+	if a.Elapsed() != frozen {
+		t.Fatal("Elapsed must freeze at Finish")
+	}
+	runs := reg.Runs()
+	if len(runs) != 2 || runs[0].Policy != "LFSC" || runs[1].Policy != "Oracle" {
+		t.Fatalf("registry order wrong: %+v", runs)
+	}
+}
+
+func TestSampleRuntime(t *testing.T) {
+	var rs RuntimeStats
+	SampleRuntime(&rs)
+	if rs.HeapBytes == 0 {
+		t.Fatal("heap bytes should be non-zero in a running process")
+	}
+}

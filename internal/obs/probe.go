@@ -1,0 +1,247 @@
+// Package obs is the observability layer of the runtime: per-phase timing
+// probes, policy-state snapshots, live run telemetry, and the sinks that
+// surface them (JSONL files, an HTTP status endpoint, report tables).
+//
+// Everything in the package obeys two contracts inherited from the perf
+// work of PR 1–2:
+//
+//   - Zero overhead when disabled. Every hot-path hook is a method on a
+//     possibly-nil *Probe (or *RunStatus); the disabled path is a single
+//     nil check, no interface dispatch, no allocation. The concrete
+//     pointer is deliberate — an interface value would cost an itab load
+//     per call and could not be tested against nil as cheaply.
+//   - No effect on results. Probes only read clocks and counters; they
+//     never touch an RNG stream or any learner state, so a probed run is
+//     bit-identical to an unprobed one (pinned by internal/sim tests).
+//
+// When enabled, the recording path is also allocation-free and lock-free:
+// counts, nanosecond sums, and fixed log-scale histogram buckets are
+// pre-allocated atomics, safe for concurrent runs sharing one Probe.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one stage of the per-slot simulation loop.
+type Phase uint8
+
+const (
+	// PhaseGen is workload generation: environment advance + slot draw
+	// (+ multi-slot injection when that extension is active).
+	PhaseGen Phase = iota
+	// PhaseView is slot-view construction: context packing and hypercube
+	// indexing into the policy-facing SlotView.
+	PhaseView
+	// PhaseDecide is policy.Decide (plus strict validation when enabled).
+	PhaseDecide
+	// PhaseRealize is ground-truth execution: common-random-number draws,
+	// reward/violation accounting, metrics recording, and the MBS fallback.
+	PhaseRealize
+	// PhaseObserve is policy.Observe: bandit feedback, weight and
+	// multiplier updates.
+	PhaseObserve
+	// PhaseSnapshot is the observability layer's own sampling work
+	// (policy introspection + runtime stats, every K slots) — tracked so
+	// the probe's phase sums still account for the full wall clock.
+	PhaseSnapshot
+	// NumPhases is the number of probe phases.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"gen", "view", "decide", "realize", "observe", "snapshot",
+}
+
+// String returns the short phase name used in tables and JSONL.
+func (ph Phase) String() string {
+	if int(ph) < len(phaseNames) {
+		return phaseNames[ph]
+	}
+	return "unknown"
+}
+
+// histBuckets is the number of log2 duration buckets per phase. Bucket b
+// holds durations with bits.Len64(ns) == b, i.e. [2^(b-1), 2^b); 40
+// buckets cover 1 ns to ~9 minutes, far beyond any per-slot phase.
+const histBuckets = 40
+
+// phaseCounter is the pre-allocated recording state of one phase.
+// All fields are atomics: several concurrent runs (RunAll) may share one
+// Probe, and the HTTP status handler reads while runs write.
+type phaseCounter struct {
+	count atomic.Uint64
+	sumNS atomic.Uint64
+	hist  [histBuckets]atomic.Uint64
+}
+
+// Probe records per-phase wall time of the simulation loop. The zero
+// value is ready to use; a nil *Probe is valid and disables every method
+// (the single-nil-check fast path).
+type Probe struct {
+	phases [NumPhases]phaseCounter
+	slots  atomic.Uint64
+}
+
+// NewProbe returns an empty probe.
+func NewProbe() *Probe { return &Probe{} }
+
+// Start opens a timing span. On a nil probe it returns the zero time and
+// costs one nil check.
+func (p *Probe) Start() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Lap closes the current span against phase ph and opens the next one,
+// returning the new span start. On a nil probe it is a no-op.
+func (p *Probe) Lap(ph Phase, last time.Time) time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	now := time.Now()
+	d := now.Sub(last)
+	if d < 0 {
+		d = 0
+	}
+	c := &p.phases[ph]
+	c.count.Add(1)
+	c.sumNS.Add(uint64(d))
+	c.hist[bucketOf(uint64(d))].Add(1)
+	return now
+}
+
+// EndSlot marks one completed slot (the denominator for slot rates).
+func (p *Probe) EndSlot() {
+	if p == nil {
+		return
+	}
+	p.slots.Add(1)
+}
+
+// Slots returns the number of completed slots recorded so far.
+func (p *Probe) Slots() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.slots.Load()
+}
+
+// TotalNS returns the summed duration of all recorded phase spans.
+func (p *Probe) TotalNS() uint64 {
+	if p == nil {
+		return 0
+	}
+	var total uint64
+	for ph := range p.phases {
+		total += p.phases[ph].sumNS.Load()
+	}
+	return total
+}
+
+// Reset zeroes every counter (between runs sharing a probe).
+func (p *Probe) Reset() {
+	if p == nil {
+		return
+	}
+	for ph := range p.phases {
+		c := &p.phases[ph]
+		c.count.Store(0)
+		c.sumNS.Store(0)
+		for b := range c.hist {
+			c.hist[b].Store(0)
+		}
+	}
+	p.slots.Store(0)
+}
+
+// bucketOf maps a nanosecond duration to its log2 histogram bucket.
+func bucketOf(ns uint64) int {
+	b := bits.Len64(ns)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketMidNS is the geometric representative of bucket b: 1.5·2^(b-1),
+// the midpoint of [2^(b-1), 2^b).
+func bucketMidNS(b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 1.5 * math.Pow(2, float64(b-1))
+}
+
+// PhaseStat is the exported summary of one phase, suitable for tables and
+// JSONL. Percentiles are approximate (log2-bucket resolution, ~±50%
+// within a bucket — the right fidelity for an always-on histogram).
+type PhaseStat struct {
+	Phase   string  `json:"phase"`
+	Count   uint64  `json:"count"`
+	TotalNS uint64  `json:"total_ns"`
+	MeanNS  float64 `json:"mean_ns"`
+	P50NS   float64 `json:"p50_ns"`
+	P90NS   float64 `json:"p90_ns"`
+	P99NS   float64 `json:"p99_ns"`
+}
+
+// Stats snapshots every phase with at least one recorded span. Reads are
+// atomic per counter but not mutually consistent across counters — fine
+// for monitoring, which is the intended use.
+func (p *Probe) Stats() []PhaseStat {
+	if p == nil {
+		return nil
+	}
+	out := make([]PhaseStat, 0, NumPhases)
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		c := &p.phases[ph]
+		n := c.count.Load()
+		if n == 0 {
+			continue
+		}
+		var hist [histBuckets]uint64
+		for b := range hist {
+			hist[b] = c.hist[b].Load()
+		}
+		sum := c.sumNS.Load()
+		out = append(out, PhaseStat{
+			Phase:   ph.String(),
+			Count:   n,
+			TotalNS: sum,
+			MeanNS:  float64(sum) / float64(n),
+			P50NS:   histPercentile(&hist, 0.50),
+			P90NS:   histPercentile(&hist, 0.90),
+			P99NS:   histPercentile(&hist, 0.99),
+		})
+	}
+	return out
+}
+
+// histPercentile returns the approximate q-quantile of a bucketed sample.
+func histPercentile(hist *[histBuckets]uint64, q float64) float64 {
+	var total uint64
+	for _, n := range hist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for b, n := range hist {
+		seen += n
+		if seen >= rank {
+			return bucketMidNS(b)
+		}
+	}
+	return bucketMidNS(histBuckets - 1)
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunStatus is the live telemetry of one simulation run. The run loop is
+// the only writer (RecordSlot); readers (the HTTP status page, the
+// progress logger) see atomically consistent per-field values. A nil
+// *RunStatus disables every method, mirroring the Probe contract.
+type RunStatus struct {
+	// Policy is the display name of the policy being run.
+	Policy string
+	// T is the run's horizon (0 when unknown).
+	T int
+
+	start      time.Time
+	slots      atomic.Int64
+	rewardBits atomic.Uint64 // float64 bits of the cumulative reward
+	doneAtNS   atomic.Int64  // wall nanos at Finish, 0 while running
+}
+
+// RecordSlot accounts one completed slot and its realised reward.
+// Single-writer: only the run loop calls it, so a plain load-add-store on
+// the float bits is race-free while staying atomic for readers.
+func (r *RunStatus) RecordSlot(reward float64) {
+	if r == nil {
+		return
+	}
+	cur := math.Float64frombits(r.rewardBits.Load())
+	r.rewardBits.Store(math.Float64bits(cur + reward))
+	r.slots.Add(1)
+}
+
+// Finish marks the run complete (freezing its elapsed time and rate).
+func (r *RunStatus) Finish() {
+	if r == nil {
+		return
+	}
+	r.doneAtNS.CompareAndSwap(0, time.Since(r.start).Nanoseconds())
+}
+
+// Done reports whether the run has finished.
+func (r *RunStatus) Done() bool { return r != nil && r.doneAtNS.Load() != 0 }
+
+// Slots returns the number of completed slots.
+func (r *RunStatus) Slots() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.slots.Load()
+}
+
+// CumReward returns the cumulative reward recorded so far.
+func (r *RunStatus) CumReward() float64 {
+	if r == nil {
+		return 0
+	}
+	return math.Float64frombits(r.rewardBits.Load())
+}
+
+// Elapsed returns the run's wall time (frozen once finished).
+func (r *RunStatus) Elapsed() time.Duration {
+	if r == nil {
+		return 0
+	}
+	if d := r.doneAtNS.Load(); d != 0 {
+		return time.Duration(d)
+	}
+	return time.Since(r.start)
+}
+
+// Rate returns the average slot rate in slots/second.
+func (r *RunStatus) Rate() float64 {
+	e := r.Elapsed().Seconds()
+	if e <= 0 {
+		return 0
+	}
+	return float64(r.Slots()) / e
+}
+
+// Registry tracks the runs of a process for live surfacing. Runs register
+// at start (an allocation, but one per run, not per slot) and are never
+// removed — a status page wants to show finished runs too.
+type Registry struct {
+	mu   sync.Mutex
+	runs []*RunStatus
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// NewRun registers a run and returns its status handle. Safe to call on a
+// nil registry (returns nil, which disables all RunStatus methods).
+func (g *Registry) NewRun(policy string, T int) *RunStatus {
+	if g == nil {
+		return nil
+	}
+	rs := &RunStatus{Policy: policy, T: T, start: time.Now()}
+	g.mu.Lock()
+	g.runs = append(g.runs, rs)
+	g.mu.Unlock()
+	return rs
+}
+
+// Runs returns the registered runs in registration order.
+func (g *Registry) Runs() []*RunStatus {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*RunStatus(nil), g.runs...)
+}
+
+// TotalSlots sums the completed slots across every registered run.
+func (g *Registry) TotalSlots() int64 {
+	var total int64
+	for _, r := range g.Runs() {
+		total += r.Slots()
+	}
+	return total
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"fmt"
+	"time"
+
+	"lfsc/internal/obs"
+)
+
+// PhaseTable renders a probe's per-phase timing breakdown as a report
+// table: span counts, total/mean time, log-bucket percentiles, and each
+// phase's share of the measured wall clock (wall <= 0 falls back to the
+// probe's own phase sum, making the shares sum to ~100%).
+func PhaseTable(stats []obs.PhaseStat, wall time.Duration) *Table {
+	tbl := NewTable("Per-phase timing breakdown",
+		"phase", "count", "total", "mean", "p50", "p90", "p99", "share")
+	var sum uint64
+	for _, st := range stats {
+		sum += st.TotalNS
+	}
+	wallNS := float64(wall.Nanoseconds())
+	if wallNS <= 0 {
+		wallNS = float64(sum)
+	}
+	for _, st := range stats {
+		share := ""
+		if wallNS > 0 {
+			share = fmt.Sprintf("%.1f%%", 100*float64(st.TotalNS)/wallNS)
+		}
+		tbl.AddRow(st.Phase,
+			fmt.Sprintf("%d", st.Count),
+			time.Duration(st.TotalNS).Round(time.Millisecond).String(),
+			fmtDur(st.MeanNS),
+			fmtDur(st.P50NS),
+			fmtDur(st.P90NS),
+			fmtDur(st.P99NS),
+			share)
+	}
+	if wallNS > 0 {
+		tbl.AddRow("(all)", "",
+			time.Duration(sum).Round(time.Millisecond).String(),
+			"", "", "", "",
+			fmt.Sprintf("%.1f%%", 100*float64(sum)/wallNS))
+	}
+	return tbl
+}
+
+// fmtDur renders a fractional nanosecond count at microsecond rounding.
+func fmtDur(ns float64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -1,0 +1,45 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lfsc/internal/obs"
+)
+
+func TestPhaseTable(t *testing.T) {
+	p := obs.NewProbe()
+	for i := 0; i < 4; i++ {
+		span := p.Start()
+		span = p.Lap(obs.PhaseDecide, span)
+		p.Lap(obs.PhaseObserve, span)
+	}
+	out := PhaseTable(p.Stats(), 10*time.Millisecond).String()
+	for _, want := range []string{"decide", "observe", "p99", "share", "%", "(all)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("phase table missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "| 4") {
+		t.Fatalf("span counts missing:\n%s", out)
+	}
+}
+
+// TestPhaseTableNoWall: without a wall-clock reference the shares are
+// computed against the phase sum itself and total ~100%.
+func TestPhaseTableNoWall(t *testing.T) {
+	p := obs.NewProbe()
+	span := p.Start()
+	p.Lap(obs.PhaseGen, span)
+	out := PhaseTable(p.Stats(), 0).String()
+	if !strings.Contains(out, "100.0%") {
+		t.Fatalf("self-normalized share missing:\n%s", out)
+	}
+}
+
+func TestPhaseTableEmpty(t *testing.T) {
+	if out := PhaseTable(nil, time.Second).String(); !strings.Contains(out, "phase") {
+		t.Fatalf("empty table should still render headers:\n%s", out)
+	}
+}

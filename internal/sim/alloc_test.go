@@ -38,3 +38,31 @@ func TestRunSteadyStateAllocs(t *testing.T) {
 			perSlot, tShort, short, tLong, long)
 	}
 }
+
+// TestRunSteadyStateAllocsMBS extends the budget to the macrocell
+// fallback extension: Run pre-allocates the MBS series (EnableMBS) before
+// the loop, so RecordMBS never allocates mid-run and the steady state
+// stays within the same bound as the base scenario.
+func TestRunSteadyStateAllocsMBS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale horizons")
+	}
+	run := func(T int) float64 {
+		sc := PaperScenario()
+		sc.Cfg.T = T
+		sc.Cfg.MBS = &MBSConfig{Capacity: 50}
+		return testing.AllocsPerRun(1, func() {
+			if _, err := Run(sc, LFSCFactory(func(c *core.Config) { c.Workers = 1 }), 42); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	const tShort, tLong = 100, 500
+	short := run(tShort)
+	long := run(tLong)
+	perSlot := (long - short) / float64(tLong-tShort)
+	if perSlot > 64 {
+		t.Fatalf("MBS steady-state allocations: %.1f/slot (T=%d: %.0f, T=%d: %.0f), want ≤ 64",
+			perSlot, tShort, short, tLong, long)
+	}
+}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"testing"
+
+	"lfsc/internal/obs"
 )
 
 // BenchmarkRunLFSC measures the full simulation loop (generation + view
@@ -12,6 +14,40 @@ func BenchmarkRunLFSC(b *testing.B) {
 	if sc.Cfg.T < 10 {
 		sc.Cfg.T = 10
 	}
+	b.ResetTimer()
+	if _, err := Run(sc, LFSCFactory(nil), 42); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRunLFSCProbeOff is BenchmarkRunLFSC with an explicit (but
+// empty) obs.Options — the configuration every probe hook nil-checks
+// against. Compare against BenchmarkRunLFSCProbeOn to price the
+// observability layer; the off/on delta is the true probe cost and the
+// off/BenchmarkRunLFSC delta must be noise.
+func BenchmarkRunLFSCProbeOff(b *testing.B) {
+	sc := PaperScenario()
+	sc.Cfg.T = b.N
+	if sc.Cfg.T < 10 {
+		sc.Cfg.T = 10
+	}
+	sc.Cfg.Obs = &obs.Options{}
+	b.ResetTimer()
+	if _, err := Run(sc, LFSCFactory(nil), 42); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRunLFSCProbeOn measures the full loop with phase timing and
+// run telemetry enabled: five clock reads plus a dozen atomic adds per
+// slot, against a ~hundreds-of-µs slot.
+func BenchmarkRunLFSCProbeOn(b *testing.B) {
+	sc := PaperScenario()
+	sc.Cfg.T = b.N
+	if sc.Cfg.T < 10 {
+		sc.Cfg.T = 10
+	}
+	sc.Cfg.Obs = &obs.Options{Probe: obs.NewProbe(), Registry: obs.NewRegistry()}
 	b.ResetTimer()
 	if _, err := Run(sc, LFSCFactory(nil), 42); err != nil {
 		b.Fatal(err)

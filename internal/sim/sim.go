@@ -19,6 +19,7 @@ import (
 	"lfsc/internal/env"
 	"lfsc/internal/hypercube"
 	"lfsc/internal/metrics"
+	"lfsc/internal/obs"
 	"lfsc/internal/parallel"
 	"lfsc/internal/policy"
 	"lfsc/internal/rng"
@@ -52,6 +53,12 @@ type Config struct {
 	// DurationSlots > 1 (see MultiSlotConfig). Nil treats every task as
 	// single-slot, the paper's base model.
 	MultiSlot *MultiSlotConfig
+	// Obs wires the observability layer into the run: per-phase timing,
+	// policy-state snapshots, and live run telemetry (see obs.Options).
+	// Nil disables everything; the per-slot cost of the disabled path is
+	// a handful of nil checks, and an enabled probe never perturbs
+	// results — probed runs are bit-identical to unprobed ones.
+	Obs *obs.Options
 }
 
 // MBSConfig parameterises the macrocell fallback extension. The MBS sits
@@ -331,6 +338,33 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 	if sc.Cfg.MBS != nil {
 		series.EnableMBS()
 	}
+	// Observability wiring: every hook below is nil-safe, so the disabled
+	// path (cfg.Obs == nil, the default) costs one nil check per probe
+	// point and nothing else. Probes never touch an RNG stream, so a
+	// probed run stays bit-identical to an unprobed one (see obs_test.go).
+	var (
+		probe     *obs.Probe
+		rs        *obs.RunStatus
+		snapper   obs.Snapshotter
+		snapSink  obs.SnapshotSink
+		snapEvery int
+		sampleRT  bool
+		snap      obs.PolicySnapshot
+		cumReward float64
+	)
+	if o := sc.Cfg.Obs; o != nil {
+		probe = o.Probe
+		if o.Registry != nil {
+			rs = o.Registry.NewRun(pol.Name(), sc.Cfg.T)
+			defer rs.Finish()
+		}
+		if o.SnapshotEvery > 0 && o.SnapshotSink != nil {
+			if sn, ok := pol.(obs.Snapshotter); ok {
+				snapper, snapSink = sn, o.SnapshotSink
+				snapEvery, sampleRT = o.SnapshotEvery, o.SampleRuntime
+			}
+		}
+	}
 	// Pooled generation and stack-derived RNG streams: the slot buffer is
 	// refilled in place when the generator supports it, and the per-slot /
 	// per-task streams are derived into stack values instead of allocating
@@ -340,6 +374,7 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 	var slotReal rng.Stream
 	var taskReal rng.Stream
 	for t := 0; t < sc.Cfg.T; t++ {
+		span := probe.Start()
 		e.Advance(t)
 		var slot *trace.Slot
 		if pooled {
@@ -351,7 +386,9 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 		if ms != nil {
 			slot = ms.inject(slot)
 		}
+		span = probe.Lap(obs.PhaseGen, span)
 		view, cells := scratch.buildView(t, slot, part, sc.Cfg.UseLatencyContext)
+		span = probe.Lap(obs.PhaseView, span)
 		assigned := pol.Decide(view)
 		if sc.Cfg.Strict {
 			if err := policy.ValidateAssignment(view, assigned, sc.Cfg.Capacity); err != nil {
@@ -361,6 +398,7 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 			return nil, fmt.Errorf("sim: slot %d: policy %q returned %d assignments for %d tasks",
 				t, pol.Name(), len(assigned), view.NumTasks)
 		}
+		span = probe.Lap(obs.PhaseDecide, span)
 		// Execute against ground truth with common random numbers.
 		realRoot.DeriveInto(uint64(t), &slotReal)
 		fb.Execs = fb.Execs[:0]
@@ -416,7 +454,25 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 		if sc.Cfg.MBS != nil {
 			series.RecordMBS(t, runMBSFallback(sc.Cfg.MBS, slot, assigned, cells, e, &slotReal, ms != nil))
 		}
+		span = probe.Lap(obs.PhaseRealize, span)
 		pol.Observe(view, assigned, fb)
+		probe.Lap(obs.PhaseObserve, span)
+		probe.EndSlot()
+		if rs != nil || snapEvery > 0 {
+			cumReward += reward
+			rs.RecordSlot(reward)
+		}
+		if snapEvery > 0 && (t+1)%snapEvery == 0 {
+			span = probe.Start()
+			snap.Slot = t
+			snap.CumReward = cumReward
+			snapper.Snapshot(&snap)
+			if sampleRT {
+				obs.SampleRuntime(&snap.Runtime)
+			}
+			snapSink.OnSnapshot(&snap)
+			probe.Lap(obs.PhaseSnapshot, span)
+		}
 	}
 	return series, nil
 }
