@@ -9,10 +9,12 @@ GO ?= go
 # Workers=1 vs Workers=N determinism test and the RunAll replay test in
 # internal/sim. internal/obs is included because its probe/registry/ring
 # types are shared across RunAll goroutines, and internal/metrics because
-# RunAll aggregates its Series concurrently.
-RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim ./internal/trace ./internal/obs ./internal/metrics
+# RunAll aggregates its Series concurrently. internal/serve is the
+# serving daemon: HTTP handlers, the batcher goroutine, and shedding
+# gates are all concurrent by construction.
+RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim ./internal/trace ./internal/obs ./internal/metrics ./internal/serve
 
-.PHONY: all build vet test test-race bench-short bench json bench-diff ci clean
+.PHONY: all build vet test test-race bench-short bench json bench-diff serve-smoke ci clean
 
 all: vet test
 
@@ -54,11 +56,21 @@ bench-diff:
 	$(GO) run ./cmd/lfscbench -benchjson /tmp/BENCH_head.json
 	$(GO) run ./cmd/benchdiff BENCH_core.json /tmp/BENCH_head.json
 
+# The serving-layer smoke: boot lfscd on an ephemeral port, drive 200
+# slots of a shared trace over real HTTP with periodic checkpointing,
+# kill the daemon hard mid-run, resume a fresh one from the checkpoint,
+# and verify the resumed run's cumulative reward is bit-identical to an
+# uninterrupted run (plus the graceful-stop variant), under the race
+# detector.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke|TestRestoreAfterGracefulStopResumesExactly' ./internal/serve
+
 # Everything a commit must pass, in the order a CI runner would execute:
 # static checks, the full test suite, the race-detector suite over the
-# concurrency-contract packages, and the quick perf kernels (which also
-# assert 0 allocs/op on the steady-state paths).
-ci: vet test test-race bench-short
+# concurrency-contract packages, the serving-layer kill-and-resume
+# smoke, and the quick perf kernels (which also assert 0 allocs/op on
+# the steady-state paths).
+ci: vet test test-race serve-smoke bench-short
 
 clean:
 	$(GO) clean ./...

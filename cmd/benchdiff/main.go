@@ -23,11 +23,15 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
+	"strings"
 )
 
 // benchResult mirrors the fields of cmd/lfscbench's -benchjson schema that
 // the diff consumes; unknown fields are ignored so the schemas can evolve
-// independently.
+// independently — in particular, serve-layer entries (serve_ns_per_slot
+// and friends) may ride in the same artifact without breaking the core
+// comparison. Extra keys are reported informationally, never fatally.
 type benchResult struct {
 	Name          string  `json:"name"`
 	Timestamp     string  `json:"timestamp"`
@@ -36,6 +40,19 @@ type benchResult struct {
 	NsPerSlot     float64 `json:"ns_per_slot"`
 	AllocsPerSlot float64 `json:"allocs_per_slot"`
 	Ratio         float64 `json:"lfsc_oracle_ratio"`
+
+	extra []string // unknown top-level keys, sorted
+}
+
+// knownKeys are the artifact fields benchdiff either diffs or understands
+// as lfscbench provenance; anything else is an "extra" key.
+var knownKeys = map[string]bool{
+	"name": true, "timestamp": true, "go_version": true,
+	"goos": true, "goarch": true, "num_cpu": true,
+	"t_slots": true, "seed": true, "workers": true,
+	"ns_per_slot": true, "allocs_per_slot": true,
+	"lfsc_total_reward": true, "oracle_total_reward": true,
+	"lfsc_oracle_ratio": true,
 }
 
 func load(path string) (*benchResult, error) {
@@ -50,6 +67,15 @@ func load(path string) (*benchResult, error) {
 	if r.TSlots <= 0 || r.NsPerSlot <= 0 {
 		return nil, fmt.Errorf("%s: not a lfscbench artifact (t_slots=%d, ns_per_slot=%v)",
 			path, r.TSlots, r.NsPerSlot)
+	}
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &all); err == nil {
+		for k := range all {
+			if !knownKeys[k] {
+				r.extra = append(r.extra, k)
+			}
+		}
+		sort.Strings(r.extra)
 	}
 	return &r, nil
 }
@@ -97,6 +123,12 @@ func main() {
 	fmt.Printf("  %-16s %14.1f -> %14.1f  (%+.1f%%)\n", "ns/slot", old.NsPerSlot, new_.NsPerSlot, pct(old.NsPerSlot, new_.NsPerSlot))
 	fmt.Printf("  %-16s %14.2f -> %14.2f  (%+.1f%%)\n", "allocs/slot", old.AllocsPerSlot, new_.AllocsPerSlot, pct(old.AllocsPerSlot, new_.AllocsPerSlot))
 	fmt.Printf("  %-16s %14.10f -> %14.10f  (Δ %.3e)\n", "reward ratio", old.Ratio, new_.Ratio, new_.Ratio-old.Ratio)
+	for i, r := range []*benchResult{old, new_} {
+		if len(r.extra) > 0 {
+			fmt.Printf("  note: %s carries %d non-core key(s), not compared: %s\n",
+				flag.Arg(i), len(r.extra), strings.Join(r.extra, ", "))
+		}
+	}
 
 	failed := false
 	if new_.NsPerSlot > old.NsPerSlot*(1+*maxNsRegress) {

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, name, data string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const coreArtifact = `{
+  "name": "lfsc-core", "t_slots": 1000, "seed": 42,
+  "ns_per_slot": 400000, "allocs_per_slot": 2.2,
+  "lfsc_oracle_ratio": 0.84
+}`
+
+func TestLoadCoreArtifact(t *testing.T) {
+	r, err := load(writeArtifact(t, "core.json", coreArtifact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TSlots != 1000 || r.NsPerSlot != 400000 || r.Ratio != 0.84 {
+		t.Fatalf("bad decode: %+v", r)
+	}
+	if len(r.extra) != 0 {
+		t.Fatalf("core artifact flagged extras: %v", r.extra)
+	}
+}
+
+// TestLoadToleratesServeLayerKeys pins the schema-evolution contract:
+// serve-layer benchmark entries ride in BENCH_core.json without breaking
+// the core diff — they are surfaced as extras, not errors.
+func TestLoadToleratesServeLayerKeys(t *testing.T) {
+	withServe := `{
+  "name": "lfsc-core", "t_slots": 1000, "seed": 42,
+  "ns_per_slot": 400000, "allocs_per_slot": 2.2,
+  "lfsc_oracle_ratio": 0.84,
+  "serve_ns_per_slot": 9600,
+  "serve_allocs_per_slot": 14,
+  "serve_future_metric": {"nested": [1, 2, 3]}
+}`
+	r, err := load(writeArtifact(t, "serve.json", withServe))
+	if err != nil {
+		t.Fatalf("serve-layer keys broke the load: %v", err)
+	}
+	if r.NsPerSlot != 400000 || r.Ratio != 0.84 {
+		t.Fatalf("core fields perturbed by extras: %+v", r)
+	}
+	got := strings.Join(r.extra, ",")
+	want := "serve_allocs_per_slot,serve_future_metric,serve_ns_per_slot"
+	if got != want {
+		t.Fatalf("extras = %q, want %q", got, want)
+	}
+}
+
+func TestLoadRejectsNonArtifacts(t *testing.T) {
+	cases := map[string]string{
+		"empty-object": `{}`,
+		"garbage":      `not json`,
+		"zero-slots":   `{"t_slots": 0, "ns_per_slot": 1}`,
+		"zero-ns":      `{"t_slots": 10, "ns_per_slot": 0}`,
+	}
+	for name, data := range cases {
+		if _, err := load(writeArtifact(t, name, data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

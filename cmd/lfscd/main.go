@@ -1,0 +1,129 @@
+// Command lfscd is the online decision-serving daemon: the MBS side of
+// the paper's framework, run as a service. Clients POST task arrivals
+// (context vector + visible SCNs) to /v1/submit; a slot-clocked batcher
+// aggregates them into a slot, runs the LFSC decision, and returns each
+// task's SCN assignment. Realised outcomes come back through /v1/report
+// and drive the bandit update. Queues are bounded — under overload the
+// daemon sheds submissions with 429 instead of building unbounded
+// backlog.
+//
+// Usage:
+//
+//	lfscd [-addr :9090] [-scns 30] [-c 20] [-alpha 15] [-beta 27]
+//	      [-h 3] [-kmax 200] [-T 10000] [-seed 42] [-latency-ctx]
+//	      [-slot-every 100ms] [-max-batch 0] [-queue-cap 0]
+//	      [-report-wait 2s]
+//	      [-checkpoint lfscd.ckpt] [-checkpoint-every 100]
+//	      [-snapshots f.jsonl] [-snap-every 100]
+//
+// Lifecycle: on boot the daemon restores -checkpoint when the file
+// exists and resumes the learner bit-exactly (weights, multipliers,
+// slot counter, RNG streams, reward accumulator). It checkpoints
+// atomically every -checkpoint-every slots and again on SIGINT/SIGTERM
+// before exiting, so a kill at any point loses at most the slots since
+// the last periodic write — never the file.
+//
+// Observability: /lfsc/status (plain text), /v1/stats (JSON),
+// /debug/vars (expvar, including "lfsc_serve"), /debug/pprof.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lfsc/internal/obs"
+	"lfsc/internal/serve"
+	"lfsc/internal/task"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9090", "HTTP listen address")
+		scns     = flag.Int("scns", 30, "number of SCNs")
+		capacity = flag.Int("c", 20, "per-SCN beam budget")
+		alpha    = flag.Float64("alpha", 15, "QoS floor (min completed tasks)")
+		beta     = flag.Float64("beta", 27, "resource ceiling")
+		hGrain   = flag.Int("h", 3, "hypercube granularity per context dim")
+		kmax     = flag.Int("kmax", 200, "bound on per-SCN visible tasks per slot")
+		horizon  = flag.Int("T", 10000, "schedule horizon (slots)")
+		seed     = flag.Uint64("seed", 42, "master seed (policy stream = Derive(3))")
+		latCtx   = flag.Bool("latency-ctx", false, "use the 4-D context with the latency class")
+
+		slotEvery  = flag.Duration("slot-every", 100*time.Millisecond, "slot clock (0 = close only at KMax/MaxBatch/explicit close)")
+		maxBatch   = flag.Int("max-batch", 0, "close the slot at this many tasks (0 = SCNs*KMax)")
+		queueCap   = flag.Int("queue-cap", 0, "pending-task budget before shedding (0 = 4*MaxBatch)")
+		subQueue   = flag.Int("sub-queue", 0, "submission channel depth (0 = 64)")
+		reportWait = flag.Duration("report-wait", 2*time.Second, "how long a decided slot waits for outcome reports")
+
+		ckptPath  = flag.String("checkpoint", "", "checkpoint file (restore on boot, write periodically and on shutdown)")
+		ckptEvery = flag.Int("checkpoint-every", 100, "periodic checkpoint interval in slots (0 = only on shutdown)")
+
+		snapPath = flag.String("snapshots", "", "write policy-state snapshots as JSONL to this file")
+		snapK    = flag.Int("snap-every", 100, "snapshot sampling period in slots")
+	)
+	flag.Parse()
+
+	dims := task.ContextDims
+	if *latCtx {
+		dims++
+	}
+	cfg := serve.Config{
+		SCNs: *scns, Capacity: *capacity, Alpha: *alpha, Beta: *beta,
+		Dims: dims, H: *hGrain, KMax: *kmax, Horizon: *horizon, Seed: *seed,
+		SlotEvery: *slotEvery, MaxBatch: *maxBatch, QueueCap: *queueCap,
+		SubQueue: *subQueue, ReportWait: *reportWait,
+		CheckpointPath: *ckptPath, CheckpointEvery: *ckptEvery,
+		Probe:    obs.NewProbe(),
+		Registry: obs.NewRegistry(),
+	}
+	if *snapPath != "" {
+		f, err := os.Create(*snapPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfscd: snapshots: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.SnapshotEvery = *snapK
+		cfg.SnapshotSink = obs.NewJSONLWriter(f)
+	}
+
+	eng, err := serve.NewEngine(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lfscd: %v\n", err)
+		os.Exit(1)
+	}
+	if *ckptPath != "" {
+		restored, err := eng.RestoreIfPresent(*ckptPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfscd: restore: %v\n", err)
+			os.Exit(1)
+		}
+		if restored {
+			fmt.Fprintf(os.Stderr, "lfscd: restored %s: resuming at slot %d, cum reward %.4f\n",
+				*ckptPath, eng.Slot(), eng.CumReward())
+		}
+	}
+
+	srv, err := serve.StartServer(*addr, eng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lfscd: %v\n", err)
+		os.Exit(1)
+	}
+	eng.Start()
+	fmt.Fprintf(os.Stderr, "lfscd: serving http://%s/lfsc/status (M=%d c=%d α=%g β=%g h=%d kmax=%d T=%d seed=%d)\n",
+		srv.Addr(), *scns, *capacity, *alpha, *beta, *hGrain, *kmax, *horizon, *seed)
+
+	// Graceful shutdown: finish the slot in flight, write the final
+	// checkpoint, then exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "lfscd: %v: checkpointing and shutting down\n", s)
+	srv.Close()
+	eng.Stop()
+	fmt.Fprintf(os.Stderr, "lfscd: stopped at slot %d, cum reward %.4f\n", eng.Slot(), eng.CumReward())
+}

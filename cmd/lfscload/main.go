@@ -1,0 +1,121 @@
+// Command lfscload replays a seeded synthetic trace against a running
+// lfscd daemon over HTTP: it regenerates the workload slot by slot,
+// submits each slot's arrivals, realises outcomes for the returned
+// assignment with the simulator's common-random-number scheme, and
+// reports them back. At the end it prints throughput, shed rate,
+// client-observed latency percentiles, and the cumulative reward —
+// which, when the daemon was started with the matching scenario and
+// seed, is bit-identical to an offline `lfscsim -policies lfsc` run.
+//
+// Usage:
+//
+//	lfscload [-addr localhost:9090] [-T 1000] [-from 0] [-resume]
+//	         [-scns 30] [-min 35] [-max 100] [-overlap 0.3]
+//	         [-c 20] [-alpha 15] [-beta 27] [-h 3] [-seed 42]
+//	         [-latency-ctx] [-progress 0]
+//
+// -resume asks the daemon for its current slot and replays from there —
+// the companion to lfscd's checkpointed restart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lfsc/internal/env"
+	"lfsc/internal/serve"
+	"lfsc/internal/trace"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:9090", "daemon address (host:port)")
+		horizon  = flag.Int("T", 1000, "replay through slot T")
+		from     = flag.Int("from", 0, "first slot to replay")
+		resume   = flag.Bool("resume", false, "start from the daemon's current slot (overrides -from)")
+		scns     = flag.Int("scns", 30, "number of SCNs")
+		minTasks = flag.Int("min", 35, "min tasks per SCN per slot")
+		maxTasks = flag.Int("max", 100, "max tasks per SCN per slot")
+		overlap  = flag.Float64("overlap", 0.3, "coverage overlap probability")
+		capacity = flag.Int("c", 20, "per-SCN beam budget (scenario echo)")
+		alpha    = flag.Float64("alpha", 15, "QoS floor (scenario echo)")
+		beta     = flag.Float64("beta", 27, "resource ceiling (scenario echo)")
+		hGrain   = flag.Int("h", 3, "hypercube granularity per context dim")
+		seed     = flag.Uint64("seed", 42, "master seed (must match the daemon's)")
+		latCtx   = flag.Bool("latency-ctx", false, "use the 4-D context with the latency class")
+		progress = flag.Int("progress", 0, "print a progress line every N slots (0 = off)")
+	)
+	flag.Parse()
+
+	sc := serve.ReplayScenario{
+		Synthetic: trace.SyntheticConfig{
+			SCNs: *scns, MinTasks: *minTasks, MaxTasks: *maxTasks,
+			Overlap: *overlap, LatencySensitiveFrac: 0.5,
+		},
+		EnvCfg:   env.DefaultConfig(*scns, 27),
+		Capacity: *capacity, Alpha: *alpha, Beta: *beta,
+		H: *hGrain, T: *horizon,
+		UseLatencyContext: *latCtx,
+		Seed:              *seed,
+	}
+	rep, err := serve.NewReplayer(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lfscload: %v\n", err)
+		os.Exit(1)
+	}
+	client := serve.NewClient(*addr)
+
+	start := *from
+	if *resume {
+		st, err := client.Stats()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfscload: -resume: %v\n", err)
+			os.Exit(1)
+		}
+		start = st.Slot
+		fmt.Fprintf(os.Stderr, "lfscload: daemon at slot %d, resuming there\n", start)
+	}
+	if start >= *horizon {
+		fmt.Fprintf(os.Stderr, "lfscload: nothing to do (from=%d, T=%d)\n", start, *horizon)
+		return
+	}
+
+	var onSlot func(serve.SlotResult)
+	if *progress > 0 {
+		onSlot = func(r serve.SlotResult) {
+			if (r.Slot+1)%*progress == 0 {
+				fmt.Fprintf(os.Stderr, "lfscload: slot %d/%d  cum reward %.4f\n",
+					r.Slot+1, *horizon, rep.CumReward())
+			}
+		}
+	}
+
+	t0 := time.Now()
+	st, err := rep.Run(client, start, *horizon, onSlot)
+	wall := time.Since(t0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lfscload: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("slots:      %d (%.1f/s over %v)\n",
+		st.Slots, float64(st.Slots)/wall.Seconds(), wall.Round(time.Millisecond))
+	fmt.Printf("tasks:      %d submitted, %d assigned\n", st.Tasks, st.Assigned)
+	fmt.Printf("shed slots: %d (%.2f%%)\n",
+		st.ShedSlots, 100*float64(st.ShedSlots)/float64(max(st.Slots, 1)))
+	fmt.Printf("cum reward: %.6f\n", st.CumReward)
+	if ls := rep.Latency.Stat("request"); ls.Count > 0 {
+		fmt.Printf("latency:    n=%d mean=%v p50=%v p90=%v p99=%v\n",
+			ls.Count,
+			time.Duration(ls.MeanNS).Round(time.Microsecond),
+			time.Duration(ls.P50NS).Round(time.Microsecond),
+			time.Duration(ls.P90NS).Round(time.Microsecond),
+			time.Duration(ls.P99NS).Round(time.Microsecond))
+	}
+	if dst, err := client.Stats(); err == nil {
+		fmt.Printf("daemon:     slot %d  cum reward %.6f  shed requests %d  late slots %d\n",
+			dst.Slot, dst.CumReward, dst.ShedRequests, dst.LateSlots)
+	}
+}

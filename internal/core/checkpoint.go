@@ -8,7 +8,16 @@ import (
 )
 
 // checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
+//
+//	v1: log-weights + Lagrange multipliers.
+//	v2: adds the slot counter t (so the γ/η/δ schedule and the learner's
+//	    slot clock resume where they left off) and the per-SCN RNG stream
+//	    states (so the DepRound candidate sampling of a resumed run is
+//	    bit-identical to a run that never stopped).
+//
+// Load accepts both: a v1 checkpoint restores with t = 0 and fresh RNG
+// streams — the learned state carries over, the slot clock does not.
+const checkpointVersion = 2
 
 // checkpoint is the serialised learner state. Only the learned quantities
 // are stored; the configuration travels separately (a checkpoint can only
@@ -17,43 +26,55 @@ type checkpoint struct {
 	Version int         `json:"version"`
 	SCNs    int         `json:"scns"`
 	Cells   int         `json:"cells"`
+	T       int         `json:"t,omitempty"`
 	LogW    [][]float64 `json:"log_weights"`
 	Lambda1 []float64   `json:"lambda1"`
 	Lambda2 []float64   `json:"lambda2"`
+	// Rng holds one (state, inc, root) triple per SCN — the full PCG state
+	// of each SCN's private stream (see rng.Stream.State).
+	Rng [][3]uint64 `json:"rng,omitempty"`
 }
 
-// Save serialises the learner's state (hypercube log-weights and Lagrange
-// multipliers) to w as JSON. A deployment can checkpoint a trained MBS
-// controller and restore it after a restart instead of re-exploring.
+// Save serialises the learner's state (hypercube log-weights, Lagrange
+// multipliers, slot counter, and per-SCN RNG streams) to w as JSON. A
+// deployment can checkpoint a trained MBS controller and restore it after
+// a restart instead of re-exploring; with the v2 fields the restored
+// controller continues the original run bit-identically.
 func (l *LFSC) Save(w io.Writer) error {
 	cp := checkpoint{
 		Version: checkpointVersion,
 		SCNs:    l.cfg.SCNs,
 		Cells:   l.cfg.Cells,
+		T:       l.slots,
 		LogW:    make([][]float64, l.cfg.SCNs),
 		Lambda1: make([]float64, l.cfg.SCNs),
 		Lambda2: make([]float64, l.cfg.SCNs),
+		Rng:     make([][3]uint64, l.cfg.SCNs),
 	}
 	for m, st := range l.scns {
 		cp.LogW[m] = append([]float64(nil), st.logW...)
 		cp.Lambda1[m] = st.lambda1
 		cp.Lambda2[m] = st.lambda2
+		cp.Rng[m] = st.r.State()
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&cp)
 }
 
 // Load restores learner state previously written by Save. The checkpoint
-// must match the policy's SCN count and cell count exactly; all values must
-// be finite and multipliers non-negative.
+// must match the policy's SCN count and cell count exactly; every value is
+// validated (finite weights, non-negative finite multipliers, a
+// non-negative slot counter, structurally valid RNG triples) BEFORE any
+// policy state is touched — a rejected checkpoint, however corrupt,
+// truncated, or shape-mismatched, leaves the policy exactly as it was.
 func (l *LFSC) Load(r io.Reader) error {
 	var cp checkpoint
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&cp); err != nil {
 		return fmt.Errorf("core: decode checkpoint: %w", err)
 	}
-	if cp.Version != checkpointVersion {
-		return fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	if cp.Version != 1 && cp.Version != checkpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, want 1 or %d", cp.Version, checkpointVersion)
 	}
 	if cp.SCNs != l.cfg.SCNs || cp.Cells != l.cfg.Cells {
 		return fmt.Errorf("core: checkpoint shape %dx%d, policy %dx%d",
@@ -61,6 +82,23 @@ func (l *LFSC) Load(r io.Reader) error {
 	}
 	if len(cp.LogW) != cp.SCNs || len(cp.Lambda1) != cp.SCNs || len(cp.Lambda2) != cp.SCNs {
 		return fmt.Errorf("core: checkpoint arrays inconsistent with SCN count")
+	}
+	if cp.T < 0 {
+		return fmt.Errorf("core: checkpoint has negative slot counter %d", cp.T)
+	}
+	// v1 checkpoints predate the RNG fields; for v2 the triples must be
+	// present for every SCN and structurally valid (odd PCG increments).
+	if cp.Version >= 2 {
+		if len(cp.Rng) != cp.SCNs {
+			return fmt.Errorf("core: checkpoint has %d RNG states, want %d", len(cp.Rng), cp.SCNs)
+		}
+		for m, st := range cp.Rng {
+			if st[1]&1 == 0 {
+				return fmt.Errorf("core: SCN %d has invalid RNG state (even increment)", m)
+			}
+		}
+	} else if len(cp.Rng) != 0 {
+		return fmt.Errorf("core: v1 checkpoint carries RNG states")
 	}
 	for m := 0; m < cp.SCNs; m++ {
 		if len(cp.LogW[m]) != cp.Cells {
@@ -72,7 +110,8 @@ func (l *LFSC) Load(r io.Reader) error {
 			}
 		}
 		if cp.Lambda1[m] < 0 || cp.Lambda2[m] < 0 ||
-			math.IsNaN(cp.Lambda1[m]) || math.IsNaN(cp.Lambda2[m]) {
+			math.IsNaN(cp.Lambda1[m]) || math.IsNaN(cp.Lambda2[m]) ||
+			math.IsInf(cp.Lambda1[m], 0) || math.IsInf(cp.Lambda2[m], 0) {
 			return fmt.Errorf("core: SCN %d has invalid multipliers", m)
 		}
 	}
@@ -81,7 +120,19 @@ func (l *LFSC) Load(r io.Reader) error {
 		copy(st.logW, cp.LogW[m])
 		st.lambda1 = cp.Lambda1[m]
 		st.lambda2 = cp.Lambda2[m]
+		if cp.Version >= 2 {
+			if !st.r.Restore(cp.Rng[m]) {
+				// Unreachable: validated above. Guard anyway so a logic
+				// error cannot half-commit.
+				return fmt.Errorf("core: SCN %d RNG restore failed", m)
+			}
+		}
 		st.resetSlot() // any in-flight slot scratch is stale now
+	}
+	if cp.Version >= 2 {
+		l.slots = cp.T
+	} else {
+		l.slots = 0
 	}
 	return nil
 }

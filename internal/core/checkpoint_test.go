@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -108,5 +110,200 @@ func TestCheckpointRejectsCorrupt(t *testing.T) {
 		if v != 0 {
 			t.Fatal("failed load mutated weights")
 		}
+	}
+}
+
+func TestCheckpointRejectsCorruptV2(t *testing.T) {
+	l := trainedLFSC(t, 35)
+	before := snapshotState(l)
+	cases := []string{
+		// negative slot counter
+		`{"version":2,"scns":2,"cells":4,"t":-1,"log_weights":[[0,0,0,0],[0,0,0,0]],"lambda1":[0,0],"lambda2":[0,0],"rng":[[1,3,5],[1,3,5]]}`,
+		// missing RNG states
+		`{"version":2,"scns":2,"cells":4,"t":5,"log_weights":[[0,0,0,0],[0,0,0,0]],"lambda1":[0,0],"lambda2":[0,0]}`,
+		// wrong RNG state count
+		`{"version":2,"scns":2,"cells":4,"t":5,"log_weights":[[0,0,0,0],[0,0,0,0]],"lambda1":[0,0],"lambda2":[0,0],"rng":[[1,3,5]]}`,
+		// even PCG increment — structurally impossible stream state
+		`{"version":2,"scns":2,"cells":4,"t":5,"log_weights":[[0,0,0,0],[0,0,0,0]],"lambda1":[0,0],"lambda2":[0,0],"rng":[[1,3,5],[1,2,5]]}`,
+		// v1 checkpoints must not smuggle RNG states
+		`{"version":1,"scns":2,"cells":4,"log_weights":[[0,0,0,0],[0,0,0,0]],"lambda1":[0,0],"lambda2":[0,0],"rng":[[1,3,5],[1,3,5]]}`,
+		// out-of-range float literal
+		`{"version":1,"scns":2,"cells":4,"log_weights":[[1e999,0,0,0],[0,0,0,0]],"lambda1":[0,0],"lambda2":[0,0]}`,
+		// truncated mid-object
+		`{"version":2,"scns":2,`,
+	}
+	for i, c := range cases {
+		if err := l.Load(strings.NewReader(c)); err == nil {
+			t.Fatalf("corrupt v2 checkpoint %d accepted", i)
+		}
+		if !statesEqual(before, snapshotState(l)) {
+			t.Fatalf("corrupt checkpoint %d partially mutated policy state", i)
+		}
+	}
+}
+
+// snapshotState captures every externally observable piece of learner
+// state touched by Load, for no-partial-mutation assertions.
+type lfscState struct {
+	weights [][]float64
+	lambda1 []float64
+	lambda2 []float64
+	slots   int
+}
+
+func snapshotState(l *LFSC) lfscState {
+	var s lfscState
+	for m := 0; m < l.cfg.SCNs; m++ {
+		s.weights = append(s.weights, append([]float64(nil), l.Weights(m)...))
+		l1, l2 := l.Multipliers(m)
+		s.lambda1 = append(s.lambda1, l1)
+		s.lambda2 = append(s.lambda2, l2)
+	}
+	s.slots = l.SlotsSeen()
+	return s
+}
+
+func statesEqual(a, b lfscState) bool {
+	if a.slots != b.slots || len(a.weights) != len(b.weights) {
+		return false
+	}
+	for m := range a.weights {
+		if a.lambda1[m] != b.lambda1[m] || a.lambda2[m] != b.lambda2[m] {
+			return false
+		}
+		for f := range a.weights[m] {
+			if a.weights[m][f] != b.weights[m][f] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCheckpointCarriesSlotCounter(t *testing.T) {
+	l := trainedLFSC(t, 36)
+	if got := l.SlotsSeen(); got != 100 {
+		t.Fatalf("trained learner saw %d slots, want 100", got)
+	}
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := MustNew(testConfig(), rng.New(999))
+	if err := fresh.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.SlotsSeen(); got != 100 {
+		t.Fatalf("restored learner reports %d slots, want 100", got)
+	}
+}
+
+func TestCheckpointV1BackwardCompatible(t *testing.T) {
+	l := trainedLFSC(t, 37)
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the v2 checkpoint as the v1 format: same learned state, no
+	// slot counter, no RNG streams.
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = 1
+	delete(m, "t")
+	delete(m, "rng")
+	v1, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := MustNew(testConfig(), rng.New(38))
+	if err := fresh.Load(bytes.NewReader(v1)); err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	for scn := 0; scn < testConfig().SCNs; scn++ {
+		wa, wb := l.Weights(scn), fresh.Weights(scn)
+		for f := range wa {
+			if wa[f] != wb[f] {
+				t.Fatalf("weight [%d][%d] differs after v1 restore", scn, f)
+			}
+		}
+	}
+	if got := fresh.SlotsSeen(); got != 0 {
+		t.Fatalf("v1 restore set slot counter to %d, want 0", got)
+	}
+}
+
+// driftTruth is a time-varying outcome table: utilities, completion
+// probabilities, and costs oscillate slowly so the learner keeps
+// re-weighting throughout the run (the "reward drift" regime).
+func driftTruth(t0 int) map[int][3]float64 {
+	s := 0.5 + 0.4*math.Sin(float64(t0)/17)
+	return map[int][3]float64{
+		0: {0.9 * s, 0.9, 1.1},
+		1: {0.2 + 0.3*s, 0.4, 1.8},
+		2: {0.6, 0.5 + 0.4*s, 1.3},
+		3: {0.4, 0.2, 1.2 + 0.5*s},
+	}
+}
+
+// TestCheckpointResumeBitIdenticalUnderDrift is the core determinism
+// guarantee the serving daemon's kill-and-resume rests on: Save at slot
+// 100, restore into a learner constructed with a DIFFERENT seed, and the
+// twin must replay slots 100..159 with the exact same decisions, weights,
+// and multipliers as the original that never stopped — under drifting
+// rewards, so any state the checkpoint failed to carry would diverge.
+func TestCheckpointResumeBitIdenticalUnderDrift(t *testing.T) {
+	cfg := testConfig()
+	l := MustNew(cfg, rng.New(40))
+	fbRoot := rng.New(41)
+	var slotR rng.Stream
+	slot := func(p *LFSC, t0 int) []int {
+		view := makeView(t0, [][]int{{0, 1, 2, 3, 0, 1}, {2, 3, 0, 1}})
+		fbRoot.DeriveInto(uint64(t0), &slotR)
+		return runSlot(p, view, driftTruth(t0), &slotR)
+	}
+	for t0 := 0; t0 < 100; t0++ {
+		slot(l, t0)
+	}
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	twin := MustNew(cfg, rng.New(9999))
+	if err := twin.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := twin.SlotsSeen(); got != 100 {
+		t.Fatalf("twin resumed at slot %d, want 100", got)
+	}
+
+	for t0 := 100; t0 < 160; t0++ {
+		da := slot(l, t0)
+		db := slot(twin, t0)
+		for i := range da {
+			if da[i] != db[i] {
+				t.Fatalf("slot %d: decision for task %d diverged (%d vs %d)",
+					t0, i, da[i], db[i])
+			}
+		}
+	}
+	for m := 0; m < cfg.SCNs; m++ {
+		wa, wb := l.Weights(m), twin.Weights(m)
+		for f := range wa {
+			if wa[f] != wb[f] {
+				t.Fatalf("weight [%d][%d] diverged after resume: %x vs %x",
+					m, f, wa[f], wb[f])
+			}
+		}
+		la1, la2 := l.Multipliers(m)
+		lb1, lb2 := twin.Multipliers(m)
+		if la1 != lb1 || la2 != lb2 {
+			t.Fatalf("multipliers for SCN %d diverged after resume", m)
+		}
+	}
+	if l.SlotsSeen() != twin.SlotsSeen() {
+		t.Fatalf("slot counters diverged: %d vs %d", l.SlotsSeen(), twin.SlotsSeen())
 	}
 }

@@ -299,6 +299,13 @@ type LFSC struct {
 	slackPull         float64
 	scns              []*scnState
 	r                 *rng.Stream
+	// slots counts completed Decide/Observe rounds. It is checkpointed so
+	// a restored learner knows how far through the horizon it is: the
+	// γ/η/δ schedule and the per-slot decay are calibrated against
+	// Horizon, and a serving deployment that resumes from a checkpoint
+	// must continue the schedule (and its own slot clock) from this point
+	// rather than restarting at zero.
+	slots int
 
 	// Policy-global scratch, owned by the single goroutine driving
 	// Decide/Observe (the per-SCN workers only write their own index of
@@ -366,6 +373,10 @@ func (l *LFSC) Name() string { return "LFSC" }
 
 // Gamma returns the effective exploration rate (for reports).
 func (l *LFSC) Gamma() float64 { return l.gamma }
+
+// SlotsSeen returns the number of completed Decide/Observe rounds the
+// learner has absorbed (including any carried in from a checkpoint).
+func (l *LFSC) SlotsSeen() int { return l.slots }
 
 // Multipliers returns SCN m's current Lagrange multipliers (λ1, λ2).
 func (l *LFSC) Multipliers(m int) (float64, float64) {
@@ -820,6 +831,7 @@ func (l *LFSC) Observe(view *policy.SlotView, assigned []int, fb *policy.Feedbac
 	} else {
 		parallel.For(len(view.SCNs), workers, func(m int) { l.observeSCN(view, fb, m) })
 	}
+	l.slots++
 }
 
 // observeSCN runs Alg. 3 for one SCN. Like decideSCN it touches only SCN

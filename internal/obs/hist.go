@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free, allocation-free log₂-bucketed duration
+// histogram: the recording state behind each probe phase, exported so
+// other layers (the serving daemon's request-latency tracking) can reuse
+// the same machinery and fidelity. All fields are atomics — concurrent
+// writers and readers (HTTP status handlers) need no coordination — and
+// the zero value is ready to use. A nil *Histogram disables every method
+// behind a single nil check, matching the Probe contract.
+type Histogram struct {
+	count atomic.Uint64
+	sumNS atomic.Uint64
+	hist  [histBuckets]atomic.Uint64
+}
+
+// Record adds one sample of ns nanoseconds.
+func (h *Histogram) Record(ns uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	h.hist[bucketOf(ns)].Add(1)
+}
+
+// Observe records the elapsed time since start (a time.Now() captured at
+// the operation's entry). Negative clock skews record as zero.
+func (h *Histogram) Observe(start time.Time) {
+	if h == nil {
+		return
+	}
+	d := time.Since(start)
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// TotalNS returns the summed duration of all recorded samples.
+func (h *Histogram) TotalNS() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sumNS.Load()
+}
+
+// Reset zeroes every counter.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sumNS.Store(0)
+	for b := range h.hist {
+		h.hist[b].Store(0)
+	}
+}
+
+// Stat snapshots the histogram into a PhaseStat labelled with the given
+// name. Reads are atomic per counter but not mutually consistent across
+// counters — fine for monitoring. A histogram with no samples yields a
+// zero-count stat.
+func (h *Histogram) Stat(label string) PhaseStat {
+	if h == nil {
+		return PhaseStat{Phase: label}
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return PhaseStat{Phase: label}
+	}
+	var snap [histBuckets]uint64
+	for b := range snap {
+		snap[b] = h.hist[b].Load()
+	}
+	sum := h.sumNS.Load()
+	return PhaseStat{
+		Phase:   label,
+		Count:   n,
+		TotalNS: sum,
+		MeanNS:  float64(sum) / float64(n),
+		P50NS:   histPercentile(&snap, 0.50),
+		P90NS:   histPercentile(&snap, 0.90),
+		P99NS:   histPercentile(&snap, 0.99),
+	}
+}
+
+// histPercentile returns the approximate q-quantile of a bucketed sample.
+func histPercentile(hist *[histBuckets]uint64, q float64) float64 {
+	var total uint64
+	for _, n := range hist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for b, n := range hist {
+		seen += n
+		if seen >= rank {
+			return bucketMidNS(b)
+		}
+	}
+	return bucketMidNS(histBuckets - 1)
+}

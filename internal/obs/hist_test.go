@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramRecordAndStat(t *testing.T) {
+	var h Histogram
+	// 10 samples at ~1µs, 1 sample at ~1ms: p50 must sit in the µs decade
+	// and p99 in the ms decade.
+	for i := 0; i < 10; i++ {
+		h.Record(1000)
+	}
+	h.Record(1 << 20)
+	st := h.Stat("req")
+	if st.Phase != "req" || st.Count != 11 {
+		t.Fatalf("stat = %+v", st)
+	}
+	if want := uint64(10*1000 + 1<<20); st.TotalNS != want {
+		t.Fatalf("TotalNS = %d, want %d", st.TotalNS, want)
+	}
+	if st.P50NS < 512 || st.P50NS > 2048 {
+		t.Fatalf("p50 = %v, want within the 1µs bucket", st.P50NS)
+	}
+	if st.P99NS < float64(1<<19) {
+		t.Fatalf("p99 = %v, want in the outlier bucket", st.P99NS)
+	}
+	if h.Count() != 11 || h.TotalNS() != st.TotalNS {
+		t.Fatal("accessors disagree with Stat")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.TotalNS() != 0 || h.Stat("req").Count != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 || h.TotalNS() < uint64(time.Millisecond) {
+		t.Fatalf("Observe recorded count=%d total=%d", h.Count(), h.TotalNS())
+	}
+	// A start in the future (clock skew) must clamp to zero, not wrap.
+	h.Observe(time.Now().Add(time.Hour))
+	if h.Count() != 2 || h.TotalNS() > uint64(time.Second) {
+		t.Fatalf("future start wrapped: total=%d", h.TotalNS())
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(5)
+	h.Observe(time.Now())
+	h.Reset()
+	if h.Count() != 0 || h.TotalNS() != 0 {
+		t.Fatal("nil histogram reported samples")
+	}
+	if st := h.Stat("x"); st.Phase != "x" || st.Count != 0 {
+		t.Fatalf("nil Stat = %+v", st)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("lost samples: %d", h.Count())
+	}
+}

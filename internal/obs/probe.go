@@ -69,20 +69,13 @@ func (ph Phase) String() string {
 // buckets cover 1 ns to ~9 minutes, far beyond any per-slot phase.
 const histBuckets = 40
 
-// phaseCounter is the pre-allocated recording state of one phase.
-// All fields are atomics: several concurrent runs (RunAll) may share one
-// Probe, and the HTTP status handler reads while runs write.
-type phaseCounter struct {
-	count atomic.Uint64
-	sumNS atomic.Uint64
-	hist  [histBuckets]atomic.Uint64
-}
-
-// Probe records per-phase wall time of the simulation loop. The zero
-// value is ready to use; a nil *Probe is valid and disables every method
-// (the single-nil-check fast path).
+// Probe records per-phase wall time of the simulation loop. Each phase is
+// an obs.Histogram (pre-allocated atomics: several concurrent runs may
+// share one Probe, and the HTTP status handler reads while runs write).
+// The zero value is ready to use; a nil *Probe is valid and disables
+// every method (the single-nil-check fast path).
 type Probe struct {
-	phases [NumPhases]phaseCounter
+	phases [NumPhases]Histogram
 	slots  atomic.Uint64
 }
 
@@ -109,11 +102,18 @@ func (p *Probe) Lap(ph Phase, last time.Time) time.Time {
 	if d < 0 {
 		d = 0
 	}
-	c := &p.phases[ph]
-	c.count.Add(1)
-	c.sumNS.Add(uint64(d))
-	c.hist[bucketOf(uint64(d))].Add(1)
+	p.phases[ph].Record(uint64(d))
 	return now
+}
+
+// Phase returns the histogram backing phase ph, so callers that already
+// measure a span themselves (the serving engine wraps whole request
+// handlers) can record into the same sink Lap feeds.
+func (p *Probe) Phase(ph Phase) *Histogram {
+	if p == nil {
+		return nil
+	}
+	return &p.phases[ph]
 }
 
 // EndSlot marks one completed slot (the denominator for slot rates).
@@ -139,7 +139,7 @@ func (p *Probe) TotalNS() uint64 {
 	}
 	var total uint64
 	for ph := range p.phases {
-		total += p.phases[ph].sumNS.Load()
+		total += p.phases[ph].TotalNS()
 	}
 	return total
 }
@@ -150,12 +150,7 @@ func (p *Probe) Reset() {
 		return
 	}
 	for ph := range p.phases {
-		c := &p.phases[ph]
-		c.count.Store(0)
-		c.sumNS.Store(0)
-		for b := range c.hist {
-			c.hist[b].Store(0)
-		}
+		p.phases[ph].Reset()
 	}
 	p.slots.Store(0)
 }
@@ -200,48 +195,11 @@ func (p *Probe) Stats() []PhaseStat {
 	}
 	out := make([]PhaseStat, 0, NumPhases)
 	for ph := Phase(0); ph < NumPhases; ph++ {
-		c := &p.phases[ph]
-		n := c.count.Load()
-		if n == 0 {
+		st := p.phases[ph].Stat(ph.String())
+		if st.Count == 0 {
 			continue
 		}
-		var hist [histBuckets]uint64
-		for b := range hist {
-			hist[b] = c.hist[b].Load()
-		}
-		sum := c.sumNS.Load()
-		out = append(out, PhaseStat{
-			Phase:   ph.String(),
-			Count:   n,
-			TotalNS: sum,
-			MeanNS:  float64(sum) / float64(n),
-			P50NS:   histPercentile(&hist, 0.50),
-			P90NS:   histPercentile(&hist, 0.90),
-			P99NS:   histPercentile(&hist, 0.99),
-		})
+		out = append(out, st)
 	}
 	return out
-}
-
-// histPercentile returns the approximate q-quantile of a bucketed sample.
-func histPercentile(hist *[histBuckets]uint64, q float64) float64 {
-	var total uint64
-	for _, n := range hist {
-		total += n
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen uint64
-	for b, n := range hist {
-		seen += n
-		if seen >= rank {
-			return bucketMidNS(b)
-		}
-	}
-	return bucketMidNS(histBuckets - 1)
 }

@@ -263,3 +263,22 @@ func (s *Stream) Categorical(weights []float64) int {
 	}
 	return len(weights) - 1
 }
+
+// State captures the stream's exact internal state as a (state, inc, root)
+// triple, for checkpointing. Restoring the triple into any Stream resumes
+// the sequence bit-identically: the triple IS the stream.
+func (s *Stream) State() [3]uint64 {
+	return [3]uint64{s.state, s.inc, s.root}
+}
+
+// Restore overwrites the stream with a previously captured State triple.
+// It reports whether the triple is structurally valid (the PCG increment
+// must be odd); an invalid triple leaves the stream untouched, so callers
+// can validate a whole checkpoint before committing any of it.
+func (s *Stream) Restore(st [3]uint64) bool {
+	if st[1]&1 == 0 {
+		return false
+	}
+	s.state, s.inc, s.root = st[0], st[1], st[2]
+	return true
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// engineCheckpoint is the daemon's on-disk state: the serving slot
+// counter, the cumulative reward accumulator (so a resumed daemon
+// continues the exact same float addition sequence — hex-float identity
+// with an uninterrupted run), and the learner's own v2 checkpoint as an
+// embedded document.
+type engineCheckpoint struct {
+	Version   int             `json:"version"`
+	Slot      int             `json:"slot"`
+	CumReward float64         `json:"cum_reward"`
+	Policy    json.RawMessage `json:"policy"`
+}
+
+const engineCheckpointVersion = 1
+
+// checkpointNow atomically writes the engine's current state to
+// cfg.CheckpointPath: serialise to a temp file in the same directory,
+// fsync, rename. A crash mid-write leaves the previous checkpoint
+// intact; a crash after rename leaves the new one — never a torn file.
+// Engine-goroutine only.
+func (e *Engine) checkpointNow() error {
+	var pol bytes.Buffer
+	if err := e.pol.Save(&pol); err != nil {
+		return fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	cp := engineCheckpoint{
+		Version:   engineCheckpointVersion,
+		Slot:      e.pol.SlotsSeen(),
+		CumReward: e.CumReward(),
+		Policy:    json.RawMessage(bytes.TrimSpace(pol.Bytes())),
+	}
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	return atomicWrite(e.cfg.CheckpointPath, data)
+}
+
+// atomicWrite writes data via a temp file in path's directory plus a
+// rename, syncing the file before the swap.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint temp: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// Restore loads a daemon checkpoint into the engine. Call before Start.
+// The learner's Load performs full validation and commits atomically; on
+// any error the engine keeps its fresh state.
+func (e *Engine) Restore(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: restore: %w", err)
+	}
+	var cp engineCheckpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return fmt.Errorf("serve: restore: %w", err)
+	}
+	if cp.Version != engineCheckpointVersion {
+		return fmt.Errorf("serve: restore: checkpoint version %d, want %d", cp.Version, engineCheckpointVersion)
+	}
+	if cp.Slot < 0 {
+		return fmt.Errorf("serve: restore: negative slot %d", cp.Slot)
+	}
+	if err := e.pol.Load(bytes.NewReader(cp.Policy)); err != nil {
+		return fmt.Errorf("serve: restore: %w", err)
+	}
+	if got := e.pol.SlotsSeen(); got != cp.Slot {
+		return fmt.Errorf("serve: restore: slot counter mismatch (engine %d, policy %d)", cp.Slot, got)
+	}
+	e.cumRewardBits.Store(math.Float64bits(cp.CumReward))
+	e.slotAtomic.Store(int64(cp.Slot))
+	return nil
+}
+
+// RestoreIfPresent restores from path when the file exists, and reports
+// whether it did. A missing file is a fresh boot, not an error.
+func (e *Engine) RestoreIfPresent(path string) (bool, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return false, nil
+	}
+	if err := e.Restore(path); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a thin typed wrapper over the daemon's HTTP/JSON API, used
+// by the lfscload replayer and the serve tests.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets the daemon at addr (host:port, no scheme).
+func NewClient(addr string) *Client {
+	return &Client{
+		base: "http://" + addr,
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// ErrShed is returned when the daemon refused a submission with 429.
+type ErrShed struct{ Msg string }
+
+func (e *ErrShed) Error() string { return "serve client: shed: " + e.Msg }
+
+// ErrLate is returned when the daemon rejected a report with 410 (the
+// slot had already closed).
+type ErrLate struct{ Msg string }
+
+func (e *ErrLate) Error() string { return "serve client: late report: " + e.Msg }
+
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("serve client: encode: %w", err)
+	}
+	hr, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("serve client: %s: %w", path, err)
+	}
+	defer hr.Body.Close()
+	data, err := io.ReadAll(hr.Body)
+	if err != nil {
+		return fmt.Errorf("serve client: %s: read: %w", path, err)
+	}
+	if hr.StatusCode != http.StatusOK {
+		var eb errorBody
+		msg := string(data)
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		switch hr.StatusCode {
+		case http.StatusTooManyRequests:
+			return &ErrShed{Msg: msg}
+		case http.StatusGone:
+			return &ErrLate{Msg: msg}
+		}
+		return fmt.Errorf("serve client: %s: %d: %s", path, hr.StatusCode, msg)
+	}
+	if err := json.Unmarshal(data, resp); err != nil {
+		return fmt.Errorf("serve client: %s: decode: %w", path, err)
+	}
+	return nil
+}
+
+// Submit posts task arrivals and returns the slot decision.
+func (c *Client) Submit(req *SubmitRequest) (*SubmitResponse, error) {
+	var resp SubmitResponse
+	if err := c.post("/v1/submit", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Report posts realised outcomes for an open slot.
+func (c *Client) Report(req *ReportRequest) (*ReportResponse, error) {
+	var resp ReportResponse
+	if err := c.post("/v1/report", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the daemon's serving counters.
+func (c *Client) Stats() (*Stats, error) {
+	hr, err := c.hc.Get(c.base + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("serve client: stats: %w", err)
+	}
+	defer hr.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("serve client: stats: decode: %w", err)
+	}
+	return &st, nil
+}

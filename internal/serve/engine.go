@@ -1,0 +1,760 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lfsc/internal/core"
+	"lfsc/internal/hypercube"
+	"lfsc/internal/obs"
+	"lfsc/internal/policy"
+	"lfsc/internal/rng"
+	"lfsc/internal/task"
+)
+
+// Config parameterises the serving engine. The learner/topology block
+// must match what the clients believe (a replaying load generator built
+// from the same scenario and seed produces bit-identical decisions to an
+// offline sim.Run — see ReplayScenario); the serving block tunes the
+// batcher and backpressure.
+type Config struct {
+	// Learner / topology. Seed feeds the same master-stream derivation the
+	// simulator uses: the policy's RNG is rng.New(Seed).Derive(3).
+	SCNs     int
+	Capacity int
+	Alpha    float64
+	Beta     float64
+	Dims     int // context dimensionality (task.ContextDims, +1 with latency class)
+	H        int // hypercube granularity h_T
+	KMax     int // bound on per-SCN visible tasks per slot
+	Horizon  int // schedule horizon T
+	Seed     uint64
+
+	// Serving knobs.
+	//
+	// SlotEvery is the slot clock: a non-empty batch closes on each tick.
+	// Zero disables the clock — slots then close only at KMax, MaxBatch,
+	// or an explicit SubmitRequest.Close (lockstep replay).
+	SlotEvery time.Duration
+	// MaxBatch closes the slot once it holds at least this many tasks
+	// (checked after each whole submission; submissions are never split
+	// across slots). Zero defaults to SCNs*KMax, the structural bound.
+	MaxBatch int
+	// QueueCap bounds tasks accepted but not yet decided; submissions
+	// that would exceed it are shed with 429. Zero defaults to 4*MaxBatch.
+	QueueCap int
+	// SubQueue is the submission channel depth (whole submissions).
+	// Zero defaults to 64.
+	SubQueue int
+	// ReportWait bounds how long a decided slot stays open for outcome
+	// reports before Observe runs with whatever arrived. Zero defaults
+	// to 2s.
+	ReportWait time.Duration
+
+	// CheckpointPath enables checkpointing: the engine atomically writes
+	// its state there every CheckpointEvery slots and on graceful Stop.
+	CheckpointPath string
+	// CheckpointEvery is the periodic checkpoint interval in slots
+	// (0 = only on Stop).
+	CheckpointEvery int
+
+	// Observability (all optional, nil-safe). Probe records the engine's
+	// slot phases (view/decide/realize/observe/snapshot); Registry makes
+	// the serving run visible on /lfsc/status and expvar.
+	Probe    *obs.Probe
+	Registry *obs.Registry
+	// SnapshotEvery > 0 emits a policy snapshot to SnapshotSink every
+	// that many slots (JSONL events, mirroring the simulator's -snapshots).
+	SnapshotEvery int
+	SnapshotSink  obs.SnapshotSink
+}
+
+func (c *Config) withDefaults() Config {
+	cp := *c
+	if cp.Dims == 0 {
+		cp.Dims = task.ContextDims
+	}
+	if cp.MaxBatch <= 0 {
+		cp.MaxBatch = cp.SCNs * cp.KMax
+	}
+	if cp.QueueCap <= 0 {
+		cp.QueueCap = 4 * cp.MaxBatch
+	}
+	if cp.SubQueue <= 0 {
+		cp.SubQueue = 64
+	}
+	if cp.ReportWait <= 0 {
+		cp.ReportWait = 2 * time.Second
+	}
+	return cp
+}
+
+// submission is one SubmitRequest travelling through the batcher. The
+// handler goroutine owns it until the engine replies on resp (cap 1).
+type submission struct {
+	tasks []TaskSpec
+	close bool
+	resp  chan submitReply
+}
+
+type submitReply struct {
+	slot     int
+	base     int
+	assigned []int
+	err      error
+}
+
+// reportDelivery is one ReportRequest awaiting absorption; the engine
+// answers on resp (cap 1) with nil or a rejection error.
+type reportDelivery struct {
+	req  *ReportRequest
+	resp chan error
+}
+
+// Engine is the serving core: a single goroutine owns the learner and
+// walks the strict slot protocol (batch → Decide → reply → collect
+// reports → Observe → maybe checkpoint), so the policy never sees
+// concurrent calls. Handlers communicate over bounded channels; when a
+// queue is full the submission is shed, never blocked on.
+type Engine struct {
+	cfg  Config
+	pol  *core.LFSC
+	part *hypercube.Partition
+
+	subCh    chan *submission
+	repCh    chan *reportDelivery
+	stopCh   chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	abort    atomic.Bool
+
+	// pending counts tasks accepted into the queue but not yet decided —
+	// the backpressure gauge the submit handler sheds against.
+	pending atomic.Int64
+
+	// Counters (atomics: handlers and status readers are concurrent).
+	submittedTasks atomic.Uint64
+	decidedTasks   atomic.Uint64
+	assignedTasks  atomic.Uint64
+	reportedTasks  atomic.Uint64
+	slotsServed    atomic.Uint64
+	shedRequests   atomic.Uint64
+	shedTasks      atomic.Uint64
+	lateSlots      atomic.Uint64
+	lateReports    atomic.Uint64
+	cumRewardBits  atomic.Uint64
+	slotAtomic     atomic.Int64
+
+	// Request-latency histograms (the obs log₂-bucket machinery).
+	submitLat obs.Histogram
+	reportLat obs.Histogram
+
+	rs *obs.RunStatus
+
+	// Slot-loop scratch, reused across slots (engine-goroutine only).
+	batch   slotBatch
+	scratch viewScratch
+	fb      policy.Feedback
+	repU    []float64
+	repV    []float64
+	repQ    []float64
+	repGot  []bool
+	snap    obs.PolicySnapshot
+}
+
+// NewEngine builds the engine (learner, partition, queues) without
+// starting it. Use Restore to load a checkpoint before Start.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	part, err := hypercube.New(cfg.Dims, cfg.H)
+	if err != nil {
+		return nil, fmt.Errorf("serve: partition: %w", err)
+	}
+	coreCfg := core.Config{
+		SCNs:     cfg.SCNs,
+		Capacity: cfg.Capacity,
+		Alpha:    cfg.Alpha,
+		Beta:     cfg.Beta,
+		Cells:    part.Cells(),
+		KMax:     cfg.KMax,
+		Horizon:  cfg.Horizon,
+	}
+	pol, err := core.New(coreCfg, rng.New(cfg.Seed).Derive(3))
+	if err != nil {
+		return nil, fmt.Errorf("serve: learner: %w", err)
+	}
+	e := &Engine{
+		cfg:    cfg,
+		pol:    pol,
+		part:   part,
+		subCh:  make(chan *submission, cfg.SubQueue),
+		repCh:  make(chan *reportDelivery, cfg.SubQueue),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	e.batch.init(cfg.SCNs)
+	return e, nil
+}
+
+// Policy exposes the learner for introspection (status pages, tests).
+// The engine goroutine owns all mutating calls; callers must only use
+// read-only accessors, and only when the engine is stopped or between
+// their own lockstep requests.
+func (e *Engine) Policy() *core.LFSC { return e.pol }
+
+// Start launches the engine loop. The engine serves until Stop or Abort.
+func (e *Engine) Start() {
+	if e.cfg.Registry != nil {
+		e.rs = e.cfg.Registry.NewRun("lfscd", e.cfg.Horizon)
+		// A restored engine re-registers with its history visible.
+		if cum := e.CumReward(); cum != 0 {
+			e.rs.RecordSlot(cum)
+		}
+	}
+	go e.loop()
+}
+
+// Stop closes the engine gracefully: the loop finishes the slot in
+// flight, writes a final checkpoint (when configured), fails queued
+// submissions, and exits. Stop and Abort are idempotent between them.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() { close(e.stopCh) })
+	<-e.done
+	e.rs.Finish()
+}
+
+// Abort is the unclean shutdown used by kill-and-resume tests: the loop
+// exits without writing a final checkpoint, as if the process had been
+// killed. Only checkpoints already on disk survive.
+func (e *Engine) Abort() {
+	e.abort.Store(true)
+	e.stopOnce.Do(func() { close(e.stopCh) })
+	<-e.done
+	e.rs.Finish()
+}
+
+// Slot returns the next slot index to be decided.
+func (e *Engine) Slot() int { return int(e.slotAtomic.Load()) }
+
+// CumReward returns the cumulative compound reward across all served
+// slots, including history restored from a checkpoint.
+func (e *Engine) CumReward() float64 {
+	return math.Float64frombits(e.cumRewardBits.Load())
+}
+
+// Stats snapshots the serving counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Slot:           e.Slot(),
+		CumReward:      e.CumReward(),
+		SubmittedTasks: e.submittedTasks.Load(),
+		DecidedTasks:   e.decidedTasks.Load(),
+		AssignedTasks:  e.assignedTasks.Load(),
+		ReportedTasks:  e.reportedTasks.Load(),
+		SlotsServed:    e.slotsServed.Load(),
+		ShedRequests:   e.shedRequests.Load(),
+		ShedTasks:      e.shedTasks.Load(),
+		LateSlots:      e.lateSlots.Load(),
+		LateReports:    e.lateReports.Load(),
+		SubmitLatency:  e.submitLat.Stat("submit"),
+		ReportLatency:  e.reportLat.Stat("report"),
+	}
+}
+
+// errShed marks a shed submission (mapped to 429 by the HTTP layer).
+type shedError struct{ reason string }
+
+func (s *shedError) Error() string { return "serve: shed: " + s.reason }
+
+// IsShed reports whether err is a load-shedding rejection.
+func IsShed(err error) bool {
+	_, ok := err.(*shedError)
+	return ok
+}
+
+// Submit validates and enqueues a batch of task arrivals, blocking until
+// the slot containing them is decided. Shed submissions return a
+// *shedError immediately — the caller must retry later (429 semantics).
+func (e *Engine) Submit(req *SubmitRequest) (*SubmitResponse, error) {
+	start := time.Now()
+	defer e.submitLat.Observe(start)
+	if err := e.validateSubmit(req); err != nil {
+		return nil, err
+	}
+	n := int64(len(req.Tasks))
+	// Backpressure gate 1: the pending-task budget. Reserve optimistically
+	// and roll back on shed so concurrent submitters cannot stampede past
+	// the cap.
+	if e.pending.Add(n) > int64(e.cfg.QueueCap) {
+		e.pending.Add(-n)
+		e.shed(req)
+		return nil, &shedError{reason: "task queue full"}
+	}
+	s := &submission{tasks: req.Tasks, close: req.Close, resp: make(chan submitReply, 1)}
+	// Backpressure gate 2: the submission channel. Never block the
+	// handler — a full channel means the batcher is behind; shed.
+	select {
+	case e.subCh <- s:
+	default:
+		e.pending.Add(-n)
+		e.shed(req)
+		return nil, &shedError{reason: "submission queue full"}
+	}
+	e.submittedTasks.Add(uint64(n))
+	select {
+	case rep := <-s.resp:
+		if rep.err != nil {
+			return nil, rep.err
+		}
+		return &SubmitResponse{Slot: rep.slot, Base: rep.base, Assigned: rep.assigned}, nil
+	case <-e.done:
+		return nil, fmt.Errorf("serve: engine stopped")
+	}
+}
+
+func (e *Engine) shed(req *SubmitRequest) {
+	e.shedRequests.Add(1)
+	e.shedTasks.Add(uint64(len(req.Tasks)))
+}
+
+func (e *Engine) validateSubmit(req *SubmitRequest) error {
+	if len(req.Tasks) == 0 {
+		return fmt.Errorf("serve: empty submission")
+	}
+	// Local counts: validation runs on handler goroutines, which must not
+	// touch the engine-owned scratch.
+	counts := make([]int, e.cfg.SCNs)
+	for i := range req.Tasks {
+		sp := &req.Tasks[i]
+		if len(sp.Ctx) != e.cfg.Dims {
+			return fmt.Errorf("serve: task %d: context has %d dims, want %d", i, len(sp.Ctx), e.cfg.Dims)
+		}
+		if !task.Context(sp.Ctx).Valid() {
+			return fmt.Errorf("serve: task %d: context outside [0,1]", i)
+		}
+		if len(sp.SCNs) == 0 {
+			return fmt.Errorf("serve: task %d: no visible SCNs", i)
+		}
+		for _, m := range sp.SCNs {
+			if m < 0 || m >= e.cfg.SCNs {
+				return fmt.Errorf("serve: task %d: SCN %d out of range", i, m)
+			}
+			counts[m]++
+			if counts[m] > e.cfg.KMax {
+				return fmt.Errorf("serve: submission exceeds KMax=%d for SCN %d", e.cfg.KMax, m)
+			}
+		}
+	}
+	// Duplicate SCNs within one task would double-count coverage.
+	for i := range req.Tasks {
+		scns := req.Tasks[i].SCNs
+		for a := 0; a < len(scns); a++ {
+			for b := a + 1; b < len(scns); b++ {
+				if scns[a] == scns[b] {
+					return fmt.Errorf("serve: task %d lists SCN %d twice", i, scns[a])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Report delivers realised outcomes for the open slot, blocking until
+// absorbed or rejected.
+func (e *Engine) Report(req *ReportRequest) (*ReportResponse, error) {
+	start := time.Now()
+	defer e.reportLat.Observe(start)
+	if len(req.Reports) == 0 {
+		return nil, fmt.Errorf("serve: empty report")
+	}
+	rd := &reportDelivery{req: req, resp: make(chan error, 1)}
+	select {
+	case e.repCh <- rd:
+	case <-e.done:
+		return nil, fmt.Errorf("serve: engine stopped")
+	}
+	select {
+	case err := <-rd.resp:
+		if err != nil {
+			return nil, err
+		}
+		return &ReportResponse{Accepted: len(req.Reports)}, nil
+	case <-e.done:
+		return nil, fmt.Errorf("serve: engine stopped")
+	}
+}
+
+// errLateReport marks a report for a slot that is no longer open.
+type lateReportError struct{ slot, open int }
+
+func (l *lateReportError) Error() string {
+	return fmt.Sprintf("serve: report for slot %d, but slot %d is open", l.slot, l.open)
+}
+
+// IsLateReport reports whether err is a closed-slot report rejection.
+func IsLateReport(err error) bool {
+	_, ok := err.(*lateReportError)
+	return ok
+}
+
+// loop is the engine goroutine: the only caller of Decide/Observe.
+func (e *Engine) loop() {
+	defer close(e.done)
+	var tickCh <-chan time.Time
+	if e.cfg.SlotEvery > 0 {
+		t := time.NewTicker(e.cfg.SlotEvery)
+		defer t.Stop()
+		tickCh = t.C
+	}
+	e.slotAtomic.Store(int64(e.pol.SlotsSeen()))
+	for {
+		select {
+		case s := <-e.subCh:
+			// Closing at KMax: if adding this submission would push a
+			// coverage list past KMax, the current batch is a full slot —
+			// serve it first, then open the next slot with the submission.
+			if e.batch.wouldOverflow(s, e.cfg.KMax) {
+				e.serveSlot()
+			}
+			e.batch.add(s)
+		case <-tickCh:
+			// Slot clock: a non-empty batch closes on each tick (serveSlot
+			// is a no-op on an empty one — no arrivals, no slot).
+			e.serveSlot()
+		case rd := <-e.repCh:
+			e.lateReports.Add(1)
+			rd.resp <- &lateReportError{slot: rd.req.Slot, open: int(e.slotAtomic.Load())}
+			continue
+		case <-e.stopCh:
+			e.shutdown()
+			return
+		}
+		if e.batch.shouldClose(e.cfg.MaxBatch, e.cfg.KMax) {
+			e.serveSlot()
+		}
+	}
+}
+
+// shutdown finishes the engine: final checkpoint (unless aborted), then
+// fail everything still queued so no handler blocks forever.
+func (e *Engine) shutdown() {
+	if !e.abort.Load() && e.cfg.CheckpointPath != "" {
+		// Best effort — the periodic checkpoint remains if this fails.
+		_ = e.checkpointNow()
+	}
+	e.failBatch(fmt.Errorf("serve: engine stopped"))
+	for {
+		select {
+		case s := <-e.subCh:
+			e.pending.Add(-int64(len(s.tasks)))
+			s.resp <- submitReply{err: fmt.Errorf("serve: engine stopped")}
+		case rd := <-e.repCh:
+			rd.resp <- fmt.Errorf("serve: engine stopped")
+		default:
+			return
+		}
+	}
+}
+
+func (e *Engine) failBatch(err error) {
+	for _, s := range e.batch.subs {
+		e.pending.Add(-int64(len(s.tasks)))
+		s.resp <- submitReply{err: err}
+	}
+	e.batch.reset()
+}
+
+// serveSlot runs one full slot against the batched submissions: build
+// the view, Decide, reply to submitters, collect outcome reports,
+// Observe, account, maybe checkpoint. Mirrors the phase structure of
+// sim.Run so the probe's breakdown is comparable across offline and
+// serving runs.
+func (e *Engine) serveSlot() {
+	b := &e.batch
+	n := len(b.specs)
+	if n == 0 {
+		return
+	}
+	probe := e.cfg.Probe
+	slot := e.pol.SlotsSeen()
+	span := probe.Start()
+	view := e.scratch.build(slot, b.specs, e.part, e.cfg.SCNs)
+	span = probe.Lap(obs.PhaseView, span)
+	assigned := e.pol.Decide(view)
+	span = probe.Lap(obs.PhaseDecide, span)
+
+	// Reply to every submitter with its contiguous range of decisions.
+	for i, s := range b.subs {
+		base := b.subBase[i]
+		out := make([]int, len(s.tasks))
+		copy(out, assigned[base:base+len(s.tasks)])
+		e.pending.Add(-int64(len(s.tasks)))
+		s.resp <- submitReply{slot: slot, base: base, assigned: out}
+	}
+	e.decidedTasks.Add(uint64(n))
+	expected := 0
+	for _, m := range assigned {
+		if m >= 0 {
+			expected++
+		}
+	}
+	e.assignedTasks.Add(uint64(expected))
+
+	e.collectReports(slot, n, assigned, expected)
+	span = probe.Lap(obs.PhaseRealize, span)
+
+	// Feedback and reward in ascending task order — the exact summation
+	// order of the offline simulator, so cumulative rewards stay
+	// bit-comparable.
+	e.fb.Execs = e.fb.Execs[:0]
+	slotReward := 0.0
+	for idx := 0; idx < n; idx++ {
+		if !e.repGot[idx] {
+			continue
+		}
+		ex := policy.Exec{
+			SCN: assigned[idx], Task: idx, Cell: e.scratch.cells[idx],
+			U: e.repU[idx], V: e.repV[idx], Q: e.repQ[idx],
+		}
+		e.fb.Execs = append(e.fb.Execs, ex)
+		slotReward += ex.Compound()
+	}
+	e.pol.Observe(view, assigned, &e.fb)
+	span = probe.Lap(obs.PhaseObserve, span)
+	probe.EndSlot()
+
+	cum := e.CumReward() + slotReward
+	e.cumRewardBits.Store(math.Float64bits(cum))
+	e.slotAtomic.Store(int64(e.pol.SlotsSeen()))
+	e.slotsServed.Add(1)
+	e.rs.RecordSlot(slotReward)
+
+	t := e.pol.SlotsSeen()
+	if e.cfg.SnapshotEvery > 0 && e.cfg.SnapshotSink != nil && t%e.cfg.SnapshotEvery == 0 {
+		e.snap.Slot = t - 1
+		e.snap.CumReward = cum
+		e.pol.Snapshot(&e.snap)
+		e.cfg.SnapshotSink.OnSnapshot(&e.snap)
+	}
+	if e.cfg.CheckpointEvery > 0 && e.cfg.CheckpointPath != "" && t%e.cfg.CheckpointEvery == 0 {
+		span = probe.Start()
+		_ = e.checkpointNow()
+		probe.Lap(obs.PhaseSnapshot, span)
+	}
+	b.reset()
+}
+
+// collectReports keeps the slot open until every assigned task has a
+// report, the report wait expires, or the engine stops. Reports are
+// absorbed atomically per request.
+func (e *Engine) collectReports(slot, n int, assigned []int, expected int) {
+	if cap(e.repGot) < n {
+		e.repGot = make([]bool, n)
+		e.repU = make([]float64, n)
+		e.repV = make([]float64, n)
+		e.repQ = make([]float64, n)
+	}
+	e.repGot = e.repGot[:n]
+	e.repU, e.repV, e.repQ = e.repU[:n], e.repV[:n], e.repQ[:n]
+	for i := range e.repGot {
+		e.repGot[i] = false
+	}
+	if expected == 0 {
+		return
+	}
+	timer := time.NewTimer(e.cfg.ReportWait)
+	defer timer.Stop()
+	remaining := expected
+	for remaining > 0 {
+		select {
+		case rd := <-e.repCh:
+			acc, err := e.absorbReport(slot, n, assigned, rd.req)
+			rd.resp <- err
+			remaining -= acc
+		case <-timer.C:
+			e.lateSlots.Add(1)
+			return
+		case <-e.stopCh:
+			// Shutting down mid-slot: Observe with what arrived, then the
+			// loop sees stopCh and finalises.
+			return
+		}
+	}
+}
+
+// absorbReport validates a whole report request against the open slot
+// and commits it atomically: any invalid entry rejects the request with
+// no partial state.
+func (e *Engine) absorbReport(slot, n int, assigned []int, req *ReportRequest) (int, error) {
+	if req.Slot != slot {
+		e.lateReports.Add(1)
+		return 0, &lateReportError{slot: req.Slot, open: slot}
+	}
+	for i := range req.Reports {
+		r := &req.Reports[i]
+		switch {
+		case r.Task < 0 || r.Task >= n:
+			return 0, fmt.Errorf("serve: report %d: task %d out of range", i, r.Task)
+		case assigned[r.Task] < 0:
+			return 0, fmt.Errorf("serve: report %d: task %d was not assigned", i, r.Task)
+		case e.repGot[r.Task]:
+			return 0, fmt.Errorf("serve: report %d: task %d already reported", i, r.Task)
+		case math.IsNaN(r.U) || r.U < 0 || r.U > 1:
+			return 0, fmt.Errorf("serve: report %d: reward %v outside [0,1]", i, r.U)
+		case r.V != 0 && r.V != 1:
+			return 0, fmt.Errorf("serve: report %d: completion %v not in {0,1}", i, r.V)
+		case math.IsNaN(r.Q) || math.IsInf(r.Q, 0) || r.Q <= 0:
+			return 0, fmt.Errorf("serve: report %d: consumption %v not positive", i, r.Q)
+		}
+		// Duplicates within the request.
+		for j := 0; j < i; j++ {
+			if req.Reports[j].Task == r.Task {
+				return 0, fmt.Errorf("serve: report %d: task %d duplicated in request", i, r.Task)
+			}
+		}
+	}
+	for i := range req.Reports {
+		r := &req.Reports[i]
+		e.repGot[r.Task] = true
+		e.repU[r.Task], e.repV[r.Task], e.repQ[r.Task] = r.U, r.V, r.Q
+	}
+	e.reportedTasks.Add(uint64(len(req.Reports)))
+	return len(req.Reports), nil
+}
+
+// slotBatch accumulates submissions into the next slot.
+type slotBatch struct {
+	specs    []TaskSpec
+	subs     []*submission
+	subBase  []int
+	scnCount []int
+	closeReq bool
+}
+
+func (b *slotBatch) init(scns int) {
+	b.scnCount = make([]int, scns)
+}
+
+// wouldOverflow reports whether adding s would push any SCN's coverage
+// past kMax — the "slot is full at KMax" close condition.
+func (b *slotBatch) wouldOverflow(s *submission, kMax int) bool {
+	if len(b.specs) == 0 {
+		return false
+	}
+	for i := range s.tasks {
+		for _, m := range s.tasks[i].SCNs {
+			b.scnCount[m]++
+		}
+	}
+	over := false
+	for i := range s.tasks {
+		for _, m := range s.tasks[i].SCNs {
+			if b.scnCount[m] > kMax {
+				over = true
+			}
+			b.scnCount[m]--
+		}
+	}
+	return over
+}
+
+func (b *slotBatch) add(s *submission) {
+	b.subs = append(b.subs, s)
+	b.subBase = append(b.subBase, len(b.specs))
+	b.specs = append(b.specs, s.tasks...)
+	for i := range s.tasks {
+		for _, m := range s.tasks[i].SCNs {
+			b.scnCount[m]++
+		}
+	}
+	if s.close {
+		b.closeReq = true
+	}
+}
+
+func (b *slotBatch) shouldClose(maxBatch, kMax int) bool {
+	if len(b.specs) == 0 {
+		return false
+	}
+	if b.closeReq || len(b.specs) >= maxBatch {
+		return true
+	}
+	for _, c := range b.scnCount {
+		if c >= kMax {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *slotBatch) reset() {
+	b.specs = b.specs[:0]
+	b.subs = b.subs[:0]
+	b.subBase = b.subBase[:0]
+	for m := range b.scnCount {
+		b.scnCount[m] = 0
+	}
+	b.closeReq = false
+}
+
+// viewScratch builds the policy-facing SlotView from batched task specs,
+// mirroring the simulator's slot builder: contexts packed into one
+// backing array, each indexed exactly once, per-SCN task lists in task
+// order (the same coverage-row order a trace generator produces, which
+// is what keeps serving and offline runs bit-identical on the same
+// workload).
+type viewScratch struct {
+	cells    []int
+	ctxBuf   []float64
+	ctxs     []task.Context
+	view     policy.SlotView
+	taskBufs [][]policy.TaskView
+}
+
+func (s *viewScratch) build(t int, specs []TaskSpec, part *hypercube.Partition, scns int) *policy.SlotView {
+	n := len(specs)
+	if cap(s.cells) < n {
+		s.cells = make([]int, n)
+		s.ctxs = make([]task.Context, n)
+	}
+	s.cells = s.cells[:n]
+	s.ctxs = s.ctxs[:n]
+	s.ctxBuf = s.ctxBuf[:0]
+	for i := range specs {
+		s.ctxBuf = append(s.ctxBuf, specs[i].Ctx...)
+	}
+	dims := 0
+	if n > 0 {
+		dims = len(specs[0].Ctx)
+	}
+	for i := 0; i < n; i++ {
+		ctx := task.Context(s.ctxBuf[i*dims : (i+1)*dims : (i+1)*dims])
+		s.ctxs[i] = ctx
+		s.cells[i] = part.Index(ctx)
+	}
+	if cap(s.view.SCNs) < scns {
+		s.view.SCNs = make([]policy.SCNView, scns)
+	}
+	s.view.SCNs = s.view.SCNs[:scns]
+	for len(s.taskBufs) < scns {
+		s.taskBufs = append(s.taskBufs, nil)
+	}
+	for m := 0; m < scns; m++ {
+		s.taskBufs[m] = s.taskBufs[m][:0]
+	}
+	for idx := range specs {
+		tv := policy.TaskView{Index: idx, Cell: s.cells[idx], Ctx: s.ctxs[idx]}
+		for _, m := range specs[idx].SCNs {
+			s.taskBufs[m] = append(s.taskBufs[m], tv)
+		}
+	}
+	for m := 0; m < scns; m++ {
+		s.view.SCNs[m].Tasks = s.taskBufs[m]
+	}
+	s.view.T = t
+	s.view.NumTasks = n
+	return &s.view
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"lfsc/internal/obs"
+)
+
+// Server is the daemon's HTTP front: the decision API plus the standard
+// observability surface.
+//
+//	POST /v1/submit   submit task arrivals, blocks for the slot decision
+//	POST /v1/report   deliver realised outcomes for the open slot
+//	GET  /v1/stats    serving counters as JSON
+//	GET  /lfsc/status plain-text status (serving counters + phase table)
+//	GET  /debug/vars  expvar (process defaults + "lfsc_serve")
+//	     /debug/pprof the standard pprof handlers
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// serveExpvar mirrors the obs expvar pattern: Publish is forever, so the
+// "lfsc_serve" var registers once and re-points at the latest engine.
+var serveExpvar struct {
+	once sync.Once
+	mu   sync.Mutex
+	eng  *Engine
+}
+
+// StartServer binds addr (e.g. ":9090" or "127.0.0.1:0" for tests) and
+// serves the engine's API. Close the returned server when done; stopping
+// the engine and closing the server are independent.
+func StartServer(addr string, eng *Engine) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	serveExpvar.mu.Lock()
+	serveExpvar.eng = eng
+	serveExpvar.mu.Unlock()
+	serveExpvar.once.Do(func() {
+		expvar.Publish("lfsc_serve", expvar.Func(func() any {
+			serveExpvar.mu.Lock()
+			e := serveExpvar.eng
+			serveExpvar.mu.Unlock()
+			if e == nil {
+				return nil
+			}
+			return e.Stats()
+		}))
+	})
+
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/submit", eng.handleSubmit)
+	mux.HandleFunc("/v1/report", eng.handleReport)
+	mux.HandleFunc("/v1/stats", eng.handleStats)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/lfsc/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		eng.writeStatus(w, time.Since(start))
+	})
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the HTTP server down (the engine keeps running).
+func (s *Server) Close() error { return s.srv.Close() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is fine
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST only"))
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode: %w", err))
+		return
+	}
+	resp, err := e.Submit(&req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case IsShed(err):
+		writeError(w, http.StatusTooManyRequests, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (e *Engine) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST only"))
+		return
+	}
+	var req ReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode: %w", err))
+		return
+	}
+	resp, err := e.Report(&req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case IsLateReport(err):
+		writeError(w, http.StatusGone, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, e.Stats())
+}
+
+// writeStatus renders the plain-text serving status: counters, request
+// latencies, then the shared obs phase/run breakdown when wired.
+func (e *Engine) writeStatus(w http.ResponseWriter, up time.Duration) {
+	st := e.Stats()
+	fmt.Fprintf(w, "lfscd — up %v\n", up.Round(time.Millisecond))
+	fmt.Fprintf(w, "slot %d  cum reward %.4f\n", st.Slot, st.CumReward)
+	fmt.Fprintf(w, "tasks: submitted %d  decided %d  assigned %d  reported %d\n",
+		st.SubmittedTasks, st.DecidedTasks, st.AssignedTasks, st.ReportedTasks)
+	fmt.Fprintf(w, "shed: requests %d  tasks %d\n", st.ShedRequests, st.ShedTasks)
+	fmt.Fprintf(w, "late: slots %d  reports %d\n", st.LateSlots, st.LateReports)
+	for _, ls := range []obs.PhaseStat{st.SubmitLatency, st.ReportLatency} {
+		if ls.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s latency: n=%d mean=%v p50=%v p90=%v p99=%v\n",
+			ls.Phase, ls.Count,
+			time.Duration(ls.MeanNS).Round(time.Microsecond),
+			time.Duration(ls.P50NS).Round(time.Microsecond),
+			time.Duration(ls.P90NS).Round(time.Microsecond),
+			time.Duration(ls.P99NS).Round(time.Microsecond))
+	}
+	if e.cfg.Probe != nil || e.cfg.Registry != nil {
+		fmt.Fprintf(w, "\n")
+		obs.WriteStatus(w, e.cfg.Probe, e.cfg.Registry, up)
+	}
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"lfsc/internal/env"
+	"lfsc/internal/hypercube"
+	"lfsc/internal/obs"
+	"lfsc/internal/rng"
+	"lfsc/internal/task"
+	"lfsc/internal/trace"
+)
+
+// ReplayScenario pins the (workload, environment, partition, seed) tuple
+// a load generator replays against a daemon. It deliberately mirrors the
+// offline simulator's stream derivation — generator from Derive(1),
+// environment from Derive(2), policy from Derive(3), realisation root
+// from Derive(4) of the same master seed — so a daemon configured with
+// EngineConfig and driven by a Replayer produces decisions and rewards
+// bit-identical to sim.Run on the same scenario (see the serve tests).
+type ReplayScenario struct {
+	// Synthetic is the workload model (the paper's generative trace).
+	Synthetic trace.SyntheticConfig
+	// EnvCfg is the environment recipe; Cells and SCNs are overwritten
+	// from the partition and generator, as the simulator does.
+	EnvCfg env.Config
+	// Capacity, Alpha, Beta, H, T mirror sim.Config.
+	Capacity int
+	Alpha    float64
+	Beta     float64
+	H        int
+	T        int
+	// UseLatencyContext selects the 4-D context.
+	UseLatencyContext bool
+	// Seed is the master seed shared by daemon and replayer.
+	Seed uint64
+}
+
+func (sc *ReplayScenario) dims() int {
+	if sc.UseLatencyContext {
+		return task.ContextDims + 1
+	}
+	return task.ContextDims
+}
+
+// EngineConfig derives the daemon configuration that matches this
+// scenario: same learner shape, same schedule inputs, same seed. The
+// serving knobs (queues, slot clock, checkpointing) are left zero for
+// the caller to fill.
+func (sc *ReplayScenario) EngineConfig() (Config, error) {
+	if err := sc.Synthetic.Validate(); err != nil {
+		return Config{}, fmt.Errorf("serve: scenario: %w", err)
+	}
+	gen, err := trace.NewSynthetic(sc.Synthetic, rng.New(sc.Seed).Derive(1))
+	if err != nil {
+		return Config{}, fmt.Errorf("serve: scenario: %w", err)
+	}
+	return Config{
+		SCNs:     gen.SCNs(),
+		Capacity: sc.Capacity,
+		Alpha:    sc.Alpha,
+		Beta:     sc.Beta,
+		Dims:     sc.dims(),
+		H:        sc.H,
+		KMax:     gen.MaxPerSCN(),
+		Horizon:  sc.T,
+		Seed:     sc.Seed,
+	}, nil
+}
+
+// Replayer drives a daemon through a seeded trace in lockstep: it
+// regenerates the workload slot by slot, submits each slot as one
+// closing request, computes the realised outcomes for the returned
+// assignment with the simulator's exact common-random-number scheme, and
+// reports them back. It also accumulates the client-side cumulative
+// reward, which must match both the daemon's accumulator and an offline
+// sim.Run — the three-way equivalence the serve tests pin.
+type Replayer struct {
+	sc       ReplayScenario
+	gen      *trace.Synthetic
+	env      *env.Env
+	part     *hypercube.Partition
+	realRoot *rng.Stream
+
+	next      int
+	cumReward float64
+
+	slotBuf  trace.Slot
+	ctxBuf   []float64
+	specs    []TaskSpec
+	scnLists [][]int
+	cells    []int
+	reports  []TaskReport
+
+	// Latency is the client-observed request latency histogram (submit
+	// and report round-trips), reusing the obs log₂ buckets.
+	Latency obs.Histogram
+}
+
+// NewReplayer builds the replayer's generator, environment, and
+// partition from the scenario, mirroring sim.Run's construction.
+func NewReplayer(sc ReplayScenario) (*Replayer, error) {
+	master := rng.New(sc.Seed)
+	gen, err := trace.NewSynthetic(sc.Synthetic, master.Derive(1))
+	if err != nil {
+		return nil, fmt.Errorf("serve: replay generator: %w", err)
+	}
+	part, err := hypercube.New(sc.dims(), sc.H)
+	if err != nil {
+		return nil, fmt.Errorf("serve: replay partition: %w", err)
+	}
+	envCfg := sc.EnvCfg
+	envCfg.Cells = part.Cells()
+	envCfg.SCNs = gen.SCNs()
+	e, err := env.New(envCfg, master.Derive(2))
+	if err != nil {
+		return nil, fmt.Errorf("serve: replay environment: %w", err)
+	}
+	return &Replayer{
+		sc:       sc,
+		gen:      gen,
+		env:      e,
+		part:     part,
+		realRoot: master.Derive(4),
+	}, nil
+}
+
+// Slot returns the next slot index the replayer will submit.
+func (r *Replayer) Slot() int { return r.next }
+
+// CumReward returns the client-side cumulative compound reward over the
+// slots this replayer submitted (skipped slots contribute nothing).
+func (r *Replayer) CumReward() float64 { return r.cumReward }
+
+// SkipTo advances the workload and environment through slots
+// [next, t) without submitting them — the resume path: a daemon
+// restored at slot t needs the replayer's streams positioned exactly
+// where an uninterrupted replay would have them.
+func (r *Replayer) SkipTo(t int) {
+	for ; r.next < t; r.next++ {
+		r.env.Advance(r.next)
+		r.gen.NextInto(r.next, &r.slotBuf)
+	}
+}
+
+// SlotResult summarises one replayed slot.
+type SlotResult struct {
+	Slot     int
+	Tasks    int
+	Assigned int
+	Reward   float64
+	Shed     bool
+}
+
+// Step replays one slot against the daemon: generate, submit (closing
+// the slot), realise outcomes for the assignment, report. A shed
+// submission consumes the slot's draws but teaches the daemon nothing
+// (the arrivals were refused); it is returned with Shed set.
+func (r *Replayer) Step(c *Client) (SlotResult, error) {
+	t := r.next
+	r.next++
+	r.env.Advance(t)
+	r.gen.NextInto(t, &r.slotBuf)
+	n := len(r.slotBuf.Tasks)
+	res := SlotResult{Slot: t, Tasks: n}
+	if n == 0 {
+		return res, nil
+	}
+	r.buildSpecs()
+
+	start := time.Now()
+	resp, err := c.Submit(&SubmitRequest{Tasks: r.specs, Close: true})
+	r.Latency.Observe(start)
+	if err != nil {
+		if _, shed := err.(*ErrShed); shed {
+			res.Shed = true
+			return res, nil
+		}
+		return res, err
+	}
+	if len(resp.Assigned) != n || resp.Base != 0 {
+		return res, fmt.Errorf("serve: replay slot %d: daemon returned %d assignments at base %d for %d tasks",
+			t, len(resp.Assigned), resp.Base, n)
+	}
+
+	// Realise outcomes with the simulator's derivation: per-slot stream
+	// from the realisation root, per-(SCN,task) streams labelled m<<32|i,
+	// rewards summed in ascending task order.
+	var slotReal, taskReal rng.Stream
+	r.realRoot.DeriveInto(uint64(t), &slotReal)
+	r.reports = r.reports[:0]
+	slotReward := 0.0
+	for idx, m := range resp.Assigned {
+		if m < 0 {
+			continue
+		}
+		res.Assigned++
+		slotReal.DeriveInto(uint64(m)<<32|uint64(idx), &taskReal)
+		out := r.env.Draw(m, r.cells[idx], &taskReal)
+		slotReward += out.Compound()
+		r.reports = append(r.reports, TaskReport{
+			Task: idx, U: out.U, V: out.V(), Q: out.Q,
+		})
+	}
+	if len(r.reports) > 0 {
+		start = time.Now()
+		_, err := c.Report(&ReportRequest{Slot: resp.Slot, Reports: r.reports})
+		r.Latency.Observe(start)
+		if err != nil {
+			return res, fmt.Errorf("serve: replay slot %d: %w", t, err)
+		}
+	}
+	r.cumReward += slotReward
+	res.Reward = slotReward
+	return res, nil
+}
+
+// buildSpecs converts the generated slot into wire specs: packed
+// contexts (the same AppendContext packing the simulator uses), per-task
+// visible-SCN lists inverted from the coverage rows, and client-side
+// cells for outcome draws.
+func (r *Replayer) buildSpecs() {
+	n := len(r.slotBuf.Tasks)
+	dims := r.sc.dims()
+	if cap(r.specs) < n {
+		r.specs = make([]TaskSpec, n)
+		r.cells = make([]int, n)
+	}
+	r.specs = r.specs[:n]
+	r.cells = r.cells[:n]
+	r.ctxBuf = r.ctxBuf[:0]
+	for i := range r.slotBuf.Tasks {
+		r.ctxBuf = r.slotBuf.Tasks[i].AppendContext(r.ctxBuf, r.sc.UseLatencyContext)
+	}
+	for len(r.scnLists) < n {
+		r.scnLists = append(r.scnLists, nil)
+	}
+	for i := 0; i < n; i++ {
+		r.scnLists[i] = r.scnLists[i][:0]
+	}
+	for m, cov := range r.slotBuf.Coverage {
+		for _, idx := range cov {
+			r.scnLists[idx] = append(r.scnLists[idx], m)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ctx := r.ctxBuf[i*dims : (i+1)*dims : (i+1)*dims]
+		r.specs[i] = TaskSpec{Ctx: ctx, SCNs: r.scnLists[i]}
+		r.cells[i] = r.part.Index(task.Context(ctx))
+	}
+}
+
+// ReplayStats aggregates a replay run.
+type ReplayStats struct {
+	Slots     int
+	Tasks     int
+	Assigned  int
+	ShedSlots int
+	CumReward float64
+}
+
+// Run replays slots [from, to) in lockstep, skipping up to from first.
+// onSlot (optional) observes each slot's result.
+func (r *Replayer) Run(c *Client, from, to int, onSlot func(SlotResult)) (ReplayStats, error) {
+	var st ReplayStats
+	if from > r.next {
+		r.SkipTo(from)
+	}
+	for t := r.next; t < to; t++ {
+		res, err := r.Step(c)
+		if err != nil {
+			return st, err
+		}
+		st.Slots++
+		st.Tasks += res.Tasks
+		st.Assigned += res.Assigned
+		if res.Shed {
+			st.ShedSlots++
+		}
+		st.CumReward += res.Reward
+		if onSlot != nil {
+			onSlot(res)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,530 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lfsc/internal/env"
+	"lfsc/internal/rng"
+	"lfsc/internal/sim"
+	"lfsc/internal/trace"
+)
+
+// testScenario is a small but non-trivial serving scenario: 4 SCNs,
+// overlapping coverage, 27 context cells.
+func testScenario(T int, seed uint64) ReplayScenario {
+	return ReplayScenario{
+		Synthetic: trace.SyntheticConfig{
+			SCNs:                 4,
+			MinTasks:             2,
+			MaxTasks:             5,
+			Overlap:              0.3,
+			LatencySensitiveFrac: 0.5,
+		},
+		EnvCfg:   env.DefaultConfig(4, 27),
+		Capacity: 3,
+		Alpha:    1,
+		Beta:     5,
+		H:        3,
+		T:        T,
+		Seed:     seed,
+	}
+}
+
+// buildDaemon constructs an engine for the scenario without starting it.
+// Serving knobs suit lockstep tests: generous report wait, no slot clock.
+func buildDaemon(t *testing.T, sc ReplayScenario, mutate func(*Config)) *Engine {
+	t.Helper()
+	cfg, err := sc.EngineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ReportWait = 5 * time.Second
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func startDaemon(t *testing.T, eng *Engine) (*Server, *Client) {
+	t.Helper()
+	srv, err := StartServer("127.0.0.1:0", eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	return srv, NewClient(srv.Addr())
+}
+
+// bootDaemon is buildDaemon + startDaemon for the fresh-boot case.
+func bootDaemon(t *testing.T, sc ReplayScenario, mutate func(*Config)) (*Engine, *Server, *Client) {
+	t.Helper()
+	eng := buildDaemon(t, sc, mutate)
+	srv, client := startDaemon(t, eng)
+	return eng, srv, client
+}
+
+// resumeDaemon builds an engine, restores the checkpoint at path before
+// Start (the lfscd boot order), then serves. Reports whether a
+// checkpoint was found.
+func resumeDaemon(t *testing.T, sc ReplayScenario, path string, mutate func(*Config)) (*Engine, *Server, *Client, bool) {
+	t.Helper()
+	eng := buildDaemon(t, sc, mutate)
+	restored, err := eng.RestoreIfPresent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, client := startDaemon(t, eng)
+	return eng, srv, client, restored
+}
+
+// TestLockstepEquivalentToOfflineSim is the end-to-end equivalence
+// guarantee: a load generator replaying a seeded trace against the
+// daemon over real HTTP yields the exact same cumulative reward —
+// hex-float identical — as an offline sim.Run of LFSC on the same
+// scenario, on the daemon side AND the client side.
+func TestLockstepEquivalentToOfflineSim(t *testing.T) {
+	const T, seed = 250, 42
+	sc := testScenario(T, seed)
+
+	eng, srv, client := bootDaemon(t, sc, nil)
+	defer srv.Close()
+	rep, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rep.Run(client, 0, T, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Stop()
+	if st.ShedSlots != 0 {
+		t.Fatalf("lockstep replay shed %d slots", st.ShedSlots)
+	}
+
+	simSc := &sim.Scenario{
+		Cfg: sim.Config{T: T, Capacity: sc.Capacity, Alpha: sc.Alpha, Beta: sc.Beta, H: sc.H},
+		NewGenerator: func(r *rng.Stream) (trace.Generator, error) {
+			return trace.NewSynthetic(sc.Synthetic, r)
+		},
+		EnvCfg: sc.EnvCfg,
+	}
+	series, err := sim.Run(simSc, sim.LFSCFactory(nil), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := 0.0
+	for _, r := range series.Reward {
+		offline += r
+	}
+
+	if got := eng.CumReward(); got != offline {
+		t.Fatalf("daemon cum reward %x != offline sim %x (%.10f vs %.10f)",
+			got, offline, got, offline)
+	}
+	if got := rep.CumReward(); got != offline {
+		t.Fatalf("client cum reward %x != offline sim %x", got, offline)
+	}
+	if eng.Slot() != T {
+		t.Fatalf("daemon served %d slots, want %d", eng.Slot(), T)
+	}
+}
+
+// TestServeSmoke is the kill-and-resume determinism check behind `make
+// serve-smoke`: boot a daemon on an ephemeral port, drive 200 slots of a
+// shared trace with periodic checkpointing, kill it hard at slot 120
+// (no graceful checkpoint), resume a fresh daemon from the slot-100
+// checkpoint, replay the remainder, and require the final cumulative
+// reward to be bit-identical to an uninterrupted run.
+func TestServeSmoke(t *testing.T) {
+	const T, seed, every = 200, 7, 100
+	sc := testScenario(T, seed)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "lfscd.ckpt")
+
+	// Run A: serve 120 slots, then die without checkpointing.
+	engA, srvA, clientA := bootDaemon(t, sc, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.CheckpointEvery = every
+	})
+	repA, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repA.Run(clientA, 0, 120, nil); err != nil {
+		t.Fatal(err)
+	}
+	engA.Abort() // kill: slots 100..119 die with the process
+	srvA.Close()
+
+	// Run B: boot fresh, restore the periodic checkpoint, replay the rest.
+	engB, srvB, clientB, restored := resumeDaemon(t, sc, ckpt, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.CheckpointEvery = every
+	})
+	defer srvB.Close()
+	if !restored {
+		t.Fatal("no checkpoint found after kill")
+	}
+	if engB.Slot() != every {
+		t.Fatalf("restored at slot %d, want %d", engB.Slot(), every)
+	}
+	repB, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repB.Run(clientB, engB.Slot(), T, nil); err != nil {
+		t.Fatal(err)
+	}
+	engB.Stop()
+
+	// Run C: the uninterrupted control.
+	engC, srvC, clientC := bootDaemon(t, sc, nil)
+	defer srvC.Close()
+	repC, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repC.Run(clientC, 0, T, nil); err != nil {
+		t.Fatal(err)
+	}
+	engC.Stop()
+
+	got, want := engB.CumReward(), engC.CumReward()
+	if got != want {
+		t.Fatalf("kill-and-resume diverged: resumed %x (%.12f) vs uninterrupted %x (%.12f)",
+			got, got, want, want)
+	}
+	if engB.Slot() != engC.Slot() {
+		t.Fatalf("slot counters diverged: %d vs %d", engB.Slot(), engC.Slot())
+	}
+}
+
+// TestRestoreAfterGracefulStopResumesExactly checks the SIGTERM path:
+// Stop writes a final checkpoint at the exact slot served, and a resumed
+// daemon continues bit-identically from there.
+func TestRestoreAfterGracefulStopResumesExactly(t *testing.T) {
+	const T, seed = 150, 11
+	sc := testScenario(T, seed)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "lfscd.ckpt")
+
+	engA, srvA, clientA := bootDaemon(t, sc, func(c *Config) { c.CheckpointPath = ckpt })
+	repA, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repA.Run(clientA, 0, 70, nil); err != nil {
+		t.Fatal(err)
+	}
+	engA.Stop() // graceful: checkpoint at slot 70
+	srvA.Close()
+
+	engB, srvB, clientB, restored := resumeDaemon(t, sc, ckpt, nil)
+	defer srvB.Close()
+	if !restored {
+		t.Fatal("no checkpoint found after graceful stop")
+	}
+	if engB.Slot() != 70 {
+		t.Fatalf("graceful checkpoint at slot %d, want 70", engB.Slot())
+	}
+	repB, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repB.Run(clientB, 70, T, nil); err != nil {
+		t.Fatal(err)
+	}
+	engB.Stop()
+
+	engC, srvC, clientC := bootDaemon(t, sc, nil)
+	defer srvC.Close()
+	repC, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repC.Run(clientC, 0, T, nil); err != nil {
+		t.Fatal(err)
+	}
+	engC.Stop()
+
+	if engB.CumReward() != engC.CumReward() {
+		t.Fatalf("graceful resume diverged: %x vs %x", engB.CumReward(), engC.CumReward())
+	}
+}
+
+// TestOverloadShedsAndStaysAlive floods the daemon far past its bounded
+// queues and requires: 429s with shed counters, no deadlock, and a
+// daemon that still answers every endpoint afterwards.
+func TestOverloadShedsAndStaysAlive(t *testing.T) {
+	sc := testScenario(1000, 3)
+	eng, srv, client := bootDaemon(t, sc, func(c *Config) {
+		c.SlotEvery = 2 * time.Millisecond
+		c.MaxBatch = 4
+		c.QueueCap = 6
+		c.SubQueue = 2
+		c.ReportWait = time.Millisecond
+	})
+	defer srv.Close()
+
+	const workers, perWorker = 16, 25
+	var wg sync.WaitGroup
+	var okCount, shedCount, otherErr atomic64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req := &SubmitRequest{Tasks: []TaskSpec{
+					{Ctx: []float64{0.1, 0.5, 0.3}, SCNs: []int{w % 4}},
+					{Ctx: []float64{0.9, 0.2, 0.7}, SCNs: []int{(w + 1) % 4}},
+				}}
+				_, err := client.Submit(req)
+				switch {
+				case err == nil:
+					okCount.add(1)
+				default:
+					if _, shed := err.(*ErrShed); shed {
+						shedCount.add(1)
+					} else {
+						otherErr.add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if shedCount.load() == 0 {
+		t.Fatal("overload produced no 429s — queues unbounded?")
+	}
+	if otherErr.load() != 0 {
+		t.Fatalf("overload produced %d non-shed errors", otherErr.load())
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatalf("daemon dead after overload: %v", err)
+	}
+	if st.ShedRequests != shedCount.load() {
+		t.Fatalf("daemon counted %d shed requests, clients saw %d", st.ShedRequests, shedCount.load())
+	}
+	if st.ShedTasks != 2*shedCount.load() {
+		t.Fatalf("daemon counted %d shed tasks, want %d", st.ShedTasks, 2*shedCount.load())
+	}
+
+	// Shed counts must be visible on every surface.
+	for _, path := range []string{"/lfsc/status", "/debug/vars"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		want := "shed"
+		if path == "/debug/vars" {
+			want = `"shed_requests"`
+		}
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("%s does not surface shed counters:\n%s", path, body)
+		}
+	}
+	eng.Stop()
+}
+
+// atomic64 avoids importing sync/atomic types into test signatures.
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) add(d uint64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+// TestSubmitValidation exercises the request-rejection paths: malformed
+// submissions must 400 without perturbing the learner.
+func TestSubmitValidation(t *testing.T) {
+	sc := testScenario(100, 5)
+	eng, srv, client := bootDaemon(t, sc, nil)
+	defer srv.Close()
+	defer eng.Stop()
+
+	bad := []SubmitRequest{
+		{},                                    // empty
+		{Tasks: []TaskSpec{{Ctx: []float64{0.5}, SCNs: []int{0}}}},                // wrong dims
+		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 2.0, 0.1}, SCNs: []int{0}}}},      // ctx out of range
+		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 0.5, 0.5}, SCNs: nil}}},           // no SCNs
+		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 0.5, 0.5}, SCNs: []int{99}}}},     // SCN out of range
+		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 0.5, 0.5}, SCNs: []int{1, 1}}}},   // duplicate SCN
+	}
+	for i, req := range bad {
+		if _, err := client.Submit(&req); err == nil {
+			t.Fatalf("bad submission %d accepted", i)
+		} else if _, shed := err.(*ErrShed); shed {
+			t.Fatalf("bad submission %d shed instead of rejected", i)
+		}
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SlotsServed != 0 || st.SubmittedTasks != 0 {
+		t.Fatalf("rejected submissions reached the learner: %+v", st)
+	}
+}
+
+// TestReportValidation exercises report rejection: wrong slot, unknown
+// task, unassigned task, duplicate, and malformed values — absorbed
+// atomically or not at all.
+func TestReportValidation(t *testing.T) {
+	sc := testScenario(100, 6)
+	eng, srv, client := bootDaemon(t, sc, nil)
+	defer srv.Close()
+	defer eng.Stop()
+
+	// Reports with no open slot are late.
+	_, err := client.Report(&ReportRequest{Slot: 0, Reports: []TaskReport{{Task: 0, U: 0.5, V: 1, Q: 1.5}}})
+	if _, late := err.(*ErrLate); !late {
+		t.Fatalf("report with no open slot: got %v, want late rejection", err)
+	}
+
+	// Open a slot with assigned tasks.
+	rep, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.env.Advance(0)
+	rep.gen.NextInto(0, &rep.slotBuf)
+	rep.buildSpecs()
+	resp, err := client.Submit(&SubmitRequest{Tasks: rep.specs, Close: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignedIdx := -1
+	for i, m := range resp.Assigned {
+		if m >= 0 {
+			assignedIdx = i
+			break
+		}
+	}
+	if assignedIdx == -1 {
+		t.Skip("no task assigned in slot 0 for this seed")
+	}
+	badReports := []TaskReport{
+		{Task: 10_000, U: 0.5, V: 1, Q: 1.5},       // out of range
+		{Task: assignedIdx, U: 1.5, V: 1, Q: 1.5},  // reward out of range
+		{Task: assignedIdx, U: 0.5, V: 0.5, Q: 1},  // non-binary completion
+		{Task: assignedIdx, U: 0.5, V: 1, Q: 0},    // non-positive consumption
+	}
+	for i, r := range badReports {
+		if _, err := client.Report(&ReportRequest{Slot: resp.Slot, Reports: []TaskReport{r}}); err == nil {
+			t.Fatalf("bad report %d accepted", i)
+		}
+	}
+	// A valid report still lands after all the rejected ones.
+	if _, err := client.Report(&ReportRequest{
+		Slot:    resp.Slot,
+		Reports: []TaskReport{{Task: assignedIdx, U: 0.5, V: 1, Q: 1.5}},
+	}); err != nil {
+		t.Fatalf("valid report rejected after bad ones: %v", err)
+	}
+	// Duplicate of an absorbed report must be rejected.
+	if _, err := client.Report(&ReportRequest{
+		Slot:    resp.Slot,
+		Reports: []TaskReport{{Task: assignedIdx, U: 0.5, V: 1, Q: 1.5}},
+	}); err == nil {
+		t.Fatal("duplicate report accepted")
+	}
+}
+
+// TestRestoreRejectsCorruptCheckpoint covers the daemon-level restore
+// error paths; the learner-level ones are fuzzed in internal/core.
+func TestRestoreRejectsCorruptCheckpoint(t *testing.T) {
+	sc := testScenario(100, 8)
+	cfg, err := sc.EngineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cases := map[string]string{
+		"garbage":     "not json",
+		"bad-version": `{"version":9,"slot":1,"cum_reward":0,"policy":{}}`,
+		"neg-slot":    `{"version":1,"slot":-1,"cum_reward":0,"policy":{}}`,
+		"bad-policy":  `{"version":1,"slot":1,"cum_reward":0,"policy":{"version":99}}`,
+	}
+	for name, data := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Restore(p); err == nil {
+			t.Fatalf("corrupt checkpoint %q restored", name)
+		}
+	}
+	if _, err := eng.RestoreIfPresent(filepath.Join(dir, "missing")); err != nil {
+		t.Fatalf("missing checkpoint treated as error: %v", err)
+	}
+}
+
+// BenchmarkEngineSlot measures the in-process serving slot loop (no
+// HTTP): submit one full slot, decide, report, observe. The entry
+// serve_ns_per_slot may be added to BENCH_core.json; cmd/benchdiff
+// reports unknown keys informationally without failing.
+func BenchmarkEngineSlot(b *testing.B) {
+	sc := testScenario(1<<30, 9)
+	cfg, err := sc.EngineConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.ReportWait = 5 * time.Second
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Stop()
+	rep, err := NewReplayer(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reports []TaskReport
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.env.Advance(i)
+		rep.gen.NextInto(i, &rep.slotBuf)
+		rep.buildSpecs()
+		resp, err := eng.Submit(&SubmitRequest{Tasks: rep.specs, Close: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reports = reports[:0]
+		for idx, m := range resp.Assigned {
+			if m >= 0 {
+				reports = append(reports, TaskReport{Task: idx, U: 0.5, V: 1, Q: 1.5})
+			}
+		}
+		if len(reports) > 0 {
+			if _, err := eng.Report(&ReportRequest{Slot: resp.Slot, Reports: reports}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if eng.Slot() != b.N {
+		b.Fatalf("served %d slots, want %d", eng.Slot(), b.N)
+	}
+}

@@ -1,0 +1,106 @@
+// Package serve turns the LFSC learner into an online decision service:
+// the paper's MBS as a daemon. Clients submit task arrivals (context
+// vector + visible SCNs) over HTTP/JSON; a slot-clocked batcher
+// aggregates them into a slot (closing on a tick, at KMax, or on an
+// explicit close), runs Decide on the arena runtime, returns per-task SCN
+// assignments, and feeds completion reports back through Observe — the
+// same strict Decide→Observe slot protocol the simulator follows, under
+// live traffic with bounded queues and explicit load shedding.
+//
+// Lifecycle rides on internal/core checkpoints: the engine periodically
+// writes an atomic checkpoint (write-temp-then-rename) carrying the slot
+// counter, the cumulative reward, and the full learner state (weights,
+// multipliers, per-SCN RNG streams), checkpoints again on graceful stop,
+// and restores on boot — a killed-and-resumed daemon replays the rest of
+// a trace bit-identically to one that never stopped (see serve tests).
+package serve
+
+import "lfsc/internal/obs"
+
+// TaskSpec is one task arrival as the daemon sees it: the normalised
+// context vector φ ∈ [0,1]^dims and the SCNs whose coverage area the
+// originating device is in. The daemon never sees the raw payload,
+// matching the paper's information model.
+type TaskSpec struct {
+	Ctx  []float64 `json:"ctx"`
+	SCNs []int     `json:"scns"`
+}
+
+// SubmitRequest submits a batch of task arrivals. Close asks the batcher
+// to close the slot as soon as these tasks are in it (lockstep replay
+// submits one full slot per request with Close set); without it the slot
+// closes on the next tick or when a coverage list reaches KMax.
+type SubmitRequest struct {
+	Tasks []TaskSpec `json:"tasks"`
+	Close bool       `json:"close,omitempty"`
+}
+
+// SubmitResponse returns the decision for each submitted task, parallel
+// to SubmitRequest.Tasks: the assigned SCN index, or -1 when the learner
+// left the task unassigned. Base is the slot-global index of the first
+// task (a submission's tasks are contiguous in the slot), which reports
+// must use to address tasks.
+type SubmitResponse struct {
+	Slot     int   `json:"slot"`
+	Base     int   `json:"base"`
+	Assigned []int `json:"assigned"`
+}
+
+// TaskReport is the realised outcome of one executed task: the reward u,
+// the completion indicator v ∈ {0,1}, and the resource consumption q —
+// exactly the bandit feedback of the paper's model.
+type TaskReport struct {
+	Task int     `json:"task"` // slot-global index (SubmitResponse.Base + offset)
+	U    float64 `json:"u"`
+	V    float64 `json:"v"`
+	Q    float64 `json:"q"`
+}
+
+// ReportRequest delivers outcomes for tasks assigned in the given slot.
+// Only the currently open slot accepts reports; a request is absorbed
+// atomically (all reports validated, then all committed) or rejected.
+type ReportRequest struct {
+	Slot    int          `json:"slot"`
+	Reports []TaskReport `json:"reports"`
+}
+
+// ReportResponse acknowledges an absorbed report request.
+type ReportResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// Stats is the daemon's live counter snapshot (GET /v1/stats, and the
+// "lfsc_serve" expvar). Latency stats reuse the obs log₂-bucket
+// histogram fidelity.
+type Stats struct {
+	// Slot is the next slot index to be decided (= completed slots,
+	// including any carried in from a restored checkpoint).
+	Slot int `json:"slot"`
+	// CumReward is the cumulative compound reward over all served slots,
+	// including checkpoint-restored history.
+	CumReward float64 `json:"cum_reward"`
+
+	SubmittedTasks uint64 `json:"submitted_tasks"`
+	DecidedTasks   uint64 `json:"decided_tasks"`
+	AssignedTasks  uint64 `json:"assigned_tasks"`
+	ReportedTasks  uint64 `json:"reported_tasks"`
+	SlotsServed    uint64 `json:"slots_served"`
+
+	// ShedRequests / ShedTasks count submissions refused with 429 because
+	// a bounded queue was full, and the tasks they carried.
+	ShedRequests uint64 `json:"shed_requests"`
+	ShedTasks    uint64 `json:"shed_tasks"`
+	// LateSlots counts slots whose report wait timed out with outcomes
+	// still missing; LateReports counts report requests that arrived
+	// after their slot had already closed.
+	LateSlots   uint64 `json:"late_slots"`
+	LateReports uint64 `json:"late_reports"`
+
+	SubmitLatency obs.PhaseStat `json:"submit_latency"`
+	ReportLatency obs.PhaseStat `json:"report_latency"`
+}
+
+// errorBody is the JSON error envelope of non-2xx responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
