@@ -14,7 +14,7 @@ GO ?= go
 # gates are all concurrent by construction.
 RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim ./internal/trace ./internal/obs ./internal/metrics ./internal/serve
 
-.PHONY: all build vet test test-race bench-short bench json bench-diff serve-smoke ci clean
+.PHONY: all build vet test test-race bench-short bench json bench-serve bench-diff fuzz-short serve-smoke ci clean
 
 all: vet test
 
@@ -47,14 +47,33 @@ bench:
 json:
 	$(GO) run ./cmd/lfscbench -benchjson BENCH_core.json
 
+# Measure the serving data plane and merge its figures into the same
+# artifact: serve_ns_per_slot (in-process batched /v1/step lockstep,
+# generation pre-materialized so the clock sees only the serving path),
+# serve_allocs_per_slot / serve_allocs_per_req (0 in steady state), and
+# serve_http_rps (real loopback HTTP round trips).
+bench-serve:
+	$(GO) run ./cmd/lfscbench -benchserve BENCH_core.json
+
 # Measure the working tree against the committed perf artifact: runs the
-# paper-horizon benchmark into a scratch file and diffs it against
-# BENCH_core.json. Fails (exit 1) on a >25% timing/allocation regression
-# or ANY reward-ratio drift — the simulation is deterministic, so a ratio
-# change means the computation itself changed.
+# paper-horizon benchmark AND the serve-layer harness into a scratch file
+# and diffs it against BENCH_core.json. Fails (exit 1) on a >25%
+# timing/allocation regression (core or serve), a serve-throughput drop
+# below 75%, a dropped serve key, or ANY reward-ratio drift — the
+# simulation is deterministic, so a ratio change means the computation
+# itself changed.
 bench-diff:
+	rm -f /tmp/BENCH_head.json
 	$(GO) run ./cmd/lfscbench -benchjson /tmp/BENCH_head.json
+	$(GO) run ./cmd/lfscbench -benchserve /tmp/BENCH_head.json
 	$(GO) run ./cmd/benchdiff BENCH_core.json /tmp/BENCH_head.json
+
+# Short fuzz passes over the two decoders that parse untrusted bytes: the
+# checkpoint loader and the wire-format request decoder. Go allows one
+# -fuzz pattern per invocation, hence two runs.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointLoad -fuzztime 5s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 5s ./internal/serve
 
 # The serving-layer smoke: boot lfscd on an ephemeral port, drive 200
 # slots of a shared trace over real HTTP with periodic checkpointing,
@@ -68,9 +87,10 @@ serve-smoke:
 # Everything a commit must pass, in the order a CI runner would execute:
 # static checks, the full test suite, the race-detector suite over the
 # concurrency-contract packages, the serving-layer kill-and-resume
-# smoke, and the quick perf kernels (which also assert 0 allocs/op on
-# the steady-state paths).
-ci: vet test test-race serve-smoke bench-short
+# smoke, the quick perf kernels (which also assert 0 allocs/op on the
+# steady-state paths), and a short fuzz pass over the untrusted-input
+# decoders.
+ci: vet test test-race serve-smoke bench-short fuzz-short
 
 clean:
 	$(GO) clean ./...

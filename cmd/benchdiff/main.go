@@ -1,7 +1,9 @@
 // Command benchdiff compares two BENCH_core.json perf-trajectory artifacts
-// (see cmd/lfscbench -benchjson) and reports the deltas in the figures the
-// repo tracks across commits: ns/slot, allocs/slot, and the LFSC/Oracle
-// reward ratio.
+// (see cmd/lfscbench -benchjson / -benchserve) and reports the deltas in
+// the figures the repo tracks across commits: ns/slot, allocs/slot, the
+// LFSC/Oracle reward ratio, and — when present — the serve-layer block
+// (serve_ns_per_slot, serve_allocs_per_slot, serve_allocs_per_req,
+// serve_http_rps).
 //
 // Usage:
 //
@@ -15,6 +17,13 @@
 // noisy); the reward ratio is compared with an absolute epsilon (default
 // 1e-9) because the simulation is deterministic — any drift there means
 // the computation itself changed, not the machine.
+//
+// Serve-layer keys are guarded, not merely informational: a serve key
+// present in OLD that disappears from NEW fails the diff (the serve
+// harness silently dropping a figure is itself a regression), serve
+// timing shares the ns/slot threshold, serve allocs/req gets a +0.5
+// absolute grace on top of the relative one (its baseline is 0), and
+// serve HTTP throughput fails when it drops below 75% of OLD.
 package main
 
 import (
@@ -27,11 +36,11 @@ import (
 	"strings"
 )
 
-// benchResult mirrors the fields of cmd/lfscbench's -benchjson schema that
+// benchResult mirrors the fields of cmd/lfscbench's artifact schema that
 // the diff consumes; unknown fields are ignored so the schemas can evolve
-// independently — in particular, serve-layer entries (serve_ns_per_slot
-// and friends) may ride in the same artifact without breaking the core
-// comparison. Extra keys are reported informationally, never fatally.
+// independently. The serve-layer block is optional (pointer fields — nil
+// means the artifact predates the serve harness or didn't run it); extra
+// keys beyond both blocks are reported informationally, never fatally.
 type benchResult struct {
 	Name          string  `json:"name"`
 	Timestamp     string  `json:"timestamp"`
@@ -40,6 +49,11 @@ type benchResult struct {
 	NsPerSlot     float64 `json:"ns_per_slot"`
 	AllocsPerSlot float64 `json:"allocs_per_slot"`
 	Ratio         float64 `json:"lfsc_oracle_ratio"`
+
+	ServeNsPerSlot     *float64 `json:"serve_ns_per_slot"`
+	ServeAllocsPerSlot *float64 `json:"serve_allocs_per_slot"`
+	ServeAllocsPerReq  *float64 `json:"serve_allocs_per_req"`
+	ServeHTTPRps       *float64 `json:"serve_http_rps"`
 
 	extra []string // unknown top-level keys, sorted
 }
@@ -53,6 +67,8 @@ var knownKeys = map[string]bool{
 	"ns_per_slot": true, "allocs_per_slot": true,
 	"lfsc_total_reward": true, "oracle_total_reward": true,
 	"lfsc_oracle_ratio": true,
+	"serve_ns_per_slot": true, "serve_allocs_per_slot": true,
+	"serve_allocs_per_req": true, "serve_http_rps": true,
 }
 
 func load(path string) (*benchResult, error) {
@@ -87,11 +103,79 @@ func pct(old, new float64) float64 {
 	return (new - old) / old * 100
 }
 
+// thresholds bundles the regression gates (see the flag docs in main).
+type thresholds struct {
+	maxNsRegress    float64
+	maxAllocRegress float64
+	maxRatioDrift   float64
+}
+
+// diff renders the comparison and applies the gates, returning the report
+// lines and whether any gate failed. Split from main so the gating logic
+// is testable without exec'ing the binary.
+func diff(old, new_ *benchResult, th thresholds) (lines []string, failed bool) {
+	addf := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	addf("  %-20s %14.1f -> %14.1f  (%+.1f%%)", "ns/slot", old.NsPerSlot, new_.NsPerSlot, pct(old.NsPerSlot, new_.NsPerSlot))
+	addf("  %-20s %14.2f -> %14.2f  (%+.1f%%)", "allocs/slot", old.AllocsPerSlot, new_.AllocsPerSlot, pct(old.AllocsPerSlot, new_.AllocsPerSlot))
+	addf("  %-20s %14.10f -> %14.10f  (Δ %.3e)", "reward ratio", old.Ratio, new_.Ratio, new_.Ratio-old.Ratio)
+
+	if new_.NsPerSlot > old.NsPerSlot*(1+th.maxNsRegress) {
+		addf("  FAIL ns/slot regressed beyond %.0f%%", th.maxNsRegress*100)
+		failed = true
+	}
+	if new_.AllocsPerSlot > old.AllocsPerSlot*(1+th.maxAllocRegress)+2 {
+		addf("  FAIL allocs/slot regressed beyond %.0f%%", th.maxAllocRegress*100)
+		failed = true
+	}
+	if math.Abs(new_.Ratio-old.Ratio) > th.maxRatioDrift {
+		addf("  FAIL reward ratio drifted beyond %g — the deterministic computation changed", th.maxRatioDrift)
+		failed = true
+	}
+
+	// Serve-layer block: every key is compared when both sides carry it;
+	// a key OLD pins that NEW lost fails the diff outright.
+	serveKey := func(name string, oldV, newV *float64, check func(o, n float64) (string, bool)) {
+		switch {
+		case oldV == nil && newV == nil:
+			return
+		case oldV == nil:
+			addf("  %-20s %14s -> %14.2f  (new key, not compared)", name, "-", *newV)
+		case newV == nil:
+			addf("  FAIL %s present in OLD but missing from NEW — the serve harness dropped a guarded figure", name)
+			failed = true
+		default:
+			addf("  %-20s %14.2f -> %14.2f  (%+.1f%%)", name, *oldV, *newV, pct(*oldV, *newV))
+			if msg, bad := check(*oldV, *newV); bad {
+				addf("  FAIL %s", msg)
+				failed = true
+			}
+		}
+	}
+	serveKey("serve ns/slot", old.ServeNsPerSlot, new_.ServeNsPerSlot, func(o, n float64) (string, bool) {
+		return fmt.Sprintf("serve ns/slot regressed beyond %.0f%%", th.maxNsRegress*100),
+			n > o*(1+th.maxNsRegress)
+	})
+	serveKey("serve allocs/slot", old.ServeAllocsPerSlot, new_.ServeAllocsPerSlot, func(o, n float64) (string, bool) {
+		return fmt.Sprintf("serve allocs/slot regressed beyond %.0f%%", th.maxAllocRegress*100),
+			n > o*(1+th.maxAllocRegress)+2
+	})
+	serveKey("serve allocs/req", old.ServeAllocsPerReq, new_.ServeAllocsPerReq, func(o, n float64) (string, bool) {
+		return fmt.Sprintf("serve allocs/req regressed beyond %.0f%% (+0.5 grace)", th.maxAllocRegress*100),
+			n > o*(1+th.maxAllocRegress)+0.5
+	})
+	serveKey("serve http rps", old.ServeHTTPRps, new_.ServeHTTPRps, func(o, n float64) (string, bool) {
+		return "serve http rps dropped below 75% of OLD", n < o*0.75
+	})
+	return lines, failed
+}
+
 func main() {
 	maxNsRegress := flag.Float64("max-ns-regress", 0.25,
-		"fail when ns/slot grows by more than this fraction")
+		"fail when ns/slot (core or serve) grows by more than this fraction")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0.25,
-		"fail when allocs/slot grows by more than this fraction (plus a +2 absolute grace for tiny baselines)")
+		"fail when allocs/slot grows by more than this fraction (plus a +2 absolute grace for tiny baselines; +0.5 for serve allocs/req)")
 	maxRatioDrift := flag.Float64("max-ratio-drift", 1e-9,
 		"fail when |Δ lfsc_oracle_ratio| exceeds this absolute epsilon")
 	flag.Usage = func() {
@@ -120,28 +204,19 @@ func main() {
 	if old.TSlots != new_.TSlots || old.Seed != new_.Seed {
 		fmt.Println("  warning: horizons/seeds differ; figures are not directly comparable")
 	}
-	fmt.Printf("  %-16s %14.1f -> %14.1f  (%+.1f%%)\n", "ns/slot", old.NsPerSlot, new_.NsPerSlot, pct(old.NsPerSlot, new_.NsPerSlot))
-	fmt.Printf("  %-16s %14.2f -> %14.2f  (%+.1f%%)\n", "allocs/slot", old.AllocsPerSlot, new_.AllocsPerSlot, pct(old.AllocsPerSlot, new_.AllocsPerSlot))
-	fmt.Printf("  %-16s %14.10f -> %14.10f  (Δ %.3e)\n", "reward ratio", old.Ratio, new_.Ratio, new_.Ratio-old.Ratio)
+	lines, failed := diff(old, new_, thresholds{
+		maxNsRegress:    *maxNsRegress,
+		maxAllocRegress: *maxAllocRegress,
+		maxRatioDrift:   *maxRatioDrift,
+	})
+	for _, l := range lines {
+		fmt.Println(l)
+	}
 	for i, r := range []*benchResult{old, new_} {
 		if len(r.extra) > 0 {
 			fmt.Printf("  note: %s carries %d non-core key(s), not compared: %s\n",
 				flag.Arg(i), len(r.extra), strings.Join(r.extra, ", "))
 		}
-	}
-
-	failed := false
-	if new_.NsPerSlot > old.NsPerSlot*(1+*maxNsRegress) {
-		fmt.Printf("  FAIL ns/slot regressed beyond %.0f%%\n", *maxNsRegress*100)
-		failed = true
-	}
-	if new_.AllocsPerSlot > old.AllocsPerSlot*(1+*maxAllocRegress)+2 {
-		fmt.Printf("  FAIL allocs/slot regressed beyond %.0f%%\n", *maxAllocRegress*100)
-		failed = true
-	}
-	if math.Abs(new_.Ratio-old.Ratio) > *maxRatioDrift {
-		fmt.Printf("  FAIL reward ratio drifted beyond %g — the deterministic computation changed\n", *maxRatioDrift)
-		failed = true
 	}
 	if failed {
 		os.Exit(1)

@@ -36,8 +36,9 @@ func TestLoadCoreArtifact(t *testing.T) {
 }
 
 // TestLoadToleratesServeLayerKeys pins the schema-evolution contract:
-// serve-layer benchmark entries ride in BENCH_core.json without breaking
-// the core diff — they are surfaced as extras, not errors.
+// serve-layer benchmark entries ride in BENCH_core.json as first-class
+// guarded fields, and genuinely unknown keys are surfaced as extras, not
+// errors.
 func TestLoadToleratesServeLayerKeys(t *testing.T) {
 	withServe := `{
   "name": "lfsc-core", "t_slots": 1000, "seed": 42,
@@ -54,11 +55,135 @@ func TestLoadToleratesServeLayerKeys(t *testing.T) {
 	if r.NsPerSlot != 400000 || r.Ratio != 0.84 {
 		t.Fatalf("core fields perturbed by extras: %+v", r)
 	}
+	if r.ServeNsPerSlot == nil || *r.ServeNsPerSlot != 9600 {
+		t.Fatalf("serve_ns_per_slot not decoded: %+v", r.ServeNsPerSlot)
+	}
+	if r.ServeAllocsPerSlot == nil || *r.ServeAllocsPerSlot != 14 {
+		t.Fatalf("serve_allocs_per_slot not decoded: %+v", r.ServeAllocsPerSlot)
+	}
+	if r.ServeAllocsPerReq != nil || r.ServeHTTPRps != nil {
+		t.Fatalf("absent serve keys decoded non-nil: %+v", r)
+	}
 	got := strings.Join(r.extra, ",")
-	want := "serve_allocs_per_slot,serve_future_metric,serve_ns_per_slot"
+	want := "serve_future_metric"
 	if got != want {
 		t.Fatalf("extras = %q, want %q", got, want)
 	}
+}
+
+func f64(v float64) *float64 { return &v }
+
+func baseResult() *benchResult {
+	return &benchResult{
+		TSlots: 1000, Seed: 42,
+		NsPerSlot: 400000, AllocsPerSlot: 2.2, Ratio: 0.84,
+		ServeNsPerSlot:     f64(4500),
+		ServeAllocsPerSlot: f64(0),
+		ServeAllocsPerReq:  f64(0),
+		ServeHTTPRps:       f64(15000),
+	}
+}
+
+var defaultTh = thresholds{maxNsRegress: 0.25, maxAllocRegress: 0.25, maxRatioDrift: 1e-9}
+
+func runDiff(t *testing.T, old, new_ *benchResult) (string, bool) {
+	t.Helper()
+	lines, failed := diff(old, new_, defaultTh)
+	return strings.Join(lines, "\n"), failed
+}
+
+// TestDiffServeGuards pins the serve-layer gates: timing shares the core
+// ns threshold, allocs/req gets the +0.5 absolute grace over a zero
+// baseline, throughput fails below 75% of OLD, and a guarded key that
+// vanishes from NEW fails the diff.
+func TestDiffServeGuards(t *testing.T) {
+	t.Run("identical passes", func(t *testing.T) {
+		if out, failed := runDiff(t, baseResult(), baseResult()); failed {
+			t.Fatalf("identical artifacts failed:\n%s", out)
+		}
+	})
+	t.Run("serve ns within threshold passes", func(t *testing.T) {
+		n := baseResult()
+		n.ServeNsPerSlot = f64(4500 * 1.2)
+		if out, failed := runDiff(t, baseResult(), n); failed {
+			t.Fatalf("20%% serve ns growth failed at 25%% threshold:\n%s", out)
+		}
+	})
+	t.Run("serve ns regression fails", func(t *testing.T) {
+		n := baseResult()
+		n.ServeNsPerSlot = f64(4500 * 1.3)
+		out, failed := runDiff(t, baseResult(), n)
+		if !failed || !strings.Contains(out, "serve ns/slot regressed") {
+			t.Fatalf("30%% serve ns growth passed:\n%s", out)
+		}
+	})
+	t.Run("allocs/req grace over zero baseline", func(t *testing.T) {
+		n := baseResult()
+		n.ServeAllocsPerReq = f64(0.4)
+		if out, failed := runDiff(t, baseResult(), n); failed {
+			t.Fatalf("0.4 allocs/req failed the +0.5 grace over a 0 baseline:\n%s", out)
+		}
+		n.ServeAllocsPerReq = f64(0.6)
+		out, failed := runDiff(t, baseResult(), n)
+		if !failed || !strings.Contains(out, "serve allocs/req regressed") {
+			t.Fatalf("0.6 allocs/req passed over a 0 baseline:\n%s", out)
+		}
+	})
+	t.Run("http rps floor", func(t *testing.T) {
+		n := baseResult()
+		n.ServeHTTPRps = f64(15000 * 0.8)
+		if out, failed := runDiff(t, baseResult(), n); failed {
+			t.Fatalf("-20%% rps failed at the 75%% floor:\n%s", out)
+		}
+		n.ServeHTTPRps = f64(15000 * 0.7)
+		out, failed := runDiff(t, baseResult(), n)
+		if !failed || !strings.Contains(out, "serve http rps dropped") {
+			t.Fatalf("-30%% rps passed the 75%% floor:\n%s", out)
+		}
+	})
+	t.Run("dropped guarded key fails", func(t *testing.T) {
+		n := baseResult()
+		n.ServeHTTPRps = nil
+		out, failed := runDiff(t, baseResult(), n)
+		if !failed || !strings.Contains(out, "missing from NEW") {
+			t.Fatalf("dropped serve_http_rps passed:\n%s", out)
+		}
+	})
+	t.Run("serve block absent on both sides passes", func(t *testing.T) {
+		o, n := baseResult(), baseResult()
+		o.ServeNsPerSlot, o.ServeAllocsPerSlot, o.ServeAllocsPerReq, o.ServeHTTPRps = nil, nil, nil, nil
+		n.ServeNsPerSlot, n.ServeAllocsPerSlot, n.ServeAllocsPerReq, n.ServeHTTPRps = nil, nil, nil, nil
+		if out, failed := runDiff(t, o, n); failed {
+			t.Fatalf("pre-serve artifacts failed:\n%s", out)
+		}
+	})
+	t.Run("new key on NEW side only passes", func(t *testing.T) {
+		o := baseResult()
+		o.ServeAllocsPerReq = nil
+		if out, failed := runDiff(t, o, baseResult()); failed {
+			t.Fatalf("serve key newly added in NEW failed:\n%s", out)
+		}
+	})
+}
+
+// TestDiffCoreGuards keeps the pre-serve gates intact.
+func TestDiffCoreGuards(t *testing.T) {
+	t.Run("ns regression fails", func(t *testing.T) {
+		n := baseResult()
+		n.NsPerSlot = 400000 * 1.3
+		out, failed := runDiff(t, baseResult(), n)
+		if !failed || !strings.Contains(out, "ns/slot regressed") {
+			t.Fatalf("30%% core ns growth passed:\n%s", out)
+		}
+	})
+	t.Run("ratio drift fails", func(t *testing.T) {
+		n := baseResult()
+		n.Ratio = 0.84 + 1e-6
+		out, failed := runDiff(t, baseResult(), n)
+		if !failed || !strings.Contains(out, "reward ratio drifted") {
+			t.Fatalf("ratio drift passed:\n%s", out)
+		}
+	})
 }
 
 func TestLoadRejectsNonArtifacts(t *testing.T) {

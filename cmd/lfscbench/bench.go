@@ -9,6 +9,7 @@ import (
 
 	"lfsc/internal/core"
 	"lfsc/internal/obs"
+	"lfsc/internal/serve"
 	"lfsc/internal/sim"
 )
 
@@ -95,16 +96,84 @@ func runBenchJSON(path string, horizon int, seed uint64, workers int, obsOpts *o
 		res.LFSCOracleRatio = res.LFSCTotalReward / res.OracleTotalReward
 	}
 
-	buf, err := json.MarshalIndent(&res, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
+	if err := mergeBenchJSON(path, &res); err != nil {
 		return err
 	}
 	fmt.Printf("bench: %.0f ns/slot, %.1f allocs/slot, LFSC/Oracle reward ratio %.4f\n",
 		res.NsPerSlot, res.AllocsPerSlot, res.LFSCOracleRatio)
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// serveBenchResult is the serve-layer block of the artifact (-benchserve):
+// the daemon data plane measured at the serve tests' scenario scale. It
+// shares BENCH_core.json with the core block via mergeBenchJSON.
+type serveBenchResult struct {
+	// ServeNsPerSlot is wall time per full slot on the in-process batched
+	// /v1/step handler loop (decode → Decide → encode plus the client-side
+	// generation and outcome realisation around it).
+	ServeNsPerSlot float64 `json:"serve_ns_per_slot"`
+	// ServeAllocsPerSlot is the heap-allocation count of that loop per slot.
+	ServeAllocsPerSlot float64 `json:"serve_allocs_per_slot"`
+	// ServeAllocsPerReq is the allocation count attributed to the handler
+	// invocation alone — 0 in steady state (TestServeWireZeroAlloc).
+	ServeAllocsPerReq float64 `json:"serve_allocs_per_req"`
+	// ServeHTTPRps is end-to-end /v1/step round trips per second over real
+	// loopback HTTP.
+	ServeHTTPRps float64 `json:"serve_http_rps"`
+}
+
+// runBenchServe runs the serve-layer harness (internal/serve RunBench)
+// and merges its figures into the artifact at path, preserving the core
+// block already there.
+func runBenchServe(path string, slots, httpSlots int, seed uint64) error {
+	fmt.Printf("bench: serve data plane (slots=%d, httpSlots=%d, seed=%d)...\n",
+		slots, httpSlots, seed)
+	r, err := serve.RunBench(slots, httpSlots, seed)
+	if err != nil {
+		return fmt.Errorf("serve bench: %w", err)
+	}
+	res := serveBenchResult{
+		ServeNsPerSlot:     r.NsPerSlot,
+		ServeAllocsPerSlot: r.AllocsPerSlot,
+		ServeAllocsPerReq:  r.AllocsPerReq,
+		ServeHTTPRps:       r.HTTPRps,
+	}
+	if err := mergeBenchJSON(path, &res); err != nil {
+		return err
+	}
+	fmt.Printf("bench: serve %.0f ns/slot, %.2f allocs/slot, %.2f allocs/req, %.0f http rps\n",
+		res.ServeNsPerSlot, res.ServeAllocsPerSlot, res.ServeAllocsPerReq, res.ServeHTTPRps)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// mergeBenchJSON overlays block's fields onto the JSON object already at
+// path (if any) and writes the result back. The core harness and the
+// serve harness each own a disjoint set of keys in the shared
+// BENCH_core.json; merging keeps one from clobbering the other's block.
+func mergeBenchJSON(path string, block any) error {
+	merged := map[string]json.RawMessage{}
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &merged); err != nil {
+			return fmt.Errorf("bench: existing %s is not a JSON object: %w", path, err)
+		}
+	}
+	blockBuf, err := json.Marshal(block)
+	if err != nil {
+		return err
+	}
+	updates := map[string]json.RawMessage{}
+	if err := json.Unmarshal(blockBuf, &updates); err != nil {
+		return err
+	}
+	for k, v := range updates {
+		merged[k] = v
+	}
+	buf, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
 }

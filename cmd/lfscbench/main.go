@@ -6,7 +6,7 @@
 //	lfscbench [-exp all|fig2a|fig2b|fig2c|fig3|fig4|ratio|abl-...] \
 //	          [-T 10000] [-seed 42] [-outdir results/] [-workers 0] \
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof] \
-//	          [-benchjson BENCH_core.json]
+//	          [-benchjson BENCH_core.json] [-benchserve BENCH_core.json]
 //
 // Experiment ids and what they reproduce are listed by -list. The full
 // five-policy paper run (T=10000) takes a few minutes on a laptop; the
@@ -15,8 +15,11 @@
 // -benchjson runs the single-policy perf harness instead of the
 // experiment suite: one LFSC pass over the paper scenario measured for
 // ns/slot and allocs/slot, one oracle pass for the reward ratio, written
-// as JSON (see benchResult in bench.go). -cpuprofile/-memprofile wrap
-// whichever mode runs in pprof capture.
+// as JSON (see benchResult in bench.go). -benchserve runs the serve-layer
+// harness (internal/serve RunBench: in-process handler loop + real-HTTP
+// round trips) and merges its serve_* keys into the same artifact — both
+// modes merge rather than overwrite, so they share one BENCH_core.json.
+// -cpuprofile/-memprofile wrap whichever mode runs in pprof capture.
 package main
 
 import (
@@ -44,6 +47,9 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchjson  = flag.String("benchjson", "", "run the perf harness and write its JSON result to this file")
+		benchserve = flag.String("benchserve", "", "run the serve-layer perf harness and merge its keys into this JSON file")
+		serveSlots = flag.Int("serve-slots", 5000, "in-process slots for -benchserve")
+		serveHTTP  = flag.Int("serve-http-slots", 2000, "real-HTTP slots for -benchserve")
 		observe    = flag.String("observe", "", "serve live telemetry on this address (/lfsc/status, /debug/vars, /debug/pprof)")
 	)
 	flag.Parse()
@@ -99,10 +105,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "observe: serving http://%s/lfsc/status\n", srv.Addr())
 	}
 
-	if *benchjson != "" {
-		if err := runBenchJSON(*benchjson, *horizon, *seed, *workers, obsOpts); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+	if *benchjson != "" || *benchserve != "" {
+		if *benchjson != "" {
+			if err := runBenchJSON(*benchjson, *horizon, *seed, *workers, obsOpts); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *benchserve != "" {
+			if err := runBenchServe(*benchserve, *serveSlots, *serveHTTP, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -3,9 +3,12 @@
 // (context vector + visible SCNs) to /v1/submit; a slot-clocked batcher
 // aggregates them into a slot, runs the LFSC decision, and returns each
 // task's SCN assignment. Realised outcomes come back through /v1/report
-// and drive the bandit update. Queues are bounded — under overload the
-// daemon sheds submissions with 429 instead of building unbounded
-// backlog.
+// and drive the bandit update; /v1/step batches both into one round
+// trip (previous slot's outcomes + next slot's arrivals). The hot
+// endpoints run a zero-allocation wire path — pooled request objects,
+// in-place decoding, append-based encoding. Queues are bounded — under
+// overload the daemon sheds submissions with 429 instead of building
+// unbounded backlog.
 //
 // Usage:
 //

@@ -3,16 +3,22 @@
 // submits each slot's arrivals, realises outcomes for the returned
 // assignment with the simulator's common-random-number scheme, and
 // reports them back. At the end it prints throughput, shed rate,
-// client-observed latency percentiles, and the cumulative reward —
-// which, when the daemon was started with the matching scenario and
-// seed, is bit-identical to an offline `lfscsim -policies lfsc` run.
+// connection reuse, client-observed latency percentiles, and the
+// cumulative reward — which, when the daemon was started with the
+// matching scenario and seed, is bit-identical to an offline
+// `lfscsim -policies lfsc` run.
+//
+// By default the generator rides the batched /v1/step endpoint (one
+// round trip per slot: previous slot's outcomes + next slot's arrivals)
+// over a transport tuned for connection reuse; -no-step selects the
+// classic /v1/submit + /v1/report pair.
 //
 // Usage:
 //
 //	lfscload [-addr localhost:9090] [-T 1000] [-from 0] [-resume]
 //	         [-scns 30] [-min 35] [-max 100] [-overlap 0.3]
 //	         [-c 20] [-alpha 15] [-beta 27] [-h 3] [-seed 42]
-//	         [-latency-ctx] [-progress 0]
+//	         [-latency-ctx] [-progress 0] [-no-step]
 //
 // -resume asks the daemon for its current slot and replays from there —
 // the companion to lfscd's checkpointed restart.
@@ -46,6 +52,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "master seed (must match the daemon's)")
 		latCtx   = flag.Bool("latency-ctx", false, "use the 4-D context with the latency class")
 		progress = flag.Int("progress", 0, "print a progress line every N slots (0 = off)")
+		noStep   = flag.Bool("no-step", false, "use the classic submit+report pair instead of batched /v1/step")
 	)
 	flag.Parse()
 
@@ -65,6 +72,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lfscload: %v\n", err)
 		os.Exit(1)
 	}
+	rep.SetUseStep(!*noStep)
 	client := serve.NewClient(*addr)
 
 	start := *from
@@ -106,6 +114,10 @@ func main() {
 	fmt.Printf("shed slots: %d (%.2f%%)\n",
 		st.ShedSlots, 100*float64(st.ShedSlots)/float64(max(st.Slots, 1)))
 	fmt.Printf("cum reward: %.6f\n", st.CumReward)
+	if created, reused := client.ConnStats(); created+reused > 0 {
+		fmt.Printf("conn reuse: %.2f%% (%d new, %d reused)\n",
+			100*float64(reused)/float64(created+reused), created, reused)
+	}
 	if ls := rep.Latency.Stat("request"); ls.Count > 0 {
 		fmt.Printf("latency:    n=%d mean=%v p50=%v p90=%v p99=%v\n",
 			ls.Count,

@@ -12,7 +12,37 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// panicBox captures the first panic raised inside a worker goroutine so
+// the coordinating goroutine can re-raise it after Wait — a panic in a
+// loop body then unwinds the caller instead of crashing the process from
+// an unrelated goroutine.
+type panicBox struct {
+	val  atomic.Pointer[panicValue]
+	once sync.Once
+}
+
+type panicValue struct{ v any }
+
+// guard runs fn(i), recording a panic instead of letting it escape the
+// worker goroutine.
+func (p *panicBox) guard(fn func(int), i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.once.Do(func() { p.val.Store(&panicValue{v: r}) })
+		}
+	}()
+	fn(i)
+}
+
+// rethrow re-raises the recorded panic, if any, on the caller.
+func (p *panicBox) rethrow() {
+	if pv := p.val.Load(); pv != nil {
+		panic(pv.v)
+	}
+}
 
 // DefaultWorkers returns the default worker count: GOMAXPROCS clamped to at
 // least 1.
@@ -28,6 +58,8 @@ func DefaultWorkers() int {
 // (workers <= 0 means DefaultWorkers). It blocks until all iterations
 // complete. Iterations are distributed in contiguous chunks to keep
 // per-iteration overhead low for the short loop bodies typical here.
+// A panic in fn propagates to the caller (the first one, when several
+// workers panic) after all workers have stopped.
 func For(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -44,6 +76,7 @@ func For(n, workers int, fn func(i int)) {
 		}
 		return
 	}
+	var pb panicBox
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -52,17 +85,19 @@ func For(n, workers int, fn func(i int)) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				fn(i)
+				pb.guard(fn, i)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	pb.rethrow()
 }
 
 // ForDynamic runs fn(i) for each i in [0,n) with dynamic (work-stealing-ish)
 // scheduling: workers pull the next index from a shared counter. Use it when
 // iteration costs are highly uneven, e.g. simulation replicas with different
-// horizons.
+// horizons. Every index still runs exactly once even when some panic; the
+// first panic propagates to the caller after all workers have stopped.
 func ForDynamic(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -91,6 +126,7 @@ func ForDynamic(n, workers int, fn func(i int)) {
 		next++
 		return i, true
 	}
+	var pb panicBox
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -101,11 +137,12 @@ func ForDynamic(n, workers int, fn func(i int)) {
 				if !ok {
 					return
 				}
-				fn(i)
+				pb.guard(fn, i)
 			}
 		}()
 	}
 	wg.Wait()
+	pb.rethrow()
 }
 
 // Map applies fn to each index and collects the results in order.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -92,44 +93,60 @@ func (c *Config) withDefaults() Config {
 	return cp
 }
 
-// submission is one SubmitRequest travelling through the batcher. The
-// handler goroutine owns it until the engine replies on resp (cap 1).
-type submission struct {
-	tasks []TaskSpec
-	close bool
-	resp  chan submitReply
-}
-
-type submitReply struct {
+// stepReply is the engine's answer to a queued wireReq: the slot decision
+// for its submission part (slot/base/assigned, with assigned aliasing the
+// request's own assignedBuf), the absorption result of its report part
+// (accepted/repErr — step requests only), and err for terminal failures
+// (engine stopped, late pure report).
+type stepReply struct {
 	slot     int
 	base     int
 	assigned []int
+	accepted int
+	repErr   error
 	err      error
 }
 
-// reportDelivery is one ReportRequest awaiting absorption; the engine
-// answers on resp (cap 1) with nil or a rejection error.
-type reportDelivery struct {
-	req  *ReportRequest
-	resp chan error
-}
+var errStopped = errors.New("serve: engine stopped")
 
-// Engine is the serving core: a single goroutine owns the learner and
-// walks the strict slot protocol (batch → Decide → reply → collect
-// reports → Observe → maybe checkpoint), so the policy never sees
-// concurrent calls. Handlers communicate over bounded channels; when a
-// queue is full the submission is shed, never blocked on.
+// Engine is the serving core: one logical owner walks the strict slot
+// protocol (batch → Decide → reply → collect reports → Observe → maybe
+// checkpoint), so the policy never sees concurrent calls. Handlers
+// communicate over bounded channels carrying pooled wireReq objects;
+// when a queue is full the submission is shed, never blocked on.
+//
+// The slot protocol is an explicit state machine guarded by mu rather
+// than code positions in a goroutine: ingest* feeds events in, advance
+// drives decide/finish transitions until the machine parks. The engine
+// goroutine runs that machine for channel traffic, ticks, and the
+// report-wait timer — but a lockstep caller whose step request closes
+// the open slot and the next batch runs the whole transition inline on
+// its own stack (tryStepInline), with no channel handoff or context
+// switch. Decide/Observe still run strictly in slot order under mu —
+// inlining changes which stack does the work, never the order the
+// learner sees it, which is why the bit-identity tests pass unchanged.
+//
+// The loop remains pipelined for channel traffic: while slot t sits
+// open collecting outcome reports, the engine keeps draining the
+// submission channel, so slot t+1's batch accumulates (and its wire
+// decoding proceeds on handler goroutines) during slot t's report wait
+// and Observe.
 type Engine struct {
 	cfg  Config
 	pol  *core.LFSC
 	part *hypercube.Partition
 
-	subCh    chan *submission
-	repCh    chan *reportDelivery
+	subCh    chan *wireReq
+	repCh    chan *wireReq
 	stopCh   chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
 	abort    atomic.Bool
+
+	// reqPool recycles wireReq objects across requests. A plain buffered
+	// channel, not a sync.Pool: the GC never drains it, which is what
+	// lets steady-state handling stay at 0 allocs/request.
+	reqPool chan *wireReq
 
 	// pending counts tasks accepted into the queue but not yet decided —
 	// the backpressure gauge the submit handler sheds against.
@@ -148,21 +165,70 @@ type Engine struct {
 	cumRewardBits  atomic.Uint64
 	slotAtomic     atomic.Int64
 
-	// Request-latency histograms (the obs log₂-bucket machinery).
+	// Request-latency histograms (the obs log₂-bucket machinery). Each
+	// endpoint histogram times every request it serves — accepted, shed,
+	// and rejected alike; shedLat additionally isolates the 429 paths so
+	// overload latency is visible on its own.
 	submitLat obs.Histogram
 	reportLat obs.Histogram
+	stepLat   obs.Histogram
+	shedLat   obs.Histogram
 
 	rs *obs.RunStatus
 
-	// Slot-loop scratch, reused across slots (engine-goroutine only).
-	batch   slotBatch
-	scratch viewScratch
-	fb      policy.Feedback
-	repU    []float64
-	repV    []float64
-	repQ    []float64
-	repGot  []bool
-	snap    obs.PolicySnapshot
+	// mu guards all slot-machine state below: the engine goroutine holds
+	// it while processing events, and releases it only while parked in
+	// select — which is the window the inline step fast path uses
+	// (TryLock) to run transitions on a caller's stack.
+	mu       sync.Mutex
+	running  bool
+	stopping bool
+	// kickCh wakes the parked engine goroutine so it re-evaluates its
+	// select gating after an inline caller changed machine state the
+	// current park doesn't cover (e.g. opened a slot while the park has
+	// no timer case armed).
+	kickCh chan struct{}
+	// parkedTimer records whether the engine's current (or imminent)
+	// park includes the report-wait timer case.
+	parkedTimer bool
+
+	// Slot-loop state (guarded by mu). deferred holds a drained
+	// submission that would overflow the accumulating batch past KMax;
+	// it opens the next slot as soon as the current batch is served.
+	batch    slotBatch
+	deferred *wireReq
+	scratch  viewScratch
+	fb       policy.Feedback
+	repU     []float64
+	repV     []float64
+	repQ     []float64
+	repGot   []bool
+	snap     obs.PolicySnapshot
+
+	// Open-slot state (guarded by mu): set when decideSlot opens a slot
+	// for outcome reports, consumed by finishSlot. openView and
+	// openAssigned alias policy/scratch storage that stays stable until
+	// the next Decide, which cannot happen before finishSlot.
+	openActive    bool
+	openSlot      int
+	openN         int
+	openView      *policy.SlotView
+	openAssigned  []int
+	openRemaining int
+	openDeadline  time.Time
+	openSpan      time.Time
+
+	// Report-wait timer, reused across slots. Armed and drained only by
+	// the engine goroutine (inline callers never touch it — they kick the
+	// loop instead), so the classic Stop/drain/Reset dance stays
+	// single-goroutine. timerFired tracks whether the last arm was
+	// consumed from timer.C. The timer is armed lazily: an already-armed
+	// timer whose deadline is not after the slot's is left alone and its
+	// (early) fire handled as spurious, so the steady fast-slot path
+	// never touches timer state at all.
+	timer         *time.Timer
+	timerFired    bool
+	timerDeadline time.Time
 }
 
 // NewEngine builds the engine (learner, partition, queues) without
@@ -187,16 +253,46 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("serve: learner: %w", err)
 	}
 	e := &Engine{
-		cfg:    cfg,
-		pol:    pol,
-		part:   part,
-		subCh:  make(chan *submission, cfg.SubQueue),
-		repCh:  make(chan *reportDelivery, cfg.SubQueue),
-		stopCh: make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:     cfg,
+		pol:     pol,
+		part:    part,
+		subCh:   make(chan *wireReq, cfg.SubQueue),
+		repCh:   make(chan *wireReq, cfg.SubQueue),
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+		kickCh:  make(chan struct{}, 1),
+		reqPool: make(chan *wireReq, 2*cfg.SubQueue+8),
 	}
 	e.batch.init(cfg.SCNs)
 	return e, nil
+}
+
+// getReq takes a wireReq from the pool (or allocates the pool's first
+// few). The caller owns it until putReq.
+func (e *Engine) getReq() *wireReq {
+	select {
+	case q := <-e.reqPool:
+		return q
+	default:
+		return newWireReq()
+	}
+}
+
+// putReq resets and recycles a wireReq. Only call once the engine can no
+// longer reference it: after its reply was received, or before it was
+// ever enqueued.
+func (e *Engine) putReq(q *wireReq) {
+	q.reset()
+	// Drain a reply that raced with an engine-stopped exit so the pooled
+	// object never resurfaces with a stale message buffered.
+	select {
+	case <-q.resp:
+	default:
+	}
+	select {
+	case e.reqPool <- q:
+	default:
+	}
 }
 
 // Policy exposes the learner for introspection (status pages, tests).
@@ -261,6 +357,8 @@ func (e *Engine) Stats() Stats {
 		LateReports:    e.lateReports.Load(),
 		SubmitLatency:  e.submitLat.Stat("submit"),
 		ReportLatency:  e.reportLat.Stat("report"),
+		StepLatency:    e.stepLat.Stat("step"),
+		ShedLatency:    e.shedLat.Stat("shed"),
 	}
 }
 
@@ -275,117 +373,10 @@ func IsShed(err error) bool {
 	return ok
 }
 
-// Submit validates and enqueues a batch of task arrivals, blocking until
-// the slot containing them is decided. Shed submissions return a
-// *shedError immediately — the caller must retry later (429 semantics).
-func (e *Engine) Submit(req *SubmitRequest) (*SubmitResponse, error) {
-	start := time.Now()
-	defer e.submitLat.Observe(start)
-	if err := e.validateSubmit(req); err != nil {
-		return nil, err
-	}
-	n := int64(len(req.Tasks))
-	// Backpressure gate 1: the pending-task budget. Reserve optimistically
-	// and roll back on shed so concurrent submitters cannot stampede past
-	// the cap.
-	if e.pending.Add(n) > int64(e.cfg.QueueCap) {
-		e.pending.Add(-n)
-		e.shed(req)
-		return nil, &shedError{reason: "task queue full"}
-	}
-	s := &submission{tasks: req.Tasks, close: req.Close, resp: make(chan submitReply, 1)}
-	// Backpressure gate 2: the submission channel. Never block the
-	// handler — a full channel means the batcher is behind; shed.
-	select {
-	case e.subCh <- s:
-	default:
-		e.pending.Add(-n)
-		e.shed(req)
-		return nil, &shedError{reason: "submission queue full"}
-	}
-	e.submittedTasks.Add(uint64(n))
-	select {
-	case rep := <-s.resp:
-		if rep.err != nil {
-			return nil, rep.err
-		}
-		return &SubmitResponse{Slot: rep.slot, Base: rep.base, Assigned: rep.assigned}, nil
-	case <-e.done:
-		return nil, fmt.Errorf("serve: engine stopped")
-	}
-}
-
-func (e *Engine) shed(req *SubmitRequest) {
-	e.shedRequests.Add(1)
-	e.shedTasks.Add(uint64(len(req.Tasks)))
-}
-
-func (e *Engine) validateSubmit(req *SubmitRequest) error {
-	if len(req.Tasks) == 0 {
-		return fmt.Errorf("serve: empty submission")
-	}
-	// Local counts: validation runs on handler goroutines, which must not
-	// touch the engine-owned scratch.
-	counts := make([]int, e.cfg.SCNs)
-	for i := range req.Tasks {
-		sp := &req.Tasks[i]
-		if len(sp.Ctx) != e.cfg.Dims {
-			return fmt.Errorf("serve: task %d: context has %d dims, want %d", i, len(sp.Ctx), e.cfg.Dims)
-		}
-		if !task.Context(sp.Ctx).Valid() {
-			return fmt.Errorf("serve: task %d: context outside [0,1]", i)
-		}
-		if len(sp.SCNs) == 0 {
-			return fmt.Errorf("serve: task %d: no visible SCNs", i)
-		}
-		for _, m := range sp.SCNs {
-			if m < 0 || m >= e.cfg.SCNs {
-				return fmt.Errorf("serve: task %d: SCN %d out of range", i, m)
-			}
-			counts[m]++
-			if counts[m] > e.cfg.KMax {
-				return fmt.Errorf("serve: submission exceeds KMax=%d for SCN %d", e.cfg.KMax, m)
-			}
-		}
-	}
-	// Duplicate SCNs within one task would double-count coverage.
-	for i := range req.Tasks {
-		scns := req.Tasks[i].SCNs
-		for a := 0; a < len(scns); a++ {
-			for b := a + 1; b < len(scns); b++ {
-				if scns[a] == scns[b] {
-					return fmt.Errorf("serve: task %d lists SCN %d twice", i, scns[a])
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// Report delivers realised outcomes for the open slot, blocking until
-// absorbed or rejected.
-func (e *Engine) Report(req *ReportRequest) (*ReportResponse, error) {
-	start := time.Now()
-	defer e.reportLat.Observe(start)
-	if len(req.Reports) == 0 {
-		return nil, fmt.Errorf("serve: empty report")
-	}
-	rd := &reportDelivery{req: req, resp: make(chan error, 1)}
-	select {
-	case e.repCh <- rd:
-	case <-e.done:
-		return nil, fmt.Errorf("serve: engine stopped")
-	}
-	select {
-	case err := <-rd.resp:
-		if err != nil {
-			return nil, err
-		}
-		return &ReportResponse{Accepted: len(req.Reports)}, nil
-	case <-e.done:
-		return nil, fmt.Errorf("serve: engine stopped")
-	}
-}
+var (
+	shedTaskQueue = &shedError{reason: "task queue full"}
+	shedSubQueue  = &shedError{reason: "submission queue full"}
+)
 
 // errLateReport marks a report for a slot that is no longer open.
 type lateReportError struct{ slot, open int }
@@ -400,7 +391,331 @@ func IsLateReport(err error) bool {
 	return ok
 }
 
-// loop is the engine goroutine: the only caller of Decide/Observe.
+// validateTasks checks a decoded submission against the learner's shape,
+// using the request's own counts scratch (validation runs on handler
+// goroutines, which must not touch engine-owned scratch).
+func (e *Engine) validateTasks(q *wireReq) error {
+	tasks := q.tasks
+	if len(tasks) == 0 {
+		return fmt.Errorf("serve: empty submission")
+	}
+	if cap(q.counts) < e.cfg.SCNs {
+		q.counts = make([]int, e.cfg.SCNs)
+	}
+	counts := q.counts[:e.cfg.SCNs]
+	for m := range counts {
+		counts[m] = 0
+	}
+	dims, scns, kMax := e.cfg.Dims, e.cfg.SCNs, e.cfg.KMax
+	for i := range tasks {
+		sp := &tasks[i]
+		if len(sp.Ctx) != dims {
+			return fmt.Errorf("serve: task %d: context has %d dims, want %d", i, len(sp.Ctx), dims)
+		}
+		if !task.Context(sp.Ctx).Valid() {
+			return fmt.Errorf("serve: task %d: context outside [0,1]", i)
+		}
+		if len(sp.SCNs) == 0 {
+			return fmt.Errorf("serve: task %d: no visible SCNs", i)
+		}
+		// Duplicate SCNs within one task would double-count coverage; for
+		// topologies up to 64 SCNs a bitmask catches them in the same pass
+		// as the range/KMax checks.
+		var seen uint64
+		for _, m := range sp.SCNs {
+			if m < 0 || m >= scns {
+				return fmt.Errorf("serve: task %d: SCN %d out of range", i, m)
+			}
+			if scns <= 64 {
+				bit := uint64(1) << uint(m)
+				if seen&bit != 0 {
+					return fmt.Errorf("serve: task %d lists SCN %d twice", i, m)
+				}
+				seen |= bit
+			}
+			counts[m]++
+			if counts[m] > kMax {
+				return fmt.Errorf("serve: submission exceeds KMax=%d for SCN %d", kMax, m)
+			}
+		}
+		if scns > 64 {
+			list := sp.SCNs
+			for a := 0; a < len(list); a++ {
+				for b := a + 1; b < len(list); b++ {
+					if list[a] == list[b] {
+						return fmt.Errorf("serve: task %d lists SCN %d twice", i, list[a])
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// dispatchSubmit pushes a validated wireReq through the two backpressure
+// gates and waits for the slot decision. On shed the request never
+// enters the queue and the caller still owns it.
+func (e *Engine) dispatchSubmit(q *wireReq) (stepReply, error) {
+	n := int64(len(q.tasks))
+	// Gate 1: the pending-task budget. Reserve optimistically and roll
+	// back on shed so concurrent submitters cannot stampede past the cap.
+	if e.pending.Add(n) > int64(e.cfg.QueueCap) {
+		e.pending.Add(-n)
+		e.shedRequests.Add(1)
+		e.shedTasks.Add(uint64(n))
+		return stepReply{}, shedTaskQueue
+	}
+	// Gate 2: the submission channel. Never block the handler — a full
+	// channel means the batcher is behind; shed.
+	select {
+	case e.subCh <- q:
+	default:
+		e.pending.Add(-n)
+		e.shedRequests.Add(1)
+		e.shedTasks.Add(uint64(n))
+		return stepReply{}, shedSubQueue
+	}
+	e.submittedTasks.Add(uint64(n))
+	select {
+	case rep := <-q.resp:
+		return rep, rep.err
+	case <-e.done:
+		return stepReply{}, errStopped
+	}
+}
+
+// kick wakes the parked engine loop so it recomputes its select gating.
+func (e *Engine) kick() {
+	select {
+	case e.kickCh <- struct{}{}:
+	default:
+	}
+}
+
+// kickIfStale wakes the loop when the machine parked in a state the
+// engine's current select doesn't cover: a slot opened without a timer
+// case armed, or a batch closed (or overflow deferred) while subCh is
+// still being drained. Call under mu after inline transitions.
+func (e *Engine) kickIfStale() {
+	if (e.openActive && e.openRemaining > 0 && !e.parkedTimer) ||
+		e.deferred != nil || e.batch.shouldClose(e.cfg.MaxBatch, e.cfg.KMax) {
+		e.kick()
+	}
+}
+
+// tryStepInline runs a validated submission through the slot machine on
+// the caller's own stack when the engine is parked and the channels are
+// idle: absorb the report part, admit the tasks, advance — which in
+// lockstep operation decides the next slot before the call returns,
+// with no channel handoff or context switch. Returns ok=false when the
+// fast path's preconditions don't hold; the caller must then dispatch
+// through the channels. When ok, the semantics (shed accounting, reply,
+// error surface) are exactly those of dispatchSubmit.
+func (e *Engine) tryStepInline(q *wireReq) (stepReply, error, bool) {
+	if !e.mu.TryLock() {
+		return stepReply{}, nil, false
+	}
+	if !e.running || e.stopping || e.deferred != nil || len(e.subCh) > 0 || len(e.repCh) > 0 {
+		e.mu.Unlock()
+		return stepReply{}, nil, false
+	}
+	// The pending-task gate, exactly as dispatchSubmit applies it. The
+	// subCh gate has no inline analogue: the request never queues.
+	n := int64(len(q.tasks))
+	if e.pending.Add(n) > int64(e.cfg.QueueCap) {
+		e.pending.Add(-n)
+		e.mu.Unlock()
+		e.shedRequests.Add(1)
+		e.shedTasks.Add(uint64(n))
+		return stepReply{}, shedTaskQueue, true
+	}
+	e.submittedTasks.Add(uint64(n))
+	e.ingestStep(q)
+	e.advance()
+	e.kickIfStale()
+	e.mu.Unlock()
+	// In lockstep the reply is already buffered and the select returns
+	// without parking; otherwise wait like the channel path does (the
+	// batch is still accumulating, or the open slot still needs other
+	// clients' reports).
+	select {
+	case rep := <-q.resp:
+		return rep, rep.err, true
+	case <-e.done:
+		return stepReply{}, errStopped, true
+	}
+}
+
+// tryReportInline is the pure-report inline path: absorb into the open
+// slot (or reject as late) on the caller's stack. The reply is always
+// immediate. Returns ok=false when the preconditions don't hold.
+func (e *Engine) tryReportInline(q *wireReq) (stepReply, bool) {
+	if !e.mu.TryLock() {
+		return stepReply{}, false
+	}
+	if !e.running || e.stopping || len(e.subCh) > 0 || len(e.repCh) > 0 {
+		e.mu.Unlock()
+		return stepReply{}, false
+	}
+	e.ingestReport(q)
+	e.advance()
+	e.kickIfStale()
+	e.mu.Unlock()
+	return <-q.resp, true
+}
+
+// dispatchReport delivers a pure report (no tasks) and waits for the
+// absorb result.
+func (e *Engine) dispatchReport(q *wireReq) (stepReply, error) {
+	select {
+	case e.repCh <- q:
+	case <-e.done:
+		return stepReply{}, errStopped
+	}
+	select {
+	case rep := <-q.resp:
+		return rep, rep.err
+	case <-e.done:
+		return stepReply{}, errStopped
+	}
+}
+
+// Submit validates and enqueues a batch of task arrivals, blocking until
+// the slot containing them is decided. Shed submissions return a
+// *shedError immediately — the caller must retry later (429 semantics).
+// This is the copying convenience API (tests, in-process callers); the
+// HTTP handlers run the same dispatch on pooled requests directly.
+func (e *Engine) Submit(req *SubmitRequest) (*SubmitResponse, error) {
+	start := time.Now()
+	defer e.submitLat.Observe(start)
+	q := e.getReq()
+	q.tasks = append(q.tasks[:0], req.Tasks...)
+	q.close = req.Close
+	if err := e.validateTasks(q); err != nil {
+		e.putReq(q)
+		return nil, err
+	}
+	rep, err, ok := e.tryStepInline(q)
+	if !ok {
+		rep, err = e.dispatchSubmit(q)
+	}
+	if err != nil {
+		if IsShed(err) {
+			e.shedLat.Observe(start)
+			e.putReq(q)
+		}
+		// Engine stopped: the reply may still arrive; leak q to the GC
+		// rather than recycle an object the engine could touch.
+		return nil, err
+	}
+	resp := &SubmitResponse{Slot: rep.slot, Base: rep.base, Assigned: append([]int(nil), rep.assigned...)}
+	e.putReq(q)
+	return resp, nil
+}
+
+// Report delivers realised outcomes for the open slot, blocking until
+// absorbed or rejected.
+func (e *Engine) Report(req *ReportRequest) (*ReportResponse, error) {
+	start := time.Now()
+	defer e.reportLat.Observe(start)
+	if len(req.Reports) == 0 {
+		return nil, fmt.Errorf("serve: empty report")
+	}
+	q := e.getReq()
+	q.slot = req.Slot
+	q.hasSlot = true
+	q.reports = append(q.reports[:0], req.Reports...)
+	q.hasReps = true
+	rep, ok := e.tryReportInline(q)
+	var err error
+	if ok {
+		err = rep.err
+	} else {
+		rep, err = e.dispatchReport(q)
+	}
+	if err != nil {
+		if !errors.Is(err, errStopped) {
+			e.putReq(q)
+		}
+		return nil, err
+	}
+	resp := &ReportResponse{Accepted: rep.accepted}
+	e.putReq(q)
+	return resp, nil
+}
+
+// StepInto is the batched round-trip: deliver the previous slot's
+// outcome reports and submit the next slot's tasks in one call, parsing
+// the combined acknowledgement into resp (reusing resp.Assigned — the
+// allocation-lean path for in-process lockstep loops). The report part
+// is absorbed first (its rejection, if any, comes back in
+// resp.ReportError — the submission proceeds regardless); on shed, the
+// report part is still delivered so the open slot's Observe is never
+// starved by backpressure on the next slot.
+func (e *Engine) StepInto(req *StepRequest, resp *StepResponse) error {
+	start := time.Now()
+	defer e.stepLat.Observe(start)
+	resp.Accepted = 0
+	resp.ReportError = ""
+	resp.Slot, resp.Base = 0, 0
+	resp.Assigned = resp.Assigned[:0]
+	q := e.getReq()
+	q.tasks = append(q.tasks[:0], req.Tasks...)
+	q.close = req.Close
+	q.slot = req.Slot
+	q.hasSlot = true
+	q.reports = append(q.reports[:0], req.Reports...)
+	q.hasReps = len(req.Reports) > 0
+	if err := e.validateTasks(q); err != nil {
+		e.putReq(q)
+		return err
+	}
+	rep, err, ok := e.tryStepInline(q)
+	if !ok {
+		rep, err = e.dispatchSubmit(q)
+	}
+	if err != nil {
+		if IsShed(err) {
+			e.shedLat.Observe(start)
+			if len(q.reports) > 0 {
+				if rrep, rerr := e.dispatchReport(q); rerr == nil {
+					resp.Accepted = rrep.accepted
+				} else if errors.Is(rerr, errStopped) {
+					// The engine may still touch q; leak it to the GC.
+					return err
+				}
+			}
+			e.putReq(q)
+		}
+		return err
+	}
+	resp.Accepted = rep.accepted
+	if rep.repErr != nil {
+		resp.ReportError = rep.repErr.Error()
+	}
+	resp.Slot = rep.slot
+	resp.Base = rep.base
+	resp.Assigned = append(resp.Assigned[:0], rep.assigned...)
+	e.putReq(q)
+	return nil
+}
+
+// Step is the allocating convenience wrapper over StepInto.
+func (e *Engine) Step(req *StepRequest) (*StepResponse, error) {
+	resp := &StepResponse{}
+	err := e.StepInto(req, resp)
+	if err != nil {
+		if IsShed(err) {
+			return resp, err
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// loop is the engine goroutine: it parks in select and feeds events into
+// the slot state machine. All machine transitions run under mu, whether
+// on this goroutine or inlined on a lockstep caller's stack.
 func (e *Engine) loop() {
 	defer close(e.done)
 	var tickCh <-chan time.Time
@@ -409,50 +724,174 @@ func (e *Engine) loop() {
 		defer t.Stop()
 		tickCh = t.C
 	}
+	e.mu.Lock()
+	e.running = true
 	e.slotAtomic.Store(int64(e.pol.SlotsSeen()))
+	e.mu.Unlock()
 	for {
-		select {
-		case s := <-e.subCh:
-			// Closing at KMax: if adding this submission would push a
-			// coverage list past KMax, the current batch is a full slot —
-			// serve it first, then open the next slot with the submission.
-			if e.batch.wouldOverflow(s, e.cfg.KMax) {
-				e.serveSlot()
-			}
-			e.batch.add(s)
-		case <-tickCh:
-			// Slot clock: a non-empty batch closes on each tick (serveSlot
-			// is a no-op on an empty one — no arrivals, no slot).
-			e.serveSlot()
-		case rd := <-e.repCh:
-			e.lateReports.Add(1)
-			rd.resp <- &lateReportError{slot: rd.req.Slot, open: int(e.slotAtomic.Load())}
-			continue
-		case <-e.stopCh:
-			e.shutdown()
-			return
+		// Compute the park's gating under mu, then wait unlocked — the
+		// window inline callers use. Draining subCh pauses once the next
+		// batch is closed or an overflow submission is deferred; the slot
+		// clock only matters between slots (a tick landing during a report
+		// wait stays buffered in the ticker, as before the flattening);
+		// the timer case exists only while a slot is open.
+		e.mu.Lock()
+		subCh := e.subCh
+		if e.deferred != nil || e.batch.shouldClose(e.cfg.MaxBatch, e.cfg.KMax) {
+			subCh = nil
 		}
-		if e.batch.shouldClose(e.cfg.MaxBatch, e.cfg.KMax) {
-			e.serveSlot()
+		ticks := tickCh
+		var timerC <-chan time.Time
+		if e.openActive {
+			ticks = nil
+			e.armTimerBy(e.openDeadline)
+			timerC = e.timer.C
+			e.parkedTimer = true
+		} else {
+			e.parkedTimer = false
+		}
+		e.mu.Unlock()
+
+		select {
+		case q := <-subCh:
+			e.mu.Lock()
+			e.ingestStep(q)
+			e.advance()
+			e.mu.Unlock()
+		case q := <-e.repCh:
+			e.mu.Lock()
+			e.ingestReport(q)
+			e.advance()
+			e.mu.Unlock()
+		case <-ticks:
+			// Slot clock: a non-empty batch closes on each tick (decideSlot
+			// is a no-op on an empty one — no arrivals, no slot).
+			e.mu.Lock()
+			e.decideSlot()
+			e.advance()
+			e.mu.Unlock()
+		case <-timerC:
+			e.mu.Lock()
+			e.timerFired = true
+			if e.openActive && !time.Now().Before(e.openDeadline) {
+				// Report wait expired: Observe with whatever arrived.
+				e.lateSlots.Add(1)
+				e.openRemaining = 0
+				e.advance()
+			}
+			// Otherwise the fire was armed for an earlier slot's deadline
+			// (or the slot closed inline before the fire landed): spurious;
+			// the next park re-arms.
+			e.mu.Unlock()
+		case <-e.kickCh:
+			// An inline caller changed machine state this park's gating
+			// doesn't reflect; just re-park.
+		case <-e.stopCh:
+			e.mu.Lock()
+			e.shutdown()
+			e.mu.Unlock()
+			return
 		}
 	}
 }
 
-// shutdown finishes the engine: final checkpoint (unless aborted), then
-// fail everything still queued so no handler blocks forever.
+// ingestStep feeds a drained step/submit request into the machine: its
+// report part is absorbed into the open slot (or rejected as late when
+// no slot is open), its tasks join the accumulating batch. Call under mu.
+func (e *Engine) ingestStep(q *wireReq) {
+	if len(q.reports) > 0 {
+		if e.openActive {
+			q.repAccepted, q.repErr = e.absorbReports(e.openSlot, e.openN, e.openAssigned, q.slot, q.reports)
+			e.openRemaining -= q.repAccepted
+		} else {
+			// A step's report part arriving between slots: the slot it
+			// reports on has already closed.
+			e.lateReports.Add(1)
+			q.repErr = &lateReportError{slot: q.slot, open: int(e.slotAtomic.Load())}
+		}
+	}
+	e.admit(q)
+}
+
+// ingestReport feeds a pure report into the machine and replies with the
+// absorb result immediately (its resp channel is buffered). Call under mu.
+func (e *Engine) ingestReport(q *wireReq) {
+	if e.openActive {
+		acc, err := e.absorbReports(e.openSlot, e.openN, e.openAssigned, q.slot, q.reports)
+		e.openRemaining -= acc
+		q.resp <- stepReply{accepted: acc, err: err}
+		return
+	}
+	e.lateReports.Add(1)
+	q.resp <- stepReply{err: &lateReportError{slot: q.slot, open: int(e.slotAtomic.Load())}}
+}
+
+// advance drives the machine until it parks: finish the open slot once
+// every expected report is in (or the engine is stopping), serve the
+// batch a deferred overflow submission forced out and then re-admit it,
+// and decide a batch that is bound to close (explicit close, MaxBatch,
+// KMax). Call under mu.
+func (e *Engine) advance() {
+	for {
+		if e.openActive {
+			if e.openRemaining > 0 && !e.stopping {
+				return
+			}
+			e.finishSlot()
+			continue
+		}
+		if e.deferred != nil {
+			e.decideSlot()
+			q := e.deferred
+			e.deferred = nil
+			e.admit(q)
+			continue
+		}
+		if e.batch.shouldClose(e.cfg.MaxBatch, e.cfg.KMax) {
+			e.decideSlot()
+			continue
+		}
+		return
+	}
+}
+
+// admit adds a drained submission to the accumulating batch, or parks it
+// in deferred when it would push a coverage list past KMax (the batch
+// must be served first). The park gating stops draining subCh while
+// deferred is set. Call under mu.
+func (e *Engine) admit(q *wireReq) {
+	if e.batch.wouldOverflow(q.tasks, e.cfg.KMax) {
+		e.deferred = q
+		return
+	}
+	e.batch.add(q)
+}
+
+// shutdown finishes the engine: flush the slot in flight (and any batch
+// already bound to close) with whatever reports arrived, write a final
+// checkpoint (unless aborted), then fail everything still queued so no
+// handler blocks forever. Call under mu.
 func (e *Engine) shutdown() {
+	e.stopping = true
+	e.advance()
 	if !e.abort.Load() && e.cfg.CheckpointPath != "" {
 		// Best effort — the periodic checkpoint remains if this fails.
 		_ = e.checkpointNow()
 	}
-	e.failBatch(fmt.Errorf("serve: engine stopped"))
+	e.failBatch(errStopped)
+	if q := e.deferred; q != nil {
+		e.deferred = nil
+		e.pending.Add(-int64(len(q.tasks)))
+		q.resp <- stepReply{err: errStopped}
+	}
+	e.running = false
 	for {
 		select {
-		case s := <-e.subCh:
-			e.pending.Add(-int64(len(s.tasks)))
-			s.resp <- submitReply{err: fmt.Errorf("serve: engine stopped")}
-		case rd := <-e.repCh:
-			rd.resp <- fmt.Errorf("serve: engine stopped")
+		case q := <-e.subCh:
+			e.pending.Add(-int64(len(q.tasks)))
+			q.resp <- stepReply{err: errStopped}
+		case q := <-e.repCh:
+			q.resp <- stepReply{err: errStopped}
 		default:
 			return
 		}
@@ -460,19 +899,20 @@ func (e *Engine) shutdown() {
 }
 
 func (e *Engine) failBatch(err error) {
-	for _, s := range e.batch.subs {
-		e.pending.Add(-int64(len(s.tasks)))
-		s.resp <- submitReply{err: err}
+	for _, q := range e.batch.subs {
+		e.pending.Add(-int64(len(q.tasks)))
+		q.resp <- stepReply{err: err}
 	}
 	e.batch.reset()
 }
 
-// serveSlot runs one full slot against the batched submissions: build
-// the view, Decide, reply to submitters, collect outcome reports,
-// Observe, account, maybe checkpoint. Mirrors the phase structure of
-// sim.Run so the probe's breakdown is comparable across offline and
-// serving runs.
-func (e *Engine) serveSlot() {
+// decideSlot closes the accumulated batch and opens the slot: build the
+// view, Decide, reply to submitters, then leave the slot open for
+// outcome reports (openRemaining counts the assigned tasks still
+// unreported; finishSlot runs once it reaches zero). Call under mu.
+// Mirrors the phase structure of sim.Run so the probe's breakdown is
+// comparable across offline and serving runs.
+func (e *Engine) decideSlot() {
 	b := &e.batch
 	n := len(b.specs)
 	if n == 0 {
@@ -486,13 +926,18 @@ func (e *Engine) serveSlot() {
 	assigned := e.pol.Decide(view)
 	span = probe.Lap(obs.PhaseDecide, span)
 
-	// Reply to every submitter with its contiguous range of decisions.
-	for i, s := range b.subs {
+	// Reply to every submitter with its contiguous range of decisions,
+	// copied into the request's own reusable buffer. After the reply the
+	// engine never touches the request (or the batch specs aliasing its
+	// decoded buffers) again, which is what lets the handler recycle it.
+	for i, q := range b.subs {
 		base := b.subBase[i]
-		out := make([]int, len(s.tasks))
-		copy(out, assigned[base:base+len(s.tasks)])
-		e.pending.Add(-int64(len(s.tasks)))
-		s.resp <- submitReply{slot: slot, base: base, assigned: out}
+		q.assignedBuf = append(q.assignedBuf[:0], assigned[base:base+len(q.tasks)]...)
+		e.pending.Add(-int64(len(q.tasks)))
+		q.resp <- stepReply{
+			slot: slot, base: base, assigned: q.assignedBuf,
+			accepted: q.repAccepted, repErr: q.repErr,
+		}
 	}
 	e.decidedTasks.Add(uint64(n))
 	expected := 0
@@ -503,8 +948,39 @@ func (e *Engine) serveSlot() {
 	}
 	e.assignedTasks.Add(uint64(expected))
 
-	e.collectReports(slot, n, assigned, expected)
-	span = probe.Lap(obs.PhaseRealize, span)
+	// The batch's contents are fully captured in engine scratch; reset it
+	// now so the NEXT slot accumulates while this one collects reports —
+	// the pipeline overlap.
+	b.reset()
+
+	// Reset the per-task report scratch and open the slot.
+	if cap(e.repGot) < n {
+		e.repGot = make([]bool, n)
+		e.repU = make([]float64, n)
+		e.repV = make([]float64, n)
+		e.repQ = make([]float64, n)
+	}
+	e.repGot = e.repGot[:n]
+	e.repU, e.repV, e.repQ = e.repU[:n], e.repV[:n], e.repQ[:n]
+	for i := range e.repGot {
+		e.repGot[i] = false
+	}
+	e.openActive = true
+	e.openSlot = slot
+	e.openN = n
+	e.openView = view
+	e.openAssigned = assigned
+	e.openRemaining = expected
+	e.openDeadline = time.Now().Add(e.cfg.ReportWait)
+	e.openSpan = span
+}
+
+// finishSlot closes the open slot: build the feedback from whatever
+// reports arrived, Observe, account, maybe checkpoint. Call under mu.
+func (e *Engine) finishSlot() {
+	probe := e.cfg.Probe
+	n, assigned := e.openN, e.openAssigned
+	span := probe.Lap(obs.PhaseRealize, e.openSpan)
 
 	// Feedback and reward in ascending task order — the exact summation
 	// order of the offline simulator, so cumulative rewards stay
@@ -522,9 +998,10 @@ func (e *Engine) serveSlot() {
 		e.fb.Execs = append(e.fb.Execs, ex)
 		slotReward += ex.Compound()
 	}
-	e.pol.Observe(view, assigned, &e.fb)
+	e.pol.Observe(e.openView, assigned, &e.fb)
 	span = probe.Lap(obs.PhaseObserve, span)
 	probe.EndSlot()
+	e.openActive = false
 
 	cum := e.CumReward() + slotReward
 	e.cumRewardBits.Store(math.Float64bits(cum))
@@ -544,91 +1021,82 @@ func (e *Engine) serveSlot() {
 		_ = e.checkpointNow()
 		probe.Lap(obs.PhaseSnapshot, span)
 	}
-	b.reset()
 }
 
-// collectReports keeps the slot open until every assigned task has a
-// report, the report wait expires, or the engine stops. Reports are
-// absorbed atomically per request.
-func (e *Engine) collectReports(slot, n int, assigned []int, expected int) {
-	if cap(e.repGot) < n {
-		e.repGot = make([]bool, n)
-		e.repU = make([]float64, n)
-		e.repV = make([]float64, n)
-		e.repQ = make([]float64, n)
-	}
-	e.repGot = e.repGot[:n]
-	e.repU, e.repV, e.repQ = e.repU[:n], e.repV[:n], e.repQ[:n]
-	for i := range e.repGot {
-		e.repGot[i] = false
-	}
-	if expected == 0 {
+// armTimerBy readies the reused report-wait timer to fire no later than
+// deadline. If the timer is already armed for an earlier (or equal)
+// deadline it is left untouched — the loop treats a fire before the
+// open slot's true deadline as spurious and re-parks — which keeps the
+// steady fast-slot path free of Stop/Reset timer traffic entirely.
+// Otherwise: classic pre-1.23 semantics — Stop, drain the channel if an
+// old fire is still buffered, then Reset. Called only from the engine
+// goroutine (inline callers kick the loop rather than arm the timer),
+// so the drain never races a concurrent receive.
+func (e *Engine) armTimerBy(deadline time.Time) {
+	if e.timer == nil {
+		e.timer = time.NewTimer(time.Until(deadline))
+		e.timerDeadline = deadline
 		return
 	}
-	timer := time.NewTimer(e.cfg.ReportWait)
-	defer timer.Stop()
-	remaining := expected
-	for remaining > 0 {
-		select {
-		case rd := <-e.repCh:
-			acc, err := e.absorbReport(slot, n, assigned, rd.req)
-			rd.resp <- err
-			remaining -= acc
-		case <-timer.C:
-			e.lateSlots.Add(1)
-			return
-		case <-e.stopCh:
-			// Shutting down mid-slot: Observe with what arrived, then the
-			// loop sees stopCh and finalises.
-			return
-		}
+	if !e.timerFired && !e.timerDeadline.After(deadline) {
+		return
 	}
+	if !e.timer.Stop() && !e.timerFired {
+		<-e.timer.C
+	}
+	e.timerFired = false
+	e.timer.Reset(time.Until(deadline))
+	e.timerDeadline = deadline
 }
 
-// absorbReport validates a whole report request against the open slot
-// and commits it atomically: any invalid entry rejects the request with
-// no partial state.
-func (e *Engine) absorbReport(slot, n int, assigned []int, req *ReportRequest) (int, error) {
-	if req.Slot != slot {
+// absorbReports validates a whole report batch against the open slot and
+// commits it atomically: any invalid entry rejects the batch with no
+// partial state.
+func (e *Engine) absorbReports(slot, n int, assigned []int, reqSlot int, reports []TaskReport) (int, error) {
+	if reqSlot != slot {
 		e.lateReports.Add(1)
-		return 0, &lateReportError{slot: req.Slot, open: slot}
+		return 0, &lateReportError{slot: reqSlot, open: slot}
 	}
-	for i := range req.Reports {
-		r := &req.Reports[i]
+	// Validation marks repGot as it goes — one pass catches both a task
+	// already reported by an earlier request and a duplicate within this
+	// one — and rolls the marks back on rejection so the batch stays
+	// atomic.
+	reject := func(i int, err error) (int, error) {
+		for j := 0; j < i; j++ {
+			e.repGot[reports[j].Task] = false
+		}
+		return 0, err
+	}
+	for i := range reports {
+		r := &reports[i]
 		switch {
 		case r.Task < 0 || r.Task >= n:
-			return 0, fmt.Errorf("serve: report %d: task %d out of range", i, r.Task)
+			return reject(i, fmt.Errorf("serve: report %d: task %d out of range", i, r.Task))
 		case assigned[r.Task] < 0:
-			return 0, fmt.Errorf("serve: report %d: task %d was not assigned", i, r.Task)
+			return reject(i, fmt.Errorf("serve: report %d: task %d was not assigned", i, r.Task))
 		case e.repGot[r.Task]:
-			return 0, fmt.Errorf("serve: report %d: task %d already reported", i, r.Task)
+			return reject(i, fmt.Errorf("serve: report %d: task %d already reported", i, r.Task))
 		case math.IsNaN(r.U) || r.U < 0 || r.U > 1:
-			return 0, fmt.Errorf("serve: report %d: reward %v outside [0,1]", i, r.U)
+			return reject(i, fmt.Errorf("serve: report %d: reward %v outside [0,1]", i, r.U))
 		case r.V != 0 && r.V != 1:
-			return 0, fmt.Errorf("serve: report %d: completion %v not in {0,1}", i, r.V)
+			return reject(i, fmt.Errorf("serve: report %d: completion %v not in {0,1}", i, r.V))
 		case math.IsNaN(r.Q) || math.IsInf(r.Q, 0) || r.Q <= 0:
-			return 0, fmt.Errorf("serve: report %d: consumption %v not positive", i, r.Q)
+			return reject(i, fmt.Errorf("serve: report %d: consumption %v not positive", i, r.Q))
 		}
-		// Duplicates within the request.
-		for j := 0; j < i; j++ {
-			if req.Reports[j].Task == r.Task {
-				return 0, fmt.Errorf("serve: report %d: task %d duplicated in request", i, r.Task)
-			}
-		}
-	}
-	for i := range req.Reports {
-		r := &req.Reports[i]
 		e.repGot[r.Task] = true
+	}
+	for i := range reports {
+		r := &reports[i]
 		e.repU[r.Task], e.repV[r.Task], e.repQ[r.Task] = r.U, r.V, r.Q
 	}
-	e.reportedTasks.Add(uint64(len(req.Reports)))
-	return len(req.Reports), nil
+	e.reportedTasks.Add(uint64(len(reports)))
+	return len(reports), nil
 }
 
 // slotBatch accumulates submissions into the next slot.
 type slotBatch struct {
 	specs    []TaskSpec
-	subs     []*submission
+	subs     []*wireReq
 	subBase  []int
 	scnCount []int
 	closeReq bool
@@ -638,20 +1106,22 @@ func (b *slotBatch) init(scns int) {
 	b.scnCount = make([]int, scns)
 }
 
-// wouldOverflow reports whether adding s would push any SCN's coverage
-// past kMax — the "slot is full at KMax" close condition.
-func (b *slotBatch) wouldOverflow(s *submission, kMax int) bool {
+// wouldOverflow reports whether adding tasks would push any SCN's
+// coverage past kMax — the "slot is full at KMax" close condition. An
+// empty batch never overflows (a lone oversized submission was already
+// rejected by validation).
+func (b *slotBatch) wouldOverflow(tasks []TaskSpec, kMax int) bool {
 	if len(b.specs) == 0 {
 		return false
 	}
-	for i := range s.tasks {
-		for _, m := range s.tasks[i].SCNs {
+	for i := range tasks {
+		for _, m := range tasks[i].SCNs {
 			b.scnCount[m]++
 		}
 	}
 	over := false
-	for i := range s.tasks {
-		for _, m := range s.tasks[i].SCNs {
+	for i := range tasks {
+		for _, m := range tasks[i].SCNs {
 			if b.scnCount[m] > kMax {
 				over = true
 			}
@@ -661,16 +1131,16 @@ func (b *slotBatch) wouldOverflow(s *submission, kMax int) bool {
 	return over
 }
 
-func (b *slotBatch) add(s *submission) {
-	b.subs = append(b.subs, s)
+func (b *slotBatch) add(q *wireReq) {
+	b.subs = append(b.subs, q)
 	b.subBase = append(b.subBase, len(b.specs))
-	b.specs = append(b.specs, s.tasks...)
-	for i := range s.tasks {
-		for _, m := range s.tasks[i].SCNs {
+	b.specs = append(b.specs, q.tasks...)
+	for i := range q.tasks {
+		for _, m := range q.tasks[i].SCNs {
 			b.scnCount[m]++
 		}
 	}
-	if s.close {
+	if q.close {
 		b.closeReq = true
 	}
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -18,10 +19,15 @@ import (
 //
 //	POST /v1/submit   submit task arrivals, blocks for the slot decision
 //	POST /v1/report   deliver realised outcomes for the open slot
+//	POST /v1/step     batched: previous slot's reports + next slot's tasks
 //	GET  /v1/stats    serving counters as JSON
 //	GET  /lfsc/status plain-text status (serving counters + phase table)
 //	GET  /debug/vars  expvar (process defaults + "lfsc_serve")
 //	     /debug/pprof the standard pprof handlers
+//
+// The three POST endpoints are the zero-allocation data plane: bodies
+// decode in place into pooled request objects and replies encode into
+// pooled scratch (see wire.go); steady-state handling allocates nothing.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
@@ -62,6 +68,7 @@ func StartServer(addr string, eng *Engine) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/submit", eng.handleSubmit)
 	mux.HandleFunc("/v1/report", eng.handleReport)
+	mux.HandleFunc("/v1/step", eng.handleStep)
 	mux.HandleFunc("/v1/stats", eng.handleStats)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -85,60 +92,176 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close shuts the HTTP server down (the engine keeps running).
 func (s *Server) Close() error { return s.srv.Close() }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is fine
+// ctJSON is the shared Content-Type value the hot handlers install by
+// direct map assignment — http.Header.Set allocates a fresh []string per
+// call, which would break the 0 allocs/request pin.
+var ctJSON = []string{"application/json"}
+
+func setJSONHeader(w http.ResponseWriter) {
+	h := w.Header()
+	if len(h["Content-Type"]) == 0 {
+		h["Content-Type"] = ctJSON
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+// writeBody sends the encoded response in q.out and recycles q.
+func (e *Engine) writeBody(w http.ResponseWriter, q *wireReq, status int) {
+	setJSONHeader(w)
+	w.WriteHeader(status)
+	w.Write(q.out) //nolint:errcheck // client gone is fine
+	e.putReq(q)
+}
+
+// writeErrReq encodes the error envelope into q's scratch (q is owned by
+// the handler again) and recycles it.
+func (e *Engine) writeErrReq(w http.ResponseWriter, q *wireReq, status int, msg string, accepted int) {
+	q.out = appendErrorBody(q.out[:0], msg, accepted)
+	e.writeBody(w, q, status)
+}
+
+// writeErrAlloc is the cold-path error writer for when no pooled request
+// is available (or the request can no longer be recycled).
+func writeErrAlloc(w http.ResponseWriter, status int, msg string) {
+	setJSONHeader(w)
+	w.WriteHeader(status)
+	w.Write(appendErrorBody(nil, msg, 0)) //nolint:errcheck
 }
 
 func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer e.submitLat.Observe(start)
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST only"))
+		writeErrAlloc(w, http.StatusMethodNotAllowed, "serve: POST only")
 		return
 	}
-	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode: %w", err))
+	q := e.getReq()
+	if err := q.readBody(r.Body); err != nil {
+		e.writeErrReq(w, q, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
-	resp, err := e.Submit(&req)
+	if err := q.decode(); err != nil {
+		msg := "serve: decode: " + err.Error()
+		q.reset()
+		e.writeErrReq(w, q, http.StatusBadRequest, msg, 0)
+		return
+	}
+	if err := e.validateTasks(q); err != nil {
+		e.writeErrReq(w, q, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	rep, err := e.dispatchSubmit(q)
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, resp)
+		q.out = appendSubmitResponse(q.out[:0], rep.slot, rep.base, rep.assigned)
+		e.writeBody(w, q, http.StatusOK)
 	case IsShed(err):
-		writeError(w, http.StatusTooManyRequests, err)
+		e.shedLat.Observe(start)
+		e.writeErrReq(w, q, http.StatusTooManyRequests, err.Error(), 0)
+	case errors.Is(err, errStopped):
+		// The engine may still hold (or race a reply into) q — do not
+		// recycle it.
+		writeErrAlloc(w, http.StatusBadRequest, err.Error())
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		e.writeErrReq(w, q, http.StatusBadRequest, err.Error(), 0)
 	}
 }
 
 func (e *Engine) handleReport(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer e.reportLat.Observe(start)
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: POST only"))
+		writeErrAlloc(w, http.StatusMethodNotAllowed, "serve: POST only")
 		return
 	}
-	var req ReportRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode: %w", err))
+	q := e.getReq()
+	if err := q.readBody(r.Body); err != nil {
+		e.writeErrReq(w, q, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
-	resp, err := e.Report(&req)
+	if err := q.decode(); err != nil {
+		msg := "serve: decode: " + err.Error()
+		q.reset()
+		e.writeErrReq(w, q, http.StatusBadRequest, msg, 0)
+		return
+	}
+	if len(q.reports) == 0 {
+		e.writeErrReq(w, q, http.StatusBadRequest, "serve: empty report", 0)
+		return
+	}
+	rep, err := e.dispatchReport(q)
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, resp)
+		q.out = appendReportResponse(q.out[:0], rep.accepted)
+		e.writeBody(w, q, http.StatusOK)
 	case IsLateReport(err):
-		writeError(w, http.StatusGone, err)
+		e.writeErrReq(w, q, http.StatusGone, err.Error(), 0)
+	case errors.Is(err, errStopped):
+		writeErrAlloc(w, http.StatusBadRequest, err.Error())
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		e.writeErrReq(w, q, http.StatusBadRequest, err.Error(), 0)
+	}
+}
+
+// handleStep serves the batched round trip: absorb the previous slot's
+// reports, enter the new tasks into the batcher, reply with the next
+// decision. A shed step still delivers its report part (the open slot's
+// Observe must not starve behind backpressure on the next slot) and
+// reports the absorption count in the 429 envelope.
+func (e *Engine) handleStep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer e.stepLat.Observe(start)
+	if r.Method != http.MethodPost {
+		writeErrAlloc(w, http.StatusMethodNotAllowed, "serve: POST only")
+		return
+	}
+	q := e.getReq()
+	if err := q.readBody(r.Body); err != nil {
+		e.writeErrReq(w, q, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	if err := q.decode(); err != nil {
+		msg := "serve: decode: " + err.Error()
+		q.reset()
+		e.writeErrReq(w, q, http.StatusBadRequest, msg, 0)
+		return
+	}
+	if err := e.validateTasks(q); err != nil {
+		e.writeErrReq(w, q, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	rep, err := e.dispatchSubmit(q)
+	switch {
+	case err == nil:
+		repErr := ""
+		if rep.repErr != nil {
+			repErr = rep.repErr.Error()
+		}
+		q.out = appendStepResponse(q.out[:0], rep.accepted, repErr, rep.slot, rep.base, rep.assigned)
+		e.writeBody(w, q, http.StatusOK)
+	case IsShed(err):
+		e.shedLat.Observe(start)
+		accepted := 0
+		if len(q.reports) > 0 {
+			rrep, rerr := e.dispatchReport(q)
+			if rerr == nil {
+				accepted = rrep.accepted
+			} else if errors.Is(rerr, errStopped) {
+				writeErrAlloc(w, http.StatusTooManyRequests, err.Error())
+				return
+			}
+		}
+		e.writeErrReq(w, q, http.StatusTooManyRequests, err.Error(), accepted)
+	case errors.Is(err, errStopped):
+		writeErrAlloc(w, http.StatusBadRequest, err.Error())
+	default:
+		e.writeErrReq(w, q, http.StatusBadRequest, err.Error(), 0)
 	}
 }
 
 func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, e.Stats())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(e.Stats()) //nolint:errcheck // client gone is fine
 }
 
 // writeStatus renders the plain-text serving status: counters, request
@@ -151,7 +274,7 @@ func (e *Engine) writeStatus(w http.ResponseWriter, up time.Duration) {
 		st.SubmittedTasks, st.DecidedTasks, st.AssignedTasks, st.ReportedTasks)
 	fmt.Fprintf(w, "shed: requests %d  tasks %d\n", st.ShedRequests, st.ShedTasks)
 	fmt.Fprintf(w, "late: slots %d  reports %d\n", st.LateSlots, st.LateReports)
-	for _, ls := range []obs.PhaseStat{st.SubmitLatency, st.ReportLatency} {
+	for _, ls := range []obs.PhaseStat{st.SubmitLatency, st.ReportLatency, st.StepLatency, st.ShedLatency} {
 		if ls.Count == 0 {
 			continue
 		}

@@ -76,6 +76,12 @@ func (sc *ReplayScenario) EngineConfig() (Config, error) {
 // reports them back. It also accumulates the client-side cumulative
 // reward, which must match both the daemon's accumulator and an offline
 // sim.Run — the three-way equivalence the serve tests pin.
+//
+// By default the replayer rides the batched /v1/step endpoint: slot t's
+// outcome reports travel with slot t+1's submission, one HTTP round trip
+// per slot, with the final slot's reports delivered by Flush (Run calls
+// it). SetUseStep(false) selects the classic two-request protocol
+// (/v1/submit + /v1/report); both paths are bit-identical.
 type Replayer struct {
 	sc       ReplayScenario
 	gen      *trace.Synthetic
@@ -85,16 +91,24 @@ type Replayer struct {
 
 	next      int
 	cumReward float64
+	noStep    bool
 
 	slotBuf  trace.Slot
 	ctxBuf   []float64
 	specs    []TaskSpec
 	scnLists [][]int
 	cells    []int
-	reports  []TaskReport
 
-	// Latency is the client-observed request latency histogram (submit
-	// and report round-trips), reusing the obs log₂ buckets.
+	// pendReports holds the realised outcomes of the last decided slot
+	// (pendSlot), awaiting delivery on the next step or Flush.
+	pendReports []TaskReport
+	pendSlot    int
+
+	stepResp StepResponse
+	subResp  SubmitResponse
+
+	// Latency is the client-observed request latency histogram (submit,
+	// step, and report round-trips), reusing the obs log₂ buckets.
 	Latency obs.Histogram
 }
 
@@ -126,6 +140,10 @@ func NewReplayer(sc ReplayScenario) (*Replayer, error) {
 	}, nil
 }
 
+// SetUseStep selects between the batched /v1/step protocol (true, the
+// default) and the classic submit-then-report pair per slot.
+func (r *Replayer) SetUseStep(use bool) { r.noStep = !use }
+
 // Slot returns the next slot index the replayer will submit.
 func (r *Replayer) Slot() int { return r.next }
 
@@ -154,9 +172,11 @@ type SlotResult struct {
 }
 
 // Step replays one slot against the daemon: generate, submit (closing
-// the slot), realise outcomes for the assignment, report. A shed
-// submission consumes the slot's draws but teaches the daemon nothing
-// (the arrivals were refused); it is returned with Shed set.
+// the slot, carrying the previous slot's reports on the batched path),
+// realise outcomes for the returned assignment, and queue them for the
+// next step. A shed submission consumes the slot's draws but teaches the
+// daemon nothing (the arrivals were refused — though a piggy-backed
+// report part is still absorbed); it is returned with Shed set.
 func (r *Replayer) Step(c *Client) (SlotResult, error) {
 	t := r.next
 	r.next++
@@ -169,29 +189,59 @@ func (r *Replayer) Step(c *Client) (SlotResult, error) {
 	}
 	r.buildSpecs()
 
-	start := time.Now()
-	resp, err := c.Submit(&SubmitRequest{Tasks: r.specs, Close: true})
-	r.Latency.Observe(start)
-	if err != nil {
-		if _, shed := err.(*ErrShed); shed {
-			res.Shed = true
-			return res, nil
+	var slot, base int
+	var assigned []int
+	if r.noStep {
+		if err := r.Flush(c); err != nil {
+			return res, fmt.Errorf("serve: replay slot %d: %w", t, err)
 		}
-		return res, err
+		start := time.Now()
+		err := c.SubmitInto(&SubmitRequest{Tasks: r.specs, Close: true}, &r.subResp)
+		r.Latency.Observe(start)
+		if err != nil {
+			if _, shed := err.(*ErrShed); shed {
+				res.Shed = true
+				return res, nil
+			}
+			return res, err
+		}
+		slot, base, assigned = r.subResp.Slot, r.subResp.Base, r.subResp.Assigned
+	} else {
+		start := time.Now()
+		err := c.StepInto(r.pendSlot, r.pendReports, r.specs, true, &r.stepResp)
+		r.Latency.Observe(start)
+		if err != nil {
+			if serr, shed := err.(*ErrShed); shed {
+				// The daemon still absorbed the report part (serr.Accepted
+				// says how much); either way those reports are spent.
+				_ = serr
+				r.pendReports = r.pendReports[:0]
+				res.Shed = true
+				return res, nil
+			}
+			return res, err
+		}
+		if len(r.pendReports) > 0 && r.stepResp.ReportError != "" {
+			return res, fmt.Errorf("serve: replay slot %d: report part rejected: %s", t, r.stepResp.ReportError)
+		}
+		r.pendReports = r.pendReports[:0]
+		slot, base, assigned = r.stepResp.Slot, r.stepResp.Base, r.stepResp.Assigned
 	}
-	if len(resp.Assigned) != n || resp.Base != 0 {
+	if len(assigned) != n || base != 0 {
 		return res, fmt.Errorf("serve: replay slot %d: daemon returned %d assignments at base %d for %d tasks",
-			t, len(resp.Assigned), resp.Base, n)
+			t, len(assigned), base, n)
 	}
 
 	// Realise outcomes with the simulator's derivation: per-slot stream
 	// from the realisation root, per-(SCN,task) streams labelled m<<32|i,
-	// rewards summed in ascending task order.
+	// rewards summed in ascending task order. The reports queue for the
+	// next step (or Flush) on the batched path.
 	var slotReal, taskReal rng.Stream
 	r.realRoot.DeriveInto(uint64(t), &slotReal)
-	r.reports = r.reports[:0]
+	r.pendReports = r.pendReports[:0]
+	r.pendSlot = slot
 	slotReward := 0.0
-	for idx, m := range resp.Assigned {
+	for idx, m := range assigned {
 		if m < 0 {
 			continue
 		}
@@ -199,21 +249,31 @@ func (r *Replayer) Step(c *Client) (SlotResult, error) {
 		slotReal.DeriveInto(uint64(m)<<32|uint64(idx), &taskReal)
 		out := r.env.Draw(m, r.cells[idx], &taskReal)
 		slotReward += out.Compound()
-		r.reports = append(r.reports, TaskReport{
+		r.pendReports = append(r.pendReports, TaskReport{
 			Task: idx, U: out.U, V: out.V(), Q: out.Q,
 		})
-	}
-	if len(r.reports) > 0 {
-		start = time.Now()
-		_, err := c.Report(&ReportRequest{Slot: resp.Slot, Reports: r.reports})
-		r.Latency.Observe(start)
-		if err != nil {
-			return res, fmt.Errorf("serve: replay slot %d: %w", t, err)
-		}
 	}
 	r.cumReward += slotReward
 	res.Reward = slotReward
 	return res, nil
+}
+
+// Flush delivers any outcome reports still queued from the last decided
+// slot via /v1/report. Run calls it after the final step; long-lived
+// callers driving Step directly should Flush before pausing, or the
+// daemon's last slot times out waiting.
+func (r *Replayer) Flush(c *Client) error {
+	if len(r.pendReports) == 0 {
+		return nil
+	}
+	start := time.Now()
+	_, err := c.Report(&ReportRequest{Slot: r.pendSlot, Reports: r.pendReports})
+	r.Latency.Observe(start)
+	if err != nil {
+		return err
+	}
+	r.pendReports = r.pendReports[:0]
+	return nil
 }
 
 // buildSpecs converts the generated slot into wire specs: packed
@@ -260,8 +320,9 @@ type ReplayStats struct {
 	CumReward float64
 }
 
-// Run replays slots [from, to) in lockstep, skipping up to from first.
-// onSlot (optional) observes each slot's result.
+// Run replays slots [from, to) in lockstep, skipping up to from first
+// and flushing the final slot's reports at the end. onSlot (optional)
+// observes each slot's result.
 func (r *Replayer) Run(c *Client, from, to int, onSlot func(SlotResult)) (ReplayStats, error) {
 	var st ReplayStats
 	if from > r.next {
@@ -282,6 +343,9 @@ func (r *Replayer) Run(c *Client, from, to int, onSlot func(SlotResult)) (Replay
 		if onSlot != nil {
 			onSlot(res)
 		}
+	}
+	if err := r.Flush(c); err != nil {
+		return st, fmt.Errorf("serve: replay flush: %w", err)
 	}
 	return st, nil
 }
