@@ -14,7 +14,7 @@ GO ?= go
 # gates are all concurrent by construction.
 RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim ./internal/trace ./internal/obs ./internal/metrics ./internal/serve
 
-.PHONY: all build vet test test-race bench-short bench json bench-serve bench-diff fuzz-short serve-smoke ci clean
+.PHONY: all build vet test test-race bench-short bench-short-parallel bench json bench-serve bench-diff fuzz-short serve-smoke ci clean
 
 all: vet test
 
@@ -37,6 +37,14 @@ bench-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkDecide|BenchmarkUpdate' -benchtime 10x ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkGreedyAssign|BenchmarkDepRound' -benchtime 100x ./internal/assign
 	$(GO) test -run '^$$' -bench 'BenchmarkHypercubeIndex' -benchtime 100x ./internal/hypercube
+
+# The same kernels at Workers=NumCPU, under the race detector: the
+# parallel per-SCN Decide/Observe fan-out must stay race-clean on every
+# push, and its allocation budget is pinned separately by
+# TestDecideObserveParallelAllocBounded (fan-out scaffolding only — the
+# per-SCN arenas never allocate in steady state at any worker count).
+bench-short-parallel:
+	$(GO) test -race -run '^$$' -bench 'BenchmarkDecideParallel|BenchmarkUpdateParallel' -benchtime 10x ./internal/core
 
 # Full benchmark suite (figure-level harness included; slow).
 bench:
@@ -88,9 +96,9 @@ serve-smoke:
 # static checks, the full test suite, the race-detector suite over the
 # concurrency-contract packages, the serving-layer kill-and-resume
 # smoke, the quick perf kernels (which also assert 0 allocs/op on the
-# steady-state paths), and a short fuzz pass over the untrusted-input
-# decoders.
-ci: vet test test-race serve-smoke bench-short fuzz-short
+# steady-state paths) at Workers=1 and again at Workers=NumCPU under the
+# race detector, and a short fuzz pass over the untrusted-input decoders.
+ci: vet test test-race serve-smoke bench-short bench-short-parallel fuzz-short
 
 clean:
 	$(GO) clean ./...

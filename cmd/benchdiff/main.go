@@ -18,12 +18,14 @@
 // 1e-9) because the simulation is deterministic — any drift there means
 // the computation itself changed, not the machine.
 //
-// Serve-layer keys are guarded, not merely informational: a serve key
-// present in OLD that disappears from NEW fails the diff (the serve
-// harness silently dropping a figure is itself a regression), serve
-// timing shares the ns/slot threshold, serve allocs/req gets a +0.5
-// absolute grace on top of the relative one (its baseline is 0), and
-// serve HTTP throughput fails when it drops below 75% of OLD.
+// Optional keys are guarded, not merely informational: a key present in
+// OLD that disappears from NEW fails the diff (a harness silently
+// dropping a figure is itself a regression). core_workers_speedup is
+// compared against an absolute floor (-min-workers-speedup; nominally
+// 1.0 with noise grace for single-core machines). Serve timing shares
+// the ns/slot threshold, serve allocs/req gets a +0.5 absolute grace on
+// top of the relative one (its baseline is 0), and serve HTTP throughput
+// fails when it drops below 75% of OLD.
 package main
 
 import (
@@ -50,6 +52,10 @@ type benchResult struct {
 	AllocsPerSlot float64 `json:"allocs_per_slot"`
 	Ratio         float64 `json:"lfsc_oracle_ratio"`
 
+	// CoreWorkersSpeedup (Workers=1 ns/slot over Workers=NumCPU ns/slot)
+	// is optional: artifacts predating the worker-sweep bench lack it.
+	CoreWorkersSpeedup *float64 `json:"core_workers_speedup"`
+
 	ServeNsPerSlot     *float64 `json:"serve_ns_per_slot"`
 	ServeAllocsPerSlot *float64 `json:"serve_allocs_per_slot"`
 	ServeAllocsPerReq  *float64 `json:"serve_allocs_per_req"`
@@ -66,7 +72,7 @@ var knownKeys = map[string]bool{
 	"t_slots": true, "seed": true, "workers": true,
 	"ns_per_slot": true, "allocs_per_slot": true,
 	"lfsc_total_reward": true, "oracle_total_reward": true,
-	"lfsc_oracle_ratio": true,
+	"lfsc_oracle_ratio": true, "core_workers_speedup": true,
 	"serve_ns_per_slot": true, "serve_allocs_per_slot": true,
 	"serve_allocs_per_req": true, "serve_http_rps": true,
 }
@@ -105,9 +111,10 @@ func pct(old, new float64) float64 {
 
 // thresholds bundles the regression gates (see the flag docs in main).
 type thresholds struct {
-	maxNsRegress    float64
-	maxAllocRegress float64
-	maxRatioDrift   float64
+	maxNsRegress      float64
+	maxAllocRegress   float64
+	maxRatioDrift     float64
+	minWorkersSpeedup float64
 }
 
 // diff renders the comparison and applies the gates, returning the report
@@ -134,16 +141,17 @@ func diff(old, new_ *benchResult, th thresholds) (lines []string, failed bool) {
 		failed = true
 	}
 
-	// Serve-layer block: every key is compared when both sides carry it;
-	// a key OLD pins that NEW lost fails the diff outright.
-	serveKey := func(name string, oldV, newV *float64, check func(o, n float64) (string, bool)) {
+	// Optional guarded keys: every key is compared when both sides carry
+	// it; a key OLD pins that NEW lost fails the diff outright (a harness
+	// silently dropping a figure is itself a regression).
+	guardKey := func(name string, oldV, newV *float64, check func(o, n float64) (string, bool)) {
 		switch {
 		case oldV == nil && newV == nil:
 			return
 		case oldV == nil:
 			addf("  %-20s %14s -> %14.2f  (new key, not compared)", name, "-", *newV)
 		case newV == nil:
-			addf("  FAIL %s present in OLD but missing from NEW — the serve harness dropped a guarded figure", name)
+			addf("  FAIL %s present in OLD but missing from NEW — a guarded figure was dropped", name)
 			failed = true
 		default:
 			addf("  %-20s %14.2f -> %14.2f  (%+.1f%%)", name, *oldV, *newV, pct(*oldV, *newV))
@@ -153,19 +161,23 @@ func diff(old, new_ *benchResult, th thresholds) (lines []string, failed bool) {
 			}
 		}
 	}
-	serveKey("serve ns/slot", old.ServeNsPerSlot, new_.ServeNsPerSlot, func(o, n float64) (string, bool) {
+	guardKey("workers speedup", old.CoreWorkersSpeedup, new_.CoreWorkersSpeedup, func(o, n float64) (string, bool) {
+		return fmt.Sprintf("core_workers_speedup fell below the %.2f floor — the parallel Decide path lost its edge", th.minWorkersSpeedup),
+			n < th.minWorkersSpeedup
+	})
+	guardKey("serve ns/slot", old.ServeNsPerSlot, new_.ServeNsPerSlot, func(o, n float64) (string, bool) {
 		return fmt.Sprintf("serve ns/slot regressed beyond %.0f%%", th.maxNsRegress*100),
 			n > o*(1+th.maxNsRegress)
 	})
-	serveKey("serve allocs/slot", old.ServeAllocsPerSlot, new_.ServeAllocsPerSlot, func(o, n float64) (string, bool) {
+	guardKey("serve allocs/slot", old.ServeAllocsPerSlot, new_.ServeAllocsPerSlot, func(o, n float64) (string, bool) {
 		return fmt.Sprintf("serve allocs/slot regressed beyond %.0f%%", th.maxAllocRegress*100),
 			n > o*(1+th.maxAllocRegress)+2
 	})
-	serveKey("serve allocs/req", old.ServeAllocsPerReq, new_.ServeAllocsPerReq, func(o, n float64) (string, bool) {
+	guardKey("serve allocs/req", old.ServeAllocsPerReq, new_.ServeAllocsPerReq, func(o, n float64) (string, bool) {
 		return fmt.Sprintf("serve allocs/req regressed beyond %.0f%% (+0.5 grace)", th.maxAllocRegress*100),
 			n > o*(1+th.maxAllocRegress)+0.5
 	})
-	serveKey("serve http rps", old.ServeHTTPRps, new_.ServeHTTPRps, func(o, n float64) (string, bool) {
+	guardKey("serve http rps", old.ServeHTTPRps, new_.ServeHTTPRps, func(o, n float64) (string, bool) {
 		return "serve http rps dropped below 75% of OLD", n < o*0.75
 	})
 	return lines, failed
@@ -178,6 +190,8 @@ func main() {
 		"fail when allocs/slot grows by more than this fraction (plus a +2 absolute grace for tiny baselines; +0.5 for serve allocs/req)")
 	maxRatioDrift := flag.Float64("max-ratio-drift", 1e-9,
 		"fail when |Δ lfsc_oracle_ratio| exceeds this absolute epsilon")
+	minWorkersSpeedup := flag.Float64("min-workers-speedup", 0.9,
+		"fail when core_workers_speedup falls below this floor (nominally 1.0; the default leaves noise grace for single-core boxes where the parallel path can only tie)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
 		flag.PrintDefaults()
@@ -205,9 +219,10 @@ func main() {
 		fmt.Println("  warning: horizons/seeds differ; figures are not directly comparable")
 	}
 	lines, failed := diff(old, new_, thresholds{
-		maxNsRegress:    *maxNsRegress,
-		maxAllocRegress: *maxAllocRegress,
-		maxRatioDrift:   *maxRatioDrift,
+		maxNsRegress:      *maxNsRegress,
+		maxAllocRegress:   *maxAllocRegress,
+		maxRatioDrift:     *maxRatioDrift,
+		minWorkersSpeedup: *minWorkersSpeedup,
 	})
 	for _, l := range lines {
 		fmt.Println(l)

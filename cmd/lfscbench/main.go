@@ -107,7 +107,7 @@ func main() {
 
 	if *benchjson != "" || *benchserve != "" {
 		if *benchjson != "" {
-			if err := runBenchJSON(*benchjson, *horizon, *seed, *workers, obsOpts); err != nil {
+			if err := runBenchJSON(*benchjson, *horizon, *seed, obsOpts); err != nil {
 				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 				os.Exit(1)
 			}

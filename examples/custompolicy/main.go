@@ -45,14 +45,15 @@ func (p *epsilonGreedy) Name() string { return "eps-greedy" }
 func (p *epsilonGreedy) Decide(view *lfsc.SlotView) []int {
 	p.edges = p.edges[:0]
 	for m := range view.SCNs {
-		for _, tv := range view.SCNs[m].Tasks {
+		for _, idx := range view.SCNs[m].Cover {
+			f := view.Cells[idx]
 			var w float64
-			if p.r.Bernoulli(p.epsilon) || p.count[m][tv.Cell] == 0 {
+			if p.r.Bernoulli(p.epsilon) || p.count[m][f] == 0 {
 				w = 1 + p.r.Float64() // explore: random priority above means
 			} else {
-				w = p.sum[m][tv.Cell] / float64(p.count[m][tv.Cell])
+				w = p.sum[m][f] / float64(p.count[m][f])
 			}
-			p.edges = append(p.edges, assign.Edge{SCN: m, Task: tv.Index, W: w})
+			p.edges = append(p.edges, assign.Edge{SCN: m, Task: idx, W: w})
 		}
 	}
 	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)

@@ -96,13 +96,14 @@ func (p *probePolicy) Decide(view *policy.SlotView) []int {
 	assigned := p.inner.Decide(view)
 	// Mirror: each accepted task submits work ∝ its context's input-size
 	// coordinate (5..20 Mbit mapped back from [0,1]).
+	ctxs := view.Ctxs()
 	for m := range view.SCNs {
-		for _, tv := range view.SCNs[m].Tasks {
-			if assigned[tv.Index] != m {
+		for _, idx := range view.SCNs[m].Cover {
+			if assigned[idx] != m {
 				continue
 			}
-			work := 5 + 15*tv.Ctx[0]
-			_ = p.servers[m].Submit(int64(p.now)<<20|int64(tv.Index), work, p.now)
+			work := 5 + 15*ctxs[idx][0]
+			_ = p.servers[m].Submit(int64(p.now)<<20|int64(idx), work, p.now)
 		}
 	}
 	for m := range p.servers {

@@ -78,12 +78,9 @@ func main() {
 			cells[i] = part.Index(tk.Context())
 		}
 		view := &policy.SlotView{T: t, NumTasks: len(slot.Tasks),
-			SCNs: make([]policy.SCNView, numSCNs)}
+			Cells: cells, SCNs: make([]policy.SCNView, numSCNs)}
 		for m, cov := range slot.Coverage {
-			for _, idx := range cov {
-				view.SCNs[m].Tasks = append(view.SCNs[m].Tasks,
-					policy.TaskView{Index: idx, Cell: cells[idx]})
-			}
+			view.SCNs[m].Cover = cov
 		}
 		assigned := pol.Decide(view)
 		fb := &policy.Feedback{}

@@ -391,9 +391,30 @@ func DepRound(p []float64, r *rng.Stream) []int {
 // It consumes the random stream exactly as DepRound does, so swapping one
 // for the other never changes what is sampled.
 func DepRoundInto(s *DepRoundScratch, p []float64, r *rng.Stream) []int {
+	w := s.Weights(len(p))
+	copy(w, p)
+	return DepRoundPrepared(s, r)
+}
+
+// Weights returns the scratch's marginal buffer resized to n, for callers
+// that write the probabilities in place (e.g. by gathering per-cell values)
+// and then run DepRoundPrepared — sparing the copy DepRoundInto would make.
+// The buffer grows to the high-water mark and is never shrunk.
+func (s *DepRoundScratch) Weights(n int) []float64 {
+	if cap(s.w) < n {
+		s.w = make([]float64, n, n+n/2)
+	}
+	s.w = s.w[:n]
+	return s.w
+}
+
+// DepRoundPrepared runs dependent rounding over the marginals previously
+// written into s.Weights(n). It is the body shared with DepRoundInto — the
+// clamp pass, stack order, and random draws are identical, so the two forms
+// sample exactly the same subsets from the same stream state.
+func DepRoundPrepared(s *DepRoundScratch, r *rng.Stream) []int {
 	const tol = 1e-9
-	w := append(s.w[:0], p...)
-	s.w = w
+	w := s.w
 	// Clamp and collect the stack of fractional indices in one pass (a
 	// clamped value is integral, so clamping never changes membership).
 	// Each pairing below pops two entries and pushes back at most one

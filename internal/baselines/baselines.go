@@ -29,6 +29,7 @@ import (
 type Random struct {
 	numSCNs, capacity int
 	r                 *rng.Stream
+	cov               [][]int // reusable per-slot coverage table aliasing the view
 }
 
 // NewRandom constructs the random policy.
@@ -41,13 +42,14 @@ func (p *Random) Name() string { return "Random" }
 
 // Decide implements policy.Policy.
 func (p *Random) Decide(view *policy.SlotView) []int {
-	coverage := make([][]int, len(view.SCNs))
-	for m := range view.SCNs {
-		for _, tv := range view.SCNs[m].Tasks {
-			coverage[m] = append(coverage[m], tv.Index)
-		}
+	if cap(p.cov) < len(view.SCNs) {
+		p.cov = make([][]int, len(view.SCNs))
 	}
-	return assign.Random(coverage, view.NumTasks, p.capacity, p.r)
+	p.cov = p.cov[:len(view.SCNs)]
+	for m := range view.SCNs {
+		p.cov[m] = view.SCNs[m].Cover
+	}
+	return assign.Random(p.cov, view.NumTasks, p.capacity, p.r)
 }
 
 // Observe implements policy.Policy (random learns nothing).
@@ -89,17 +91,18 @@ func (p *VUCB) Decide(view *policy.SlotView) []int {
 	logT := math.Log(float64(p.slots) + 1)
 	p.edges = p.edges[:0]
 	for m := range view.SCNs {
-		for _, tv := range view.SCNs[m].Tasks {
-			n := p.count[m][tv.Cell]
+		for _, idx := range view.SCNs[m].Cover {
+			f := view.Cells[idx]
+			n := p.count[m][f]
 			var index float64
 			if n == 0 {
 				// Force exploration of unseen cells; huge but finite so
 				// tie-breaking stays deterministic.
 				index = 1e9
 			} else {
-				index = p.sum[m][tv.Cell]/float64(n) + math.Sqrt(2*logT/float64(n))
+				index = p.sum[m][f]/float64(n) + math.Sqrt(2*logT/float64(n))
 			}
-			p.edges = append(p.edges, assign.Edge{SCN: m, Task: tv.Index, W: index})
+			p.edges = append(p.edges, assign.Edge{SCN: m, Task: idx, W: index})
 		}
 	}
 	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
@@ -156,16 +159,17 @@ func (p *FML) Decide(view *policy.SlotView) []int {
 	threshold := math.Pow(t, p.z) * math.Log(1+t)
 	p.edges = p.edges[:0]
 	for m := range view.SCNs {
-		for _, tv := range view.SCNs[m].Tasks {
-			n := p.count[m][tv.Cell]
+		for _, idx := range view.SCNs[m].Cover {
+			f := view.Cells[idx]
+			n := p.count[m][f]
 			var w float64
 			if float64(n) < threshold {
 				// Exploration phase: prioritise the least-pulled cells.
 				w = 1e9 - float64(n)
 			} else {
-				w = p.sum[m][tv.Cell] / float64(n)
+				w = p.sum[m][f] / float64(n)
 			}
-			p.edges = append(p.edges, assign.Edge{SCN: m, Task: tv.Index, W: w})
+			p.edges = append(p.edges, assign.Edge{SCN: m, Task: idx, W: w})
 		}
 	}
 	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
@@ -223,14 +227,6 @@ func (p *Oracle) Name() string { return "Oracle" }
 // Decide implements policy.Policy.
 func (p *Oracle) Decide(view *policy.SlotView) []int {
 	numSCNs := len(view.SCNs)
-	// cellOf[m][taskIndex] for repair lookups.
-	cellOf := make([]map[int]int, numSCNs)
-	for m := range view.SCNs {
-		cellOf[m] = make(map[int]int, len(view.SCNs[m].Tasks))
-		for _, tv := range view.SCNs[m].Tasks {
-			cellOf[m][tv.Index] = tv.Cell
-		}
-	}
 	var assigned []int
 	if p.cfg.ExactAssign {
 		weights := make([][]float64, numSCNs)
@@ -239,35 +235,38 @@ func (p *Oracle) Decide(view *policy.SlotView) []int {
 			for i := range weights[m] {
 				weights[m][i] = math.Inf(-1)
 			}
-			for _, tv := range view.SCNs[m].Tasks {
-				weights[m][tv.Index] = p.env.ExpectedCompound(m, tv.Cell)
+			for _, idx := range view.SCNs[m].Cover {
+				weights[m][idx] = p.env.ExpectedCompound(m, view.Cells[idx])
 			}
 		}
 		assigned, _ = mcmf.AssignMax(weights, view.NumTasks, p.cfg.Capacity)
 	} else {
 		var edges []assign.Edge
 		for m := range view.SCNs {
-			for _, tv := range view.SCNs[m].Tasks {
+			for _, idx := range view.SCNs[m].Cover {
 				edges = append(edges, assign.Edge{
-					SCN: m, Task: tv.Index,
-					W: p.env.ExpectedCompound(m, tv.Cell),
+					SCN: m, Task: idx,
+					W: p.env.ExpectedCompound(m, view.Cells[idx]),
 				})
 			}
 		}
 		assigned = assign.Greedy(edges, numSCNs, view.NumTasks, p.cfg.Capacity)
 	}
-	p.repair(view, assigned, cellOf)
+	p.repair(view, assigned)
 	return assigned
 }
 
-// repair enforces β and improves α per SCN, in place.
-func (p *Oracle) repair(view *policy.SlotView, assigned []int, cellOf []map[int]int) {
+// repair enforces β and improves α per SCN, in place. Cell lookups go
+// straight through view.Cells — a task's hypercube does not depend on which
+// SCN is asking.
+func (p *Oracle) repair(view *policy.SlotView, assigned []int) {
 	perSCN := assign.PerSCN(assigned, len(view.SCNs))
+	cells := view.Cells
 	for m := range view.SCNs {
 		sel := perSCN[m]
-		vOf := func(task int) float64 { return p.env.MeanLikelihood(m, cellOf[m][task]) }
-		qOf := func(task int) float64 { return p.env.MeanConsumption(m, cellOf[m][task]) }
-		gOf := func(task int) float64 { return p.env.ExpectedCompound(m, cellOf[m][task]) }
+		vOf := func(task int) float64 { return p.env.MeanLikelihood(m, cells[task]) }
+		qOf := func(task int) float64 { return p.env.MeanConsumption(m, cells[task]) }
+		gOf := func(task int) float64 { return p.env.ExpectedCompound(m, cells[task]) }
 		qSum, vSum := 0.0, 0.0
 		for _, task := range sel {
 			qSum += qOf(task)
@@ -293,9 +292,9 @@ func (p *Oracle) repair(view *policy.SlotView, assigned []int, cellOf []map[int]
 		// reward while β and the beam budget allow.
 		if len(sel) < p.cfg.Capacity {
 			var fill []int
-			for _, tv := range view.SCNs[m].Tasks {
-				if assigned[tv.Index] == -1 {
-					fill = append(fill, tv.Index)
+			for _, idx := range view.SCNs[m].Cover {
+				if assigned[idx] == -1 {
+					fill = append(fill, idx)
 				}
 			}
 			sort.Slice(fill, func(a, b int) bool { return gOf(fill[a]) > gOf(fill[b]) })
@@ -319,9 +318,9 @@ func (p *Oracle) repair(view *policy.SlotView, assigned []int, cellOf []map[int]
 		}
 		// Candidates: visible, globally unassigned tasks, best v̄ first.
 		var cands []int
-		for _, tv := range view.SCNs[m].Tasks {
-			if assigned[tv.Index] == -1 {
-				cands = append(cands, tv.Index)
+		for _, idx := range view.SCNs[m].Cover {
+			if assigned[idx] == -1 {
+				cands = append(cands, idx)
 			}
 		}
 		sort.Slice(cands, func(a, b int) bool { return vOf(cands[a]) > vOf(cands[b]) })

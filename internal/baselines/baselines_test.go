@@ -8,7 +8,6 @@ import (
 	"lfsc/internal/ilp"
 	"lfsc/internal/policy"
 	"lfsc/internal/rng"
-	"lfsc/internal/task"
 )
 
 // makeView builds a slot view. cellsPerSCN[m] lists the hypercube cell of
@@ -20,7 +19,8 @@ func makeView(t int, cellsPerSCN [][]int) *policy.SlotView {
 	for _, cells := range cellsPerSCN {
 		var scn policy.SCNView
 		for _, c := range cells {
-			scn.Tasks = append(scn.Tasks, policy.TaskView{Index: idx, Cell: c, Ctx: task.Context{0.5}})
+			scn.Cover = append(scn.Cover, idx)
+			v.Cells = append(v.Cells, c)
 			idx++
 		}
 		v.SCNs = append(v.SCNs, scn)
@@ -35,12 +35,9 @@ func feedbackFor(view *policy.SlotView, assigned []int, g func(m, cell int) (u, 
 		if m < 0 {
 			continue
 		}
-		for _, tv := range view.SCNs[m].Tasks {
-			if tv.Index == taskIdx {
-				u, v, q := g(m, tv.Cell)
-				fb.Execs = append(fb.Execs, policy.Exec{SCN: m, Task: taskIdx, Cell: tv.Cell, U: u, V: v, Q: q})
-			}
-		}
+		cell := view.Cells[taskIdx]
+		u, v, q := g(m, cell)
+		fb.Execs = append(fb.Execs, policy.Exec{SCN: m, Task: taskIdx, Cell: cell, U: u, V: v, Q: q})
 	}
 	return fb
 }
@@ -178,9 +175,9 @@ func TestOracleFeasibleAndRespectsBeta(t *testing.T) {
 			// Expected consumption must respect β after repair.
 			for m := range view.SCNs {
 				qSum := 0.0
-				for _, tv := range view.SCNs[m].Tasks {
-					if assigned[tv.Index] == m {
-						qSum += e.MeanConsumption(m, tv.Cell)
+				for _, idx := range view.SCNs[m].Cover {
+					if assigned[idx] == m {
+						qSum += e.MeanConsumption(m, view.Cells[idx])
 					}
 				}
 				if qSum > 4+1e-9 {
@@ -201,9 +198,9 @@ func TestOracleAlphaRepairImproves(t *testing.T) {
 		o, _ := NewOracle(OracleConfig{Capacity: 3, Alpha: alpha, Beta: 100}, e)
 		assigned := o.Decide(view)
 		sum := 0.0
-		for _, tv := range view.SCNs[0].Tasks {
-			if assigned[tv.Index] == 0 {
-				sum += e.MeanLikelihood(0, tv.Cell)
+		for _, idx := range view.SCNs[0].Cover {
+			if assigned[idx] == 0 {
+				sum += e.MeanLikelihood(0, view.Cells[idx])
 			}
 		}
 		return sum
@@ -216,8 +213,8 @@ func TestOracleAlphaRepairImproves(t *testing.T) {
 	// With an unreachable α, the swaps must converge to the top-capacity
 	// likelihood tasks — the best feasible likelihood sum.
 	var vs []float64
-	for _, tv := range view.SCNs[0].Tasks {
-		vs = append(vs, e.MeanLikelihood(0, tv.Cell))
+	for _, idx := range view.SCNs[0].Cover {
+		vs = append(vs, e.MeanLikelihood(0, view.Cells[idx]))
 	}
 	top3 := 0.0
 	for k := 0; k < 3; k++ {
@@ -247,9 +244,9 @@ func TestOracleNearExactILP(t *testing.T) {
 		assigned := o.Decide(view)
 		got := 0.0
 		for m := range view.SCNs {
-			for _, tv := range view.SCNs[m].Tasks {
-				if assigned[tv.Index] == m {
-					got += e.ExpectedCompound(m, tv.Cell)
+			for _, idx := range view.SCNs[m].Cover {
+				if assigned[idx] == m {
+					got += e.ExpectedCompound(m, view.Cells[idx])
 				}
 			}
 		}
@@ -264,11 +261,12 @@ func TestOracleNearExactILP(t *testing.T) {
 			inst.V[m] = make([]float64, view.NumTasks)
 			inst.Q[m] = make([]float64, view.NumTasks)
 			inst.Covered[m] = make([]bool, view.NumTasks)
-			for _, tv := range view.SCNs[m].Tasks {
-				inst.G[m][tv.Index] = e.ExpectedCompound(m, tv.Cell)
-				inst.V[m][tv.Index] = e.MeanLikelihood(m, tv.Cell)
-				inst.Q[m][tv.Index] = e.MeanConsumption(m, tv.Cell)
-				inst.Covered[m][tv.Index] = true
+			for _, idx := range view.SCNs[m].Cover {
+				f := view.Cells[idx]
+				inst.G[m][idx] = e.ExpectedCompound(m, f)
+				inst.V[m][idx] = e.MeanLikelihood(m, f)
+				inst.Q[m][idx] = e.MeanConsumption(m, f)
+				inst.Covered[m][idx] = true
 			}
 		}
 		sol := inst.Solve(0)
@@ -305,11 +303,11 @@ func TestVUCBIgnoresConstraints(t *testing.T) {
 func TestOracleSharedTaskNotDuplicated(t *testing.T) {
 	e := newTestEnv(t, 2, 4, 5)
 	// Both SCNs see the same global task indices 0..3.
-	v := &policy.SlotView{T: 0, NumTasks: 4}
+	v := &policy.SlotView{T: 0, NumTasks: 4, Cells: []int{0, 1, 2, 3}}
 	for m := 0; m < 2; m++ {
 		var scn policy.SCNView
 		for i := 0; i < 4; i++ {
-			scn.Tasks = append(scn.Tasks, policy.TaskView{Index: i, Cell: i})
+			scn.Cover = append(scn.Cover, i)
 		}
 		v.SCNs = append(v.SCNs, scn)
 	}
@@ -339,9 +337,9 @@ func TestOracleMath(t *testing.T) {
 	expReward := func(assigned []int) float64 {
 		sum := 0.0
 		for m := range view.SCNs {
-			for _, tv := range view.SCNs[m].Tasks {
-				if assigned[tv.Index] == m {
-					sum += e.ExpectedCompound(m, tv.Cell)
+			for _, idx := range view.SCNs[m].Cover {
+				if assigned[idx] == m {
+					sum += e.ExpectedCompound(m, view.Cells[idx])
 				}
 			}
 		}

@@ -43,16 +43,17 @@ func (p *Thompson) Name() string { return "Thompson" }
 func (p *Thompson) Decide(view *policy.SlotView) []int {
 	p.edges = p.edges[:0]
 	for m := range view.SCNs {
-		for _, tv := range view.SCNs[m].Tasks {
-			n := p.count[m][tv.Cell]
+		for _, idx := range view.SCNs[m].Cover {
+			f := view.Cells[idx]
+			n := p.count[m][f]
 			var score float64
 			if n == 0 {
 				score = 1 + p.r.Float64() // optimistic prior forces a first pull
 			} else {
-				mean := p.sum[m][tv.Cell] / float64(n)
+				mean := p.sum[m][f] / float64(n)
 				score = mean + p.r.Normal(0, 1)/math.Sqrt(float64(n))
 			}
-			p.edges = append(p.edges, assign.Edge{SCN: m, Task: tv.Index, W: score})
+			p.edges = append(p.edges, assign.Edge{SCN: m, Task: idx, W: score})
 		}
 	}
 	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
@@ -125,18 +126,19 @@ func (p *LinUCB) feature(ctx []float64) []float64 {
 // Decide implements policy.Policy.
 func (p *LinUCB) Decide(view *policy.SlotView) []int {
 	p.edges = p.edges[:0]
+	ctxs := view.Ctxs() // materializes the context vectors on demand
 	for m := range view.SCNs {
-		if len(view.SCNs[m].Tasks) == 0 {
+		if len(view.SCNs[m].Cover) == 0 {
 			continue
 		}
 		inv := invert(p.a[m], p.dim)
 		theta := matVec(inv, p.b[m], p.dim)
-		for _, tv := range view.SCNs[m].Tasks {
-			x := p.feature(tv.Ctx)
+		for _, idx := range view.SCNs[m].Cover {
+			x := p.feature(ctxs[idx])
 			mean := dot(theta, x)
 			ainvx := matVec(inv, x, p.dim)
 			bonus := p.alpha * math.Sqrt(math.Max(0, dot(x, ainvx)))
-			p.edges = append(p.edges, assign.Edge{SCN: m, Task: tv.Index, W: mean + bonus})
+			p.edges = append(p.edges, assign.Edge{SCN: m, Task: idx, W: mean + bonus})
 		}
 	}
 	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
@@ -144,19 +146,12 @@ func (p *LinUCB) Decide(view *policy.SlotView) []int {
 
 // Observe implements policy.Policy.
 func (p *LinUCB) Observe(view *policy.SlotView, assigned []int, fb *policy.Feedback) {
-	// Contexts live in the view; index them by (SCN, task).
-	ctxOf := make(map[[2]int][]float64)
-	for m := range view.SCNs {
-		for _, tv := range view.SCNs[m].Tasks {
-			ctxOf[[2]int{m, tv.Index}] = tv.Ctx
-		}
+	ctxs := view.Ctxs()
+	if ctxs == nil {
+		return // cell-only view: nothing to regress on
 	}
 	for _, e := range fb.Execs {
-		ctx, ok := ctxOf[[2]int{e.SCN, e.Task}]
-		if !ok {
-			continue
-		}
-		x := p.feature(ctx)
+		x := p.feature(ctxs[e.Task])
 		// A += x xᵀ; b += r x.
 		a := p.a[e.SCN]
 		for i := 0; i < p.dim; i++ {

@@ -63,10 +63,14 @@ func TestThompsonExploresAllCells(t *testing.T) {
 func ctxView(t int, ctxs [][]float64) *policy.SlotView {
 	v := &policy.SlotView{T: t, NumTasks: len(ctxs)}
 	var scn policy.SCNView
+	tcs := make([]task.Context, len(ctxs))
 	for i, c := range ctxs {
-		scn.Tasks = append(scn.Tasks, policy.TaskView{Index: i, Cell: 0, Ctx: task.Context(c)})
+		scn.Cover = append(scn.Cover, i)
+		v.Cells = append(v.Cells, 0)
+		tcs[i] = task.Context(c)
 	}
 	v.SCNs = []policy.SCNView{scn}
+	v.SetCtxs(tcs)
 	return v
 }
 
@@ -115,18 +119,18 @@ func TestLinUCBFeasibility(t *testing.T) {
 	p := NewLinUCB(2, 2, 3, 1.5)
 	r := rng.New(4)
 	for slot := 0; slot < 50; slot++ {
-		view := &policy.SlotView{T: slot, NumTasks: 6}
+		view := &policy.SlotView{T: slot, NumTasks: 6, Cells: make([]int, 6)}
+		tcs := make([]task.Context, 6)
 		for m := 0; m < 2; m++ {
 			var scn policy.SCNView
 			for k := 0; k < 3; k++ {
 				idx := m*3 + k
-				scn.Tasks = append(scn.Tasks, policy.TaskView{
-					Index: idx, Cell: 0,
-					Ctx: task.Context{r.Float64(), r.Float64(), r.Float64()},
-				})
+				scn.Cover = append(scn.Cover, idx)
+				tcs[idx] = task.Context{r.Float64(), r.Float64(), r.Float64()}
 			}
 			view.SCNs = append(view.SCNs, scn)
 		}
+		view.SetCtxs(tcs)
 		assigned := p.Decide(view)
 		if err := policy.ValidateAssignment(view, assigned, 2); err != nil {
 			t.Fatal(err)

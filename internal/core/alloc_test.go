@@ -31,6 +31,33 @@ func TestDecideObserveAllocFree(t *testing.T) {
 	}
 }
 
+// TestDecideObserveParallelAllocBounded pins the parallel path's allocation
+// budget: at Workers>1 the per-SCN fan-out costs a fixed handful of heap
+// allocations per Decide/Observe pair (goroutines, the work-stealing
+// closure, the WaitGroup guard) and nothing else — the per-SCN arenas are
+// still reused. The bound is deliberately tight enough that any per-task or
+// per-cell allocation sneaking into the parallel kernel (hundreds to
+// thousands per slot at this scale) fails immediately, while leaving room
+// for the fan-out scaffolding.
+func TestDecideObserveParallelAllocBounded(t *testing.T) {
+	cfg := paperBenchConfig()
+	cfg.Workers = 4 // force real fan-out even on a single-core machine
+	l := MustNew(cfg, rng.New(1))
+	view := paperBenchView(2)
+	fb, _ := benchFeedback(l, view)
+	for i := 0; i < 5; i++ {
+		assigned := l.Decide(view)
+		l.Observe(view, assigned, fb)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		assigned := l.Decide(view)
+		l.Observe(view, assigned, fb)
+	})
+	if avg > 64 {
+		t.Fatalf("parallel Decide+Observe allocates %.2f times per slot, want ≤ 64 (fan-out scaffolding only)", avg)
+	}
+}
+
 // TestDecideAllocFreeAllModes extends the zero-alloc contract to the Race
 // and Deterministic selection ablations.
 func TestDecideAllocFreeAllModes(t *testing.T) {

@@ -40,12 +40,7 @@ func benchFeedback(l *LFSC, view *policy.SlotView) (*policy.Feedback, []int) {
 		if m < 0 {
 			continue
 		}
-		cell := -1
-		for _, tv := range view.SCNs[m].Tasks {
-			if tv.Index == taskIdx {
-				cell = tv.Cell
-			}
-		}
+		cell := view.Cells[taskIdx]
 		v := 0.0
 		if r.Bernoulli(0.7) {
 			v = 1

@@ -127,7 +127,7 @@ func (l *LFSC) Load(r io.Reader) error {
 				return fmt.Errorf("core: SCN %d RNG restore failed", m)
 			}
 		}
-		st.resetSlot() // any in-flight slot scratch is stale now
+		st.resetCaches() // any in-flight slot cache (census, probabilities, picks) is stale now
 	}
 	if cp.Version >= 2 {
 		l.slots = cp.T

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"lfsc/internal/policy"
 	"lfsc/internal/rng"
 )
 
@@ -234,6 +235,83 @@ func TestCheckpointV1BackwardCompatible(t *testing.T) {
 	}
 }
 
+// TestCheckpointSerializesOnlyLearnedState pins the checkpoint surface:
+// the incremental engine carries derived caches in scnState (per-cell
+// census, probability cache, the persistent cap order) that are rebuilt
+// from logW on the first Decide after Load and must NEVER travel through a
+// checkpoint — a new serialized key here is a format change that breaks
+// pre-PR artifacts.
+func TestCheckpointSerializesOnlyLearnedState(t *testing.T) {
+	l := trainedLFSC(t, 50)
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &keys); err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{
+		"version": true, "scns": true, "cells": true, "t": true,
+		"log_weights": true, "lambda1": true, "lambda2": true, "rng": true,
+	}
+	for k := range keys {
+		if !allowed[k] {
+			t.Fatalf("checkpoint serialized unexpected key %q — derived caches must be rebuilt on Load, not stored", k)
+		}
+	}
+}
+
+// preIncrementalV2Checkpoint is a v2 checkpoint literal exactly as the
+// engine before the incremental-maintenance rebuild wrote it (same format:
+// learned state only). Shape matches testConfig (2 SCNs × 4 cells); the
+// RNG triples are structurally valid PCG states (odd increments).
+const preIncrementalV2Checkpoint = `{
+  "version": 2, "scns": 2, "cells": 4, "t": 57,
+  "log_weights": [[0.25, -1.5, 3.0, 0.125], [1.0, 0.5, -0.75, 2.25]],
+  "lambda1": [0.1, 0],
+  "lambda2": [0, 0.2],
+  "rng": [[81985529216486895, 1442695040888963407, 42], [12345678901234567, 99, 7]]
+}`
+
+// TestCheckpointPreIncrementalV2Restores guards backward compatibility:
+// a checkpoint written before this PR (no cache fields whatsoever) must
+// restore into the incremental engine and immediately decide slots — the
+// census, probability cache, and persistent cap order are rebuilt from the
+// restored logW on the next Decide.
+func TestCheckpointPreIncrementalV2Restores(t *testing.T) {
+	l := MustNew(testConfig(), rng.New(51))
+	// Dirty the engine's caches first so the restore cannot lean on
+	// fresh-constructed state.
+	r := rng.New(52)
+	truth := map[int][3]float64{0: {0.9, 0.9, 1.1}, 1: {0.2, 0.4, 1.8}, 2: {0.6, 0.7, 1.3}, 3: {0.4, 0.2, 1.9}}
+	for t0 := 0; t0 < 20; t0++ {
+		runSlot(l, makeView(t0, [][]int{{0, 1, 2, 3, 0, 1}, {2, 3, 0, 1}}), truth, r)
+	}
+	if err := l.Load(strings.NewReader(preIncrementalV2Checkpoint)); err != nil {
+		t.Fatalf("pre-incremental v2 checkpoint rejected: %v", err)
+	}
+	if got := l.SlotsSeen(); got != 57 {
+		t.Fatalf("restored slot counter %d, want 57", got)
+	}
+	wantW := [][]float64{{0.25, -1.5, 3.0, 0.125}, {1.0, 0.5, -0.75, 2.25}}
+	for m := range wantW {
+		got := l.Weights(m)
+		for f := range wantW[m] {
+			if got[f] != wantW[m][f] {
+				t.Fatalf("restored weight [%d][%d] = %x, want %x", m, f, got[f], wantW[m][f])
+			}
+		}
+	}
+	// The engine must be immediately usable: a post-restore slot exercises
+	// the cache rebuild (census, cap order repair, probabilities).
+	view := makeView(57, [][]int{{0, 1, 2, 3, 0, 1}, {2, 3, 0, 1}})
+	assigned := runSlot(l, view, truth, r)
+	if err := policy.ValidateAssignment(view, assigned, testConfig().Capacity); err != nil {
+		t.Fatalf("post-restore decision invalid: %v", err)
+	}
+}
+
 // driftTruth is a time-varying outcome table: utilities, completion
 // probabilities, and costs oscillate slowly so the learner keeps
 // re-weighting throughout the run (the "reward drift" regime).
@@ -305,5 +383,72 @@ func TestCheckpointResumeBitIdenticalUnderDrift(t *testing.T) {
 	}
 	if l.SlotsSeen() != twin.SlotsSeen() {
 		t.Fatalf("slot counters diverged: %d vs %d", l.SlotsSeen(), twin.SlotsSeen())
+	}
+}
+
+// TestCheckpointRestoreIntoDirtyEngineBitIdentical is the incremental-state
+// variant of the resume guarantee: the engine receiving the checkpoint has
+// already processed a completely different workload, so its derived caches
+// — the cell census, probability cache, and in particular the persistent
+// logW-sorted cap order — all reflect the WRONG history at Load time.
+// Restore must still produce a continuation bit-identical to the original
+// learner that never stopped: Load resets the per-slot caches and the next
+// Decide's insertion repair absorbs the stale cap order from the restored
+// logW alone.
+func TestCheckpointRestoreIntoDirtyEngineBitIdentical(t *testing.T) {
+	cfg := testConfig()
+	l := MustNew(cfg, rng.New(60))
+	fbRoot := rng.New(61)
+	var slotR rng.Stream
+	slot := func(p *LFSC, t0 int) []int {
+		view := makeView(t0, [][]int{{0, 1, 2, 3, 0, 1}, {2, 3, 0, 1}})
+		fbRoot.DeriveInto(uint64(t0), &slotR)
+		return runSlot(p, view, driftTruth(t0), &slotR)
+	}
+	for t0 := 0; t0 < 100; t0++ {
+		slot(l, t0)
+	}
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The dirty twin learns 70 slots of an unrelated workload (different
+	// views, different outcomes, different RNG) before the restore, so its
+	// weights — and the cap order sorted from them — diverge maximally.
+	dirty := MustNew(cfg, rng.New(4242))
+	otherR := rng.New(4243)
+	otherTruth := map[int][3]float64{0: {0.1, 0.3, 1.9}, 1: {0.95, 0.9, 1.05}, 2: {0.3, 0.2, 1.7}, 3: {0.7, 0.8, 1.2}}
+	for t0 := 0; t0 < 70; t0++ {
+		runSlot(dirty, makeView(t0, [][]int{{3, 2, 1, 0, 3, 2, 1}, {1, 0, 3, 2}}), otherTruth, otherR)
+	}
+	if err := dirty.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	for t0 := 100; t0 < 160; t0++ {
+		da := slot(l, t0)
+		db := slot(dirty, t0)
+		for i := range da {
+			if da[i] != db[i] {
+				t.Fatalf("slot %d: dirty-restored decision for task %d diverged (%d vs %d)",
+					t0, i, da[i], db[i])
+			}
+		}
+	}
+	for m := 0; m < cfg.SCNs; m++ {
+		wa, wb := l.Weights(m), dirty.Weights(m)
+		for f := range wa {
+			if math.Float64bits(wa[f]) != math.Float64bits(wb[f]) {
+				t.Fatalf("weight [%d][%d] diverged after dirty restore: %x vs %x",
+					m, f, wa[f], wb[f])
+			}
+		}
+		la1, la2 := l.Multipliers(m)
+		lb1, lb2 := dirty.Multipliers(m)
+		if math.Float64bits(la1) != math.Float64bits(lb1) ||
+			math.Float64bits(la2) != math.Float64bits(lb2) {
+			t.Fatalf("multipliers for SCN %d diverged after dirty restore", m)
+		}
 	}
 }

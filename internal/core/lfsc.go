@@ -29,9 +29,17 @@
 //
 // Performance: the per-slot Decide/Observe pair is the hot kernel of every
 // figure benchmark (executed T × replicas × scenarios times), so its steady
-// state is allocation-free. Each scnState owns a scratch arena sized once at
-// New from KMax/Cells/Capacity; the policy owns the cross-SCN buffers. See
-// DESIGN.md §"Performance" for the ownership rules.
+// state is allocation-free and incremental. All per-slot quantities live on
+// the *present cells* of the slot (the hypercubes actually touched by the
+// coverage set — the census in cellList/cellCnt, taken once per Decide and
+// reused by Observe): probabilities are computed once per present cell, the
+// capping solver reuses a persistent logW-sorted cell order repaired by
+// insertion, the estimator accumulators are reset only over the present
+// cells, and Observe scans the slot's executions bucketed by SCN instead of
+// rescanning the coverage lists. Each scnState owns a scratch arena sized
+// once at New from KMax/Cells/Capacity; the policy owns the cross-SCN
+// buffers. See DESIGN.md §8 for the incremental-maintenance model and the
+// parallel ownership rules.
 package core
 
 import (
@@ -209,28 +217,29 @@ type scnState struct {
 	// iteration order and safe to run in parallel.
 	r *rng.Stream
 
-	// Per-slot scratch, written by Decide and read by Observe:
-	probs      []float64 // selection probability per visible-task position
-	capped     []bool    // capped[f] ⇔ hypercube f ∈ S' this slot
-	cappedList []int     // hypercubes currently flagged in capped
+	// Per-slot cell cache, written by Decide and read by the same slot's
+	// Observe and backfill: after cellProbs, cellW[f] holds the final
+	// selection probability of every present cell f (intermediate shifted
+	// weights are overwritten in place), and the census (cellCnt, cellList,
+	// taskCells) records which cells the slot touched — the dirty set that
+	// bounds every subsequent per-cell pass.
+	capped     []bool // capped[f] ⇔ hypercube f ∈ S' this slot
+	cappedList []int  // hypercubes currently flagged in capped
+	cellW      []float64
+	cellCnt    []int   // visible-task count per hypercube
+	cellList   []int   // hypercubes present this slot, first-touch order
+	taskCells  []int32 // hypercube per visible-task position
 
 	// Decide-internal scratch:
-	sorted []float64              // solveCap ascending order statistics
-	suffix []float64              // solveCap prefix sums (k+1)
-	edges  []assign.Edge          // this SCN's bipartite edges
-	dep    assign.DepRoundScratch // DepRound working memory
-	// Cell-grouped weight scratch: tasks share a weight whenever they share
-	// a hypercube, so the exp/cap/mixing math runs once per *present cell*
-	// (≤ min(K, Cells) distinct values) instead of once per task. The
-	// census (cellCnt, cellList, taskCells) is taken by Decide's
-	// probabilities call and read again by the same slot's Observe, which
-	// saves recounting.
-	cellW     []float64 // shifted weight per hypercube (present cells only)
-	cellCnt   []int     // visible-task count per hypercube
-	cellList  []int     // hypercubes present this slot, first-touch order
-	taskCells []int32   // hypercube per visible-task position
-	capV      []float64 // solveCapCells distinct values, ascending
-	capN      []int     // solveCapCells multiplicities, parallel to capV
+	probs    []float64              // positional probabilities (test/reference fan-out)
+	sorted   []float64              // solveCap ascending order statistics
+	suffix   []float64              // solveCap prefix sums (k+1)
+	edges    []assign.Edge          // this SCN's bipartite edges (Race/Deterministic)
+	dep      assign.DepRoundScratch // DepRound working memory
+	pickTask []int32                // DepRound candidate task indices (≤ Capacity+1)
+	pickP    []float64              // matching selection probabilities
+	capV     []float64              // solveCapCells distinct values, ascending
+	capN     []int                  // solveCapCells multiplicities, parallel to capV
 	// order holds every hypercube sorted ascending by logW. The weight
 	// update barely perturbs the ranking, so solveCapCells repairs it with
 	// an insertion pass over a nearly sorted array and gets its ascending
@@ -260,6 +269,8 @@ func newSCNState(cfg Config, r *rng.Stream) *scnState {
 		sorted:     make([]float64, 0, cfg.KMax),
 		suffix:     make([]float64, 0, cfg.KMax+1),
 		edges:      make([]assign.Edge, 0, cfg.KMax),
+		pickTask:   make([]int32, 0, cfg.Capacity+1),
+		pickP:      make([]float64, 0, cfg.Capacity+1),
 		cellW:      make([]float64, cfg.Cells),
 		cellCnt:    make([]int, cfg.Cells),
 		cellList:   make([]int, 0, cfg.Cells),
@@ -272,14 +283,29 @@ func newSCNState(cfg Config, r *rng.Stream) *scnState {
 	}
 }
 
-// resetSlot clears the cross-call scratch (probabilities and the capped
-// set) at the start of a new Decide.
+// resetSlot clears the cross-call scratch (the capped set and the DepRound
+// candidate picks) at the start of a new Decide.
 func (st *scnState) resetSlot() {
-	st.probs = st.probs[:0]
 	for _, f := range st.cappedList {
 		st.capped[f] = false
 	}
 	st.cappedList = st.cappedList[:0]
+	st.pickTask = st.pickTask[:0]
+	st.pickP = st.pickP[:0]
+}
+
+// resetCaches drops every slot-derived cache (the capped set, the cell
+// census, cached per-cell probabilities' bookkeeping, DepRound picks) so a
+// freshly restored learner rebuilds them on its next Decide. Cached
+// aggregates are never serialized — only logW, λ, t, and the RNG streams
+// travel through a checkpoint.
+func (st *scnState) resetCaches() {
+	st.resetSlot()
+	for _, f := range st.cellList {
+		st.cellCnt[f] = 0
+	}
+	st.cellList = st.cellList[:0]
+	st.probs = st.probs[:0]
 }
 
 // setCapped flags hypercube f as a member of S' this slot.
@@ -309,16 +335,18 @@ type LFSC struct {
 
 	// Policy-global scratch, owned by the single goroutine driving
 	// Decide/Observe (the per-SCN workers only write their own index of
-	// allProbs/perSCNEdges):
-	allProbs    [][]float64 // per-SCN views into each scnState's probs
+	// perSCNEdges):
 	perSCNEdges [][]assign.Edge
-	assigned    []int // assignment buffer returned by Decide
+	assigned    []int     // assignment buffer returned by Decide
+	bestP       []float64 // per-task best candidate probability (mergePicks)
 	greedy      assign.GreedyScratch
 	counts      []int     // backfill per-SCN beam counters
 	selP        []float64 // backfill top-free selection: probabilities,
 	selLW       []float64 // log-weight tie-breaks,
 	selIdx      []int     // and slot-global task indices (≤ Capacity each)
-	execByTask  []int32   // slot-global task index → fb.Execs index
+	execOff     []int     // Observe: per-SCN exec bucket offsets (SCNs+1)
+	execCur     []int     // Observe: counting-sort cursors
+	execOrder   []int32   // Observe: exec indices grouped by SCN
 }
 
 // New constructs an LFSC policy. The stream drives the randomized edge
@@ -350,12 +378,13 @@ func New(cfg Config, r *rng.Stream) (*LFSC, error) {
 	for m := 0; m < cfg.SCNs; m++ {
 		l.scns = append(l.scns, newSCNState(cfg, r.Derive(uint64(m))))
 	}
-	l.allProbs = make([][]float64, cfg.SCNs)
 	l.perSCNEdges = make([][]assign.Edge, cfg.SCNs)
 	l.counts = make([]int, cfg.SCNs)
 	l.selP = make([]float64, cfg.Capacity)
 	l.selLW = make([]float64, cfg.Capacity)
 	l.selIdx = make([]int, cfg.Capacity)
+	l.execOff = make([]int, cfg.SCNs+1)
+	l.execCur = make([]int, cfg.SCNs)
 	return l, nil
 }
 
@@ -394,17 +423,16 @@ func (l *LFSC) Weights(m int) []float64 {
 //
 // The per-SCN probability computation and candidate sampling are
 // independent (each SCN has private weights, multipliers, RNG stream, and
-// scratch arena), so they run on all cores; only the collaborative greedy
-// assignment is a global step. Results are bit-identical to the sequential
-// execution.
+// scratch arena), so they run on all cores via a dynamic worker loop; only
+// the cross-SCN candidate resolution is a global step. Results are
+// bit-identical to the sequential execution.
 //
 // The returned assignment aliases a policy-owned buffer: it is valid until
 // the next Decide call, which matches the simulator's slot protocol
 // (Decide → execute → Observe, then the next slot).
 func (l *LFSC) Decide(view *policy.SlotView) []int {
-	if len(view.SCNs) > len(l.allProbs) {
+	if len(view.SCNs) > len(l.perSCNEdges) {
 		// Defensive: a view wider than the configured SCN count.
-		l.allProbs = make([][]float64, len(view.SCNs))
 		l.perSCNEdges = make([][]assign.Edge, len(view.SCNs))
 	}
 	if workers := l.workersFor(view); workers == 1 {
@@ -414,53 +442,120 @@ func (l *LFSC) Decide(view *policy.SlotView) []int {
 			l.decideSCN(view, m)
 		}
 	} else {
-		parallel.For(len(view.SCNs), workers, func(m int) { l.decideSCN(view, m) })
+		parallel.ForDynamic(len(view.SCNs), workers, func(m int) { l.decideSCN(view, m) })
 	}
-	// Each SCN's edge list was sorted inside the parallel per-SCN stage, so
-	// the global greedy consumes them through a k-way merge — bit-identical
-	// to concatenating and sorting, minus the dominant comparison sort.
-	l.assigned = assign.GreedyMergeInto(l.assigned, &l.greedy, l.perSCNEdges[:len(view.SCNs)], l.cfg.SCNs, view.NumTasks, l.cfg.Capacity)
 	if l.cfg.Mode == DepRoundMode {
-		l.backfill(view, l.allProbs, l.assigned)
+		// DepRound mode never exposes the greedy to a capacity bind (each
+		// SCN contributes at most Capacity candidates), so the global
+		// resolution collapses to a per-task argmax over the candidate
+		// probabilities — see mergePicks. DepRound emits round(Σp) = c
+		// candidates analytically; should float drift ever produce c+1,
+		// fall back to the full greedy so the capacity rule applies in the
+		// exact historical order.
+		overflow := false
+		for m := range view.SCNs {
+			if len(l.scns[m].pickTask) > l.cfg.Capacity {
+				overflow = true
+				break
+			}
+		}
+		if overflow {
+			for m := range view.SCNs {
+				st := l.scns[m]
+				st.edges = st.edges[:0]
+				for j, t32 := range st.pickTask {
+					st.edges = append(st.edges, assign.Edge{SCN: m, Task: int(t32), W: st.pickP[j]})
+				}
+				assign.SortEdges(st.edges)
+				l.perSCNEdges[m] = st.edges
+			}
+			l.assigned = assign.GreedyMergeInto(l.assigned, &l.greedy, l.perSCNEdges[:len(view.SCNs)], l.cfg.SCNs, view.NumTasks, l.cfg.Capacity)
+		} else {
+			l.mergePicks(view)
+		}
+		l.backfill(view, l.assigned)
+	} else {
+		// Each SCN's edge list was sorted inside the parallel per-SCN
+		// stage, so the global greedy consumes them through a k-way merge —
+		// bit-identical to concatenating and sorting, minus the dominant
+		// comparison sort.
+		l.assigned = assign.GreedyMergeInto(l.assigned, &l.greedy, l.perSCNEdges[:len(view.SCNs)], l.cfg.SCNs, view.NumTasks, l.cfg.Capacity)
 	}
 	return l.assigned
 }
 
-// decideSCN runs Alg. 2 for one SCN: probabilities, then candidate edges.
-// It touches only SCN m's arena and the m-th slots of the policy-global
-// views, so any number of decideSCN calls for distinct SCNs may run
-// concurrently.
+// decideSCN runs Alg. 2 for one SCN: per-cell probabilities, then candidate
+// sampling. It touches only SCN m's arena and the m-th slots of the
+// policy-global views, so any number of decideSCN calls for distinct SCNs
+// may run concurrently.
 func (l *LFSC) decideSCN(view *policy.SlotView, m int) {
 	st := l.scns[m]
 	st.resetSlot()
-	l.allProbs[m] = nil
 	l.perSCNEdges[m] = nil
-	tasks := view.SCNs[m].Tasks
-	if len(tasks) == 0 {
+	cover := view.SCNs[m].Cover
+	if len(cover) == 0 {
 		return
 	}
-	probs := l.probabilities(st, tasks)
-	l.allProbs[m] = probs
-	st.edges = st.edges[:0]
+	l.cellProbs(st, cover, view.Cells)
+	taskCells := st.taskCells[:len(cover)]
 	switch l.cfg.Mode {
 	case DepRoundMode:
-		// Sample the SCN's candidate set with marginals exactly p.
-		for _, i := range assign.DepRoundInto(&st.dep, probs, st.r) {
-			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tasks[i].Index, W: probs[i]})
+		// Sample the SCN's candidate set with marginals exactly p: gather
+		// the per-cell probabilities into the DepRound buffer (same values
+		// the positional fan-out used to produce) and round in place.
+		w := st.dep.Weights(len(cover))
+		for i, f := range taskCells {
+			w[i] = st.cellW[f]
 		}
+		for _, i := range assign.DepRoundPrepared(&st.dep, st.r) {
+			st.pickTask = append(st.pickTask, int32(cover[i]))
+			st.pickP = append(st.pickP, st.cellW[taskCells[i]])
+		}
+		return
 	case Race:
-		for i := range tasks {
-			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tasks[i].Index, W: probs[i] / st.r.Exponential(1)})
+		st.edges = st.edges[:0]
+		for i, f := range taskCells {
+			st.edges = append(st.edges, assign.Edge{SCN: m, Task: cover[i], W: st.cellW[f] / st.r.Exponential(1)})
 		}
 	case Deterministic:
-		for i := range tasks {
-			st.edges = append(st.edges, assign.Edge{SCN: m, Task: tasks[i].Index, W: probs[i]})
+		st.edges = st.edges[:0]
+		for i, f := range taskCells {
+			st.edges = append(st.edges, assign.Edge{SCN: m, Task: cover[i], W: st.cellW[f]})
 		}
 	}
 	// Pre-sort this SCN's edges (in the parallel stage) so the global
 	// greedy can k-way merge the lists instead of sorting the union.
 	assign.SortEdges(st.edges)
 	l.perSCNEdges[m] = st.edges
+}
+
+// mergePicks resolves the per-SCN DepRound candidate sets into the global
+// assignment. In DepRound mode each SCN emits at most Capacity candidates,
+// so Alg. 4's per-SCN capacity check can never trigger — every edge the
+// greedy would accept is simply the heaviest edge of its task, ties to the
+// lowest SCN (the cmpEdge order). Scanning SCNs in ascending order and
+// keeping the strictly best probability per task therefore reproduces the
+// former sort + k-way-merge greedy bit-for-bit, in linear time.
+func (l *LFSC) mergePicks(view *policy.SlotView) {
+	n := view.NumTasks
+	assigned := growInts(&l.assigned, n)
+	bestP := growFloats(&l.bestP, n)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	for m := range view.SCNs {
+		st := l.scns[m]
+		for j, t32 := range st.pickTask {
+			idx := int(t32)
+			if idx < 0 || idx >= n {
+				panic(fmt.Sprintf("core: candidate task %d out of range", idx))
+			}
+			if p := st.pickP[j]; assigned[idx] == -1 || p > bestP[idx] {
+				assigned[idx] = m
+				bestP[idx] = p
+			}
+		}
+	}
 }
 
 // workersFor sizes the parallelism to the slot: tiny slots are cheaper to
@@ -472,7 +567,7 @@ func (l *LFSC) workersFor(view *policy.SlotView) int {
 	}
 	total := 0
 	for m := range view.SCNs {
-		total += len(view.SCNs[m].Tasks)
+		total += len(view.SCNs[m].Cover)
 	}
 	if total < 256 {
 		return 1
@@ -492,7 +587,7 @@ func (l *LFSC) workersFor(view *policy.SlotView) int {
 // times selects exactly the prefix a full descending sort would — without
 // building or sorting a candidate list (free ≤ c is small; the conflicts
 // being repaired rarely free more than a few beams).
-func (l *LFSC) backfill(view *policy.SlotView, allProbs [][]float64, assigned []int) {
+func (l *LFSC) backfill(view *policy.SlotView, assigned []int) {
 	counts := l.counts[:0]
 	for m := 0; m < l.cfg.SCNs; m++ {
 		counts = append(counts, 0)
@@ -509,20 +604,19 @@ func (l *LFSC) backfill(view *policy.SlotView, allProbs [][]float64, assigned []
 			continue
 		}
 		st := l.scns[m]
-		tasks := view.SCNs[m].Tasks
-		probs := allProbs[m]
+		cover := view.SCNs[m].Cover
 		// One-pass bounded selection: keep the best `free` candidates seen
 		// so far in rank order (insertion into a ≤Capacity-sized window,
 		// most candidates rejected on one comparison with the window's
 		// worst). The window ends holding exactly the prefix a full
 		// descending sort of the candidates would, in the same order.
 		n := 0
-		for i := range tasks {
-			tv := &tasks[i]
-			if assigned[tv.Index] != -1 {
+		for i, idx := range cover {
+			if assigned[idx] != -1 {
 				continue
 			}
-			p, lw, idx := probs[i], st.logW[tv.Cell], tv.Index
+			f := int(st.taskCells[i])
+			p, lw := st.cellW[f], st.logW[f]
 			if n == free && !backfillBeats(p, lw, idx, l.selP[n-1], l.selLW[n-1], l.selIdx[n-1]) {
 				continue
 			}
@@ -559,47 +653,49 @@ func backfillBeats(aP, aLW float64, aIdx int, bP, bLW float64, bIdx int) bool {
 	return aIdx < bIdx
 }
 
-// probabilities runs Exp3.M weight capping and the mixing formula for one
-// SCN's visible task list. The returned slice is st's probs arena (one
-// entry per task position, valid until the next Decide); capped hypercubes
-// (the set S') are flagged in st.capped.
+// cellProbs runs Exp3.M weight capping and the mixing formula for one SCN's
+// coverage list, leaving the final selection probability of every present
+// cell in st.cellW (valid until the next Decide); capped hypercubes (the
+// set S') are flagged in st.capped, and the slot's census (cellCnt,
+// cellList, taskCells) is rebuilt for Observe and backfill to reuse.
 //
 // Tasks in the same hypercube share a weight, so the transcendental and
-// capping arithmetic is grouped per *present cell* (≤ min(K, Cells) distinct
+// capping arithmetic runs once per *present cell* (≤ min(K, Cells) distinct
 // values — 27 in the paper setup vs up to 100 tasks): one exp, one cap test
-// and one mixing division per cell. Every per-task accumulation (the weight
-// sums) keeps its original task-order iteration, and per-cell expressions
-// are bit-for-bit the ones previously evaluated per task, so the produced
-// probabilities are bit-identical to the ungrouped computation.
-func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) []float64 {
-	k := len(tasks)
+// and one mixing division per cell, and no positional fan-out at all. Every
+// per-task accumulation (the weight sums) keeps its original task-order
+// iteration, and per-cell expressions are bit-for-bit the ones previously
+// evaluated per task, so the produced probabilities are bit-identical to
+// the ungrouped computation.
+func (l *LFSC) cellProbs(st *scnState, cover []int, cells []int) {
+	k := len(cover)
 	c := l.cfg.Capacity
-	probs := growFloats(&st.probs, k)
 	// Reset the previous slot's census, then count tasks per hypercube;
 	// cellList records present cells in first-touch order (deterministic —
 	// coverage order is deterministic). taskCells caches each position's
-	// cell so the later passes scan a compact int32 array instead of the
-	// task views. Observe reads the census back for its per-cell averages.
+	// cell so the later passes scan a compact int32 array instead of
+	// chasing the coverage indices again.
 	for _, f := range st.cellList {
 		st.cellCnt[f] = 0
 	}
-	cells := st.cellList[:0]
+	present := st.cellList[:0]
 	taskCells := growInt32(&st.taskCells, k)
-	for i := range tasks {
-		f := tasks[i].Cell
+	for i, idx := range cover {
+		f := cells[idx]
 		taskCells[i] = int32(f)
 		if st.cellCnt[f] == 0 {
-			cells = append(cells, f)
+			present = append(present, f)
 		}
 		st.cellCnt[f]++
 	}
-	st.cellList = cells
+	st.cellList = present
 	if k <= c {
-		// Fewer tasks than beams: everything can be served.
-		for i := range probs {
-			probs[i] = 1
+		// Fewer tasks than beams: everything can be served. The per-cell
+		// probability is exactly 1 (Observe and backfill read it back).
+		for _, f := range present {
+			st.cellW[f] = 1
 		}
-		return probs
+		return
 	}
 	// Shift log-weights by the slot maximum before exponentiating; both the
 	// mixing formula and the capping fixed point are scale-invariant. The
@@ -609,12 +705,12 @@ func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) []float64 {
 	// of ranking range — far beyond what selection can distinguish anyway.
 	const minLogDiff = -60.0
 	maxLog := math.Inf(-1)
-	for _, f := range cells {
+	for _, f := range present {
 		if lw := st.logW[f]; lw > maxLog {
 			maxLog = lw
 		}
 	}
-	for _, f := range cells {
+	for _, f := range present {
 		d := st.logW[f] - maxLog
 		if d < minLogDiff {
 			d = minLogDiff
@@ -634,7 +730,7 @@ func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) []float64 {
 	tau := (1/float64(c) - l.gamma/float64(k)) / (1 - l.gamma)
 	if !l.cfg.DisableCapping && tau > 0 && maxW >= tau*sum {
 		eps := solveCapCells(st, k, tau)
-		for _, f := range cells {
+		for _, f := range present {
 			if st.cellW[f] >= eps {
 				st.cellW[f] = eps
 				st.setCapped(f)
@@ -646,8 +742,9 @@ func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) []float64 {
 		}
 	}
 	// Mixing formula once per cell (identical expression, value shared by
-	// the cell's tasks), then fan the per-cell probability out to tasks.
-	for _, f := range cells {
+	// the cell's tasks); the final probability overwrites the shifted
+	// weight in place.
+	for _, f := range present {
 		p := float64(c) * ((1-l.gamma)*st.cellW[f]/sum + l.gamma/float64(k))
 		if p > 1 {
 			p = 1 // numerical safety; capping guarantees ≤ 1 analytically
@@ -657,7 +754,16 @@ func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) []float64 {
 		}
 		st.cellW[f] = p
 	}
-	for i, f := range taskCells {
+}
+
+// probabilities is the positional form of cellProbs, used by tests and
+// reference implementations: the per-cell probabilities are fanned out to
+// st's probs arena, one entry per cover position (the layout the hot path
+// no longer materializes).
+func (l *LFSC) probabilities(st *scnState, cover []int, cells []int) []float64 {
+	l.cellProbs(st, cover, cells)
+	probs := growFloats(&st.probs, len(cover))
+	for i, f := range st.taskCells[:len(cover)] {
 		probs[i] = st.cellW[f]
 	}
 	return probs
@@ -668,6 +774,16 @@ func (l *LFSC) probabilities(st *scnState, tasks []policy.TaskView) []float64 {
 func growInt32(buf *[]int32, n int) []int32 {
 	if cap(*buf) < n {
 		*buf = make([]int32, n, n+n/2)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growInts re-slices *buf to length n, reallocating only when the arena
+// capacity is exceeded.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n, n+n/2)
 	}
 	*buf = (*buf)[:n]
 	return *buf
@@ -811,61 +927,71 @@ const maxExponent = 30.0
 // Observe implements policy.Policy: Alg. 3 for every SCN, in parallel
 // (each SCN only touches its own weights, multipliers and scratch).
 func (l *LFSC) Observe(view *policy.SlotView, assigned []int, fb *policy.Feedback) {
-	// Index executions by slot-global task for O(1) lookup: a task executes
-	// on at most one SCN per slot, so one flat table replaces the former
-	// per-SCN maps. Built serially before the fan-out, read-only inside it.
-	if cap(l.execByTask) < view.NumTasks {
-		l.execByTask = make([]int32, view.NumTasks, view.NumTasks+view.NumTasks/2)
+	// Bucket the slot's executions by SCN with a counting sort so each
+	// SCN's worker scans only its own feedback instead of its whole
+	// coverage list. fb.Execs arrive in ascending task order (the
+	// policy.Feedback contract) and the counting sort is stable, so every
+	// bucket preserves ascending task order — which, with ascending
+	// coverage rows, is exactly the accumulation order of the former
+	// per-position scan. Built serially before the fan-out, read-only
+	// inside it.
+	scns := len(view.SCNs)
+	off := growInts(&l.execOff, scns+1)
+	for i := range off {
+		off[i] = 0
 	}
-	l.execByTask = l.execByTask[:view.NumTasks]
-	for i := range l.execByTask {
-		l.execByTask[i] = -1
+	for i := range fb.Execs {
+		if m := fb.Execs[i].SCN; m >= 0 && m < scns {
+			off[m+1]++
+		}
 	}
-	for i, e := range fb.Execs {
-		l.execByTask[e.Task] = int32(i)
+	for m := 0; m < scns; m++ {
+		off[m+1] += off[m]
+	}
+	cur := growInts(&l.execCur, scns)
+	copy(cur, off[:scns])
+	order := growInt32(&l.execOrder, off[scns])
+	for i := range fb.Execs {
+		if m := fb.Execs[i].SCN; m >= 0 && m < scns {
+			order[cur[m]] = int32(i)
+			cur[m]++
+		}
 	}
 	if workers := l.workersFor(view); workers == 1 {
 		for m := range view.SCNs {
 			l.observeSCN(view, fb, m)
 		}
 	} else {
-		parallel.For(len(view.SCNs), workers, func(m int) { l.observeSCN(view, fb, m) })
+		parallel.ForDynamic(scns, workers, func(m int) { l.observeSCN(view, fb, m) })
 	}
 	l.slots++
 }
 
 // observeSCN runs Alg. 3 for one SCN. Like decideSCN it touches only SCN
-// m's arena (plus the read-only exec index), so distinct SCNs may run
+// m's arena (plus the read-only exec buckets), so distinct SCNs may run
 // concurrently.
 func (l *LFSC) observeSCN(view *policy.SlotView, fb *policy.Feedback, m int) {
 	st := l.scns[m]
-	tasks := view.SCNs[m].Tasks
-	if len(tasks) == 0 {
+	if len(view.SCNs[m].Cover) == 0 {
 		return
 	}
 	// Per-hypercube sums of the importance-weighted estimates (Alg. 3
-	// lines 2-8), accumulated in the arena's cell pools. The per-cell
-	// visible-task census (cellCnt, cellList) was already taken by this
-	// slot's Decide — Observe reuses it instead of recounting, so the task
-	// loop only has to resolve executions.
+	// lines 2-8), accumulated in the arena's cell pools over this SCN's
+	// exec bucket. The per-cell visible-task census (cellCnt, cellList) and
+	// the per-cell selection probabilities (cellW) were already produced by
+	// this slot's Decide — Observe reuses both, so the loop touches only
+	// the ≤ Capacity executed tasks instead of the whole coverage list.
 	for _, f := range st.cellList {
 		st.accG[f], st.accV[f], st.accQ[f] = 0, 0, 0
 	}
 	var completed, consumed float64
-	for i := range tasks {
-		ei := l.execByTask[tasks[i].Index]
-		if ei < 0 {
-			continue // unchosen task: estimate contributes 0
-		}
-		e := fb.Execs[ei]
-		if e.SCN != m {
-			continue // executed by a peer SCN: nothing observed here
-		}
-		p := st.probs[i]
+	for _, ei := range l.execOrder[l.execOff[m]:l.execOff[m+1]] {
+		e := &fb.Execs[ei]
+		f := e.Cell
+		p := st.cellW[f]
 		if p <= 0 {
 			continue // defensive: cannot importance-weight a 0-prob pick
 		}
-		f := int(st.taskCells[i])
 		st.accG[f] += e.Compound() / p
 		st.accV[f] += e.V / p
 		st.accQ[f] += e.Q / p
@@ -873,7 +999,8 @@ func (l *LFSC) observeSCN(view *policy.SlotView, fb *policy.Feedback, m int) {
 		consumed += e.Q
 	}
 	// Weight update (Alg. 3 lines 9-14): capped cells are skipped.
-	// Log-space: the multiplicative exp(·) becomes an addition.
+	// Log-space: the multiplicative exp(·) becomes an addition. Cells with
+	// no executions contribute a zero exponent, exactly as before.
 	lam1, lam2 := st.lambda1, st.lambda2
 	if l.cfg.DisableLagrangian {
 		lam1, lam2 = 0, 0

@@ -6,7 +6,6 @@ import (
 
 	"lfsc/internal/policy"
 	"lfsc/internal/rng"
-	"lfsc/internal/task"
 )
 
 func testConfig() Config {
@@ -29,11 +28,8 @@ func makeView(t int, cellsPerSCN [][]int) *policy.SlotView {
 	for _, cells := range cellsPerSCN {
 		var scn policy.SCNView
 		for _, c := range cells {
-			scn.Tasks = append(scn.Tasks, policy.TaskView{
-				Index: idx,
-				Cell:  c,
-				Ctx:   task.Context{0.5},
-			})
+			scn.Cover = append(scn.Cover, idx)
+			v.Cells = append(v.Cells, c)
 			idx++
 		}
 		v.SCNs = append(v.SCNs, scn)
@@ -94,7 +90,7 @@ func TestProbabilitiesSumToCapacity(t *testing.T) {
 	l := MustNew(testConfig(), rng.New(1))
 	view := makeView(0, [][]int{{0, 1, 2, 3, 0, 1, 2, 3}, {}})
 	st := l.scns[0]
-	probs := l.probabilities(st, view.SCNs[0].Tasks)
+	probs := l.probabilities(st, view.SCNs[0].Cover, view.Cells)
 	sum := 0.0
 	for _, p := range probs {
 		if p < 0 || p > 1 {
@@ -110,7 +106,7 @@ func TestProbabilitiesSumToCapacity(t *testing.T) {
 func TestProbabilitiesFewTasks(t *testing.T) {
 	l := MustNew(testConfig(), rng.New(2))
 	view := makeView(0, [][]int{{0, 1}, {}}) // 2 tasks ≤ capacity 3
-	probs := l.probabilities(l.scns[0], view.SCNs[0].Tasks)
+	probs := l.probabilities(l.scns[0], view.SCNs[0].Cover, view.Cells)
 	for _, p := range probs {
 		if p != 1 {
 			t.Fatalf("K≤c should give p=1, got %v", p)
@@ -126,7 +122,7 @@ func TestCappingBoundsDominantWeight(t *testing.T) {
 	st := l.scns[0]
 	st.logW[0] = math.Log(1e6) // dominant cell
 	view := makeView(0, [][]int{{0, 1, 2, 3, 1, 2, 3, 1}, {}})
-	probs := l.probabilities(st, view.SCNs[0].Tasks)
+	probs := l.probabilities(st, view.SCNs[0].Cover, view.Cells)
 	if probs[0] > 1+1e-12 {
 		t.Fatalf("dominant task probability %v > 1", probs[0])
 	}
@@ -222,13 +218,7 @@ func runSlot(l *LFSC, view *policy.SlotView, truth map[int][3]float64, r *rng.St
 		if m < 0 {
 			continue
 		}
-		// Find the cell of this task in the view.
-		cell := -1
-		for _, tv := range view.SCNs[m].Tasks {
-			if tv.Index == taskIdx {
-				cell = tv.Cell
-			}
-		}
+		cell := view.Cells[taskIdx]
 		tr := truth[cell]
 		v := 0.0
 		if r.Bernoulli(tr[1]) {
@@ -377,13 +367,7 @@ func TestObserveSkipsCappedCells(t *testing.T) {
 		if m != 0 {
 			continue
 		}
-		cell := -1
-		for _, tv := range view.SCNs[0].Tasks {
-			if tv.Index == taskIdx {
-				cell = tv.Cell
-			}
-		}
-		fb.Execs = append(fb.Execs, policy.Exec{SCN: 0, Task: taskIdx, Cell: cell, U: 1, V: 1, Q: 1})
+		fb.Execs = append(fb.Execs, policy.Exec{SCN: 0, Task: taskIdx, Cell: view.Cells[taskIdx], U: 1, V: 1, Q: 1})
 	}
 	l.Observe(view, assigned, fb)
 	if st.logW[0] != before {

@@ -33,11 +33,13 @@ func TestProbabilityInvariantsQuick(t *testing.T) {
 				st.logW[f] = math.Mod(v, 200) // up to e^±200 ratios
 			}
 		}
-		tasks := make([]policy.TaskView, 0, len(cellChoices))
+		cover := make([]int, 0, len(cellChoices))
+		cells := make([]int, 0, len(cellChoices))
 		for i, c := range cellChoices {
-			tasks = append(tasks, policy.TaskView{Index: i, Cell: int(c) % cfg.Cells})
+			cover = append(cover, i)
+			cells = append(cells, int(c)%cfg.Cells)
 		}
-		probs := l.probabilities(st, tasks)
+		probs := l.probabilities(st, cover, cells)
 		sum := 0.0
 		for _, p := range probs {
 			if p < -1e-12 || p > 1+1e-9 || math.IsNaN(p) {
@@ -46,8 +48,8 @@ func TestProbabilityInvariantsQuick(t *testing.T) {
 			sum += p
 		}
 		want := float64(cfg.Capacity)
-		if len(tasks) <= cfg.Capacity {
-			want = float64(len(tasks))
+		if len(cover) <= cfg.Capacity {
+			want = float64(len(cover))
 		}
 		return math.Abs(sum-want) < 1e-6
 	}
@@ -74,9 +76,8 @@ func TestDecideFeasibilityQuick(t *testing.T) {
 		idx := 0
 		for _, b := range layout {
 			m := int(b>>4) % numSCNs
-			cell := int(b) % cfg.Cells
-			view.SCNs[m].Tasks = append(view.SCNs[m].Tasks,
-				policy.TaskView{Index: idx, Cell: cell})
+			view.SCNs[m].Cover = append(view.SCNs[m].Cover, idx)
+			view.Cells = append(view.Cells, int(b)%cfg.Cells)
 			idx++
 		}
 		view.NumTasks = idx
@@ -91,14 +92,10 @@ func TestDecideFeasibilityQuick(t *testing.T) {
 			if m < 0 {
 				continue
 			}
-			for _, tv := range view.SCNs[m].Tasks {
-				if tv.Index == taskIdx {
-					fb.Execs = append(fb.Execs, policy.Exec{
-						SCN: m, Task: taskIdx, Cell: tv.Cell,
-						U: r.Float64(), V: float64(r.Intn(2)), Q: r.Uniform(1, 2),
-					})
-				}
-			}
+			fb.Execs = append(fb.Execs, policy.Exec{
+				SCN: m, Task: taskIdx, Cell: view.Cells[taskIdx],
+				U: r.Float64(), V: float64(r.Intn(2)), Q: r.Uniform(1, 2),
+			})
 		}
 		l.Observe(view, assigned, fb)
 		for m := 0; m < numSCNs; m++ {
@@ -133,7 +130,7 @@ func TestSelectionTracksProbabilities(t *testing.T) {
 	l.scns[0].logW[0] = 1.5
 	view := makeView(0, [][]int{{0, 0, 1, 1, 1, 1}})
 	// Copy out of the arena: Decide below overwrites the probs scratch.
-	probs := append([]float64(nil), l.probabilities(l.scns[0], view.SCNs[0].Tasks)...)
+	probs := append([]float64(nil), l.probabilities(l.scns[0], view.SCNs[0].Cover, view.Cells)...)
 	counts := make([]float64, 6)
 	const rounds = 20000
 	for it := 0; it < rounds; it++ {

@@ -81,6 +81,18 @@ func (p *Partition) Index(ctx task.Context) int {
 	return idx
 }
 
+// IndexTask maps a task directly to its hypercube index without
+// materializing the context vector on the heap: the coordinates are packed
+// into a stack buffer via Task.AppendContext (the exact same normalisation
+// expressions), so IndexTask(t, lat) == Index(ctx) bit-for-bit where ctx is
+// the task's (possibly latency-extended) context. withLatency must match the
+// partition's dimensionality (4 dims ⇔ true).
+func (p *Partition) IndexTask(t *task.Task, withLatency bool) int {
+	var buf [4]float64
+	ctx := t.AppendContext(buf[:0], withLatency)
+	return p.Index(ctx)
+}
+
 // Coords returns the per-dimension cell coordinates of hypercube idx,
 // the inverse of the mixed-radix packing in Index.
 func (p *Partition) Coords(idx int) []int {

@@ -1,9 +1,15 @@
 // Package policy defines the contract between the time-slotted simulator
 // and the decision algorithms (LFSC, Oracle, vUCB, FML, Random): what a
-// policy sees at the start of a slot (SlotView — tasks, contexts, coverage,
+// policy sees at the start of a slot (SlotView — coverage, cells, contexts,
 // never the environment's hidden means), what it must produce (an
 // assignment), and what feedback it receives afterwards (realised u/v/q for
 // executed tasks only, the paper's bandit feedback model).
+//
+// The view is columnar: per-task attributes (hypercube cell, context) are
+// stored once, slot-globally, and each SCN's coverage set D_{m,t} is a list
+// of task indices into those columns. This keeps the per-slot view build
+// O(tasks + coverage entries) with zero fan-out copies, and lets the hot
+// kernel (internal/core) index per-cell aggregates directly.
 package policy
 
 import (
@@ -12,23 +18,13 @@ import (
 	"lfsc/internal/task"
 )
 
-// TaskView is one task as visible to a SCN in a slot.
-type TaskView struct {
-	// Index is the slot-global task index (into the slot's task list).
-	Index int
-	// Cell is the hypercube index of the task's context, precomputed by
-	// the simulator with the run's shared partition.
-	Cell int
-	// Ctx is the task's normalised context (for context-aware baselines
-	// that do not use the shared partition).
-	Ctx task.Context
-}
-
 // SCNView is the slot information local to one SCN: its coverage set
-// D_{m,t} with contexts.
+// D_{m,t}.
 type SCNView struct {
-	// Tasks are the tasks within this SCN's coverage this slot.
-	Tasks []TaskView
+	// Cover lists the slot-global indices of the tasks within this SCN's
+	// coverage this slot, in ascending task order. Rows typically alias the
+	// generator's coverage arena and are valid only for the current slot.
+	Cover []int
 }
 
 // SlotView is everything observable at the start of a slot.
@@ -37,8 +33,48 @@ type SlotView struct {
 	T int
 	// NumTasks is the number of distinct tasks in the slot.
 	NumTasks int
+	// Cells[i] is the hypercube index of task i's context, precomputed by
+	// the simulator with the run's shared partition. len(Cells) == NumTasks.
+	Cells []int
 	// SCNs holds the per-SCN coverage views.
 	SCNs []SCNView
+
+	// Contexts are materialized lazily: most policies (LFSC, Oracle, vUCB,
+	// FML, Random) only need Cells, so the simulator defers packing the raw
+	// context vectors until a policy asks.
+	ctxs []task.Context
+	src  CtxSource
+}
+
+// CtxSource supplies per-task context vectors on demand (implemented by the
+// simulator's slot scratch). MaterializeCtxs is called at most once per slot.
+type CtxSource interface {
+	// MaterializeCtxs returns the per-task contexts of the current slot,
+	// indexed by slot-global task index.
+	MaterializeCtxs() []task.Context
+}
+
+// SetCtxs installs eagerly materialized contexts (and clears any source).
+func (v *SlotView) SetCtxs(ctxs []task.Context) {
+	v.ctxs = ctxs
+	v.src = nil
+}
+
+// SetCtxSource installs a lazy context source for the current slot and
+// drops any previously materialized contexts.
+func (v *SlotView) SetCtxSource(src CtxSource) {
+	v.ctxs = nil
+	v.src = src
+}
+
+// Ctxs returns the per-task context vectors, indexed by slot-global task
+// index, materializing them from the source on first use. Returns nil when
+// the view carries no contexts (cell-only views built by tests).
+func (v *SlotView) Ctxs() []task.Context {
+	if v.ctxs == nil && v.src != nil {
+		v.ctxs = v.src.MaterializeCtxs()
+	}
+	return v.ctxs
 }
 
 // Exec is the realised feedback for one executed (SCN, task) pair.
@@ -66,7 +102,9 @@ func (e Exec) Compound() float64 {
 }
 
 // Feedback delivers the slot's executions to the policy. Only executed
-// tasks appear — unchosen tasks reveal nothing (bandit feedback).
+// tasks appear — unchosen tasks reveal nothing (bandit feedback). Execs are
+// ordered by ascending slot-global task index (both the simulator and the
+// serving engine produce them in that order); policies may rely on it.
 type Feedback struct {
 	Execs []Exec
 }
@@ -98,9 +136,9 @@ func ValidateAssignment(view *SlotView, assigned []int, capacity int) error {
 	counts := make([]int, len(view.SCNs))
 	covered := make([]map[int]bool, len(view.SCNs))
 	for m := range view.SCNs {
-		covered[m] = make(map[int]bool, len(view.SCNs[m].Tasks))
-		for _, tv := range view.SCNs[m].Tasks {
-			covered[m][tv.Index] = true
+		covered[m] = make(map[int]bool, len(view.SCNs[m].Cover))
+		for _, idx := range view.SCNs[m].Cover {
+			covered[m][idx] = true
 		}
 	}
 	for taskIdx, m := range assigned {

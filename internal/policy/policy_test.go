@@ -12,9 +12,10 @@ func view2x3() *SlotView {
 	return &SlotView{
 		T:        5,
 		NumTasks: 3,
+		Cells:    []int{0, 1, 2},
 		SCNs: []SCNView{
-			{Tasks: []TaskView{{Index: 0, Cell: 0}, {Index: 1, Cell: 1}}},
-			{Tasks: []TaskView{{Index: 1, Cell: 1}, {Index: 2, Cell: 2}}},
+			{Cover: []int{0, 1}},
+			{Cover: []int{1, 2}},
 		},
 	}
 }
@@ -68,10 +69,48 @@ func TestExecCompound(t *testing.T) {
 	}
 }
 
-func TestTaskViewCarriesContext(t *testing.T) {
-	tv := TaskView{Index: 3, Cell: 7, Ctx: task.Context{0.1, 0.2, 0.3}}
-	if len(tv.Ctx) != 3 || tv.Cell != 7 {
-		t.Fatal("TaskView fields wrong")
+// staticCtxSource counts materializations to pin the at-most-once contract.
+type staticCtxSource struct {
+	ctxs  []task.Context
+	calls int
+}
+
+func (s *staticCtxSource) MaterializeCtxs() []task.Context {
+	s.calls++
+	return s.ctxs
+}
+
+func TestCtxsLazyMaterialization(t *testing.T) {
+	v := view2x3()
+	src := &staticCtxSource{ctxs: []task.Context{{0.1}, {0.2}, {0.3}}}
+	v.SetCtxSource(src)
+	if src.calls != 0 {
+		t.Fatal("source materialized before Ctxs was called")
+	}
+	got := v.Ctxs()
+	if len(got) != 3 || got[1][0] != 0.2 {
+		t.Fatalf("Ctxs = %v", got)
+	}
+	v.Ctxs()
+	if src.calls != 1 {
+		t.Fatalf("source materialized %d times, want once", src.calls)
+	}
+	// Re-arming the source for a new slot resets the cache.
+	v.SetCtxSource(src)
+	v.Ctxs()
+	if src.calls != 2 {
+		t.Fatalf("source not re-materialized after SetCtxSource, calls=%d", src.calls)
+	}
+}
+
+func TestCtxsEagerAndEmpty(t *testing.T) {
+	v := view2x3()
+	if v.Ctxs() != nil {
+		t.Fatal("cell-only view should have nil contexts")
+	}
+	v.SetCtxs([]task.Context{{1}, {2}, {3}})
+	if got := v.Ctxs(); len(got) != 3 || got[2][0] != 3 {
+		t.Fatalf("Ctxs = %v", got)
 	}
 }
 

@@ -1172,16 +1172,17 @@ func (b *slotBatch) reset() {
 
 // viewScratch builds the policy-facing SlotView from batched task specs,
 // mirroring the simulator's slot builder: contexts packed into one
-// backing array, each indexed exactly once, per-SCN task lists in task
+// backing array, each indexed exactly once, per-SCN coverage rows in task
 // order (the same coverage-row order a trace generator produces, which
 // is what keeps serving and offline runs bit-identical on the same
-// workload).
+// workload). Contexts are installed eagerly — the specs already carry
+// them, so there is nothing to defer.
 type viewScratch struct {
-	cells    []int
-	ctxBuf   []float64
-	ctxs     []task.Context
-	view     policy.SlotView
-	taskBufs [][]policy.TaskView
+	cells   []int
+	ctxBuf  []float64
+	ctxs    []task.Context
+	view    policy.SlotView
+	covBufs [][]int
 }
 
 func (s *viewScratch) build(t int, specs []TaskSpec, part *hypercube.Partition, scns int) *policy.SlotView {
@@ -1209,22 +1210,23 @@ func (s *viewScratch) build(t int, specs []TaskSpec, part *hypercube.Partition, 
 		s.view.SCNs = make([]policy.SCNView, scns)
 	}
 	s.view.SCNs = s.view.SCNs[:scns]
-	for len(s.taskBufs) < scns {
-		s.taskBufs = append(s.taskBufs, nil)
+	for len(s.covBufs) < scns {
+		s.covBufs = append(s.covBufs, nil)
 	}
 	for m := 0; m < scns; m++ {
-		s.taskBufs[m] = s.taskBufs[m][:0]
+		s.covBufs[m] = s.covBufs[m][:0]
 	}
 	for idx := range specs {
-		tv := policy.TaskView{Index: idx, Cell: s.cells[idx], Ctx: s.ctxs[idx]}
 		for _, m := range specs[idx].SCNs {
-			s.taskBufs[m] = append(s.taskBufs[m], tv)
+			s.covBufs[m] = append(s.covBufs[m], idx)
 		}
 	}
 	for m := 0; m < scns; m++ {
-		s.view.SCNs[m].Tasks = s.taskBufs[m]
+		s.view.SCNs[m].Cover = s.covBufs[m]
 	}
 	s.view.T = t
 	s.view.NumTasks = n
+	s.view.Cells = s.cells
+	s.view.SetCtxs(s.ctxs)
 	return &s.view
 }

@@ -359,12 +359,12 @@ func TestSubmitValidation(t *testing.T) {
 	defer eng.Stop()
 
 	bad := []SubmitRequest{
-		{},                                    // empty
-		{Tasks: []TaskSpec{{Ctx: []float64{0.5}, SCNs: []int{0}}}},                // wrong dims
-		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 2.0, 0.1}, SCNs: []int{0}}}},      // ctx out of range
-		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 0.5, 0.5}, SCNs: nil}}},           // no SCNs
-		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 0.5, 0.5}, SCNs: []int{99}}}},     // SCN out of range
-		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 0.5, 0.5}, SCNs: []int{1, 1}}}},   // duplicate SCN
+		{}, // empty
+		{Tasks: []TaskSpec{{Ctx: []float64{0.5}, SCNs: []int{0}}}},              // wrong dims
+		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 2.0, 0.1}, SCNs: []int{0}}}},    // ctx out of range
+		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 0.5, 0.5}, SCNs: nil}}},         // no SCNs
+		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 0.5, 0.5}, SCNs: []int{99}}}},   // SCN out of range
+		{Tasks: []TaskSpec{{Ctx: []float64{0.5, 0.5, 0.5}, SCNs: []int{1, 1}}}}, // duplicate SCN
 	}
 	for i, req := range bad {
 		if _, err := client.Submit(&req); err == nil {
@@ -420,10 +420,10 @@ func TestReportValidation(t *testing.T) {
 		t.Skip("no task assigned in slot 0 for this seed")
 	}
 	badReports := []TaskReport{
-		{Task: 10_000, U: 0.5, V: 1, Q: 1.5},       // out of range
-		{Task: assignedIdx, U: 1.5, V: 1, Q: 1.5},  // reward out of range
-		{Task: assignedIdx, U: 0.5, V: 0.5, Q: 1},  // non-binary completion
-		{Task: assignedIdx, U: 0.5, V: 1, Q: 0},    // non-positive consumption
+		{Task: 10_000, U: 0.5, V: 1, Q: 1.5},      // out of range
+		{Task: assignedIdx, U: 1.5, V: 1, Q: 1.5}, // reward out of range
+		{Task: assignedIdx, U: 0.5, V: 0.5, Q: 1}, // non-binary completion
+		{Task: assignedIdx, U: 0.5, V: 1, Q: 0},   // non-positive consumption
 	}
 	for i, r := range badReports {
 		if _, err := client.Report(&ReportRequest{Slot: resp.Slot, Reports: []TaskReport{r}}); err == nil {

@@ -29,6 +29,10 @@ func TestLFSCWorkersBitIdentical(t *testing.T) {
 	}
 	serial := run(1)
 	fanout := run(parallel.DefaultWorkers())
+	// DefaultWorkers() is 1 on a single-core machine, which would reduce
+	// this guard to serial-vs-serial there; a forced 4-way fan-out keeps
+	// the goroutine path exercised (and race-checked) everywhere.
+	forced := run(4)
 	series := func(s *metrics.Series, name string) []float64 {
 		switch name {
 		case "Reward":
@@ -44,15 +48,17 @@ func TestLFSCWorkersBitIdentical(t *testing.T) {
 		}
 		panic("unknown series " + name)
 	}
-	for _, name := range []string{"Reward", "V1", "V2", "Assigned", "Completed"} {
-		a, b := series(serial, name), series(fanout, name)
-		if len(a) != len(b) {
-			t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
-		}
-		for i := range a {
-			if a[i] != b[i] {
-				t.Fatalf("%s diverges at slot %d: serial %x vs parallel %x",
-					name, i, a[i], b[i])
+	for _, par := range []*metrics.Series{fanout, forced} {
+		for _, name := range []string{"Reward", "V1", "V2", "Assigned", "Completed"} {
+			a, b := series(serial, name), series(par, name)
+			if len(a) != len(b) {
+				t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s diverges at slot %d: serial %x vs parallel %x",
+						name, i, a[i], b[i])
+				}
 			}
 		}
 	}

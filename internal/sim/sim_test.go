@@ -168,8 +168,8 @@ func (overAssigner) Decide(view *policy.SlotView) []int {
 	for i := range out {
 		out[i] = -1
 	}
-	for _, tv := range view.SCNs[0].Tasks {
-		out[tv.Index] = 0
+	for _, idx := range view.SCNs[0].Cover {
+		out[idx] = 0
 	}
 	return out
 }

@@ -87,8 +87,6 @@ type (
 	SlotView = policy.SlotView
 	// SCNView is the per-SCN coverage view.
 	SCNView = policy.SCNView
-	// TaskView is one visible task.
-	TaskView = policy.TaskView
 	// Feedback delivers realised outcomes of executed tasks.
 	Feedback = policy.Feedback
 	// Exec is the realised feedback for one executed (SCN, task) pair.
