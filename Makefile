@@ -14,7 +14,7 @@ GO ?= go
 # gates are all concurrent by construction.
 RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim ./internal/trace ./internal/obs ./internal/metrics ./internal/serve
 
-.PHONY: all build vet test test-race bench-short bench-short-parallel bench json bench-serve bench-diff fuzz-short serve-smoke ci clean
+.PHONY: all build vet test test-race bench-short bench-short-parallel bench json bench-serve bench-diff fuzz-short serve-smoke serve-smoke-shards ci clean
 
 all: vet test
 
@@ -90,15 +90,24 @@ fuzz-short:
 # uninterrupted run (plus the graceful-stop variant), under the race
 # detector.
 serve-smoke:
-	$(GO) test -race -count=1 -run 'TestServeSmoke|TestRestoreAfterGracefulStopResumesExactly' ./internal/serve
+	$(GO) test -race -count=1 -run 'TestServeSmoke$$|TestRestoreAfterGracefulStopResumesExactly' ./internal/serve
+
+# The sharded variant: the same 200-slot kill-and-resume at Shards=4
+# (per-shard checkpoint files + manifest, two empty shards at this
+# scale), plus the Shards=1-vs-4-vs-offline three-way identity and the
+# cross-layout checkpoint compat matrix — all under the race detector
+# (the shard fan-out runs Decide/Observe on parallel goroutines).
+serve-smoke-shards:
+	$(GO) test -race -count=1 -run 'TestServeSmokeShards|TestShardedLockstepThreeWayIdentity|TestShardedCheckpointCompatAndMismatch' ./internal/serve
 
 # Everything a commit must pass, in the order a CI runner would execute:
 # static checks, the full test suite, the race-detector suite over the
 # concurrency-contract packages, the serving-layer kill-and-resume
-# smoke, the quick perf kernels (which also assert 0 allocs/op on the
-# steady-state paths) at Workers=1 and again at Workers=NumCPU under the
-# race detector, and a short fuzz pass over the untrusted-input decoders.
-ci: vet test test-race serve-smoke bench-short bench-short-parallel fuzz-short
+# smokes (unsharded and Shards=4), the quick perf kernels (which also
+# assert 0 allocs/op on the steady-state paths) at Workers=1 and again
+# at Workers=NumCPU under the race detector, and a short fuzz pass over
+# the untrusted-input decoders.
+ci: vet test test-race serve-smoke serve-smoke-shards bench-short bench-short-parallel fuzz-short
 
 clean:
 	$(GO) clean ./...

@@ -26,6 +26,14 @@
 // the ns/slot threshold, serve allocs/req gets a +0.5 absolute grace on
 // top of the relative one (its baseline is 0), and serve HTTP throughput
 // fails when it drops below 75% of OLD.
+//
+// The shard scaling curve (serve_shard_rps_1/2/4) is gated num_cpu-aware:
+// rps_1 carries the same 75%-of-OLD floor as the headline throughput, and
+// rps_2/rps_4 are checked against NEW's own rps_1 — at least 85% of it
+// when NEW's machine has at least that many CPUs (sharding must not lose
+// to the single-shard plane where it has room to run), and at least 35%
+// of it otherwise (on a starved box the parallel phase can only add
+// overhead, but it must not crater the data plane).
 package main
 
 import (
@@ -61,6 +69,14 @@ type benchResult struct {
 	ServeAllocsPerReq  *float64 `json:"serve_allocs_per_req"`
 	ServeHTTPRps       *float64 `json:"serve_http_rps"`
 
+	// NumCPU qualifies the shard scaling curve: the rps_2/rps_4
+	// monotonicity gates only bind where the machine had the cores to
+	// show a speedup.
+	NumCPU         *float64 `json:"num_cpu"`
+	ServeShardRps1 *float64 `json:"serve_shard_rps_1"`
+	ServeShardRps2 *float64 `json:"serve_shard_rps_2"`
+	ServeShardRps4 *float64 `json:"serve_shard_rps_4"`
+
 	extra []string // unknown top-level keys, sorted
 }
 
@@ -75,6 +91,8 @@ var knownKeys = map[string]bool{
 	"lfsc_oracle_ratio": true, "core_workers_speedup": true,
 	"serve_ns_per_slot": true, "serve_allocs_per_slot": true,
 	"serve_allocs_per_req": true, "serve_http_rps": true,
+	"serve_shard_rps_1": true, "serve_shard_rps_2": true,
+	"serve_shard_rps_4": true,
 }
 
 func load(path string) (*benchResult, error) {
@@ -180,6 +198,29 @@ func diff(old, new_ *benchResult, th thresholds) (lines []string, failed bool) {
 	guardKey("serve http rps", old.ServeHTTPRps, new_.ServeHTTPRps, func(o, n float64) (string, bool) {
 		return "serve http rps dropped below 75% of OLD", n < o*0.75
 	})
+
+	// Shard scaling curve: rps_1 carries the throughput floor; rps_2/rps_4
+	// are compared to NEW's own rps_1, with the grace chosen by whether
+	// NEW's machine had the cores to scale (see the package doc).
+	guardKey("shard rps x1", old.ServeShardRps1, new_.ServeShardRps1, func(o, n float64) (string, bool) {
+		return "serve_shard_rps_1 dropped below 75% of OLD", n < o*0.75
+	})
+	shardGate := func(name string, shards int, oldV, newV *float64) {
+		guardKey(name, oldV, newV, func(o, n float64) (string, bool) {
+			if new_.ServeShardRps1 == nil || *new_.ServeShardRps1 <= 0 {
+				return "", false // no rps_1 on NEW to scale against (its absence fails separately if OLD pinned it)
+			}
+			base := *new_.ServeShardRps1
+			grace, why := 0.35, "single-core sanity floor"
+			if new_.NumCPU != nil && *new_.NumCPU >= float64(shards) {
+				grace, why = 0.85, fmt.Sprintf("num_cpu %.0f ≥ %d shards", *new_.NumCPU, shards)
+			}
+			return fmt.Sprintf("serve_shard_rps_%d fell below %.0f%% of NEW's serve_shard_rps_1 (%s)",
+				shards, grace*100, why), n < base*grace
+		})
+	}
+	shardGate("shard rps x2", 2, old.ServeShardRps2, new_.ServeShardRps2)
+	shardGate("shard rps x4", 4, old.ServeShardRps4, new_.ServeShardRps4)
 	return lines, failed
 }
 

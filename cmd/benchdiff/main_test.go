@@ -217,6 +217,111 @@ func TestDiffWorkersSpeedupGuard(t *testing.T) {
 	})
 }
 
+// TestDiffShardRpsGuards pins the shard-scaling-curve gates as a table:
+// rps_1 carries the 75%-of-OLD floor; rps_2/rps_4 are compared to NEW's
+// own rps_1 with a num_cpu-aware grace (85% where the machine has ≥ that
+// many cores, 35% sanity floor otherwise); and dropped keys fail like
+// every guarded figure.
+func TestDiffShardRpsGuards(t *testing.T) {
+	shardResult := func(numCPU float64, r1, r2, r4 *float64) *benchResult {
+		r := baseResult()
+		r.NumCPU = f64(numCPU)
+		r.ServeShardRps1, r.ServeShardRps2, r.ServeShardRps4 = r1, r2, r4
+		return r
+	}
+	oldCurve := shardResult(1, f64(10000), f64(9800), f64(9500))
+
+	cases := []struct {
+		name     string
+		new_     *benchResult
+		wantFail bool
+		wantMsg  string
+	}{
+		{
+			name: "flat single-core curve passes",
+			new_: shardResult(1, f64(10000), f64(9700), f64(9400)),
+		},
+		{
+			name:     "rps_1 below 75% of OLD fails",
+			new_:     shardResult(1, f64(7400), f64(7300), f64(7200)),
+			wantFail: true, wantMsg: "serve_shard_rps_1 dropped below 75% of OLD",
+		},
+		{
+			name: "rps_1 at 80% of OLD passes",
+			new_: shardResult(1, f64(8000), f64(7900), f64(7800)),
+		},
+		{
+			// num_cpu 1 < 4 shards: the 35% sanity floor applies, and 50%
+			// of rps_1 clears it.
+			name: "single-core overhead within sanity floor passes",
+			new_: shardResult(1, f64(10000), f64(6000), f64(5000)),
+		},
+		{
+			name:     "single-core crater below 35% of rps_1 fails",
+			new_:     shardResult(1, f64(10000), f64(9000), f64(3000)),
+			wantFail: true, wantMsg: "serve_shard_rps_4 fell below 35% of NEW's serve_shard_rps_1",
+		},
+		{
+			// num_cpu 8 ≥ 4: monotonicity binds at 85%; 60% of rps_1 at
+			// Shards=4 means sharding lost to the single-shard plane on a
+			// machine where it had room to run.
+			name:     "multi-core rps_4 below 85% of rps_1 fails",
+			new_:     shardResult(8, f64(10000), f64(11000), f64(6000)),
+			wantFail: true, wantMsg: "serve_shard_rps_4 fell below 85% of NEW's serve_shard_rps_1",
+		},
+		{
+			name: "multi-core scaling curve passes",
+			new_: shardResult(8, f64(10000), f64(17000), f64(30000)),
+		},
+		{
+			// num_cpu 2: rps_2 binds at 85%, rps_4 only at the sanity floor.
+			name: "grace chosen per shard count",
+			new_: shardResult(2, f64(10000), f64(9000), f64(4000)),
+		},
+		{
+			name:     "num_cpu 2 with rps_2 below 85% fails",
+			new_:     shardResult(2, f64(10000), f64(8000), f64(9000)),
+			wantFail: true, wantMsg: "serve_shard_rps_2 fell below 85% of NEW's serve_shard_rps_1",
+		},
+		{
+			name:     "dropped rps_4 fails",
+			new_:     shardResult(1, f64(10000), f64(9800), nil),
+			wantFail: true, wantMsg: "missing from NEW",
+		},
+		{
+			name:     "dropped rps_1 fails",
+			new_:     shardResult(1, nil, f64(9800), f64(9500)),
+			wantFail: true, wantMsg: "missing from NEW",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, failed := runDiff(t, oldCurve, tc.new_)
+			if failed != tc.wantFail {
+				t.Fatalf("failed = %v, want %v:\n%s", failed, tc.wantFail, out)
+			}
+			if tc.wantMsg != "" && !strings.Contains(out, tc.wantMsg) {
+				t.Fatalf("output missing %q:\n%s", tc.wantMsg, out)
+			}
+		})
+	}
+
+	t.Run("curve absent on both sides passes", func(t *testing.T) {
+		if out, failed := runDiff(t, baseResult(), baseResult()); failed {
+			t.Fatalf("pre-curve artifacts failed:\n%s", out)
+		}
+	})
+	t.Run("curve newly added in NEW passes", func(t *testing.T) {
+		out, failed := runDiff(t, baseResult(), shardResult(1, f64(10000), f64(9800), f64(9500)))
+		if failed {
+			t.Fatalf("newly added curve was gated:\n%s", out)
+		}
+		if !strings.Contains(out, "new key, not compared") {
+			t.Fatalf("new curve keys not reported informationally:\n%s", out)
+		}
+	})
+}
+
 // TestDiffCoreGuards keeps the pre-serve gates intact.
 func TestDiffCoreGuards(t *testing.T) {
 	t.Run("ns regression fails", func(t *testing.T) {

@@ -190,6 +190,14 @@ func runBenchJSON(path string, horizon int, seed uint64, obsOpts *obs.Options) e
 // the daemon data plane measured at the serve tests' scenario scale. It
 // shares BENCH_core.json with the core block via mergeBenchJSON.
 type serveBenchResult struct {
+	// Workers overlays the artifact's workers key with the shard/worker
+	// count the headline ServeHTTPRps run actually used (previously the
+	// key was hardcoded from the core run and silently claimed to describe
+	// the serve figures too).
+	Workers int `json:"workers"`
+	// NumCPU is re-stamped at serve measurement time so the shard scaling
+	// curve below is interpretable on the machine that produced it.
+	NumCPU int `json:"num_cpu"`
 	// ServeNsPerSlot is wall time per full slot on the in-process batched
 	// /v1/step handler loop (decode → Decide → encode plus the client-side
 	// generation and outcome realisation around it).
@@ -202,11 +210,18 @@ type serveBenchResult struct {
 	// ServeHTTPRps is end-to-end /v1/step round trips per second over real
 	// loopback HTTP.
 	ServeHTTPRps float64 `json:"serve_http_rps"`
+	// ServeShardRps1/2/4 are the shard scaling curve: loopback /v1/step
+	// throughput on the wider shard-bench workload at Shards = 1, 2, 4.
+	// Expected roughly flat when NumCPU = 1 and rising with shard count on
+	// multi-core machines; benchdiff gates them accordingly.
+	ServeShardRps1 float64 `json:"serve_shard_rps_1"`
+	ServeShardRps2 float64 `json:"serve_shard_rps_2"`
+	ServeShardRps4 float64 `json:"serve_shard_rps_4"`
 }
 
-// runBenchServe runs the serve-layer harness (internal/serve RunBench)
-// and merges its figures into the artifact at path, preserving the core
-// block already there.
+// runBenchServe runs the serve-layer harness (internal/serve RunBench
+// plus the RunShardBench scaling curve) and merges its figures into the
+// artifact at path, preserving the core block already there.
 func runBenchServe(path string, slots, httpSlots int, seed uint64) error {
 	fmt.Printf("bench: serve data plane (slots=%d, httpSlots=%d, seed=%d)...\n",
 		slots, httpSlots, seed)
@@ -214,17 +229,29 @@ func runBenchServe(path string, slots, httpSlots int, seed uint64) error {
 	if err != nil {
 		return fmt.Errorf("serve bench: %w", err)
 	}
+	fmt.Printf("bench: shard scaling curve (httpSlots=%d x shards 1/2/4)...\n", httpSlots)
+	sh, err := serve.RunShardBench(httpSlots, seed)
+	if err != nil {
+		return fmt.Errorf("serve bench: %w", err)
+	}
 	res := serveBenchResult{
+		Workers:            r.Shards,
+		NumCPU:             runtime.NumCPU(),
 		ServeNsPerSlot:     r.NsPerSlot,
 		ServeAllocsPerSlot: r.AllocsPerSlot,
 		ServeAllocsPerReq:  r.AllocsPerReq,
 		ServeHTTPRps:       r.HTTPRps,
+		ServeShardRps1:     sh.Rps1,
+		ServeShardRps2:     sh.Rps2,
+		ServeShardRps4:     sh.Rps4,
 	}
 	if err := mergeBenchJSON(path, &res); err != nil {
 		return err
 	}
 	fmt.Printf("bench: serve %.0f ns/slot, %.2f allocs/slot, %.2f allocs/req, %.0f http rps\n",
 		res.ServeNsPerSlot, res.ServeAllocsPerSlot, res.ServeAllocsPerReq, res.ServeHTTPRps)
+	fmt.Printf("bench: shard rps %.0f / %.0f / %.0f (shards 1/2/4, num_cpu %d)\n",
+		res.ServeShardRps1, res.ServeShardRps2, res.ServeShardRps4, res.NumCPU)
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }

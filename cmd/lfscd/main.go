@@ -14,17 +14,25 @@
 //
 //	lfscd [-addr :9090] [-scns 30] [-c 20] [-alpha 15] [-beta 27]
 //	      [-h 3] [-kmax 200] [-T 10000] [-seed 42] [-latency-ctx]
+//	      [-shards 1]
 //	      [-slot-every 100ms] [-max-batch 0] [-queue-cap 0]
 //	      [-report-wait 2s]
 //	      [-checkpoint lfscd.ckpt] [-checkpoint-every 100]
 //	      [-snapshots f.jsonl] [-snap-every 100]
+//
+// -shards splits the learner into consistent-hash SCN groups that decide
+// and observe in parallel; decisions stay bit-identical at any shard
+// count (DESIGN.md §11).
 //
 // Lifecycle: on boot the daemon restores -checkpoint when the file
 // exists and resumes the learner bit-exactly (weights, multipliers,
 // slot counter, RNG streams, reward accumulator). It checkpoints
 // atomically every -checkpoint-every slots and again on SIGINT/SIGTERM
 // before exiting, so a kill at any point loses at most the slots since
-// the last periodic write — never the file.
+// the last periodic write — never the file. A sharded daemon writes one
+// file per shard plus a manifest at the -checkpoint path; a pre-sharding
+// single-file checkpoint restores into a sharded daemon (each shard takes
+// its rows), but a sharded checkpoint requires the same -shards count.
 //
 // Observability: /lfsc/status (plain text), /v1/stats (JSON),
 // /debug/vars (expvar, including "lfsc_serve"), /debug/pprof.
@@ -55,6 +63,7 @@ func main() {
 		horizon  = flag.Int("T", 10000, "schedule horizon (slots)")
 		seed     = flag.Uint64("seed", 42, "master seed (policy stream = Derive(3))")
 		latCtx   = flag.Bool("latency-ctx", false, "use the 4-D context with the latency class")
+		shards   = flag.Int("shards", 1, "learner shards (consistent-hash SCN groups; decisions are bit-identical at any count)")
 
 		slotEvery  = flag.Duration("slot-every", 100*time.Millisecond, "slot clock (0 = close only at KMax/MaxBatch/explicit close)")
 		maxBatch   = flag.Int("max-batch", 0, "close the slot at this many tasks (0 = SCNs*KMax)")
@@ -77,6 +86,7 @@ func main() {
 	cfg := serve.Config{
 		SCNs: *scns, Capacity: *capacity, Alpha: *alpha, Beta: *beta,
 		Dims: dims, H: *hGrain, KMax: *kmax, Horizon: *horizon, Seed: *seed,
+		Shards: *shards,
 		SlotEvery: *slotEvery, MaxBatch: *maxBatch, QueueCap: *queueCap,
 		SubQueue: *subQueue, ReportWait: *reportWait,
 		CheckpointPath: *ckptPath, CheckpointEvery: *ckptEvery,
@@ -117,8 +127,8 @@ func main() {
 		os.Exit(1)
 	}
 	eng.Start()
-	fmt.Fprintf(os.Stderr, "lfscd: serving http://%s/lfsc/status (M=%d c=%d α=%g β=%g h=%d kmax=%d T=%d seed=%d)\n",
-		srv.Addr(), *scns, *capacity, *alpha, *beta, *hGrain, *kmax, *horizon, *seed)
+	fmt.Fprintf(os.Stderr, "lfscd: serving http://%s/lfsc/status (M=%d c=%d α=%g β=%g h=%d kmax=%d T=%d seed=%d shards=%d)\n",
+		srv.Addr(), *scns, *capacity, *alpha, *beta, *hGrain, *kmax, *horizon, *seed, *shards)
 
 	// Graceful shutdown: finish the slot in flight, write the final
 	// checkpoint, then exit.

@@ -18,10 +18,15 @@
 //	lfscload [-addr localhost:9090] [-T 1000] [-from 0] [-resume]
 //	         [-scns 30] [-min 35] [-max 100] [-overlap 0.3]
 //	         [-c 20] [-alpha 15] [-beta 27] [-h 3] [-seed 42]
-//	         [-latency-ctx] [-progress 0] [-no-step]
+//	         [-latency-ctx] [-progress 0] [-no-step] [-shards 1]
 //
 // -resume asks the daemon for its current slot and replays from there —
 // the companion to lfscd's checkpointed restart.
+//
+// -shards > 1 fans requests over a per-shard connection pool using the
+// daemon's consistent-hash routing (match the daemon's -shards), so each
+// shard's traffic keeps connection affinity. The protocol and rewards
+// are identical either way.
 package main
 
 import (
@@ -34,6 +39,15 @@ import (
 	"lfsc/internal/serve"
 	"lfsc/internal/trace"
 )
+
+// loadConn is what the generator needs from its transport — the replay
+// protocol plus the stats/reuse introspection the summary prints.
+// Satisfied by *serve.Client and *serve.ShardPool.
+type loadConn interface {
+	serve.Conn
+	Stats() (*serve.Stats, error)
+	ConnStats() (created, reused uint64)
+}
 
 func main() {
 	var (
@@ -53,6 +67,7 @@ func main() {
 		latCtx   = flag.Bool("latency-ctx", false, "use the 4-D context with the latency class")
 		progress = flag.Int("progress", 0, "print a progress line every N slots (0 = off)")
 		noStep   = flag.Bool("no-step", false, "use the classic submit+report pair instead of batched /v1/step")
+		shards   = flag.Int("shards", 1, "route over a per-shard connection pool (match the daemon's -shards)")
 	)
 	flag.Parse()
 
@@ -73,7 +88,10 @@ func main() {
 		os.Exit(1)
 	}
 	rep.SetUseStep(!*noStep)
-	client := serve.NewClient(*addr)
+	var client loadConn = serve.NewClient(*addr)
+	if *shards > 1 {
+		client = serve.NewShardPool(*addr, *shards)
+	}
 
 	start := *from
 	if *resume {

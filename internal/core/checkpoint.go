@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 )
 
 // checkpointVersion guards the on-disk format.
@@ -23,10 +24,15 @@ const checkpointVersion = 2
 // are stored; the configuration travels separately (a checkpoint can only
 // be restored into a policy with a compatible shape).
 type checkpoint struct {
-	Version int         `json:"version"`
-	SCNs    int         `json:"scns"`
-	Cells   int         `json:"cells"`
-	T       int         `json:"t,omitempty"`
+	Version int `json:"version"`
+	SCNs    int `json:"scns"`
+	Cells   int `json:"cells"`
+	T       int `json:"t,omitempty"`
+	// Owned, when present, marks a partial (shard) checkpoint: the arrays
+	// below carry one row per entry, row i belonging to SCN Owned[i]
+	// (strictly ascending). Absent/empty means the full per-SCN layout —
+	// the format every unsharded checkpoint has always used.
+	Owned   []int       `json:"owned,omitempty"`
 	LogW    [][]float64 `json:"log_weights"`
 	Lambda1 []float64   `json:"lambda1"`
 	Lambda2 []float64   `json:"lambda2"`
@@ -39,23 +45,35 @@ type checkpoint struct {
 // multipliers, slot counter, and per-SCN RNG streams) to w as JSON. A
 // deployment can checkpoint a trained MBS controller and restore it after
 // a restart instead of re-exploring; with the v2 fields the restored
-// controller continues the original run bit-identically.
+// controller continues the original run bit-identically. A partial learner
+// (NewPartial) writes only its owned SCNs' rows plus the owned list — one
+// shard checkpoint per shard, stitched back together at restore time.
 func (l *LFSC) Save(w io.Writer) error {
+	rows := l.cfg.SCNs
+	if l.owned != nil {
+		rows = len(l.owned)
+	}
 	cp := checkpoint{
 		Version: checkpointVersion,
 		SCNs:    l.cfg.SCNs,
 		Cells:   l.cfg.Cells,
 		T:       l.slots,
-		LogW:    make([][]float64, l.cfg.SCNs),
-		Lambda1: make([]float64, l.cfg.SCNs),
-		Lambda2: make([]float64, l.cfg.SCNs),
-		Rng:     make([][3]uint64, l.cfg.SCNs),
+		Owned:   l.owned,
+		LogW:    make([][]float64, rows),
+		Lambda1: make([]float64, rows),
+		Lambda2: make([]float64, rows),
+		Rng:     make([][3]uint64, rows),
 	}
-	for m, st := range l.scns {
-		cp.LogW[m] = append([]float64(nil), st.logW...)
-		cp.Lambda1[m] = st.lambda1
-		cp.Lambda2[m] = st.lambda2
-		cp.Rng[m] = st.r.State()
+	for i := 0; i < rows; i++ {
+		m := i
+		if l.owned != nil {
+			m = l.owned[i]
+		}
+		st := l.scns[m]
+		cp.LogW[i] = append([]float64(nil), st.logW...)
+		cp.Lambda1[i] = st.lambda1
+		cp.Lambda2[i] = st.lambda2
+		cp.Rng[i] = st.r.State()
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&cp)
@@ -80,7 +98,37 @@ func (l *LFSC) Load(r io.Reader) error {
 		return fmt.Errorf("core: checkpoint shape %dx%d, policy %dx%d",
 			cp.SCNs, cp.Cells, l.cfg.SCNs, l.cfg.Cells)
 	}
-	if len(cp.LogW) != cp.SCNs || len(cp.Lambda1) != cp.SCNs || len(cp.Lambda2) != cp.SCNs {
+	// A partial (shard) checkpoint carries one row per owned SCN; the
+	// owned list must be strictly ascending and in range, and only a
+	// learner with the identical owned set may load it (a full learner
+	// restored from one shard's file would silently lose every other
+	// shard's state).
+	rows := cp.SCNs
+	if len(cp.Owned) > 0 {
+		if cp.Version < 2 {
+			return fmt.Errorf("core: v1 checkpoint cannot be partial")
+		}
+		rows = len(cp.Owned)
+		prev := -1
+		for _, m := range cp.Owned {
+			if m <= prev || m >= cp.SCNs {
+				return fmt.Errorf("core: checkpoint owned list invalid at SCN %d", m)
+			}
+			prev = m
+		}
+		if l.owned == nil || !slices.Equal(l.owned, cp.Owned) {
+			return fmt.Errorf("core: partial checkpoint (owned %v) does not match learner's owned SCNs %v",
+				cp.Owned, l.owned)
+		}
+	}
+	// rowSCN maps a row index to the SCN it belongs to.
+	rowSCN := func(i int) int {
+		if len(cp.Owned) > 0 {
+			return cp.Owned[i]
+		}
+		return i
+	}
+	if len(cp.LogW) != rows || len(cp.Lambda1) != rows || len(cp.Lambda2) != rows {
 		return fmt.Errorf("core: checkpoint arrays inconsistent with SCN count")
 	}
 	if cp.T < 0 {
@@ -89,39 +137,47 @@ func (l *LFSC) Load(r io.Reader) error {
 	// v1 checkpoints predate the RNG fields; for v2 the triples must be
 	// present for every SCN and structurally valid (odd PCG increments).
 	if cp.Version >= 2 {
-		if len(cp.Rng) != cp.SCNs {
-			return fmt.Errorf("core: checkpoint has %d RNG states, want %d", len(cp.Rng), cp.SCNs)
+		if len(cp.Rng) != rows {
+			return fmt.Errorf("core: checkpoint has %d RNG states, want %d", len(cp.Rng), rows)
 		}
-		for m, st := range cp.Rng {
+		for i, st := range cp.Rng {
 			if st[1]&1 == 0 {
-				return fmt.Errorf("core: SCN %d has invalid RNG state (even increment)", m)
+				return fmt.Errorf("core: SCN %d has invalid RNG state (even increment)", rowSCN(i))
 			}
 		}
 	} else if len(cp.Rng) != 0 {
 		return fmt.Errorf("core: v1 checkpoint carries RNG states")
 	}
-	for m := 0; m < cp.SCNs; m++ {
-		if len(cp.LogW[m]) != cp.Cells {
-			return fmt.Errorf("core: SCN %d has %d weights, want %d", m, len(cp.LogW[m]), cp.Cells)
+	for i := 0; i < rows; i++ {
+		m := rowSCN(i)
+		if len(cp.LogW[i]) != cp.Cells {
+			return fmt.Errorf("core: SCN %d has %d weights, want %d", m, len(cp.LogW[i]), cp.Cells)
 		}
-		for _, v := range cp.LogW[m] {
+		for _, v := range cp.LogW[i] {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return fmt.Errorf("core: SCN %d has non-finite weight", m)
 			}
 		}
-		if cp.Lambda1[m] < 0 || cp.Lambda2[m] < 0 ||
-			math.IsNaN(cp.Lambda1[m]) || math.IsNaN(cp.Lambda2[m]) ||
-			math.IsInf(cp.Lambda1[m], 0) || math.IsInf(cp.Lambda2[m], 0) {
+		if cp.Lambda1[i] < 0 || cp.Lambda2[i] < 0 ||
+			math.IsNaN(cp.Lambda1[i]) || math.IsNaN(cp.Lambda2[i]) ||
+			math.IsInf(cp.Lambda1[i], 0) || math.IsInf(cp.Lambda2[i], 0) {
 			return fmt.Errorf("core: SCN %d has invalid multipliers", m)
 		}
 	}
-	// All validated; commit.
-	for m, st := range l.scns {
-		copy(st.logW, cp.LogW[m])
-		st.lambda1 = cp.Lambda1[m]
-		st.lambda2 = cp.Lambda2[m]
+	// All validated; commit. A full checkpoint loading into a partial
+	// learner commits only the rows the learner owns — the shard-restore
+	// compat path for pre-sharding single-file checkpoints.
+	for i := 0; i < rows; i++ {
+		m := rowSCN(i)
+		st := l.scns[m]
+		if st == nil {
+			continue
+		}
+		copy(st.logW, cp.LogW[i])
+		st.lambda1 = cp.Lambda1[i]
+		st.lambda2 = cp.Lambda2[i]
 		if cp.Version >= 2 {
-			if !st.r.Restore(cp.Rng[m]) {
+			if !st.r.Restore(cp.Rng[i]) {
 				// Unreachable: validated above. Guard anyway so a logic
 				// error cannot half-commit.
 				return fmt.Errorf("core: SCN %d RNG restore failed", m)

@@ -29,6 +29,9 @@ func (l *LFSC) Snapshot(into *obs.PolicySnapshot) {
 	explore := obs.GrowFloats(&into.ExplorationMass, n)
 	capped := obs.GrowInts(&into.CappedCells, n)
 	for m, st := range l.scns {
+		if st == nil {
+			continue // partial learner: another shard fills this SCN's entry
+		}
 		lam1[m], lam2[m] = st.lambda1, st.lambda2
 		entropy[m], explore[m] = weightEntropy(st.logW)
 		capped[m] = len(st.cappedList)

@@ -325,6 +325,13 @@ type LFSC struct {
 	slackPull         float64
 	scns              []*scnState
 	r                 *rng.Stream
+	// owned lists the SCN indices this learner materializes, strictly
+	// ascending; nil means all of them (the common, unsharded case). A
+	// partial learner (NewPartial) holds nil entries in scns for SCNs it
+	// does not own and can only run the per-SCN stage (DecideLocal /
+	// Observe); the cross-SCN resolution then runs in a Merger that sees
+	// every shard's states.
+	owned []int
 	// slots counts completed Decide/Observe rounds. It is checkpointed so
 	// a restored learner knows how far through the horizon it is: the
 	// γ/η/δ schedule and the per-slot decay are calibrated against
@@ -333,25 +340,20 @@ type LFSC struct {
 	// rather than restarting at zero.
 	slots int
 
-	// Policy-global scratch, owned by the single goroutine driving
-	// Decide/Observe (the per-SCN workers only write their own index of
-	// perSCNEdges):
-	perSCNEdges [][]assign.Edge
-	assigned    []int     // assignment buffer returned by Decide
-	bestP       []float64 // per-task best candidate probability (mergePicks)
-	greedy      assign.GreedyScratch
-	counts      []int     // backfill per-SCN beam counters
-	selP        []float64 // backfill top-free selection: probabilities,
-	selLW       []float64 // log-weight tie-breaks,
-	selIdx      []int     // and slot-global task indices (≤ Capacity each)
-	execOff     []int     // Observe: per-SCN exec bucket offsets (SCNs+1)
-	execCur     []int     // Observe: counting-sort cursors
-	execOrder   []int32   // Observe: exec indices grouped by SCN
+	// res owns the cross-SCN assignment-resolution scratch. It is shared
+	// code with the sharded Merger: both call resolver.resolve over a
+	// states array, which is what keeps Shards=1 and Shards=N
+	// bit-identical — there is only one resolution implementation.
+	res resolver
+
+	execOff   []int   // Observe: per-SCN exec bucket offsets (SCNs+1)
+	execCur   []int   // Observe: counting-sort cursors
+	execOrder []int32 // Observe: exec indices grouped by SCN
 }
 
-// New constructs an LFSC policy. The stream drives the randomized edge
-// priorities only; all learning state is deterministic given the feedback.
-func New(cfg Config, r *rng.Stream) (*LFSC, error) {
+// newLFSC builds the learner shell (schedule, defaults, policy-global
+// scratch) without any per-SCN state; New and NewPartial fill scns.
+func newLFSC(cfg Config, r *rng.Stream) (*LFSC, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -375,16 +377,23 @@ func New(cfg Config, r *rng.Stream) (*LFSC, error) {
 	if l.slackPull < 0 {
 		l.slackPull = 0
 	}
-	for m := 0; m < cfg.SCNs; m++ {
-		l.scns = append(l.scns, newSCNState(cfg, r.Derive(uint64(m))))
-	}
-	l.perSCNEdges = make([][]assign.Edge, cfg.SCNs)
-	l.counts = make([]int, cfg.SCNs)
-	l.selP = make([]float64, cfg.Capacity)
-	l.selLW = make([]float64, cfg.Capacity)
-	l.selIdx = make([]int, cfg.Capacity)
+	l.scns = make([]*scnState, cfg.SCNs)
+	l.res = newResolver(cfg)
 	l.execOff = make([]int, cfg.SCNs+1)
 	l.execCur = make([]int, cfg.SCNs)
+	return l, nil
+}
+
+// New constructs an LFSC policy. The stream drives the randomized edge
+// priorities only; all learning state is deterministic given the feedback.
+func New(cfg Config, r *rng.Stream) (*LFSC, error) {
+	l, err := newLFSC(cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	for m := 0; m < cfg.SCNs; m++ {
+		l.scns[m] = newSCNState(cfg, r.Derive(uint64(m)))
+	}
 	return l, nil
 }
 
@@ -431,10 +440,20 @@ func (l *LFSC) Weights(m int) []float64 {
 // the next Decide call, which matches the simulator's slot protocol
 // (Decide → execute → Observe, then the next slot).
 func (l *LFSC) Decide(view *policy.SlotView) []int {
-	if len(view.SCNs) > len(l.perSCNEdges) {
-		// Defensive: a view wider than the configured SCN count.
-		l.perSCNEdges = make([][]assign.Edge, len(view.SCNs))
+	if l.owned != nil {
+		panic("core: Decide on a partial learner — run DecideLocal and resolve through a Merger")
 	}
+	l.DecideLocal(view)
+	return l.res.resolve(l.scns, view)
+}
+
+// DecideLocal runs only the per-SCN stage of Decide (Alg. 2: probabilities
+// and candidate sampling) for every SCN this learner owns, leaving each
+// owned scnState primed for a resolver pass. A full learner's Decide is
+// DecideLocal + resolve; a sharded deployment calls DecideLocal on every
+// shard in parallel and then resolves once through a Merger over the
+// combined states — the same resolver code, hence bit-identical results.
+func (l *LFSC) DecideLocal(view *policy.SlotView) {
 	if workers := l.workersFor(view); workers == 1 {
 		// Serial fast path: no goroutine fan-out, no closure — the
 		// steady-state Decide allocates nothing.
@@ -444,7 +463,50 @@ func (l *LFSC) Decide(view *policy.SlotView) []int {
 	} else {
 		parallel.ForDynamic(len(view.SCNs), workers, func(m int) { l.decideSCN(view, m) })
 	}
-	if l.cfg.Mode == DepRoundMode {
+}
+
+// resolver owns the cross-SCN candidate-resolution stage (Alg. 4) and its
+// scratch. It reads the per-SCN stage's outputs through a states array —
+// either a full learner's own scns or a Merger's stitched view across
+// shards — so both deployments execute the identical resolution code path.
+type resolver struct {
+	capacity int
+	numSCNs  int
+	mode     SelectionMode
+
+	perSCNEdges [][]assign.Edge
+	assigned    []int     // assignment buffer returned by resolve
+	bestP       []float64 // per-task best candidate probability (mergePicks)
+	greedy      assign.GreedyScratch
+	counts      []int     // backfill per-SCN beam counters
+	selP        []float64 // backfill top-free selection: probabilities,
+	selLW       []float64 // log-weight tie-breaks,
+	selIdx      []int     // and slot-global task indices (≤ Capacity each)
+}
+
+func newResolver(cfg Config) resolver {
+	return resolver{
+		capacity:    cfg.Capacity,
+		numSCNs:     cfg.SCNs,
+		mode:        cfg.Mode,
+		perSCNEdges: make([][]assign.Edge, cfg.SCNs),
+		counts:      make([]int, cfg.SCNs),
+		selP:        make([]float64, cfg.Capacity),
+		selLW:       make([]float64, cfg.Capacity),
+		selIdx:      make([]int, cfg.Capacity),
+	}
+}
+
+// resolve turns the per-SCN candidate sets produced by the DecideLocal
+// stage into the global assignment. Every states[m] must be primed by this
+// slot's per-SCN stage (st.edges / pickTask are otherwise stale); the
+// returned slice aliases resolver-owned scratch valid until the next call.
+func (r *resolver) resolve(states []*scnState, view *policy.SlotView) []int {
+	if len(view.SCNs) > len(r.perSCNEdges) {
+		// Defensive: a view wider than the configured SCN count.
+		r.perSCNEdges = make([][]assign.Edge, len(view.SCNs))
+	}
+	if r.mode == DepRoundMode {
 		// DepRound mode never exposes the greedy to a capacity bind (each
 		// SCN contributes at most Capacity candidates), so the global
 		// resolution collapses to a per-task argmax over the candidate
@@ -454,44 +516,53 @@ func (l *LFSC) Decide(view *policy.SlotView) []int {
 		// exact historical order.
 		overflow := false
 		for m := range view.SCNs {
-			if len(l.scns[m].pickTask) > l.cfg.Capacity {
+			if len(states[m].pickTask) > r.capacity {
 				overflow = true
 				break
 			}
 		}
 		if overflow {
 			for m := range view.SCNs {
-				st := l.scns[m]
+				st := states[m]
 				st.edges = st.edges[:0]
 				for j, t32 := range st.pickTask {
 					st.edges = append(st.edges, assign.Edge{SCN: m, Task: int(t32), W: st.pickP[j]})
 				}
 				assign.SortEdges(st.edges)
-				l.perSCNEdges[m] = st.edges
+				r.perSCNEdges[m] = st.edges
 			}
-			l.assigned = assign.GreedyMergeInto(l.assigned, &l.greedy, l.perSCNEdges[:len(view.SCNs)], l.cfg.SCNs, view.NumTasks, l.cfg.Capacity)
+			r.assigned = assign.GreedyMergeInto(r.assigned, &r.greedy, r.perSCNEdges[:len(view.SCNs)], r.numSCNs, view.NumTasks, r.capacity)
 		} else {
-			l.mergePicks(view)
+			r.mergePicks(states, view)
 		}
-		l.backfill(view, l.assigned)
+		r.backfill(states, view, r.assigned)
 	} else {
 		// Each SCN's edge list was sorted inside the parallel per-SCN
 		// stage, so the global greedy consumes them through a k-way merge —
 		// bit-identical to concatenating and sorting, minus the dominant
-		// comparison sort.
-		l.assigned = assign.GreedyMergeInto(l.assigned, &l.greedy, l.perSCNEdges[:len(view.SCNs)], l.cfg.SCNs, view.NumTasks, l.cfg.Capacity)
+		// comparison sort. Empty-cover SCNs never primed st.edges this
+		// slot, so their lists are pinned to nil rather than read stale.
+		for m := range view.SCNs {
+			if len(view.SCNs[m].Cover) == 0 {
+				r.perSCNEdges[m] = nil
+			} else {
+				r.perSCNEdges[m] = states[m].edges
+			}
+		}
+		r.assigned = assign.GreedyMergeInto(r.assigned, &r.greedy, r.perSCNEdges[:len(view.SCNs)], r.numSCNs, view.NumTasks, r.capacity)
 	}
-	return l.assigned
+	return r.assigned
 }
 
 // decideSCN runs Alg. 2 for one SCN: per-cell probabilities, then candidate
-// sampling. It touches only SCN m's arena and the m-th slots of the
-// policy-global views, so any number of decideSCN calls for distinct SCNs
-// may run concurrently.
+// sampling. It touches only SCN m's arena, so any number of decideSCN calls
+// for distinct SCNs may run concurrently.
 func (l *LFSC) decideSCN(view *policy.SlotView, m int) {
 	st := l.scns[m]
+	if st == nil {
+		return // partial learner: SCN owned by another shard
+	}
 	st.resetSlot()
-	l.perSCNEdges[m] = nil
 	cover := view.SCNs[m].Cover
 	if len(cover) == 0 {
 		return
@@ -526,7 +597,6 @@ func (l *LFSC) decideSCN(view *policy.SlotView, m int) {
 	// Pre-sort this SCN's edges (in the parallel stage) so the global
 	// greedy can k-way merge the lists instead of sorting the union.
 	assign.SortEdges(st.edges)
-	l.perSCNEdges[m] = st.edges
 }
 
 // mergePicks resolves the per-SCN DepRound candidate sets into the global
@@ -536,15 +606,15 @@ func (l *LFSC) decideSCN(view *policy.SlotView, m int) {
 // lowest SCN (the cmpEdge order). Scanning SCNs in ascending order and
 // keeping the strictly best probability per task therefore reproduces the
 // former sort + k-way-merge greedy bit-for-bit, in linear time.
-func (l *LFSC) mergePicks(view *policy.SlotView) {
+func (r *resolver) mergePicks(states []*scnState, view *policy.SlotView) {
 	n := view.NumTasks
-	assigned := growInts(&l.assigned, n)
-	bestP := growFloats(&l.bestP, n)
+	assigned := growInts(&r.assigned, n)
+	bestP := growFloats(&r.bestP, n)
 	for i := range assigned {
 		assigned[i] = -1
 	}
 	for m := range view.SCNs {
-		st := l.scns[m]
+		st := states[m]
 		for j, t32 := range st.pickTask {
 			idx := int(t32)
 			if idx < 0 || idx >= n {
@@ -587,23 +657,23 @@ func (l *LFSC) workersFor(view *policy.SlotView) int {
 // times selects exactly the prefix a full descending sort would — without
 // building or sorting a candidate list (free ≤ c is small; the conflicts
 // being repaired rarely free more than a few beams).
-func (l *LFSC) backfill(view *policy.SlotView, assigned []int) {
-	counts := l.counts[:0]
-	for m := 0; m < l.cfg.SCNs; m++ {
+func (r *resolver) backfill(states []*scnState, view *policy.SlotView, assigned []int) {
+	counts := r.counts[:0]
+	for m := 0; m < r.numSCNs; m++ {
 		counts = append(counts, 0)
 	}
-	l.counts = counts
+	r.counts = counts
 	for _, m := range assigned {
 		if m >= 0 {
 			counts[m]++
 		}
 	}
 	for m := range view.SCNs {
-		free := l.cfg.Capacity - counts[m]
+		free := r.capacity - counts[m]
 		if free <= 0 {
 			continue
 		}
-		st := l.scns[m]
+		st := states[m]
 		cover := view.SCNs[m].Cover
 		// One-pass bounded selection: keep the best `free` candidates seen
 		// so far in rank order (insertion into a ≤Capacity-sized window,
@@ -617,7 +687,7 @@ func (l *LFSC) backfill(view *policy.SlotView, assigned []int) {
 			}
 			f := int(st.taskCells[i])
 			p, lw := st.cellW[f], st.logW[f]
-			if n == free && !backfillBeats(p, lw, idx, l.selP[n-1], l.selLW[n-1], l.selIdx[n-1]) {
+			if n == free && !backfillBeats(p, lw, idx, r.selP[n-1], r.selLW[n-1], r.selIdx[n-1]) {
 				continue
 			}
 			j := n
@@ -626,14 +696,14 @@ func (l *LFSC) backfill(view *policy.SlotView, assigned []int) {
 			} else {
 				n++
 			}
-			for j > 0 && backfillBeats(p, lw, idx, l.selP[j-1], l.selLW[j-1], l.selIdx[j-1]) {
-				l.selP[j], l.selLW[j], l.selIdx[j] = l.selP[j-1], l.selLW[j-1], l.selIdx[j-1]
+			for j > 0 && backfillBeats(p, lw, idx, r.selP[j-1], r.selLW[j-1], r.selIdx[j-1]) {
+				r.selP[j], r.selLW[j], r.selIdx[j] = r.selP[j-1], r.selLW[j-1], r.selIdx[j-1]
 				j--
 			}
-			l.selP[j], l.selLW[j], l.selIdx[j] = p, lw, idx
+			r.selP[j], r.selLW[j], r.selIdx[j] = p, lw, idx
 		}
 		for x := 0; x < n; x++ {
-			assigned[l.selIdx[x]] = m
+			assigned[r.selIdx[x]] = m
 		}
 	}
 }
@@ -972,6 +1042,9 @@ func (l *LFSC) Observe(view *policy.SlotView, assigned []int, fb *policy.Feedbac
 // concurrently.
 func (l *LFSC) observeSCN(view *policy.SlotView, fb *policy.Feedback, m int) {
 	st := l.scns[m]
+	if st == nil {
+		return // partial learner: SCN owned by another shard
+	}
 	if len(view.SCNs[m].Cover) == 0 {
 		return
 	}

@@ -41,6 +41,12 @@ type PolicySnapshot struct {
 	// reach only through the γ-mixing exploration term. It decays toward
 	// 0 as the weight distribution concentrates.
 	ExplorationMass []float64 `json:"exploration_mass"`
+	// Owner is the per-SCN owning shard in a sharded serving deployment
+	// (internal/serve with Shards > 1); empty for unsharded runs. Filled
+	// by the aggregator, not the policy — each partial learner's Snapshot
+	// covers only the SCNs it owns, and the serving engine layers the
+	// shards' calls into one snapshot before stamping the owner map.
+	Owner []int `json:"owner,omitempty"`
 
 	// Runtime holds process-level stats (heap, GC) when sampling is
 	// enabled via Options.SampleRuntime.
@@ -99,6 +105,7 @@ func (s *PolicySnapshot) copyInto(dst *PolicySnapshot) {
 	dst.Entropy = append(dst.Entropy[:0], s.Entropy...)
 	dst.CappedCells = append(dst.CappedCells[:0], s.CappedCells...)
 	dst.ExplorationMass = append(dst.ExplorationMass[:0], s.ExplorationMass...)
+	dst.Owner = append(dst.Owner[:0], s.Owner...)
 	dst.Runtime = s.Runtime
 }
 

@@ -23,12 +23,48 @@ type engineCheckpoint struct {
 
 const engineCheckpointVersion = 1
 
+// shardCheckpoint is one shard's on-disk state in a sharded checkpoint
+// generation: the shard's identity within the layout plus its partial
+// learner document (which itself carries the owned SCN list).
+type shardCheckpoint struct {
+	Version int             `json:"version"`
+	Shard   int             `json:"shard"`
+	Shards  int             `json:"shards"`
+	Slot    int             `json:"slot"`
+	Policy  json.RawMessage `json:"policy"`
+}
+
+// checkpointManifest sits at CheckpointPath for a sharded engine and
+// commits one generation of shard files: the shard files are written
+// first under the new generation number, then the manifest is renamed
+// into place — the atomic commit point — and only then is the previous
+// generation deleted. A crash anywhere leaves the manifest pointing at a
+// complete generation. Distinguished from a legacy single-file
+// engineCheckpoint by the presence of the shards field.
+type checkpointManifest struct {
+	Version    int     `json:"version"`
+	Shards     int     `json:"shards"`
+	Generation uint64  `json:"generation"`
+	Slot       int     `json:"slot"`
+	CumReward  float64 `json:"cum_reward"`
+}
+
+// shardFilePath names shard k's file of generation gen for the manifest
+// at path.
+func shardFilePath(path string, gen uint64, k int) string {
+	return fmt.Sprintf("%s.g%d.s%d", path, gen, k)
+}
+
 // checkpointNow atomically writes the engine's current state to
 // cfg.CheckpointPath: serialise to a temp file in the same directory,
 // fsync, rename. A crash mid-write leaves the previous checkpoint
 // intact; a crash after rename leaves the new one — never a torn file.
-// Engine-goroutine only.
+// A sharded engine writes one file per non-empty shard plus the manifest
+// (see checkpointManifest for the commit order). Engine-goroutine only.
 func (e *Engine) checkpointNow() error {
+	if e.pol == nil {
+		return e.checkpointShardedNow()
+	}
 	var pol bytes.Buffer
 	if err := e.pol.Save(&pol); err != nil {
 		return fmt.Errorf("serve: checkpoint: %w", err)
@@ -44,6 +80,58 @@ func (e *Engine) checkpointNow() error {
 		return fmt.Errorf("serve: checkpoint: %w", err)
 	}
 	return atomicWrite(e.cfg.CheckpointPath, data)
+}
+
+// checkpointShardedNow writes the next sharded generation. Shard files
+// land before the manifest rename (the commit), the previous generation
+// is removed after it; a failure part-way leaves orphan files of the
+// uncommitted generation, overwritten on the next attempt.
+func (e *Engine) checkpointShardedNow() error {
+	path := e.cfg.CheckpointPath
+	gen := e.ckptGen + 1
+	slot := e.slotsSeen()
+	for k, sh := range e.shards {
+		if sh.pol == nil {
+			continue
+		}
+		var pol bytes.Buffer
+		if err := sh.pol.Save(&pol); err != nil {
+			return fmt.Errorf("serve: checkpoint shard %d: %w", k, err)
+		}
+		doc, err := json.Marshal(&shardCheckpoint{
+			Version: engineCheckpointVersion,
+			Shard:   k,
+			Shards:  len(e.shards),
+			Slot:    slot,
+			Policy:  json.RawMessage(bytes.TrimSpace(pol.Bytes())),
+		})
+		if err != nil {
+			return fmt.Errorf("serve: checkpoint shard %d: %w", k, err)
+		}
+		if err := atomicWrite(shardFilePath(path, gen, k), doc); err != nil {
+			return err
+		}
+	}
+	data, err := json.Marshal(&checkpointManifest{
+		Version:    engineCheckpointVersion,
+		Shards:     len(e.shards),
+		Generation: gen,
+		Slot:       slot,
+		CumReward:  e.CumReward(),
+	})
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint manifest: %w", err)
+	}
+	if err := atomicWrite(path, data); err != nil {
+		return err
+	}
+	if e.ckptGen > 0 {
+		for k := range e.shards {
+			os.Remove(shardFilePath(path, e.ckptGen, k)) //nolint:errcheck // best-effort GC of the superseded generation
+		}
+	}
+	e.ckptGen = gen
+	return nil
 }
 
 // atomicWrite writes data via a temp file in path's directory plus a
@@ -77,12 +165,37 @@ func atomicWrite(path string, data []byte) error {
 }
 
 // Restore loads a daemon checkpoint into the engine. Call before Start.
-// The learner's Load performs full validation and commits atomically; on
-// any error the engine keeps its fresh state.
+// Both layouts are understood, with the engine's own layout deciding how
+// they apply:
+//
+//   - A legacy single-file checkpoint loads into an unsharded engine as
+//     always, and also into a sharded one (each shard's partial learner
+//     takes its owned rows from the full document) — the upgrade path
+//     from a pre-sharding deployment.
+//   - A sharded manifest requires a sharded engine with the identical
+//     shard count (the consistent-hash mapping then reproduces the owned
+//     sets the shard files carry); restoring it into an unsharded engine
+//     or a different shard count is an error, not a reshard.
+//
+// Unsharded restore validates fully before committing; sharded restore
+// validates every shard file's metadata up front, but a learner-level
+// rejection in a later shard can leave earlier shards loaded — callers
+// treat any Restore error as fatal for the engine (lfscd exits), so no
+// half-restored engine ever serves.
 func (e *Engine) Restore(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("serve: restore: %w", err)
+	}
+	// Sniff the layout: only manifests carry a shards field.
+	var sniff struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.Unmarshal(data, &sniff); err != nil {
+		return fmt.Errorf("serve: restore: %w", err)
+	}
+	if sniff.Shards > 0 {
+		return e.restoreSharded(path, data)
 	}
 	var cp engineCheckpoint
 	if err := json.Unmarshal(data, &cp); err != nil {
@@ -94,14 +207,91 @@ func (e *Engine) Restore(path string) error {
 	if cp.Slot < 0 {
 		return fmt.Errorf("serve: restore: negative slot %d", cp.Slot)
 	}
-	if err := e.pol.Load(bytes.NewReader(cp.Policy)); err != nil {
-		return fmt.Errorf("serve: restore: %w", err)
-	}
-	if got := e.pol.SlotsSeen(); got != cp.Slot {
-		return fmt.Errorf("serve: restore: slot counter mismatch (engine %d, policy %d)", cp.Slot, got)
+	if e.pol == nil {
+		// Legacy full document into a sharded engine: every shard loads
+		// its owned rows from the same document.
+		for k, sh := range e.shards {
+			if sh.pol == nil {
+				continue
+			}
+			if err := sh.pol.Load(bytes.NewReader(cp.Policy)); err != nil {
+				return fmt.Errorf("serve: restore shard %d: %w", k, err)
+			}
+			if got := sh.pol.SlotsSeen(); got != cp.Slot {
+				return fmt.Errorf("serve: restore: shard %d slot counter mismatch (engine %d, policy %d)", k, cp.Slot, got)
+			}
+		}
+	} else {
+		if err := e.pol.Load(bytes.NewReader(cp.Policy)); err != nil {
+			return fmt.Errorf("serve: restore: %w", err)
+		}
+		if got := e.pol.SlotsSeen(); got != cp.Slot {
+			return fmt.Errorf("serve: restore: slot counter mismatch (engine %d, policy %d)", cp.Slot, got)
+		}
 	}
 	e.cumRewardBits.Store(math.Float64bits(cp.CumReward))
 	e.slotAtomic.Store(int64(cp.Slot))
+	return nil
+}
+
+// restoreSharded loads a manifest-committed generation of shard files.
+func (e *Engine) restoreSharded(path string, data []byte) error {
+	var man checkpointManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return fmt.Errorf("serve: restore: manifest: %w", err)
+	}
+	if man.Version != engineCheckpointVersion {
+		return fmt.Errorf("serve: restore: manifest version %d, want %d", man.Version, engineCheckpointVersion)
+	}
+	if man.Slot < 0 {
+		return fmt.Errorf("serve: restore: negative slot %d", man.Slot)
+	}
+	if e.pol != nil {
+		return fmt.Errorf("serve: restore: sharded checkpoint (%d shards) into an unsharded engine — boot with -shards=%d",
+			man.Shards, man.Shards)
+	}
+	if man.Shards != len(e.shards) {
+		return fmt.Errorf("serve: restore: checkpoint has %d shards, engine has %d — resharding is not supported",
+			man.Shards, len(e.shards))
+	}
+	// Read and structurally validate every shard file before any learner
+	// state moves.
+	docs := make([]*shardCheckpoint, len(e.shards))
+	for k, sh := range e.shards {
+		if sh.pol == nil {
+			continue
+		}
+		buf, err := os.ReadFile(shardFilePath(path, man.Generation, k))
+		if err != nil {
+			return fmt.Errorf("serve: restore shard %d: %w", k, err)
+		}
+		var sc shardCheckpoint
+		if err := json.Unmarshal(buf, &sc); err != nil {
+			return fmt.Errorf("serve: restore shard %d: %w", k, err)
+		}
+		if sc.Version != engineCheckpointVersion || sc.Shard != k || sc.Shards != man.Shards {
+			return fmt.Errorf("serve: restore shard %d: file identity mismatch (version %d, shard %d/%d)",
+				k, sc.Version, sc.Shard, sc.Shards)
+		}
+		if sc.Slot != man.Slot {
+			return fmt.Errorf("serve: restore shard %d: slot %d disagrees with manifest %d", k, sc.Slot, man.Slot)
+		}
+		docs[k] = &sc
+	}
+	for k, sh := range e.shards {
+		if sh.pol == nil {
+			continue
+		}
+		if err := sh.pol.Load(bytes.NewReader(docs[k].Policy)); err != nil {
+			return fmt.Errorf("serve: restore shard %d: %w", k, err)
+		}
+		if got := sh.pol.SlotsSeen(); got != man.Slot {
+			return fmt.Errorf("serve: restore: shard %d slot counter mismatch (manifest %d, policy %d)", k, man.Slot, got)
+		}
+	}
+	e.cumRewardBits.Store(math.Float64bits(man.CumReward))
+	e.slotAtomic.Store(int64(man.Slot))
+	e.ckptGen = man.Generation
 	return nil
 }
 

@@ -34,6 +34,14 @@ type Config struct {
 	Horizon  int // schedule horizon T
 	Seed     uint64
 
+	// Shards splits the learner across N partial learners (consistent-hash
+	// SCN groups), run in parallel for the per-SCN stages of Decide and
+	// Observe and joined by a k-way-merged resolution stage. 0 or 1 keeps
+	// the single flat learner. Decisions are bit-identical at any shard
+	// count; checkpoints become one file per shard plus a manifest at
+	// CheckpointPath (see DESIGN.md §11).
+	Shards int
+
 	// Serving knobs.
 	//
 	// SlotEvery is the slot clock: a non-empty batch closes on each tick.
@@ -90,6 +98,9 @@ func (c *Config) withDefaults() Config {
 	if cp.ReportWait <= 0 {
 		cp.ReportWait = 2 * time.Second
 	}
+	if cp.Shards <= 0 {
+		cp.Shards = 1
+	}
 	return cp
 }
 
@@ -133,8 +144,21 @@ var errStopped = errors.New("serve: engine stopped")
 // and Observe.
 type Engine struct {
 	cfg  Config
-	pol  *core.LFSC
-	part *hypercube.Partition
+	// pol is the flat learner (Shards ≤ 1); nil when sharded. The sharded
+	// learner plane lives in shards/merger/owner/router, reached through
+	// the slotsSeen/decide/observe/snapshotPolicy helpers (shard.go) so
+	// the slot machine itself is layout-agnostic.
+	pol    *core.LFSC
+	shards []*engineShard
+	merger *core.Merger
+	owner  []int
+	router *Router
+	// ckptGen is the sharded-checkpoint generation counter (engine
+	// goroutine only): shard files are written under the next generation
+	// and committed by the manifest rename, then the previous generation
+	// is deleted — a crash at any point leaves one complete generation.
+	ckptGen uint64
+	part    *hypercube.Partition
 
 	subCh    chan *wireReq
 	repCh    chan *wireReq
@@ -248,13 +272,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		KMax:     cfg.KMax,
 		Horizon:  cfg.Horizon,
 	}
-	pol, err := core.New(coreCfg, rng.New(cfg.Seed).Derive(3))
-	if err != nil {
-		return nil, fmt.Errorf("serve: learner: %w", err)
-	}
 	e := &Engine{
 		cfg:     cfg,
-		pol:     pol,
 		part:    part,
 		subCh:   make(chan *wireReq, cfg.SubQueue),
 		repCh:   make(chan *wireReq, cfg.SubQueue),
@@ -262,6 +281,19 @@ func NewEngine(cfg Config) (*Engine, error) {
 		done:    make(chan struct{}),
 		kickCh:  make(chan struct{}, 1),
 		reqPool: make(chan *wireReq, 2*cfg.SubQueue+8),
+	}
+	if cfg.Shards > 1 {
+		shards, merger, owner, router, err := buildShards(coreCfg, cfg.Seed, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		e.shards, e.merger, e.owner, e.router = shards, merger, owner, router
+	} else {
+		pol, err := core.New(coreCfg, rng.New(cfg.Seed).Derive(3))
+		if err != nil {
+			return nil, fmt.Errorf("serve: learner: %w", err)
+		}
+		e.pol = pol
 	}
 	e.batch.init(cfg.SCNs)
 	return e, nil
@@ -298,7 +330,8 @@ func (e *Engine) putReq(q *wireReq) {
 // Policy exposes the learner for introspection (status pages, tests).
 // The engine goroutine owns all mutating calls; callers must only use
 // read-only accessors, and only when the engine is stopped or between
-// their own lockstep requests.
+// their own lockstep requests. Returns nil on a sharded engine (the
+// learner plane is then split across partial learners).
 func (e *Engine) Policy() *core.LFSC { return e.pol }
 
 // Start launches the engine loop. The engine serves until Stop or Abort.
@@ -726,7 +759,7 @@ func (e *Engine) loop() {
 	}
 	e.mu.Lock()
 	e.running = true
-	e.slotAtomic.Store(int64(e.pol.SlotsSeen()))
+	e.slotAtomic.Store(int64(e.slotsSeen()))
 	e.mu.Unlock()
 	for {
 		// Compute the park's gating under mu, then wait unlocked — the
@@ -810,6 +843,7 @@ func (e *Engine) ingestStep(q *wireReq) {
 			q.repErr = &lateReportError{slot: q.slot, open: int(e.slotAtomic.Load())}
 		}
 	}
+	e.accountRouting(q)
 	e.admit(q)
 }
 
@@ -919,11 +953,11 @@ func (e *Engine) decideSlot() {
 		return
 	}
 	probe := e.cfg.Probe
-	slot := e.pol.SlotsSeen()
+	slot := e.slotsSeen()
 	span := probe.Start()
 	view := e.scratch.build(slot, b.specs, e.part, e.cfg.SCNs)
 	span = probe.Lap(obs.PhaseView, span)
-	assigned := e.pol.Decide(view)
+	assigned := e.decide(view)
 	span = probe.Lap(obs.PhaseDecide, span)
 
 	// Reply to every submitter with its contiguous range of decisions,
@@ -998,22 +1032,22 @@ func (e *Engine) finishSlot() {
 		e.fb.Execs = append(e.fb.Execs, ex)
 		slotReward += ex.Compound()
 	}
-	e.pol.Observe(e.openView, assigned, &e.fb)
+	e.observe(e.openView, assigned, &e.fb)
 	span = probe.Lap(obs.PhaseObserve, span)
 	probe.EndSlot()
 	e.openActive = false
 
 	cum := e.CumReward() + slotReward
 	e.cumRewardBits.Store(math.Float64bits(cum))
-	e.slotAtomic.Store(int64(e.pol.SlotsSeen()))
+	e.slotAtomic.Store(int64(e.slotsSeen()))
 	e.slotsServed.Add(1)
 	e.rs.RecordSlot(slotReward)
 
-	t := e.pol.SlotsSeen()
+	t := e.slotsSeen()
 	if e.cfg.SnapshotEvery > 0 && e.cfg.SnapshotSink != nil && t%e.cfg.SnapshotEvery == 0 {
 		e.snap.Slot = t - 1
 		e.snap.CumReward = cum
-		e.pol.Snapshot(&e.snap)
+		e.snapshotPolicy(&e.snap)
 		e.cfg.SnapshotSink.OnSnapshot(&e.snap)
 	}
 	if e.cfg.CheckpointEvery > 0 && e.cfg.CheckpointPath != "" && t%e.cfg.CheckpointEvery == 0 {

@@ -274,6 +274,12 @@ func (e *Engine) writeStatus(w http.ResponseWriter, up time.Duration) {
 		st.SubmittedTasks, st.DecidedTasks, st.AssignedTasks, st.ReportedTasks)
 	fmt.Fprintf(w, "shed: requests %d  tasks %d\n", st.ShedRequests, st.ShedTasks)
 	fmt.Fprintf(w, "late: slots %d  reports %d\n", st.LateSlots, st.LateReports)
+	// Per-shard lines read only the shard atomics — the learner state
+	// itself belongs to the engine goroutine.
+	for _, sh := range e.shards {
+		fmt.Fprintf(w, "shard %d: scns %d  routed subs %d  tasks %d\n",
+			sh.id, len(sh.owned), sh.routedSubs.Load(), sh.routedTasks.Load())
+	}
 	for _, ls := range []obs.PhaseStat{st.SubmitLatency, st.ReportLatency, st.StepLatency, st.ShedLatency} {
 		if ls.Count == 0 {
 			continue

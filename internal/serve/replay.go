@@ -177,7 +177,7 @@ type SlotResult struct {
 // next step. A shed submission consumes the slot's draws but teaches the
 // daemon nothing (the arrivals were refused — though a piggy-backed
 // report part is still absorbed); it is returned with Shed set.
-func (r *Replayer) Step(c *Client) (SlotResult, error) {
+func (r *Replayer) Step(c Conn) (SlotResult, error) {
 	t := r.next
 	r.next++
 	r.env.Advance(t)
@@ -262,7 +262,7 @@ func (r *Replayer) Step(c *Client) (SlotResult, error) {
 // slot via /v1/report. Run calls it after the final step; long-lived
 // callers driving Step directly should Flush before pausing, or the
 // daemon's last slot times out waiting.
-func (r *Replayer) Flush(c *Client) error {
+func (r *Replayer) Flush(c Conn) error {
 	if len(r.pendReports) == 0 {
 		return nil
 	}
@@ -323,7 +323,7 @@ type ReplayStats struct {
 // Run replays slots [from, to) in lockstep, skipping up to from first
 // and flushing the final slot's reports at the end. onSlot (optional)
 // observes each slot's result.
-func (r *Replayer) Run(c *Client, from, to int, onSlot func(SlotResult)) (ReplayStats, error) {
+func (r *Replayer) Run(c Conn, from, to int, onSlot func(SlotResult)) (ReplayStats, error) {
 	var st ReplayStats
 	if from > r.next {
 		r.SkipTo(from)

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lfsc/internal/core"
+	"lfsc/internal/obs"
+	"lfsc/internal/parallel"
+	"lfsc/internal/policy"
+	"lfsc/internal/rng"
+)
+
+// engineShard is one learner shard of a sharded engine: a partial LFSC
+// learner owning a consistent-hash-assigned SCN group, plus routing
+// counters. The shard's learner holds its own weights, multipliers, RNG
+// streams, and per-SCN scratch; pol is nil when no SCN hashed to this
+// shard (possible when Shards approaches the SCN count).
+type engineShard struct {
+	id    int
+	pol   *core.LFSC
+	owned []int
+
+	// Routing accounting (atomics: written under the engine's mu, read by
+	// the status handler's goroutine).
+	routedSubs  atomic.Uint64
+	routedTasks atomic.Uint64
+}
+
+// buildShards constructs the sharded learner plane: a consistent-hash
+// router over cfg.Shards shards, one partial learner per non-empty shard
+// (every shard's learner derives its per-SCN streams from the same root —
+// rng Derive is pure, so the streams are bit-identical to an unsharded
+// learner's), and the merger stitched over all of them. The per-shard
+// learners run with Workers=1: the engine parallelises across shards, and
+// nesting the core's own fan-out inside that would oversubscribe.
+func buildShards(coreCfg core.Config, seed uint64, shards int) ([]*engineShard, *core.Merger, []int, *Router, error) {
+	router := NewRouter(shards)
+	owner, ownedOf := router.OwnerMap(coreCfg.SCNs)
+	shardCfg := coreCfg
+	shardCfg.Workers = 1
+	es := make([]*engineShard, shards)
+	learners := make([]*core.LFSC, shards)
+	for k := 0; k < shards; k++ {
+		es[k] = &engineShard{id: k, owned: ownedOf[k]}
+		if len(ownedOf[k]) == 0 {
+			continue
+		}
+		pol, err := core.NewPartial(shardCfg, rng.New(seed).Derive(3), ownedOf[k])
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("serve: shard %d learner: %w", k, err)
+		}
+		es[k].pol = pol
+		learners[k] = pol
+	}
+	merger, err := core.NewMerger(coreCfg, learners, owner)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("serve: merger: %w", err)
+	}
+	return es, merger, owner, router, nil
+}
+
+// slotsSeen returns the learner plane's slot clock. All shards advance
+// their clocks in lockstep (every shard Observes every slot), so the
+// first non-empty shard speaks for all; restore verifies the invariant.
+func (e *Engine) slotsSeen() int {
+	if e.pol != nil {
+		return e.pol.SlotsSeen()
+	}
+	for _, sh := range e.shards {
+		if sh.pol != nil {
+			return sh.pol.SlotsSeen()
+		}
+	}
+	return 0
+}
+
+// decide runs the slot's decision across the learner plane. Unsharded:
+// the learner's own Decide. Sharded: the two-phase barrier — every shard
+// computes its SCNs' probabilities, candidate samples, and pre-sorted
+// edge lists in parallel (phase one), then the merger's single-threaded
+// k-way resolution produces the global greedy assignment (phase two).
+// The resolver code is shared with the unsharded path, so the assignment
+// is bit-identical at any shard count.
+func (e *Engine) decide(view *policy.SlotView) []int {
+	if e.pol != nil {
+		return e.pol.Decide(view)
+	}
+	parallel.ForDynamic(len(e.shards), len(e.shards), func(k int) {
+		if sh := e.shards[k]; sh.pol != nil {
+			sh.pol.DecideLocal(view)
+		}
+	})
+	return e.merger.Resolve(view)
+}
+
+// observe feeds the slot's realised feedback to the learner plane. Each
+// shard updates only its own SCNs' weights and multipliers (fb is
+// read-only; every learner buckets it with private scratch), so shards
+// run in parallel with no synchronisation beyond the barrier.
+func (e *Engine) observe(view *policy.SlotView, assigned []int, fb *policy.Feedback) {
+	if e.pol != nil {
+		e.pol.Observe(view, assigned, fb)
+		return
+	}
+	parallel.ForDynamic(len(e.shards), len(e.shards), func(k int) {
+		if sh := e.shards[k]; sh.pol != nil {
+			sh.pol.Observe(view, assigned, fb)
+		}
+	})
+}
+
+// snapshotPolicy aggregates the learner plane into one policy snapshot.
+// Each partial learner fills only its owned SCNs' entries of the shared
+// per-SCN buffers, so calling every shard in sequence composes the full
+// per-SCN view; the owner map is stamped alongside so /lfsc/status and
+// snapshot sinks can attribute rows to shards.
+func (e *Engine) snapshotPolicy(into *obs.PolicySnapshot) {
+	if e.pol != nil {
+		e.pol.Snapshot(into)
+		into.Owner = into.Owner[:0]
+		return
+	}
+	for _, sh := range e.shards {
+		if sh.pol != nil {
+			sh.pol.Snapshot(into)
+		}
+	}
+	owner := obs.GrowInts(&into.Owner, len(e.owner))
+	copy(owner, e.owner)
+}
+
+// accountRouting attributes an accepted submission to its home shard (the
+// shard owning the first task's first visible SCN — the same key the
+// client-side ShardPool routes by). Called once per ingested submission,
+// under mu.
+func (e *Engine) accountRouting(q *wireReq) {
+	if e.router == nil || len(q.tasks) == 0 || len(q.tasks[0].SCNs) == 0 {
+		return
+	}
+	sh := e.shards[e.router.Shard(q.tasks[0].SCNs[0])]
+	sh.routedSubs.Add(1)
+	sh.routedTasks.Add(uint64(len(q.tasks)))
+}
