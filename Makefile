@@ -14,7 +14,7 @@ GO ?= go
 # gates are all concurrent by construction.
 RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim ./internal/trace ./internal/obs ./internal/metrics ./internal/serve
 
-.PHONY: all build vet test test-race bench-short bench-short-parallel bench json bench-serve bench-diff fuzz-short serve-smoke serve-smoke-shards ci clean
+.PHONY: all build vet test test-race bench-short bench-short-parallel bench json bench-serve bench-diff fuzz-short serve-smoke serve-smoke-shards obs-smoke ci clean
 
 all: vet test
 
@@ -58,8 +58,11 @@ json:
 # Measure the serving data plane and merge its figures into the same
 # artifact: serve_ns_per_slot (in-process batched /v1/step lockstep,
 # generation pre-materialized so the clock sees only the serving path),
-# serve_allocs_per_slot / serve_allocs_per_req (0 in steady state), and
-# serve_http_rps (real loopback HTTP round trips).
+# serve_allocs_per_slot / serve_allocs_per_req (0 in steady state),
+# serve_ns_per_slot_probe (the shipped lfscd default — slot-phase probe
+# on, everything else off), serve_ns_per_slot_obs (the full
+# observability stack; benchdiff pins it at ≤5% over the probe
+# baseline), and serve_http_rps (real loopback HTTP round trips).
 bench-serve:
 	$(GO) run ./cmd/lfscbench -benchserve BENCH_core.json
 
@@ -100,14 +103,24 @@ serve-smoke:
 serve-smoke-shards:
 	$(GO) test -race -count=1 -run 'TestServeSmokeShards|TestShardedLockstepThreeWayIdentity|TestShardedCheckpointCompatAndMismatch' ./internal/serve
 
+# The observability smoke: boot a fully instrumented Shards=4 daemon,
+# serve real traffic, scrape /metrics twice with traffic in between
+# (validating the exposition with the in-test Prometheus text parser and
+# diffing the monotone counters), exercise /lfsc/slots and the extended
+# /lfsc/status, and hammer every scrape surface concurrently with live
+# serving — all under the race detector, plus the instrumented
+# bit-identity and 0 allocs/request pins.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestObsSmokeScrape|TestSlotsEndpointAndStatus|TestConcurrentScrapeUnderLoad|TestObsInstrumentedThreeWayIdentity|TestServeWireZeroAllocObs' ./internal/serve
+
 # Everything a commit must pass, in the order a CI runner would execute:
 # static checks, the full test suite, the race-detector suite over the
 # concurrency-contract packages, the serving-layer kill-and-resume
-# smokes (unsharded and Shards=4), the quick perf kernels (which also
-# assert 0 allocs/op on the steady-state paths) at Workers=1 and again
-# at Workers=NumCPU under the race detector, and a short fuzz pass over
-# the untrusted-input decoders.
-ci: vet test test-race serve-smoke serve-smoke-shards bench-short bench-short-parallel fuzz-short
+# smokes (unsharded and Shards=4), the observability scrape smoke, the
+# quick perf kernels (which also assert 0 allocs/op on the steady-state
+# paths) at Workers=1 and again at Workers=NumCPU under the race
+# detector, and a short fuzz pass over the untrusted-input decoders.
+ci: vet test test-race serve-smoke serve-smoke-shards obs-smoke bench-short bench-short-parallel fuzz-short
 
 clean:
 	$(GO) clean ./...

@@ -27,6 +27,14 @@
 // top of the relative one (its baseline is 0), and serve HTTP throughput
 // fails when it drops below 75% of OLD.
 //
+// serve_ns_per_slot_obs (the same loop with the observability stack
+// enabled) is gated against NEW's own serve_ns_per_slot_probe — the
+// shipped metrics-off baseline (lfscd always runs its slot-phase
+// probe) — not against OLD: it must stay within 105% of that figure,
+// pinning the design rule that metric series are scrape-time reads and
+// the slot tracer/SLO share the probe's clock reads rather than adding
+// hot-path work of their own.
+//
 // The shard scaling curve (serve_shard_rps_1/2/4) is gated num_cpu-aware:
 // rps_1 carries the same 75%-of-OLD floor as the headline throughput, and
 // rps_2/rps_4 are checked against NEW's own rps_1 — at least 85% of it
@@ -64,7 +72,15 @@ type benchResult struct {
 	// is optional: artifacts predating the worker-sweep bench lack it.
 	CoreWorkersSpeedup *float64 `json:"core_workers_speedup"`
 
-	ServeNsPerSlot     *float64 `json:"serve_ns_per_slot"`
+	ServeNsPerSlot *float64 `json:"serve_ns_per_slot"`
+	// ServeNsPerSlotProbe is the shipped probe-on baseline; the obs gate's
+	// reference point.
+	ServeNsPerSlotProbe *float64 `json:"serve_ns_per_slot_probe"`
+	// ServeNsPerSlotObs is the same loop with observability enabled; it is
+	// gated against NEW's own ServeNsPerSlotProbe (≤5% overhead), not
+	// against OLD, so the check prices instrumentation rather than machine
+	// drift.
+	ServeNsPerSlotObs  *float64 `json:"serve_ns_per_slot_obs"`
 	ServeAllocsPerSlot *float64 `json:"serve_allocs_per_slot"`
 	ServeAllocsPerReq  *float64 `json:"serve_allocs_per_req"`
 	ServeHTTPRps       *float64 `json:"serve_http_rps"`
@@ -89,8 +105,9 @@ var knownKeys = map[string]bool{
 	"ns_per_slot": true, "allocs_per_slot": true,
 	"lfsc_total_reward": true, "oracle_total_reward": true,
 	"lfsc_oracle_ratio": true, "core_workers_speedup": true,
-	"serve_ns_per_slot": true, "serve_allocs_per_slot": true,
-	"serve_allocs_per_req": true, "serve_http_rps": true,
+	"serve_ns_per_slot": true, "serve_ns_per_slot_probe": true, "serve_ns_per_slot_obs": true,
+	"serve_allocs_per_slot": true,
+	"serve_allocs_per_req":  true, "serve_http_rps": true,
 	"serve_shard_rps_1": true, "serve_shard_rps_2": true,
 	"serve_shard_rps_4": true,
 }
@@ -186,6 +203,20 @@ func diff(old, new_ *benchResult, th thresholds) (lines []string, failed bool) {
 	guardKey("serve ns/slot", old.ServeNsPerSlot, new_.ServeNsPerSlot, func(o, n float64) (string, bool) {
 		return fmt.Sprintf("serve ns/slot regressed beyond %.0f%%", th.maxNsRegress*100),
 			n > o*(1+th.maxNsRegress)
+	})
+	guardKey("serve ns/slot probe", old.ServeNsPerSlotProbe, new_.ServeNsPerSlotProbe, func(o, n float64) (string, bool) {
+		// Guarded like the bare figure — and a dropped key fails, so the
+		// obs gate below can never lose its baseline silently.
+		return fmt.Sprintf("serve ns/slot (probe baseline) regressed beyond %.0f%%", th.maxNsRegress*100),
+			n > o*(1+th.maxNsRegress)
+	})
+	guardKey("serve ns/slot obs", old.ServeNsPerSlotObs, new_.ServeNsPerSlotObs, func(o, n float64) (string, bool) {
+		if new_.ServeNsPerSlotProbe == nil || *new_.ServeNsPerSlotProbe <= 0 {
+			return "", false // no baseline figure on NEW to price against (its absence fails separately if OLD pinned it)
+		}
+		base := *new_.ServeNsPerSlotProbe
+		return fmt.Sprintf("serve_ns_per_slot_obs exceeds 105%% of NEW's serve_ns_per_slot_probe (%.1f vs %.1f) — observability leaked into the hot path",
+			n, base), n > base*1.05
 	})
 	guardKey("serve allocs/slot", old.ServeAllocsPerSlot, new_.ServeAllocsPerSlot, func(o, n float64) (string, bool) {
 		return fmt.Sprintf("serve allocs/slot regressed beyond %.0f%%", th.maxAllocRegress*100),

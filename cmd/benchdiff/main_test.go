@@ -166,6 +166,74 @@ func TestDiffServeGuards(t *testing.T) {
 	})
 }
 
+// TestDiffObsOverheadGuard pins the serve_ns_per_slot_obs gate: the
+// instrumented loop is compared to NEW's own serve_ns_per_slot_probe
+// (the shipped probe-on baseline, ≤5% overhead), never to OLD, and the
+// usual dropped-key/new-key rules apply.
+func TestDiffObsOverheadGuard(t *testing.T) {
+	with := func(probe, obs *float64) *benchResult {
+		r := baseResult()
+		r.ServeNsPerSlot = f64(4400)
+		r.ServeNsPerSlotProbe = probe
+		r.ServeNsPerSlotObs = obs
+		return r
+	}
+	old := with(f64(4500), f64(4550))
+
+	t.Run("within 5% of NEW baseline passes", func(t *testing.T) {
+		if out, failed := runDiff(t, old, with(f64(4500), f64(4700))); failed {
+			t.Fatalf("4.4%% obs overhead failed the 5%% gate:\n%s", out)
+		}
+	})
+	t.Run("beyond 5% of NEW baseline fails", func(t *testing.T) {
+		out, failed := runDiff(t, old, with(f64(4500), f64(4800)))
+		if !failed || !strings.Contains(out, "serve_ns_per_slot_obs exceeds 105%") {
+			t.Fatalf("6.7%% obs overhead passed the 5%% gate:\n%s", out)
+		}
+	})
+	t.Run("gate scales with NEW baseline, not OLD", func(t *testing.T) {
+		// NEW's obs figure is double OLD's, but it sits within 5% of NEW's
+		// own probe baseline — the gate prices instrumentation, not drift.
+		if out, failed := runDiff(t, with(f64(8800), f64(4550)), with(f64(9000), f64(9300))); failed {
+			t.Fatalf("obs within 5%% of NEW's own baseline failed:\n%s", out)
+		}
+	})
+	t.Run("dropped obs key fails", func(t *testing.T) {
+		out, failed := runDiff(t, old, with(f64(4500), nil))
+		if !failed || !strings.Contains(out, "missing from NEW") {
+			t.Fatalf("dropped serve_ns_per_slot_obs passed:\n%s", out)
+		}
+	})
+	t.Run("dropped probe baseline fails", func(t *testing.T) {
+		// The probe key is guarded in its own right, so the obs gate can
+		// never lose its reference point silently.
+		out, failed := runDiff(t, old, with(nil, f64(4700)))
+		if !failed || !strings.Contains(out, "missing from NEW") {
+			t.Fatalf("dropped serve_ns_per_slot_probe passed:\n%s", out)
+		}
+	})
+	t.Run("probe baseline regression fails", func(t *testing.T) {
+		out, failed := runDiff(t, old, with(f64(4500*1.3), f64(4600)))
+		if !failed || !strings.Contains(out, "probe baseline") {
+			t.Fatalf("30%% probe-baseline regression passed:\n%s", out)
+		}
+	})
+	t.Run("new obs key on NEW side only passes", func(t *testing.T) {
+		out, failed := runDiff(t, with(f64(4500), nil), with(f64(4500), f64(4600)))
+		if failed {
+			t.Fatalf("newly added obs key was gated:\n%s", out)
+		}
+		if !strings.Contains(out, "new key, not compared") {
+			t.Fatalf("new obs key not reported informationally:\n%s", out)
+		}
+	})
+	t.Run("absent on both sides passes", func(t *testing.T) {
+		if out, failed := runDiff(t, with(f64(4500), nil), with(f64(4500), nil)); failed {
+			t.Fatalf("pre-obs artifacts failed:\n%s", out)
+		}
+	})
+}
+
 // TestDiffWorkersSpeedupGuard pins the core_workers_speedup gate: an
 // absolute floor (default 0.9 — nominal 1.0 with noise grace for
 // single-core boxes), the same dropped-key-fails rule as the serve block,

@@ -202,6 +202,15 @@ type serveBenchResult struct {
 	// /v1/step handler loop (decode → Decide → encode plus the client-side
 	// generation and outcome realisation around it).
 	ServeNsPerSlot float64 `json:"serve_ns_per_slot"`
+	// ServeNsPerSlotProbe is the same loop at the shipped lfscd default:
+	// the slot-phase probe on (the daemon constructs it unconditionally),
+	// everything the fleet-observability flags control off. The
+	// metrics-off baseline for the obs gate.
+	ServeNsPerSlotProbe float64 `json:"serve_ns_per_slot_probe"`
+	// ServeNsPerSlotObs is the same loop with the full observability stack
+	// enabled (metrics, slot-trace ring, SLO tracker, probe); benchdiff
+	// pins it at ≤5% over ServeNsPerSlotProbe.
+	ServeNsPerSlotObs float64 `json:"serve_ns_per_slot_obs"`
 	// ServeAllocsPerSlot is the heap-allocation count of that loop per slot.
 	ServeAllocsPerSlot float64 `json:"serve_allocs_per_slot"`
 	// ServeAllocsPerReq is the allocation count attributed to the handler
@@ -235,21 +244,23 @@ func runBenchServe(path string, slots, httpSlots int, seed uint64) error {
 		return fmt.Errorf("serve bench: %w", err)
 	}
 	res := serveBenchResult{
-		Workers:            r.Shards,
-		NumCPU:             runtime.NumCPU(),
-		ServeNsPerSlot:     r.NsPerSlot,
-		ServeAllocsPerSlot: r.AllocsPerSlot,
-		ServeAllocsPerReq:  r.AllocsPerReq,
-		ServeHTTPRps:       r.HTTPRps,
-		ServeShardRps1:     sh.Rps1,
-		ServeShardRps2:     sh.Rps2,
-		ServeShardRps4:     sh.Rps4,
+		Workers:             r.Shards,
+		NumCPU:              runtime.NumCPU(),
+		ServeNsPerSlot:      r.NsPerSlot,
+		ServeNsPerSlotProbe: r.NsPerSlotProbe,
+		ServeNsPerSlotObs:   r.NsPerSlotObs,
+		ServeAllocsPerSlot:  r.AllocsPerSlot,
+		ServeAllocsPerReq:   r.AllocsPerReq,
+		ServeHTTPRps:        r.HTTPRps,
+		ServeShardRps1:      sh.Rps1,
+		ServeShardRps2:      sh.Rps2,
+		ServeShardRps4:      sh.Rps4,
 	}
 	if err := mergeBenchJSON(path, &res); err != nil {
 		return err
 	}
-	fmt.Printf("bench: serve %.0f ns/slot, %.2f allocs/slot, %.2f allocs/req, %.0f http rps\n",
-		res.ServeNsPerSlot, res.ServeAllocsPerSlot, res.ServeAllocsPerReq, res.ServeHTTPRps)
+	fmt.Printf("bench: serve %.0f ns/slot (%.0f probe-only, %.0f full obs), %.2f allocs/slot, %.2f allocs/req, %.0f http rps\n",
+		res.ServeNsPerSlot, res.ServeNsPerSlotProbe, res.ServeNsPerSlotObs, res.ServeAllocsPerSlot, res.ServeAllocsPerReq, res.ServeHTTPRps)
 	fmt.Printf("bench: shard rps %.0f / %.0f / %.0f (shards 1/2/4, num_cpu %d)\n",
 		res.ServeShardRps1, res.ServeShardRps2, res.ServeShardRps4, res.NumCPU)
 	fmt.Printf("wrote %s\n", path)

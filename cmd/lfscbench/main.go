@@ -96,7 +96,7 @@ func main() {
 	var obsOpts *obs.Options
 	if *observe != "" {
 		obsOpts = &obs.Options{Probe: obs.NewProbe(), Registry: obs.NewRegistry()}
-		srv, err := obs.StartServer(*observe, obsOpts.Probe, obsOpts.Registry)
+		srv, err := obs.StartServer(*observe, obsOpts.Probe, obsOpts.Registry, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "observe: %v\n", err)
 			os.Exit(1)

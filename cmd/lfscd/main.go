@@ -19,6 +19,8 @@
 //	      [-report-wait 2s]
 //	      [-checkpoint lfscd.ckpt] [-checkpoint-every 100]
 //	      [-snapshots f.jsonl] [-snap-every 100]
+//	      [-metrics] [-slot-trace 256] [-slot-trace-jsonl f.jsonl]
+//	      [-slo-window 60] [-slo-shed-budget 0.01]
 //
 // -shards splits the learner into consistent-hash SCN groups that decide
 // and observe in parallel; decisions stay bit-identical at any shard
@@ -35,7 +37,14 @@
 // its rows), but a sharded checkpoint requires the same -shards count.
 //
 // Observability: /lfsc/status (plain text), /v1/stats (JSON),
-// /debug/vars (expvar, including "lfsc_serve"), /debug/pprof.
+// /metrics (Prometheus text exposition, on by default — disable with
+// -metrics=false), /lfsc/slots (the slot-lifecycle trace ring as JSON;
+// -slot-trace sets the ring size, -slot-trace-jsonl additionally streams
+// every record to a file), /debug/vars (expvar, including "lfsc_serve"),
+// /debug/pprof. -slo-window/-slo-shed-budget configure the rolling
+// latency/shed SLO tracker surfaced on all three status surfaces. None
+// of it perturbs serving: instrumented runs are bit-identical to bare
+// runs and the wire path stays at 0 allocs/request (DESIGN.md §12).
 package main
 
 import (
@@ -76,6 +85,12 @@ func main() {
 
 		snapPath = flag.String("snapshots", "", "write policy-state snapshots as JSONL to this file")
 		snapK    = flag.Int("snap-every", 100, "snapshot sampling period in slots")
+
+		metricsOn = flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
+		traceN    = flag.Int("slot-trace", 256, "slot-lifecycle trace ring size, served at /lfsc/slots (0 = off)")
+		traceOut  = flag.String("slot-trace-jsonl", "", "additionally stream every slot-trace record to this JSONL file")
+		sloWindow = flag.Int("slo-window", 60, "rolling SLO window in seconds (0 = off)")
+		sloBudget = flag.Float64("slo-shed-budget", 0.01, "shed-rate budget for the SLO window (fraction of requests)")
 	)
 	flag.Parse()
 
@@ -102,6 +117,24 @@ func main() {
 		defer f.Close()
 		cfg.SnapshotEvery = *snapK
 		cfg.SnapshotSink = obs.NewJSONLWriter(f)
+	}
+	if *metricsOn {
+		cfg.Metrics = obs.NewMetrics()
+	}
+	if *sloWindow > 0 {
+		cfg.SLO = obs.NewSLO(*sloWindow, *sloBudget)
+	}
+	if *traceN > 0 {
+		cfg.SlotRing = obs.NewSlotRing(*traceN, *shards)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lfscd: slot-trace-jsonl: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			cfg.SlotRing.SetSink(obs.NewJSONLWriter(f))
+		}
 	}
 
 	eng, err := serve.NewEngine(cfg)

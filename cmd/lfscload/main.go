@@ -19,6 +19,14 @@
 //	         [-scns 30] [-min 35] [-max 100] [-overlap 0.3]
 //	         [-c 20] [-alpha 15] [-beta 27] [-h 3] [-seed 42]
 //	         [-latency-ctx] [-progress 0] [-no-step] [-shards 1]
+//	         [-slo-json BENCH_serve.json]
+//
+// The end-of-run report includes the client-observed SLO summary
+// (p50/p90/p99/p999 latency + shed rate) and, when the daemon runs an
+// SLO tracker, the daemon-side rolling-window view. -slo-json appends
+// the whole summary as one JSON line to a history file (one entry per
+// run — BENCH_serve.json by convention), so load-test SLOs accumulate
+// a comparable trajectory the way BENCH_core.json does for perf.
 //
 // -resume asks the daemon for its current slot and replays from there —
 // the companion to lfscd's checkpointed restart.
@@ -30,12 +38,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"lfsc/internal/env"
+	"lfsc/internal/obs"
 	"lfsc/internal/serve"
 	"lfsc/internal/trace"
 )
@@ -68,6 +78,7 @@ func main() {
 		progress = flag.Int("progress", 0, "print a progress line every N slots (0 = off)")
 		noStep   = flag.Bool("no-step", false, "use the classic submit+report pair instead of batched /v1/step")
 		shards   = flag.Int("shards", 1, "route over a per-shard connection pool (match the daemon's -shards)")
+		sloJSON  = flag.String("slo-json", "", "append the end-of-run SLO report as one JSON line to this history file (e.g. BENCH_serve.json)")
 	)
 	flag.Parse()
 
@@ -136,16 +147,87 @@ func main() {
 		fmt.Printf("conn reuse: %.2f%% (%d new, %d reused)\n",
 			100*float64(reused)/float64(created+reused), created, reused)
 	}
-	if ls := rep.Latency.Stat("request"); ls.Count > 0 {
-		fmt.Printf("latency:    n=%d mean=%v p50=%v p90=%v p99=%v\n",
+	ls := rep.Latency.Stat("request")
+	if ls.Count > 0 {
+		fmt.Printf("latency:    n=%d mean=%v p50=%v p90=%v p99=%v p999=%v\n",
 			ls.Count,
 			time.Duration(ls.MeanNS).Round(time.Microsecond),
 			time.Duration(ls.P50NS).Round(time.Microsecond),
 			time.Duration(ls.P90NS).Round(time.Microsecond),
-			time.Duration(ls.P99NS).Round(time.Microsecond))
+			time.Duration(ls.P99NS).Round(time.Microsecond),
+			time.Duration(ls.P999NS).Round(time.Microsecond))
+	}
+	shedRate := float64(st.ShedSlots) / float64(max(st.Slots, 1))
+	entry := sloEntry{
+		Name: "lfscload", Timestamp: time.Now().UTC().Format(time.RFC3339),
+		From: start, TSlots: *horizon, Slots: st.Slots, Shards: *shards,
+		Seed: *seed, WallMS: float64(wall.Milliseconds()),
+		SlotsPerSec: float64(st.Slots) / wall.Seconds(),
+		Tasks:       st.Tasks, Assigned: st.Assigned,
+		ShedSlots: st.ShedSlots, ShedRate: shedRate,
+		CumReward: st.CumReward,
+		LatMeanNS: ls.MeanNS, LatP50NS: ls.P50NS, LatP90NS: ls.P90NS,
+		LatP99NS: ls.P99NS, LatP999NS: ls.P999NS,
 	}
 	if dst, err := client.Stats(); err == nil {
 		fmt.Printf("daemon:     slot %d  cum reward %.6f  shed requests %d  late slots %d\n",
 			dst.Slot, dst.CumReward, dst.ShedRequests, dst.LateSlots)
+		if dst.SLO != nil {
+			s := dst.SLO
+			fmt.Printf("daemon slo: window %ds  n=%d  p50=%v p99=%v p999=%v  shed %.2f%% (budget %.2f%%)\n",
+				s.WindowSec, s.Requests,
+				time.Duration(s.P50NS).Round(time.Microsecond),
+				time.Duration(s.P99NS).Round(time.Microsecond),
+				time.Duration(s.P999NS).Round(time.Microsecond),
+				100*s.ShedRate, 100*s.ShedBudget)
+			entry.DaemonSLO = s
+		}
 	}
+	if *sloJSON != "" {
+		if err := appendSLOEntry(*sloJSON, &entry); err != nil {
+			fmt.Fprintf(os.Stderr, "lfscload: -slo-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// sloEntry is one BENCH_serve.json history line: the end-of-run SLO
+// report in machine-readable form.
+type sloEntry struct {
+	Name      string `json:"name"`
+	Timestamp string `json:"timestamp"`
+	From      int    `json:"from"`
+	TSlots    int    `json:"t_slots"`
+	Slots     int    `json:"slots"`
+	Shards    int    `json:"shards"`
+	Seed      uint64 `json:"seed"`
+
+	WallMS      float64 `json:"wall_ms"`
+	SlotsPerSec float64 `json:"slots_per_sec"`
+	Tasks       int     `json:"tasks"`
+	Assigned    int     `json:"assigned"`
+	ShedSlots   int     `json:"shed_slots"`
+	ShedRate    float64 `json:"shed_rate"`
+	CumReward   float64 `json:"cum_reward"`
+
+	LatMeanNS float64 `json:"lat_mean_ns"`
+	LatP50NS  float64 `json:"lat_p50_ns"`
+	LatP90NS  float64 `json:"lat_p90_ns"`
+	LatP99NS  float64 `json:"lat_p99_ns"`
+	LatP999NS float64 `json:"lat_p999_ns"`
+
+	// DaemonSLO is the daemon's rolling-window view at run end (when the
+	// daemon was started with an SLO tracker).
+	DaemonSLO *obs.SLOReport `json:"daemon_slo,omitempty"`
+}
+
+// appendSLOEntry appends the entry as one JSON line (the history file is
+// JSON Lines: one run per line, append-only).
+func appendSLOEntry(path string, e *sloEntry) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewEncoder(f).Encode(e)
 }

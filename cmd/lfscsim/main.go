@@ -180,7 +180,7 @@ func main() {
 		sc.Cfg.Obs = obsOpts
 	}
 	if *observe != "" {
-		srv, err := obs.StartServer(*observe, probe, obsOpts.Registry)
+		srv, err := obs.StartServer(*observe, probe, obsOpts.Registry, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "observe: %v\n", err)
 			os.Exit(1)

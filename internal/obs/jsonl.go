@@ -17,6 +17,7 @@ import (
 //	{"type":"snapshot","data":{PolicySnapshot}}
 //	{"type":"phases","wall_ns":N,"data":[PhaseStat...]}
 //	{"type":"run","policy":"LFSC","slots":N,"cum_reward":R,"elapsed_ns":E}
+//	{"type":"slot","data":{SlotSpan}}
 type JSONLWriter struct {
 	mu  sync.Mutex
 	enc *json.Encoder
@@ -51,6 +52,21 @@ type runEvent struct {
 // OnSnapshot implements SnapshotSink.
 func (w *JSONLWriter) OnSnapshot(s *PolicySnapshot) {
 	w.write(snapshotEvent{Type: "snapshot", Data: s})
+}
+
+// slotEvent is the wire form of a slot-trace record.
+type slotEvent struct {
+	Type string    `json:"type"`
+	Data *SlotSpan `json:"data"`
+}
+
+// OnSlotSpan implements SlotSink: every published slot-trace record
+// becomes one JSONL line. Note the encoding allocates and the write can
+// block, and the ring publishes from the serving engine's slot path —
+// the sink is a debugging/audit tool, not a steady-state default (the
+// ring itself stays allocation-free; only this sink pays the encode).
+func (w *JSONLWriter) OnSlotSpan(s *SlotSpan) {
+	w.write(slotEvent{Type: "slot", Data: s})
 }
 
 // WritePhases emits the end-of-run phase breakdown.

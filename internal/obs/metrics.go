@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Metrics is a minimal Prometheus-text-format metric registry, stdlib
+// only. It deliberately has no write API of its own: every series is
+// backed either by a read function over counters the instrumented code
+// already maintains (atomics, engine state) or by an existing
+// *Histogram — registration adds zero work to any hot path, and a
+// scrape is nothing but atomic loads. That is what keeps the serving
+// invariants intact: a metrics-enabled run performs the same stores a
+// bare run does, so it is bit-identical and stays at 0 allocs/request.
+//
+// Registration (cold path, start-up only) groups series into families
+// keyed by metric name: the first registration of a name fixes its HELP
+// text and TYPE, later registrations append label-distinguished series
+// to the same family. Exposition renders families in sorted name order,
+// series in registration order, in the Prometheus text format
+// (version 0.0.4).
+type Metrics struct {
+	mu       sync.Mutex
+	families map[string]*metricFamily
+}
+
+// Label is one name="value" pair attached to a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+type metricFamily struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	series []metricSeries
+}
+
+type metricSeries struct {
+	labels string     // pre-rendered `{k="v",...}`, or ""
+	value  func() float64
+	hist   *Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{families: make(map[string]*metricFamily)} }
+
+// Counter registers a monotonically non-decreasing series backed by fn.
+// The monotonicity contract is the caller's: back counters only by
+// counters. Nil-safe: a nil registry ignores the registration.
+func (m *Metrics) Counter(name, help string, labels []Label, fn func() float64) {
+	m.register(name, help, "counter", labels, fn, nil)
+}
+
+// Gauge registers a point-in-time series backed by fn.
+func (m *Metrics) Gauge(name, help string, labels []Label, fn func() float64) {
+	m.register(name, help, "gauge", labels, fn, nil)
+}
+
+// Histogram registers h as a Prometheus histogram series. The log₂
+// buckets are exposed cumulatively with le upper bounds of 2^b
+// nanoseconds converted to seconds: bucket b of the source holds
+// durations in [2^(b-1), 2^b) ns, so the cumulative count through
+// bucket b is exactly the count of samples ≤ 2^b ns.
+func (m *Metrics) Histogram(name, help string, labels []Label, h *Histogram) {
+	m.register(name, help, "histogram", labels, nil, h)
+}
+
+func (m *Metrics) register(name, help, typ string, labels []Label, fn func() float64, h *Histogram) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fam := m.families[name]
+	if fam == nil {
+		fam = &metricFamily{name: name, help: help, typ: typ}
+		m.families[name] = fam
+	} else if fam.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, fam.typ, typ))
+	}
+	fam.series = append(fam.series, metricSeries{labels: renderLabels(labels), value: fn, hist: h})
+}
+
+// renderLabels builds the series' `{k="v",...}` suffix once, at
+// registration time, with the three text-format escapes applied.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format. Values are read at render time (atomic loads, not
+// mutually consistent across series — the usual scrape semantics).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.families))
+	for name := range m.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*metricFamily, len(names))
+	for i, name := range names {
+		fams[i] = m.families[name]
+	}
+	m.mu.Unlock()
+
+	var buf []byte
+	for _, fam := range fams {
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, fam.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, fam.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, fam.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, fam.typ...)
+		buf = append(buf, '\n')
+		for i := range fam.series {
+			s := &fam.series[i]
+			if s.hist != nil {
+				buf = appendHistSeries(buf, fam.name, s.labels, s.hist)
+				continue
+			}
+			buf = append(buf, fam.name...)
+			buf = append(buf, s.labels...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendFloat(buf, s.value(), 'g', -1, 64)
+			buf = append(buf, '\n')
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendHistSeries renders one histogram series: the cumulative
+// _bucket{le=...} lines (empty trailing tail collapsed into +Inf), then
+// _sum (seconds) and _count.
+func appendHistSeries(buf []byte, name, labels string, h *Histogram) []byte {
+	var snap [histBuckets]uint64
+	var total uint64
+	for b := range snap {
+		snap[b] = h.hist[b].Load()
+		total += snap[b]
+	}
+	// Find the last non-empty bucket so the exposition doesn't carry 40
+	// flat lines per series; every bucket up to it is emitted so scrapes
+	// of the same histogram always nest.
+	last := 0
+	for b := range snap {
+		if snap[b] != 0 {
+			last = b
+		}
+	}
+	var cum uint64
+	for b := 0; b <= last; b++ {
+		cum += snap[b]
+		buf = appendHistBucket(buf, name, labels, bucketLESeconds(b), cum)
+	}
+	buf = appendHistBucketInf(buf, name, labels, total)
+	buf = append(buf, name...)
+	buf = append(buf, "_sum"...)
+	buf = append(buf, labels...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, float64(h.sumNS.Load())/1e9, 'g', -1, 64)
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_count"...)
+	buf = append(buf, labels...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, total, 10)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// bucketLESeconds is bucket b's upper bound in seconds: 2^b ns.
+func bucketLESeconds(b int) float64 {
+	return float64(uint64(1)<<uint(b)) / 1e9
+}
+
+func appendHistBucket(buf []byte, name, labels string, le float64, cum uint64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, "_bucket"...)
+	buf = appendBucketLabels(buf, labels, strconv.FormatFloat(le, 'g', -1, 64))
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, cum, 10)
+	return append(buf, '\n')
+}
+
+func appendHistBucketInf(buf []byte, name, labels string, total uint64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, "_bucket"...)
+	buf = appendBucketLabels(buf, labels, "+Inf")
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, total, 10)
+	return append(buf, '\n')
+}
+
+// appendBucketLabels splices le="..." into an existing label set (or
+// opens a fresh one).
+func appendBucketLabels(buf []byte, labels, le string) []byte {
+	if labels == "" {
+		buf = append(buf, `{le="`...)
+		buf = append(buf, le...)
+		return append(buf, `"}`...)
+	}
+	buf = append(buf, labels[:len(labels)-1]...) // drop the closing '}'
+	buf = append(buf, `,le="`...)
+	buf = append(buf, le...)
+	return append(buf, `"}`...)
+}
+
+// Handler returns the /metrics scrape handler.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w) //nolint:errcheck // client gone is fine
+	})
+}
+
+// RegisterProbe exposes a probe's per-phase histograms and slot counter
+// under the standard family names. Nil-safe on both sides.
+func (m *Metrics) RegisterProbe(p *Probe) {
+	if m == nil || p == nil {
+		return
+	}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		m.Histogram("lfsc_phase_duration_seconds", "Per-phase wall time of the slot loop.",
+			[]Label{{"phase", ph.String()}}, p.Phase(ph))
+	}
+	m.Counter("lfsc_probe_slots_total", "Completed slots recorded by the probe.",
+		nil, func() float64 { return float64(p.Slots()) })
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsExposition pins the Prometheus text rendering: HELP/TYPE
+// headers, sorted family order, label rendering with escapes, and
+// func-backed values read at scrape time.
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	v := 0.0
+	m.Counter("zz_last_total", "Sorts last.", nil, func() float64 { return 1 })
+	m.Gauge("aa_first", "Sorts first.", nil, func() float64 { return v })
+	m.Gauge("mid_gauge", "Labelled.",
+		[]Label{{"kind", `quote"back\slash`}, {"shard", "3"}}, func() float64 { return 2.5 })
+
+	render := func() string {
+		var sb strings.Builder
+		if err := m.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	v = 7
+	out := render()
+	wantLines := []string{
+		"# HELP aa_first Sorts first.",
+		"# TYPE aa_first gauge",
+		"aa_first 7",
+		"# TYPE mid_gauge gauge",
+		`mid_gauge{kind="quote\"back\\slash",shard="3"} 2.5`,
+		"# TYPE zz_last_total counter",
+		"zz_last_total 1",
+	}
+	for _, l := range wantLines {
+		if !strings.Contains(out, l+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", l, out)
+		}
+	}
+	if strings.Index(out, "aa_first") > strings.Index(out, "mid_gauge") ||
+		strings.Index(out, "mid_gauge") > strings.Index(out, "zz_last_total") {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+
+	// Values are read at render time, not registration time.
+	v = 9
+	if !strings.Contains(render(), "aa_first 9\n") {
+		t.Fatalf("gauge did not re-read its backing func:\n%s", render())
+	}
+}
+
+// TestMetricsHistogramExposition pins the log₂-bucket translation: le
+// upper bounds of 2^b ns in seconds, cumulative counts that are exact
+// (bucket b holds [2^(b-1), 2^b) ns), the empty tail collapsed into
+// +Inf, and _sum/_count in seconds/samples.
+func TestMetricsHistogramExposition(t *testing.T) {
+	var h Histogram
+	h.Record(1000) // bits.Len64(1000) = 10 → le 2^10 ns
+	h.Record(3000) // bits.Len64(3000) = 12 → le 2^12 ns
+	m := NewMetrics()
+	m.Histogram("req_seconds", "Latency.", []Label{{"endpoint", "step"}}, &h)
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, l := range []string{
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{endpoint="step",le="1.024e-06"} 1`,
+		`req_seconds_bucket{endpoint="step",le="2.048e-06"} 1`,
+		`req_seconds_bucket{endpoint="step",le="4.096e-06"} 2`,
+		`req_seconds_bucket{endpoint="step",le="+Inf"} 2`,
+		`req_seconds_sum{endpoint="step"} 4e-06`,
+		`req_seconds_count{endpoint="step"} 2`,
+	} {
+		if !strings.Contains(out, l+"\n") {
+			t.Fatalf("histogram exposition missing %q:\n%s", l, out)
+		}
+	}
+	// The empty tail above the last non-empty bucket must not be emitted.
+	if strings.Contains(out, `le="8.192e-06"`) {
+		t.Fatalf("histogram emitted buckets beyond the last non-empty one:\n%s", out)
+	}
+}
+
+// TestMetricsFamilyMergeAndConflict: same-name registrations join one
+// family (one HELP/TYPE block); re-registering a name as a different
+// type is a programming error and panics.
+func TestMetricsFamilyMergeAndConflict(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("jobs_total", "Jobs.", []Label{{"kind", "a"}}, func() float64 { return 1 })
+	m.Counter("jobs_total", "Jobs.", []Label{{"kind", "b"}}, func() float64 { return 2 })
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "# TYPE jobs_total") != 1 {
+		t.Fatalf("merged family rendered multiple TYPE headers:\n%s", out)
+	}
+	if !strings.Contains(out, `jobs_total{kind="a"} 1`) || !strings.Contains(out, `jobs_total{kind="b"} 2`) {
+		t.Fatalf("family lost a series:\n%s", out)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type-conflicting registration did not panic")
+		}
+	}()
+	m.Gauge("jobs_total", "Jobs.", nil, func() float64 { return 3 })
+}
+
+// TestMetricsNilSafe: a nil registry swallows registrations and renders
+// nothing, matching the Probe/Histogram nil contract.
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.Counter("c", "h", nil, func() float64 { return 1 })
+	m.Gauge("g", "h", nil, func() float64 { return 1 })
+	m.Histogram("h", "h", nil, &Histogram{})
+	m.RegisterProbe(NewProbe())
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("nil registry rendered output: %q", sb.String())
+	}
+}
+
+// TestMetricsHandler pins the scrape endpoint's content type and body.
+func TestMetricsHandler(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("ticks_total", "Ticks.", nil, func() float64 { return 3 })
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "ticks_total 3\n") {
+		t.Fatalf("scrape body missing series:\n%s", body)
+	}
+}
+
+// TestMetricsRegisterProbe: the probe's phase histograms land under the
+// standard family names with phase labels.
+func TestMetricsRegisterProbe(t *testing.T) {
+	p := NewProbe()
+	p.Lap(PhaseDecide, time.Now().Add(-time.Millisecond))
+	p.EndSlot()
+	m := NewMetrics()
+	m.RegisterProbe(p)
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `lfsc_phase_duration_seconds_count{phase="decide"} 1`) {
+		t.Fatalf("probe phase histogram not exposed:\n%s", out)
+	}
+	if !strings.Contains(out, "lfsc_probe_slots_total 1") {
+		t.Fatalf("probe slot counter not exposed:\n%s", out)
+	}
+}

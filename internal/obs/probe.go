@@ -97,7 +97,20 @@ func (p *Probe) Lap(ph Phase, last time.Time) time.Time {
 	if p == nil {
 		return time.Time{}
 	}
-	now := time.Now()
+	return p.LapAt(ph, last, time.Now())
+}
+
+// LapAt is Lap with a caller-supplied clock reading: it closes the span
+// [last, now) against ph and returns now. Callers that need the same
+// boundary timestamp for another sink (the serving engine feeds each
+// phase boundary to both the probe and the slot-trace ring) pay for one
+// clock read instead of two — on the machines this runs on a clock read
+// costs as much as several histogram records, so the sharing is what
+// keeps the fully-instrumented slot path within the obs perf budget.
+func (p *Probe) LapAt(ph Phase, last, now time.Time) time.Time {
+	if p == nil {
+		return now
+	}
 	d := now.Sub(last)
 	if d < 0 {
 		d = 0
@@ -184,6 +197,7 @@ type PhaseStat struct {
 	P50NS   float64 `json:"p50_ns"`
 	P90NS   float64 `json:"p90_ns"`
 	P99NS   float64 `json:"p99_ns"`
+	P999NS  float64 `json:"p999_ns"`
 }
 
 // Stats snapshots every phase with at least one recorded span. Reads are

@@ -17,6 +17,8 @@ import (
 //	/debug/pprof/  the standard pprof index (profile, heap, trace, ...)
 //	/lfsc/status   plain-text status: uptime, per-run progress and slot
 //	               rates, and the per-phase timing breakdown
+//	/metrics       Prometheus text exposition (the Metrics registry; a
+//	               default registry over the probe when none is given)
 //
 // The server runs on its own goroutine and its own mux, so it never
 // interferes with the simulation loop beyond the atomic counter reads the
@@ -38,9 +40,11 @@ var expvarState struct {
 
 // StartServer listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves
 // telemetry for the given probe and registry (either may be nil — the
-// corresponding sections are omitted). Close the returned server when
+// corresponding sections are omitted). metrics backs /metrics; pass nil
+// to get a fresh registry pre-wired with the probe's phase histograms
+// and the registry's aggregate counters. Close the returned server when
 // done.
-func StartServer(addr string, probe *Probe, reg *Registry) (*Server, error) {
+func StartServer(addr string, probe *Probe, reg *Registry, metrics *Metrics) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -57,8 +61,18 @@ func StartServer(addr string, probe *Probe, reg *Registry) (*Server, error) {
 		}))
 	})
 
+	if metrics == nil {
+		metrics = NewMetrics()
+		metrics.RegisterProbe(probe)
+		if reg != nil {
+			metrics.Counter("lfsc_run_slots_total", "Slots completed across all registered runs.",
+				nil, func() float64 { return float64(reg.TotalSlots()) })
+		}
+	}
+
 	start := time.Now()
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -122,16 +136,17 @@ func WriteStatus(w io.Writer, p *Probe, g *Registry, up time.Duration) {
 	stats := p.Stats()
 	if len(stats) > 0 {
 		fmt.Fprintf(w, "\nphases:\n")
-		fmt.Fprintf(w, "  %-10s %12s %12s %10s %10s %10s %10s\n",
-			"phase", "count", "total", "mean", "p50", "p90", "p99")
+		fmt.Fprintf(w, "  %-10s %12s %12s %10s %10s %10s %10s %10s\n",
+			"phase", "count", "total", "mean", "p50", "p90", "p99", "p999")
 		for _, st := range stats {
-			fmt.Fprintf(w, "  %-10s %12d %12v %10v %10v %10v %10v\n",
+			fmt.Fprintf(w, "  %-10s %12d %12v %10v %10v %10v %10v %10v\n",
 				st.Phase, st.Count,
 				time.Duration(st.TotalNS).Round(time.Millisecond),
 				time.Duration(st.MeanNS).Round(time.Microsecond),
 				time.Duration(st.P50NS).Round(time.Microsecond),
 				time.Duration(st.P90NS).Round(time.Microsecond),
-				time.Duration(st.P99NS).Round(time.Microsecond))
+				time.Duration(st.P99NS).Round(time.Microsecond),
+				time.Duration(st.P999NS).Round(time.Microsecond))
 		}
 	}
 }

@@ -39,7 +39,7 @@ func TestServerEndpoints(t *testing.T) {
 		rs.RecordSlot(0.25)
 	}
 
-	srv, err := StartServer("127.0.0.1:0", probe, reg)
+	srv, err := StartServer("127.0.0.1:0", probe, reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestServerEndpoints(t *testing.T) {
 // probe/registry) must not panic and must serve the fresh state.
 func TestServerRestart(t *testing.T) {
 	p1, r1 := NewProbe(), NewRegistry()
-	s1, err := StartServer("127.0.0.1:0", p1, r1)
+	s1, err := StartServer("127.0.0.1:0", p1, r1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestServerRestart(t *testing.T) {
 
 	p2, r2 := NewProbe(), NewRegistry()
 	r2.NewRun("Fresh", 10).RecordSlot(1)
-	s2, err := StartServer("127.0.0.1:0", p2, r2)
+	s2, err := StartServer("127.0.0.1:0", p2, r2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SLO tracks request latency percentiles and the shed rate over a
+// rolling wall-clock window, for the serving tier's latency SLOs.
+//
+// The window is a ring of per-second epoch buckets, each a log₂
+// latency histogram plus request/shed counters, all atomics. Recording
+// is lock- and allocation-free: one epoch check (a CAS only on the
+// first request of a new second) plus three or four atomic adds —
+// cheap enough to sit on the serving wire path without disturbing its
+// 0 allocs/request pin, and touching no learner state, so tracked runs
+// stay bit-identical to bare ones.
+//
+// Window math: a report at wall-second S aggregates the buckets whose
+// stamped epoch lies in (S-window, S] — i.e. the last `window` fully
+// or partially elapsed seconds, including the in-progress one. The
+// ring holds window+2 buckets so a bucket is only reused once it has
+// aged out of every window that could still be reported against.
+// Bucket reuse is racy by design: the first recorder of a new second
+// CASes the epoch forward and zeroes the counters; a concurrent
+// recorder that loses the race between the zeroing stores may slip a
+// sample into (or out of) the reset — an error of at most a few
+// samples per window rollover, which is noise at the rates the window
+// summarises.
+type SLO struct {
+	window  int64
+	budget  float64
+	buckets []sloBucket
+}
+
+type sloBucket struct {
+	epoch atomic.Int64
+	count atomic.Uint64
+	shed  atomic.Uint64
+	sumNS atomic.Uint64
+	hist  [histBuckets]atomic.Uint64
+}
+
+// SLOReport is the aggregated window summary.
+type SLOReport struct {
+	WindowSec int    `json:"window_sec"`
+	Requests  uint64 `json:"requests"`
+	Shed      uint64 `json:"shed"`
+	// ShedRate is shed/requests over the window (0 when idle).
+	ShedRate float64 `json:"shed_rate"`
+	// ShedBudget is the configured shed-rate budget; ShedWithinBudget
+	// reports whether the window honours it.
+	ShedBudget       float64 `json:"shed_budget"`
+	ShedWithinBudget bool    `json:"shed_within_budget"`
+	MeanNS           float64 `json:"mean_ns"`
+	P50NS            float64 `json:"p50_ns"`
+	P99NS            float64 `json:"p99_ns"`
+	P999NS           float64 `json:"p999_ns"`
+}
+
+// NewSLO builds a tracker over the last windowSec seconds with the
+// given shed-rate budget (fraction of requests allowed to shed, e.g.
+// 0.01). windowSec ≤ 0 defaults to 60.
+func NewSLO(windowSec int, shedBudget float64) *SLO {
+	if windowSec <= 0 {
+		windowSec = 60
+	}
+	return &SLO{
+		window:  int64(windowSec),
+		budget:  shedBudget,
+		buckets: make([]sloBucket, windowSec+2),
+	}
+}
+
+// Record adds one request observed to start at start and finish now,
+// flagged shed for 429 rejections. Nil-safe.
+func (s *SLO) Record(start time.Time, shed bool) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	d := now.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	s.RecordAt(now.Unix(), uint64(d), shed)
+}
+
+// RecordAt is the injectable-clock recording primitive: one request of
+// durNS nanoseconds at wall-second sec.
+func (s *SLO) RecordAt(sec int64, durNS uint64, shed bool) {
+	if s == nil {
+		return
+	}
+	b := &s.buckets[sec%int64(len(s.buckets))]
+	for {
+		e := b.epoch.Load()
+		if e == sec {
+			break
+		}
+		if e > sec {
+			return // bucket already reused for a newer second; drop
+		}
+		if b.epoch.CompareAndSwap(e, sec) {
+			// Winner of the new second zeroes the bucket.
+			b.count.Store(0)
+			b.shed.Store(0)
+			b.sumNS.Store(0)
+			for i := range b.hist {
+				b.hist[i].Store(0)
+			}
+			break
+		}
+	}
+	b.count.Add(1)
+	b.sumNS.Add(durNS)
+	b.hist[bucketOf(durNS)].Add(1)
+	if shed {
+		b.shed.Add(1)
+	}
+}
+
+// Report aggregates the window ending now. Nil-safe (zero report).
+func (s *SLO) Report() SLOReport {
+	if s == nil {
+		return SLOReport{}
+	}
+	return s.ReportAt(time.Now().Unix())
+}
+
+// ReportAt aggregates the buckets with epochs in (sec-window, sec].
+func (s *SLO) ReportAt(sec int64) SLOReport {
+	rep := SLOReport{ShedBudget: s.budget, ShedWithinBudget: true}
+	if s == nil {
+		return rep
+	}
+	rep.WindowSec = int(s.window)
+	var merged [histBuckets]uint64
+	var sum uint64
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		e := b.epoch.Load()
+		if e <= sec-s.window || e > sec {
+			continue
+		}
+		rep.Requests += b.count.Load()
+		rep.Shed += b.shed.Load()
+		sum += b.sumNS.Load()
+		for j := range merged {
+			merged[j] += b.hist[j].Load()
+		}
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+		rep.MeanNS = float64(sum) / float64(rep.Requests)
+		rep.P50NS = histPercentile(&merged, 0.50)
+		rep.P99NS = histPercentile(&merged, 0.99)
+		rep.P999NS = histPercentile(&merged, 0.999)
+	}
+	rep.ShedWithinBudget = rep.ShedRate <= s.budget
+	return rep
+}
+
+// Budget returns the configured shed-rate budget.
+func (s *SLO) Budget() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.budget
+}
+
+// Window returns the window length in seconds.
+func (s *SLO) Window() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.window)
+}

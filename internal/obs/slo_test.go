@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSLOWindowAggregation drives the tracker with an injected clock:
+// requests land in per-second buckets and a report at second S
+// aggregates exactly the epochs in (S-window, S].
+func TestSLOWindowAggregation(t *testing.T) {
+	s := NewSLO(5, 0.25)
+	const base = int64(1000)
+	// Seconds base..base+4: 10 requests of 1ms each, 2 of them shed.
+	for sec := base; sec < base+5; sec++ {
+		for i := 0; i < 10; i++ {
+			s.RecordAt(sec, uint64(time.Millisecond), i < 2)
+		}
+	}
+
+	rep := s.ReportAt(base + 4)
+	if rep.WindowSec != 5 || rep.Requests != 50 || rep.Shed != 10 {
+		t.Fatalf("full window: %+v", rep)
+	}
+	if rep.ShedRate != 0.2 || !rep.ShedWithinBudget || rep.ShedBudget != 0.25 {
+		t.Fatalf("shed accounting: %+v", rep)
+	}
+	if rep.MeanNS != float64(time.Millisecond) {
+		t.Fatalf("mean = %v, want 1ms", rep.MeanNS)
+	}
+	// All samples are 1ms, so every percentile sits in the same log₂
+	// bucket; the estimate is its midpoint, within the documented bound.
+	for _, p := range []float64{rep.P50NS, rep.P99NS, rep.P999NS} {
+		ratio := p / float64(time.Millisecond)
+		if ratio <= 0.75 || ratio > 1.5 {
+			t.Fatalf("percentile %v outside the log₂ error bound of 1ms", p)
+		}
+	}
+	if rep.P50NS != rep.P999NS {
+		t.Fatalf("uniform samples yielded different percentiles: %+v", rep)
+	}
+
+	// One window later only the still-covered seconds contribute; two
+	// windows later everything has aged out.
+	if rep := s.ReportAt(base + 8); rep.Requests != 10 {
+		t.Fatalf("aged window kept %d requests, want 10 (only second base+4)", rep.Requests)
+	}
+	if rep := s.ReportAt(base + 20); rep.Requests != 0 || rep.ShedRate != 0 || !rep.ShedWithinBudget {
+		t.Fatalf("idle window not empty: %+v", rep)
+	}
+}
+
+// TestSLOBudgetBreach: a window shedding beyond the budget flags it.
+func TestSLOBudgetBreach(t *testing.T) {
+	s := NewSLO(10, 0.01)
+	for i := 0; i < 100; i++ {
+		s.RecordAt(50, 1000, i < 5) // 5% shed against a 1% budget
+	}
+	rep := s.ReportAt(50)
+	if rep.ShedRate != 0.05 || rep.ShedWithinBudget {
+		t.Fatalf("5%% shed against 1%% budget not flagged: %+v", rep)
+	}
+}
+
+// TestSLOBucketReuse: when wall time laps the ring, a bucket's old
+// second is zeroed before the new one records, and stale recorders
+// (a second older than the bucket's current epoch) are dropped.
+func TestSLOBucketReuse(t *testing.T) {
+	s := NewSLO(3, 0)
+	ringLen := int64(len(s.buckets))
+	s.RecordAt(7, 100, false)
+	s.RecordAt(7+ringLen, 200, false) // same bucket index, newer second
+	rep := s.ReportAt(7 + ringLen)
+	if rep.Requests != 1 || rep.MeanNS != 200 {
+		t.Fatalf("reused bucket kept stale samples: %+v", rep)
+	}
+	// A record stamped with the lapped old second must not resurrect it.
+	s.RecordAt(7, 300, false)
+	if rep := s.ReportAt(7 + ringLen); rep.Requests != 1 {
+		t.Fatalf("stale-second record leaked into a reused bucket: %+v", rep)
+	}
+}
+
+// TestSLODefaultsAndNil: windowSec ≤ 0 defaults to 60; every method is
+// nil-safe; Record with a wall clock works end-to-end.
+func TestSLODefaultsAndNil(t *testing.T) {
+	if w := NewSLO(0, 0.1).Window(); w != 60 {
+		t.Fatalf("default window = %d, want 60", w)
+	}
+	var s *SLO
+	s.Record(time.Now(), true)
+	s.RecordAt(1, 1, false)
+	if s.Report().Requests != 0 || s.Budget() != 0 || s.Window() != 0 {
+		t.Fatal("nil SLO reported data")
+	}
+
+	live := NewSLO(60, 0.5)
+	live.Record(time.Now().Add(-2*time.Millisecond), false)
+	live.Record(time.Now(), true)
+	rep := live.Report()
+	if rep.Requests != 2 || rep.Shed != 1 {
+		t.Fatalf("wall-clock recording lost samples: %+v", rep)
+	}
+	if rep.P50NS <= 0 {
+		t.Fatalf("no latency recorded: %+v", rep)
+	}
+}

@@ -3,11 +3,13 @@ package serve
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"time"
 
 	"lfsc/internal/env"
+	"lfsc/internal/obs"
 	"lfsc/internal/rng"
 	"lfsc/internal/trace"
 )
@@ -42,6 +44,20 @@ type BenchResult struct {
 	// invocation alone (decode through encode, engine work included) —
 	// 0 in steady state, pinned by TestServeWireZeroAlloc.
 	AllocsPerReq float64
+	// NsPerSlotProbe is NsPerSlot with the slot-phase probe enabled — the
+	// shipped lfscd default (the daemon constructs its probe
+	// unconditionally; it predates the fleet-observability layer). This
+	// is the metrics-off baseline the obs-overhead gate compares against.
+	NsPerSlotProbe float64
+	// NsPerSlotObs is NsPerSlot with the full observability stack enabled
+	// (Metrics registry, slot-trace ring, SLO tracker, probe) — measured
+	// best-of-N against same-process best-of-N bare and probe-only runs
+	// so the triple is comparable on a noisy box. benchdiff gates it at
+	// ≤5% over NsPerSlotProbe: the marginal price of everything
+	// -metrics/-slot-trace/-slo-window can turn off, pinning the design
+	// claim that metric series are scrape-time reads and the tracer/SLO
+	// piggyback on the probe's clock reads rather than taking their own.
+	NsPerSlotObs float64
 	// HTTPRps is end-to-end batched /v1/step round trips per second over
 	// a real loopback HTTP connection (one round trip per slot).
 	HTTPRps float64
@@ -136,14 +152,19 @@ type stepHarness struct {
 // newStepHarness builds an engine + replayer pair on the bench scenario
 // and starts the engine. ReportWait is effectively infinite: the harness
 // is strictly lockstep, and a timer firing mid-measurement would both
-// skew the protocol and allocate on the late-report path.
-func newStepHarness(T int, seed uint64) (*stepHarness, error) {
+// skew the protocol and allocate on the late-report path. mutate, when
+// non-nil, adjusts the engine config before construction (the obs
+// zero-alloc test enables the full instrumentation stack through it).
+func newStepHarness(T int, seed uint64, mutate func(*Config)) (*stepHarness, error) {
 	sc := benchScenario(T, seed)
 	cfg, err := sc.EngineConfig()
 	if err != nil {
 		return nil, err
 	}
 	cfg.ReportWait = time.Hour
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	eng, err := NewEngine(cfg)
 	if err != nil {
 		return nil, err
@@ -278,7 +299,21 @@ func (b *genBuf) copyFrom(specs []TaskSpec) {
 // draws). Its lineage is the pre-batching BenchmarkEngineSlot figure,
 // which drove the same decide + observe work through a Submit/Report
 // dispatch pair with generation inline.
-func benchAPILoop(slots int, seed uint64) (nsPerSlot, allocsPerSlot float64, err error) {
+//
+// instrumented enables the full observability stack (metrics registry,
+// slot-trace ring, SLO tracker, probe) on the engine, pricing the
+// metrics-on overhead against the bare loop.
+// obsBenchConfig enables the full observability stack on a bench
+// engine: the configuration whose cost the serve_ns_per_slot_obs gate
+// prices against the bare loop.
+func obsBenchConfig(cfg *Config) {
+	cfg.Probe = obs.NewProbe()
+	cfg.Metrics = obs.NewMetrics()
+	cfg.SlotRing = obs.NewSlotRing(256, cfg.Shards)
+	cfg.SLO = obs.NewSLO(60, 0.01)
+}
+
+func benchAPILoop(slots int, seed uint64, mutate func(*Config)) (nsPerSlot, allocsPerSlot float64, err error) {
 	const warmup = 300
 	total := warmup + slots
 	sc := benchScenario(total+16, seed)
@@ -287,6 +322,9 @@ func benchAPILoop(slots int, seed uint64) (nsPerSlot, allocsPerSlot float64, err
 		return 0, 0, err
 	}
 	cfg.ReportWait = time.Hour
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	eng, err := NewEngine(cfg)
 	if err != nil {
 		return 0, 0, err
@@ -362,16 +400,52 @@ func RunBench(slots, httpSlots int, seed uint64) (BenchResult, error) {
 	res.Slots = slots
 	res.Shards = 1 // the headline serve figures are the single-shard plane
 
-	ns, allocs, err := benchAPILoop(slots, seed)
-	if err != nil {
-		return res, err
+	// Bare/probe/full-stack triples, interleaved in the same process and
+	// scored by the fastest pass of each, so the figures the obs-overhead
+	// gate compares saw the same machine conditions. Six reps, not a
+	// token two or three: single-core CI boxes throttle mid-run, and the
+	// per-rep ratio swings ±10% — best-of-6 converges both sides of the
+	// gate pair onto the unthrottled floor, where the real marginal cost
+	// of the obs stack (a few tens of ns) is what gets priced. The gate pair is
+	// probe vs full stack: lfscd constructs its slot-phase probe
+	// unconditionally (it predates the fleet-observability layer and
+	// feeds the /lfsc/status phase table), so the shipped metrics-off
+	// baseline is probe-on, and the marginal cost being priced is exactly
+	// the features -metrics/-slot-trace/-slo-window can turn off.
+	const obsReps = 6
+	bestBare, bestProbe, bestObs := math.Inf(1), math.Inf(1), math.Inf(1)
+	var bareAllocs float64
+	for rep := 0; rep < obsReps; rep++ {
+		ns, allocs, err := benchAPILoop(slots, seed, nil)
+		if err != nil {
+			return res, err
+		}
+		if ns < bestBare {
+			bestBare, bareAllocs = ns, allocs
+		}
+		nsProbe, _, err := benchAPILoop(slots, seed, func(cfg *Config) { cfg.Probe = obs.NewProbe() })
+		if err != nil {
+			return res, err
+		}
+		if nsProbe < bestProbe {
+			bestProbe = nsProbe
+		}
+		nsObs, _, err := benchAPILoop(slots, seed, obsBenchConfig)
+		if err != nil {
+			return res, err
+		}
+		if nsObs < bestObs {
+			bestObs = nsObs
+		}
 	}
-	res.NsPerSlot = ns
-	res.AllocsPerSlot = allocs
+	res.NsPerSlot = bestBare
+	res.NsPerSlotProbe = bestProbe
+	res.NsPerSlotObs = bestObs
+	res.AllocsPerSlot = bareAllocs
 
 	// Handler loop: exercises the full wire path (encode → handleStep →
 	// parse → realise) and attributes the handler's own mallocs.
-	h, err := newStepHarness(warmup+allocReqs+16, seed)
+	h, err := newStepHarness(warmup+allocReqs+16, seed, nil)
 	if err != nil {
 		return res, err
 	}

@@ -79,6 +79,24 @@ type Config struct {
 	// that many slots (JSONL events, mirroring the simulator's -snapshots).
 	SnapshotEvery int
 	SnapshotSink  obs.SnapshotSink
+	// Metrics, when set, receives the engine's Prometheus metric
+	// families at NewEngine (per-endpoint latency histograms, pipeline
+	// counters, per-shard routing/shed/straggler series, SLO gauges) and
+	// backs the HTTP server's /metrics endpoint. Scrapes read the same
+	// atomics the engine already maintains — enabling metrics adds no
+	// hot-path work, so instrumented serving stays bit-identical and at
+	// 0 allocs/request.
+	Metrics *obs.Metrics
+	// SlotRing, when set, records one lifecycle span per served slot
+	// (view/decide/merge/report-wait/observe/checkpoint durations plus
+	// the per-shard breakdown of the parallel stages), exposed at
+	// /lfsc/slots. Build it with obs.NewSlotRing(n, Shards).
+	SlotRing *obs.SlotRing
+	// SLO, when set, tracks rolling-window request-latency percentiles
+	// and the shed rate (obs.NewSLO), surfaced in /metrics, /lfsc/status
+	// and /v1/stats. Requests are recorded once they pass validation —
+	// the served traffic the SLO is about.
+	SLO *obs.SLO
 }
 
 func (c *Config) withDefaults() Config {
@@ -239,8 +257,22 @@ type Engine struct {
 	openView      *policy.SlotView
 	openAssigned  []int
 	openRemaining int
+	openExpected  int
 	openDeadline  time.Time
 	openSpan      time.Time
+	openTimedOut  bool
+
+	// Slot-trace scratch (guarded by mu; meaningful only when tracing —
+	// cfg.SlotRing != nil): explicit per-slot stage timestamps feeding
+	// the SlotSpan record. The probe's histograms aggregate; the ring
+	// wants the individual slot, hence the separate clock reads.
+	trStart     time.Time // decide entry (slot record's wall anchor)
+	trViewNS    uint64
+	trDecideNS  uint64
+	trDecideEnd time.Time
+	// lastMergeNS is the most recent Merger.Resolve duration (sharded
+	// engines only; written in decide under mu).
+	lastMergeNS uint64
 
 	// Report-wait timer, reused across slots. Armed and drained only by
 	// the engine goroutine (inline callers never touch it — they kick the
@@ -296,6 +328,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.pol = pol
 	}
 	e.batch.init(cfg.SCNs)
+	if cfg.Metrics != nil {
+		e.registerMetrics(cfg.Metrics)
+	}
 	return e, nil
 }
 
@@ -374,8 +409,29 @@ func (e *Engine) CumReward() float64 {
 	return math.Float64frombits(e.cumRewardBits.Load())
 }
 
-// Stats snapshots the serving counters.
+// Stats snapshots the serving counters (status pages and /v1/stats —
+// the cold path; it may allocate).
 func (e *Engine) Stats() Stats {
+	st := e.statsCore()
+	if e.cfg.SLO != nil {
+		rep := e.cfg.SLO.Report()
+		st.SLO = &rep
+	}
+	for _, sh := range e.shards {
+		st.Shards = append(st.Shards, ShardStat{
+			Shard:         sh.id,
+			SCNs:          len(sh.owned),
+			RoutedSubs:    sh.routedSubs.Load(),
+			RoutedTasks:   sh.routedTasks.Load(),
+			ShedTasks:     sh.shedTasks.Load(),
+			LastDecideNS:  sh.lastDecideNS.Load(),
+			LastObserveNS: sh.lastObserveNS.Load(),
+		})
+	}
+	return st
+}
+
+func (e *Engine) statsCore() Stats {
 	return Stats{
 		Slot:           e.Slot(),
 		CumReward:      e.CumReward(),
@@ -496,6 +552,7 @@ func (e *Engine) dispatchSubmit(q *wireReq) (stepReply, error) {
 		e.pending.Add(-n)
 		e.shedRequests.Add(1)
 		e.shedTasks.Add(uint64(n))
+		e.accountShed(q)
 		return stepReply{}, shedTaskQueue
 	}
 	// Gate 2: the submission channel. Never block the handler — a full
@@ -506,6 +563,7 @@ func (e *Engine) dispatchSubmit(q *wireReq) (stepReply, error) {
 		e.pending.Add(-n)
 		e.shedRequests.Add(1)
 		e.shedTasks.Add(uint64(n))
+		e.accountShed(q)
 		return stepReply{}, shedSubQueue
 	}
 	e.submittedTasks.Add(uint64(n))
@@ -560,6 +618,7 @@ func (e *Engine) tryStepInline(q *wireReq) (stepReply, error, bool) {
 		e.mu.Unlock()
 		e.shedRequests.Add(1)
 		e.shedTasks.Add(uint64(n))
+		e.accountShed(q)
 		return stepReply{}, shedTaskQueue, true
 	}
 	e.submittedTasks.Add(uint64(n))
@@ -613,6 +672,35 @@ func (e *Engine) dispatchReport(q *wireReq) (stepReply, error) {
 	}
 }
 
+
+// sloOutcome tags how a request ended for reqDone: validation and
+// shutdown errors are latency samples but not SLO samples (the window
+// tracks requests the engine actually accepted responsibility for).
+type sloOutcome int8
+
+const (
+	sloSkip sloOutcome = iota
+	sloOK
+	sloShed
+)
+
+// reqDone closes a request's latency measurement with a single clock
+// read feeding both the per-endpoint histogram and (for validated
+// requests) the rolling SLO window — Histogram.Observe plus SLO.Record
+// would read the clock twice per request, and on the target machines a
+// clock read costs as much as the whole recording path.
+func (e *Engine) reqDone(h *obs.Histogram, start time.Time, out sloOutcome) {
+	now := time.Now()
+	d := now.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+	if out != sloSkip {
+		e.cfg.SLO.RecordAt(now.Unix(), uint64(d), out == sloShed)
+	}
+}
+
 // Submit validates and enqueues a batch of task arrivals, blocking until
 // the slot containing them is decided. Shed submissions return a
 // *shedError immediately — the caller must retry later (429 semantics).
@@ -620,7 +708,8 @@ func (e *Engine) dispatchReport(q *wireReq) (stepReply, error) {
 // HTTP handlers run the same dispatch on pooled requests directly.
 func (e *Engine) Submit(req *SubmitRequest) (*SubmitResponse, error) {
 	start := time.Now()
-	defer e.submitLat.Observe(start)
+	out := sloSkip
+	defer func() { e.reqDone(&e.submitLat, start, out) }()
 	q := e.getReq()
 	q.tasks = append(q.tasks[:0], req.Tasks...)
 	q.close = req.Close
@@ -634,6 +723,7 @@ func (e *Engine) Submit(req *SubmitRequest) (*SubmitResponse, error) {
 	}
 	if err != nil {
 		if IsShed(err) {
+			out = sloShed
 			e.shedLat.Observe(start)
 			e.putReq(q)
 		}
@@ -641,6 +731,7 @@ func (e *Engine) Submit(req *SubmitRequest) (*SubmitResponse, error) {
 		// rather than recycle an object the engine could touch.
 		return nil, err
 	}
+	out = sloOK
 	resp := &SubmitResponse{Slot: rep.slot, Base: rep.base, Assigned: append([]int(nil), rep.assigned...)}
 	e.putReq(q)
 	return resp, nil
@@ -650,7 +741,8 @@ func (e *Engine) Submit(req *SubmitRequest) (*SubmitResponse, error) {
 // absorbed or rejected.
 func (e *Engine) Report(req *ReportRequest) (*ReportResponse, error) {
 	start := time.Now()
-	defer e.reportLat.Observe(start)
+	out := sloSkip
+	defer func() { e.reqDone(&e.reportLat, start, out) }()
 	if len(req.Reports) == 0 {
 		return nil, fmt.Errorf("serve: empty report")
 	}
@@ -668,10 +760,12 @@ func (e *Engine) Report(req *ReportRequest) (*ReportResponse, error) {
 	}
 	if err != nil {
 		if !errors.Is(err, errStopped) {
+			out = sloOK
 			e.putReq(q)
 		}
 		return nil, err
 	}
+	out = sloOK
 	resp := &ReportResponse{Accepted: rep.accepted}
 	e.putReq(q)
 	return resp, nil
@@ -687,7 +781,8 @@ func (e *Engine) Report(req *ReportRequest) (*ReportResponse, error) {
 // starved by backpressure on the next slot.
 func (e *Engine) StepInto(req *StepRequest, resp *StepResponse) error {
 	start := time.Now()
-	defer e.stepLat.Observe(start)
+	out := sloSkip
+	defer func() { e.reqDone(&e.stepLat, start, out) }()
 	resp.Accepted = 0
 	resp.ReportError = ""
 	resp.Slot, resp.Base = 0, 0
@@ -709,6 +804,7 @@ func (e *Engine) StepInto(req *StepRequest, resp *StepResponse) error {
 	}
 	if err != nil {
 		if IsShed(err) {
+			out = sloShed
 			e.shedLat.Observe(start)
 			if len(q.reports) > 0 {
 				if rrep, rerr := e.dispatchReport(q); rerr == nil {
@@ -722,6 +818,7 @@ func (e *Engine) StepInto(req *StepRequest, resp *StepResponse) error {
 		}
 		return err
 	}
+	out = sloOK
 	resp.Accepted = rep.accepted
 	if rep.repErr != nil {
 		resp.ReportError = rep.repErr.Error()
@@ -809,6 +906,7 @@ func (e *Engine) loop() {
 			if e.openActive && !time.Now().Before(e.openDeadline) {
 				// Report wait expired: Observe with whatever arrived.
 				e.lateSlots.Add(1)
+				e.openTimedOut = true
 				e.openRemaining = 0
 				e.advance()
 			}
@@ -952,13 +1050,37 @@ func (e *Engine) decideSlot() {
 	if n == 0 {
 		return
 	}
+	// One clock read per phase boundary, shared between the probe and
+	// the slot tracer — duplicate time.Now() calls were the dominant
+	// cost of the fully-instrumented slot path (a clock read costs as
+	// much as several histogram records on the target machines).
 	probe := e.cfg.Probe
+	traced := e.cfg.SlotRing != nil
+	instr := probe != nil || traced
 	slot := e.slotsSeen()
-	span := probe.Start()
+	var span time.Time
+	if instr {
+		span = time.Now()
+	}
+	if traced {
+		e.trStart = span
+	}
 	view := e.scratch.build(slot, b.specs, e.part, e.cfg.SCNs)
-	span = probe.Lap(obs.PhaseView, span)
+	if instr {
+		span = probe.LapAt(obs.PhaseView, span, time.Now())
+		if traced {
+			e.trViewNS = uint64(span.Sub(e.trStart))
+		}
+	}
+	trMid := span
 	assigned := e.decide(view)
-	span = probe.Lap(obs.PhaseDecide, span)
+	if instr {
+		span = probe.LapAt(obs.PhaseDecide, span, time.Now())
+		if traced {
+			e.trDecideEnd = span
+			e.trDecideNS = uint64(span.Sub(trMid))
+		}
+	}
 
 	// Reply to every submitter with its contiguous range of decisions,
 	// copied into the request's own reusable buffer. After the reply the
@@ -1005,16 +1127,34 @@ func (e *Engine) decideSlot() {
 	e.openView = view
 	e.openAssigned = assigned
 	e.openRemaining = expected
-	e.openDeadline = time.Now().Add(e.cfg.ReportWait)
+	e.openExpected = expected
+	if instr {
+		// span is the after-decide timestamp — the moment the wait
+		// actually starts, and one fewer clock read than time.Now().
+		e.openDeadline = span.Add(e.cfg.ReportWait)
+	} else {
+		e.openDeadline = time.Now().Add(e.cfg.ReportWait)
+	}
 	e.openSpan = span
+	e.openTimedOut = false
 }
 
 // finishSlot closes the open slot: build the feedback from whatever
 // reports arrived, Observe, account, maybe checkpoint. Call under mu.
 func (e *Engine) finishSlot() {
 	probe := e.cfg.Probe
+	traced := e.cfg.SlotRing != nil
+	instr := probe != nil || traced
 	n, assigned := e.openN, e.openAssigned
-	span := probe.Lap(obs.PhaseRealize, e.openSpan)
+	var span time.Time
+	if instr {
+		span = probe.LapAt(obs.PhaseRealize, e.openSpan, time.Now())
+	}
+	trObsStart := span
+	var waitNS, observeNS, ckptNS uint64
+	if traced {
+		waitNS = uint64(trObsStart.Sub(e.trDecideEnd))
+	}
 
 	// Feedback and reward in ascending task order — the exact summation
 	// order of the offline simulator, so cumulative rewards stay
@@ -1033,7 +1173,12 @@ func (e *Engine) finishSlot() {
 		slotReward += ex.Compound()
 	}
 	e.observe(e.openView, assigned, &e.fb)
-	span = probe.Lap(obs.PhaseObserve, span)
+	if instr {
+		span = probe.LapAt(obs.PhaseObserve, span, time.Now())
+		if traced {
+			observeNS = uint64(span.Sub(trObsStart))
+		}
+	}
 	probe.EndSlot()
 	e.openActive = false
 
@@ -1051,9 +1196,37 @@ func (e *Engine) finishSlot() {
 		e.cfg.SnapshotSink.OnSnapshot(&e.snap)
 	}
 	if e.cfg.CheckpointEvery > 0 && e.cfg.CheckpointPath != "" && t%e.cfg.CheckpointEvery == 0 {
-		span = probe.Start()
+		if instr {
+			span = time.Now()
+		}
+		trCkpt := span
 		_ = e.checkpointNow()
-		probe.Lap(obs.PhaseSnapshot, span)
+		if instr {
+			span = probe.LapAt(obs.PhaseSnapshot, span, time.Now())
+			if traced {
+				ckptNS = uint64(span.Sub(trCkpt))
+			}
+		}
+	}
+	if traced {
+		rec := e.cfg.SlotRing.Begin()
+		rec.Slot = e.openSlot
+		rec.StartUnixNS = e.trStart.UnixNano()
+		rec.Tasks = n
+		rec.Assigned = e.openExpected
+		rec.Reported = len(e.fb.Execs)
+		rec.TimedOut = e.openTimedOut
+		rec.ViewNS = e.trViewNS
+		rec.DecideNS = e.trDecideNS
+		rec.MergeNS = e.lastMergeNS
+		rec.WaitNS = waitNS
+		rec.ObserveNS = observeNS
+		rec.CheckpointNS = ckptNS
+		for _, sh := range e.shards {
+			rec.ShardDecideNS = append(rec.ShardDecideNS, sh.lastDecideNS.Load())
+			rec.ShardObserveNS = append(rec.ShardObserveNS, sh.lastObserveNS.Load())
+		}
+		e.cfg.SlotRing.Publish()
 	}
 }
 

@@ -21,6 +21,8 @@ import (
 //	POST /v1/report   deliver realised outcomes for the open slot
 //	POST /v1/step     batched: previous slot's reports + next slot's tasks
 //	GET  /v1/stats    serving counters as JSON
+//	GET  /metrics     Prometheus text exposition (when Config.Metrics set)
+//	GET  /lfsc/slots  slot-lifecycle trace ring as JSON (when Config.SlotRing set)
 //	GET  /lfsc/status plain-text status (serving counters + phase table)
 //	GET  /debug/vars  expvar (process defaults + "lfsc_serve")
 //	     /debug/pprof the standard pprof handlers
@@ -70,6 +72,12 @@ func StartServer(addr string, eng *Engine) (*Server, error) {
 	mux.HandleFunc("/v1/report", eng.handleReport)
 	mux.HandleFunc("/v1/step", eng.handleStep)
 	mux.HandleFunc("/v1/stats", eng.handleStats)
+	if eng.cfg.Metrics != nil {
+		mux.Handle("/metrics", eng.cfg.Metrics.Handler())
+	}
+	if eng.cfg.SlotRing != nil {
+		mux.HandleFunc("/lfsc/slots", eng.handleSlots)
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -129,7 +137,8 @@ func writeErrAlloc(w http.ResponseWriter, status int, msg string) {
 
 func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	defer e.submitLat.Observe(start)
+	out := sloSkip
+	defer func() { e.reqDone(&e.submitLat, start, out) }()
 	if r.Method != http.MethodPost {
 		writeErrAlloc(w, http.StatusMethodNotAllowed, "serve: POST only")
 		return
@@ -152,9 +161,11 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	rep, err := e.dispatchSubmit(q)
 	switch {
 	case err == nil:
+		out = sloOK
 		q.out = appendSubmitResponse(q.out[:0], rep.slot, rep.base, rep.assigned)
 		e.writeBody(w, q, http.StatusOK)
 	case IsShed(err):
+		out = sloShed
 		e.shedLat.Observe(start)
 		e.writeErrReq(w, q, http.StatusTooManyRequests, err.Error(), 0)
 	case errors.Is(err, errStopped):
@@ -168,7 +179,8 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (e *Engine) handleReport(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	defer e.reportLat.Observe(start)
+	out := sloSkip
+	defer func() { e.reqDone(&e.reportLat, start, out) }()
 	if r.Method != http.MethodPost {
 		writeErrAlloc(w, http.StatusMethodNotAllowed, "serve: POST only")
 		return
@@ -191,9 +203,11 @@ func (e *Engine) handleReport(w http.ResponseWriter, r *http.Request) {
 	rep, err := e.dispatchReport(q)
 	switch {
 	case err == nil:
+		out = sloOK
 		q.out = appendReportResponse(q.out[:0], rep.accepted)
 		e.writeBody(w, q, http.StatusOK)
 	case IsLateReport(err):
+		out = sloOK
 		e.writeErrReq(w, q, http.StatusGone, err.Error(), 0)
 	case errors.Is(err, errStopped):
 		writeErrAlloc(w, http.StatusBadRequest, err.Error())
@@ -209,7 +223,8 @@ func (e *Engine) handleReport(w http.ResponseWriter, r *http.Request) {
 // reports the absorption count in the 429 envelope.
 func (e *Engine) handleStep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	defer e.stepLat.Observe(start)
+	out := sloSkip
+	defer func() { e.reqDone(&e.stepLat, start, out) }()
 	if r.Method != http.MethodPost {
 		writeErrAlloc(w, http.StatusMethodNotAllowed, "serve: POST only")
 		return
@@ -232,6 +247,7 @@ func (e *Engine) handleStep(w http.ResponseWriter, r *http.Request) {
 	rep, err := e.dispatchSubmit(q)
 	switch {
 	case err == nil:
+		out = sloOK
 		repErr := ""
 		if rep.repErr != nil {
 			repErr = rep.repErr.Error()
@@ -239,6 +255,7 @@ func (e *Engine) handleStep(w http.ResponseWriter, r *http.Request) {
 		q.out = appendStepResponse(q.out[:0], rep.accepted, repErr, rep.slot, rep.base, rep.assigned)
 		e.writeBody(w, q, http.StatusOK)
 	case IsShed(err):
+		out = sloShed
 		e.shedLat.Observe(start)
 		accepted := 0
 		if len(q.reports) > 0 {
@@ -274,22 +291,38 @@ func (e *Engine) writeStatus(w http.ResponseWriter, up time.Duration) {
 		st.SubmittedTasks, st.DecidedTasks, st.AssignedTasks, st.ReportedTasks)
 	fmt.Fprintf(w, "shed: requests %d  tasks %d\n", st.ShedRequests, st.ShedTasks)
 	fmt.Fprintf(w, "late: slots %d  reports %d\n", st.LateSlots, st.LateReports)
+	if st.SLO != nil {
+		s := st.SLO
+		budget := "ok"
+		if !s.ShedWithinBudget {
+			budget = "OVER BUDGET"
+		}
+		fmt.Fprintf(w, "slo[%ds]: n=%d  p50=%v p99=%v p999=%v  shed %.2f%% (budget %.2f%%, %s)\n",
+			s.WindowSec, s.Requests,
+			time.Duration(s.P50NS).Round(time.Microsecond),
+			time.Duration(s.P99NS).Round(time.Microsecond),
+			time.Duration(s.P999NS).Round(time.Microsecond),
+			100*s.ShedRate, 100*s.ShedBudget, budget)
+	}
 	// Per-shard lines read only the shard atomics — the learner state
 	// itself belongs to the engine goroutine.
-	for _, sh := range e.shards {
-		fmt.Fprintf(w, "shard %d: scns %d  routed subs %d  tasks %d\n",
-			sh.id, len(sh.owned), sh.routedSubs.Load(), sh.routedTasks.Load())
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "shard %d: scns %d  routed subs %d  tasks %d  shed %d  last decide %v observe %v\n",
+			sh.Shard, sh.SCNs, sh.RoutedSubs, sh.RoutedTasks, sh.ShedTasks,
+			time.Duration(sh.LastDecideNS).Round(time.Microsecond),
+			time.Duration(sh.LastObserveNS).Round(time.Microsecond))
 	}
 	for _, ls := range []obs.PhaseStat{st.SubmitLatency, st.ReportLatency, st.StepLatency, st.ShedLatency} {
 		if ls.Count == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%s latency: n=%d mean=%v p50=%v p90=%v p99=%v\n",
+		fmt.Fprintf(w, "%s latency: n=%d mean=%v p50=%v p90=%v p99=%v p999=%v\n",
 			ls.Phase, ls.Count,
 			time.Duration(ls.MeanNS).Round(time.Microsecond),
 			time.Duration(ls.P50NS).Round(time.Microsecond),
 			time.Duration(ls.P90NS).Round(time.Microsecond),
-			time.Duration(ls.P99NS).Round(time.Microsecond))
+			time.Duration(ls.P99NS).Round(time.Microsecond),
+			time.Duration(ls.P999NS).Round(time.Microsecond))
 	}
 	if e.cfg.Probe != nil || e.cfg.Registry != nil {
 		fmt.Fprintf(w, "\n")

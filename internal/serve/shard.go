@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"lfsc/internal/core"
 	"lfsc/internal/obs"
@@ -22,9 +23,19 @@ type engineShard struct {
 	owned []int
 
 	// Routing accounting (atomics: written under the engine's mu, read by
-	// the status handler's goroutine).
+	// the status handler's goroutine). shedTasks counts tasks shed by the
+	// backpressure gates, attributed to the submission's home shard
+	// (written on handler goroutines — the shed paths never hold mu).
 	routedSubs  atomic.Uint64
 	routedTasks atomic.Uint64
+	shedTasks   atomic.Uint64
+
+	// Last-slot durations of this shard's DecideLocal and Observe legs
+	// (written by the fan-out workers, read by status/metrics/trace): the
+	// per-shard view of the two-phase barrier, where a straggling shard
+	// shows up as the one entry dominating the slot.
+	lastDecideNS  atomic.Uint64
+	lastObserveNS atomic.Uint64
 }
 
 // buildShards constructs the sharded learner plane: a consistent-hash
@@ -88,10 +99,15 @@ func (e *Engine) decide(view *policy.SlotView) []int {
 	}
 	parallel.ForDynamic(len(e.shards), len(e.shards), func(k int) {
 		if sh := e.shards[k]; sh.pol != nil {
+			t0 := time.Now()
 			sh.pol.DecideLocal(view)
+			sh.lastDecideNS.Store(uint64(time.Since(t0)))
 		}
 	})
-	return e.merger.Resolve(view)
+	t0 := time.Now()
+	assigned := e.merger.Resolve(view)
+	e.lastMergeNS = uint64(time.Since(t0))
+	return assigned
 }
 
 // observe feeds the slot's realised feedback to the learner plane. Each
@@ -105,7 +121,9 @@ func (e *Engine) observe(view *policy.SlotView, assigned []int, fb *policy.Feedb
 	}
 	parallel.ForDynamic(len(e.shards), len(e.shards), func(k int) {
 		if sh := e.shards[k]; sh.pol != nil {
+			t0 := time.Now()
 			sh.pol.Observe(view, assigned, fb)
+			sh.lastObserveNS.Store(uint64(time.Since(t0)))
 		}
 	})
 }
@@ -141,4 +159,16 @@ func (e *Engine) accountRouting(q *wireReq) {
 	sh := e.shards[e.router.Shard(q.tasks[0].SCNs[0])]
 	sh.routedSubs.Add(1)
 	sh.routedTasks.Add(uint64(len(q.tasks)))
+}
+
+// accountShed attributes a shed submission's tasks to its home shard
+// (the same first-task first-SCN key accountRouting and the client-side
+// ShardPool route by). Called from the shed paths on handler
+// goroutines; the router mapping is immutable and the counter atomic,
+// so no lock is needed.
+func (e *Engine) accountShed(q *wireReq) {
+	if e.router == nil || len(q.tasks) == 0 || len(q.tasks[0].SCNs) == 0 {
+		return
+	}
+	e.shards[e.router.Shard(q.tasks[0].SCNs[0])].shedTasks.Add(uint64(len(q.tasks)))
 }

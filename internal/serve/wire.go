@@ -144,6 +144,30 @@ type Stats struct {
 	// ShedLatency times the requests that were refused with 429, so
 	// overload latency is visible, not just overload counts.
 	ShedLatency obs.PhaseStat `json:"shed_latency"`
+
+	// SLO is the rolling-window latency/shed-rate summary (present only
+	// when the engine was configured with an obs.SLO tracker).
+	SLO *obs.SLOReport `json:"slo,omitempty"`
+	// Shards is the per-shard breakdown of a sharded engine (empty when
+	// unsharded): routing and shed attribution by home shard, plus each
+	// shard's last-slot leg durations of the two-phase barrier.
+	Shards []ShardStat `json:"shards,omitempty"`
+}
+
+// ShardStat is one learner shard's live counters.
+type ShardStat struct {
+	Shard int `json:"shard"`
+	// SCNs is the number of SCNs the consistent-hash ring assigned here.
+	SCNs        int    `json:"scns"`
+	RoutedSubs  uint64 `json:"routed_subs"`
+	RoutedTasks uint64 `json:"routed_tasks"`
+	// ShedTasks counts tasks shed by the backpressure gates whose home
+	// shard (first task's first SCN) was this one.
+	ShedTasks uint64 `json:"shed_tasks"`
+	// LastDecideNS / LastObserveNS are the durations of this shard's
+	// legs of the most recent slot's parallel Decide and Observe stages.
+	LastDecideNS  uint64 `json:"last_decide_ns"`
+	LastObserveNS uint64 `json:"last_observe_ns"`
 }
 
 // errorBody is the JSON error envelope of non-2xx responses. Shed step

@@ -337,7 +337,7 @@ func FuzzWireDecode(f *testing.F) {
 // encode/parse/realise around it. AllocsPerRun counts mallocs across all
 // goroutines, so the engine goroutine is inside the measurement.
 func TestServeWireZeroAlloc(t *testing.T) {
-	h, err := newStepHarness(1<<20, 9)
+	h, err := newStepHarness(1<<20, 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
