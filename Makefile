@@ -14,7 +14,7 @@ GO ?= go
 # gates are all concurrent by construction.
 RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim ./internal/trace ./internal/obs ./internal/metrics ./internal/serve
 
-.PHONY: all build vet test test-race bench-short bench-short-parallel bench json bench-serve bench-diff fuzz-short serve-smoke serve-smoke-shards obs-smoke ci clean
+.PHONY: all build vet test test-race bench-short bench-short-parallel bench json bench-serve bench-diff fuzz-short serve-smoke serve-smoke-shards obs-smoke scenario-smoke ci clean
 
 all: vet test
 
@@ -79,12 +79,14 @@ bench-diff:
 	$(GO) run ./cmd/lfscbench -benchserve /tmp/BENCH_head.json
 	$(GO) run ./cmd/benchdiff BENCH_core.json /tmp/BENCH_head.json
 
-# Short fuzz passes over the two decoders that parse untrusted bytes: the
-# checkpoint loader and the wire-format request decoder. Go allows one
-# -fuzz pattern per invocation, hence two runs.
+# Short fuzz passes over the three decoders that parse untrusted bytes:
+# the checkpoint loader, the wire-format request decoder, and the
+# scenario config parser. Go allows one -fuzz pattern per invocation,
+# hence three runs.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointLoad -fuzztime 5s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 5s ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzScenarioParse -fuzztime 5s ./internal/scenario
 
 # The serving-layer smoke: boot lfscd on an ephemeral port, drive 200
 # slots of a shared trace over real HTTP with periodic checkpointing,
@@ -113,14 +115,24 @@ serve-smoke-shards:
 obs-smoke:
 	$(GO) test -race -count=1 -run 'TestObsSmokeScrape|TestSlotsEndpointAndStatus|TestConcurrentScrapeUnderLoad|TestObsInstrumentedThreeWayIdentity|TestServeWireZeroAllocObs' ./internal/serve
 
+# The scenario smoke: churn a timeline through the serving daemon —
+# kill-and-resume mid-churn with the checkpoint's scenario digest
+# round-tripped (a restore under a missing or different scenario is
+# refused), the resumed run bit-identical to an uninterrupted one, and
+# the client==daemon==offline-sim three-way identity under the same
+# timeline at Shards=1 and 4 — under the race detector.
+scenario-smoke:
+	$(GO) test -race -count=1 -run 'TestScenarioServeSmokeResume|TestScenarioLockstepThreeWayIdentity|TestScenarioObservability' ./internal/serve
+
 # Everything a commit must pass, in the order a CI runner would execute:
 # static checks, the full test suite, the race-detector suite over the
 # concurrency-contract packages, the serving-layer kill-and-resume
 # smokes (unsharded and Shards=4), the observability scrape smoke, the
-# quick perf kernels (which also assert 0 allocs/op on the steady-state
-# paths) at Workers=1 and again at Workers=NumCPU under the race
-# detector, and a short fuzz pass over the untrusted-input decoders.
-ci: vet test test-race serve-smoke serve-smoke-shards obs-smoke bench-short bench-short-parallel fuzz-short
+# scenario churn smoke, the quick perf kernels (which also assert 0
+# allocs/op on the steady-state paths) at Workers=1 and again at
+# Workers=NumCPU under the race detector, and a short fuzz pass over the
+# untrusted-input decoders.
+ci: vet test test-race serve-smoke serve-smoke-shards obs-smoke scenario-smoke bench-short bench-short-parallel fuzz-short
 
 clean:
 	$(GO) clean ./...

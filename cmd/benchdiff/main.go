@@ -8,6 +8,17 @@
 // Usage:
 //
 //	benchdiff [flags] OLD.json NEW.json
+//	benchdiff -slo-history BENCH_serve.json
+//
+// -slo-history switches benchdiff from artifact diffing to history
+// validation: the named file is the JSON-Lines SLO history appended by
+// lfscload -slo-json, and every line must be a complete, well-formed
+// entry. A malformed line, a partial trailing line (an interrupted
+// append), or an entry with nonsense figures fails with the offending
+// line number instead of being silently skipped — the history is a
+// measurement record, and a reader that tolerates corruption will one
+// day average over it. Exit status 0 for a clean history, 1 for a
+// corrupt one, 2 on IO/usage errors.
 //
 // The exit status encodes the verdict so the comparison can gate CI or a
 // local pre-commit check (make bench-diff): 0 when NEW is within the
@@ -137,6 +148,81 @@ func load(path string) (*benchResult, error) {
 	return &r, nil
 }
 
+// sloHistoryEntry mirrors the lfscload -slo-json line fields the
+// validator checks; unknown fields are ignored so the schemas can evolve
+// independently (same contract as benchResult).
+type sloHistoryEntry struct {
+	Name        string  `json:"name"`
+	Timestamp   string  `json:"timestamp"`
+	TSlots      int     `json:"t_slots"`
+	Slots       int     `json:"slots"`
+	Shards      int     `json:"shards"`
+	ShedRate    float64 `json:"shed_rate"`
+	SlotsPerSec float64 `json:"slots_per_sec"`
+	CumReward   float64 `json:"cum_reward"`
+	Scenario    string  `json:"scenario"`
+}
+
+func isHexDigest(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// validateSLOHistory checks a BENCH_serve.json history (JSON Lines, one
+// lfscload run per line, append-only). It returns one summary line per
+// entry and the first corruption found, identified by 1-based line
+// number. An empty file is a valid zero-run history; a file whose last
+// line lacks the terminating newline is not — that is the signature of
+// an interrupted append, and accepting the fragment would mean accepting
+// a line that the next append will fuse into garbage.
+func validateSLOHistory(data []byte) (summary []string, err error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if data[len(data)-1] != '\n' {
+		n := 1 + strings.Count(string(data), "\n")
+		return nil, fmt.Errorf("line %d: partial trailing line (interrupted append?) — truncate to the last newline-terminated line", n)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if line == "" {
+			return nil, fmt.Errorf("line %d: blank line in history", ln)
+		}
+		var e sloHistoryEntry
+		if uerr := json.Unmarshal([]byte(line), &e); uerr != nil {
+			return nil, fmt.Errorf("line %d: %v", ln, uerr)
+		}
+		switch {
+		case e.Name == "":
+			return nil, fmt.Errorf("line %d: missing name", ln)
+		case e.TSlots <= 0:
+			return nil, fmt.Errorf("line %d: t_slots must be positive (got %d)", ln, e.TSlots)
+		case e.Slots < 0 || e.Slots > e.TSlots:
+			return nil, fmt.Errorf("line %d: slots %d outside [0, t_slots=%d]", ln, e.Slots, e.TSlots)
+		case e.ShedRate < 0 || e.ShedRate > 1:
+			return nil, fmt.Errorf("line %d: shed_rate %g outside [0, 1]", ln, e.ShedRate)
+		case e.Scenario != "" && !isHexDigest(e.Scenario):
+			return nil, fmt.Errorf("line %d: scenario digest %q is not a 16-hex-digit timeline digest", ln, e.Scenario)
+		}
+		scen := e.Scenario
+		if scen == "" {
+			scen = "static"
+		}
+		summary = append(summary, fmt.Sprintf("  %-20s %6d/%d slots  shards %d  shed %5.2f%%  %10.1f slots/s  reward %14.4f  %s",
+			e.Timestamp, e.Slots, e.TSlots, e.Shards, 100*e.ShedRate, e.SlotsPerSec, e.CumReward, scen))
+	}
+	return summary, nil
+}
+
 func pct(old, new float64) float64 {
 	if old == 0 {
 		return 0
@@ -264,11 +350,35 @@ func main() {
 		"fail when |Δ lfsc_oracle_ratio| exceeds this absolute epsilon")
 	minWorkersSpeedup := flag.Float64("min-workers-speedup", 0.9,
 		"fail when core_workers_speedup falls below this floor (nominally 1.0; the default leaves noise grace for single-core boxes where the parallel path can only tie)")
+	sloHistory := flag.String("slo-history", "",
+		"validate an lfscload -slo-json history file (JSON Lines) instead of diffing artifacts")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		fmt.Fprintf(os.Stderr, "       benchdiff -slo-history BENCH_serve.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *sloHistory != "" {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		buf, err := os.ReadFile(*sloHistory)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		summary, err := validateSLOHistory(buf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *sloHistory, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchdiff: %s: %d run(s), history OK\n", *sloHistory, len(summary))
+		for _, l := range summary {
+			fmt.Println(l)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)

@@ -410,6 +410,110 @@ func TestDiffCoreGuards(t *testing.T) {
 	})
 }
 
+// TestValidateSLOHistory pins the -slo-history contract as a table: a
+// well-formed JSON-Lines history passes with one summary line per run,
+// and every corruption mode — partial trailing line, malformed JSON,
+// blank line, nonsense figures, bad scenario digest — is rejected with
+// its line number instead of being silently skipped.
+func TestValidateSLOHistory(t *testing.T) {
+	const run1 = `{"name":"lfscload","timestamp":"2026-08-08T10:00:00Z","t_slots":500,"slots":500,"shards":1,"seed":42,"shed_rate":0,"slots_per_sec":980.5,"cum_reward":61234.5}`
+	const run2 = `{"name":"lfscload","timestamp":"2026-08-08T10:05:00Z","t_slots":500,"slots":480,"shards":4,"seed":42,"shed_rate":0.04,"slots_per_sec":1103.2,"cum_reward":58999.1,"scenario":"696b0a7aa985e812"}`
+
+	cases := []struct {
+		name    string
+		data    string
+		entries int
+		wantErr string // substring of the error, "" = must pass
+	}{
+		{name: "empty history", data: "", entries: 0},
+		{name: "single run", data: run1 + "\n", entries: 1},
+		{name: "two runs with scenario digest", data: run1 + "\n" + run2 + "\n", entries: 2},
+		{
+			name:    "unknown fields tolerated",
+			data:    `{"name":"lfscload","t_slots":10,"slots":10,"future_key":{"nested":[1]}}` + "\n",
+			entries: 1,
+		},
+		{
+			name:    "partial trailing line",
+			data:    run1 + "\n" + `{"name":"lfscload","t_slots":500,"slo`,
+			wantErr: "line 2: partial trailing line",
+		},
+		{
+			name:    "malformed JSON mid-file",
+			data:    run1 + "\n" + "not json\n" + run2 + "\n",
+			wantErr: "line 2:",
+		},
+		{
+			name:    "blank interior line",
+			data:    run1 + "\n\n" + run2 + "\n",
+			wantErr: "line 2: blank line",
+		},
+		{
+			name:    "missing name",
+			data:    `{"t_slots":500,"slots":500}` + "\n",
+			wantErr: "line 1: missing name",
+		},
+		{
+			name:    "zero t_slots",
+			data:    `{"name":"lfscload","t_slots":0,"slots":0}` + "\n",
+			wantErr: "line 1: t_slots must be positive",
+		},
+		{
+			name:    "slots beyond horizon",
+			data:    `{"name":"lfscload","t_slots":100,"slots":101}` + "\n",
+			wantErr: "line 1: slots 101 outside",
+		},
+		{
+			name:    "shed rate out of range",
+			data:    `{"name":"lfscload","t_slots":100,"slots":100,"shed_rate":1.5}` + "\n",
+			wantErr: "line 1: shed_rate 1.5 outside",
+		},
+		{
+			name:    "bad scenario digest",
+			data:    `{"name":"lfscload","t_slots":100,"slots":100,"scenario":"XYZ"}` + "\n",
+			wantErr: `line 1: scenario digest "XYZ"`,
+		},
+		{
+			name:    "error names the right line in a long history",
+			data:    run1 + "\n" + run2 + "\n" + `{"name":"","t_slots":1,"slots":1}` + "\n",
+			wantErr: "line 3: missing name",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			summary, err := validateSLOHistory([]byte(tc.data))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid history rejected: %v", err)
+				}
+				if len(summary) != tc.entries {
+					t.Fatalf("summary lines = %d, want %d:\n%s", len(summary), tc.entries, strings.Join(summary, "\n"))
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("corrupt history accepted:\n%s", strings.Join(summary, "\n"))
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	t.Run("summary carries the scenario digest", func(t *testing.T) {
+		summary, err := validateSLOHistory([]byte(run1 + "\n" + run2 + "\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(summary[0], "static") {
+			t.Fatalf("static run not labelled: %q", summary[0])
+		}
+		if !strings.Contains(summary[1], "696b0a7aa985e812") {
+			t.Fatalf("scenario run missing its digest: %q", summary[1])
+		}
+	})
+}
+
 func TestLoadRejectsNonArtifacts(t *testing.T) {
 	cases := map[string]string{
 		"empty-object": `{}`,

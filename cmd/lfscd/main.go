@@ -14,7 +14,7 @@
 //
 //	lfscd [-addr :9090] [-scns 30] [-c 20] [-alpha 15] [-beta 27]
 //	      [-h 3] [-kmax 200] [-T 10000] [-seed 42] [-latency-ctx]
-//	      [-shards 1]
+//	      [-shards 1] [-scenario churn.scn]
 //	      [-slot-every 100ms] [-max-batch 0] [-queue-cap 0]
 //	      [-report-wait 2s]
 //	      [-checkpoint lfscd.ckpt] [-checkpoint-every 100]
@@ -25,6 +25,15 @@
 // -shards splits the learner into consistent-hash SCN groups that decide
 // and observe in parallel; decisions stay bit-identical at any shard
 // count (DESIGN.md §11).
+//
+// -scenario imposes a timeline of SCN dynamics (sleep schedules, random
+// churn, capacity and budget cycles — see DESIGN.md §13) on serving:
+// each decided slot masks down SCNs out of the view and applies the
+// per-SCN capacity/budget vectors. The timeline derives from -seed, so
+// daemon, load generator, and offline simulator replaying the same
+// scenario file and seed see identical dynamics. Checkpoints record the
+// scenario digest and a restore under a different (or missing) scenario
+// is refused.
 //
 // Lifecycle: on boot the daemon restores -checkpoint when the file
 // exists and resumes the learner bit-exactly (weights, multipliers,
@@ -56,6 +65,7 @@ import (
 	"time"
 
 	"lfsc/internal/obs"
+	"lfsc/internal/scenario"
 	"lfsc/internal/serve"
 	"lfsc/internal/task"
 )
@@ -73,6 +83,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "master seed (policy stream = Derive(3))")
 		latCtx   = flag.Bool("latency-ctx", false, "use the 4-D context with the latency class")
 		shards   = flag.Int("shards", 1, "learner shards (consistent-hash SCN groups; decisions are bit-identical at any count)")
+		scenFile = flag.String("scenario", "", "scenario config file: SCN sleep/churn/capacity/budget dynamics over slots")
 
 		slotEvery  = flag.Duration("slot-every", 100*time.Millisecond, "slot clock (0 = close only at KMax/MaxBatch/explicit close)")
 		maxBatch   = flag.Int("max-batch", 0, "close the slot at this many tasks (0 = SCNs*KMax)")
@@ -101,12 +112,26 @@ func main() {
 	cfg := serve.Config{
 		SCNs: *scns, Capacity: *capacity, Alpha: *alpha, Beta: *beta,
 		Dims: dims, H: *hGrain, KMax: *kmax, Horizon: *horizon, Seed: *seed,
-		Shards: *shards,
+		Shards:    *shards,
 		SlotEvery: *slotEvery, MaxBatch: *maxBatch, QueueCap: *queueCap,
 		SubQueue: *subQueue, ReportWait: *reportWait,
 		CheckpointPath: *ckptPath, CheckpointEvery: *ckptEvery,
 		Probe:    obs.NewProbe(),
 		Registry: obs.NewRegistry(),
+	}
+	if *scenFile != "" {
+		scfg, err := scenario.ParseFile(*scenFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfscd: scenario: %v\n", err)
+			os.Exit(1)
+		}
+		tl, err := scenario.Build(scfg, *scns, *horizon, *capacity, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfscd: scenario: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Scenario = tl
+		fmt.Fprintf(os.Stderr, "lfscd: %s\n", tl)
 	}
 	if *snapPath != "" {
 		f, err := os.Create(*snapPath)

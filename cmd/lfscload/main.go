@@ -19,6 +19,7 @@
 //	         [-scns 30] [-min 35] [-max 100] [-overlap 0.3]
 //	         [-c 20] [-alpha 15] [-beta 27] [-h 3] [-seed 42]
 //	         [-latency-ctx] [-progress 0] [-no-step] [-shards 1]
+//	         [-scenario churn.scn] [-scenario-T 10000]
 //	         [-slo-json BENCH_serve.json]
 //
 // The end-of-run report includes the client-observed SLO summary
@@ -30,6 +31,15 @@
 //
 // -resume asks the daemon for its current slot and replays from there —
 // the companion to lfscd's checkpointed restart.
+//
+// -scenario declares the scenario timeline the daemon is expected to be
+// serving under (same file and -scns/-c/-seed as the daemon, with
+// -scenario-T equal to the daemon's schedule horizon -T — the drive
+// range -T may be shorter): before replaying, the generator compares
+// its timeline digest against the daemon's /v1/stats and refuses to run
+// on a mismatch — replaying against the wrong dynamics would produce
+// silently divergent rewards. The digest is also recorded in the
+// -slo-json history line.
 //
 // -shards > 1 fans requests over a per-shard connection pool using the
 // daemon's consistent-hash routing (match the daemon's -shards), so each
@@ -46,6 +56,7 @@ import (
 
 	"lfsc/internal/env"
 	"lfsc/internal/obs"
+	"lfsc/internal/scenario"
 	"lfsc/internal/serve"
 	"lfsc/internal/trace"
 )
@@ -78,6 +89,8 @@ func main() {
 		progress = flag.Int("progress", 0, "print a progress line every N slots (0 = off)")
 		noStep   = flag.Bool("no-step", false, "use the classic submit+report pair instead of batched /v1/step")
 		shards   = flag.Int("shards", 1, "route over a per-shard connection pool (match the daemon's -shards)")
+		scenFile = flag.String("scenario", "", "scenario config the daemon serves under (digest-checked against /v1/stats)")
+		scenT    = flag.Int("scenario-T", 10000, "scenario timeline horizon — must match the daemon's -T (the drive range -T can be shorter)")
 		sloJSON  = flag.String("slo-json", "", "append the end-of-run SLO report as one JSON line to this history file (e.g. BENCH_serve.json)")
 	)
 	flag.Parse()
@@ -93,6 +106,21 @@ func main() {
 		UseLatencyContext: *latCtx,
 		Seed:              *seed,
 	}
+	var scenDigest string
+	if *scenFile != "" {
+		scfg, err := scenario.ParseFile(*scenFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfscload: scenario: %v\n", err)
+			os.Exit(1)
+		}
+		tl, err := scenario.Build(scfg, *scns, *scenT, *capacity, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfscload: scenario: %v\n", err)
+			os.Exit(1)
+		}
+		sc.Scenario = tl
+		scenDigest = tl.Digest()
+	}
 	rep, err := serve.NewReplayer(sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lfscload: %v\n", err)
@@ -102,6 +130,26 @@ func main() {
 	var client loadConn = serve.NewClient(*addr)
 	if *shards > 1 {
 		client = serve.NewShardPool(*addr, *shards)
+	}
+
+	// Verify the scenario contract up front: replaying against a daemon
+	// with different (or no) dynamics would diverge silently, so check
+	// the digest before submitting a single task.
+	if *scenFile != "" {
+		dst, err := client.Stats()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfscload: -scenario: %v\n", err)
+			os.Exit(1)
+		}
+		switch {
+		case dst.Scenario == nil:
+			fmt.Fprintf(os.Stderr, "lfscload: -scenario: daemon serves the static topology (start lfscd with the same -scenario file)\n")
+			os.Exit(1)
+		case dst.Scenario.Digest != scenDigest:
+			fmt.Fprintf(os.Stderr, "lfscload: -scenario: digest mismatch: client %s, daemon %s (check -scenario/-scns/-c/-scenario-T/-seed; -scenario-T must equal the daemon's -T)\n",
+				scenDigest, dst.Scenario.Digest)
+			os.Exit(1)
+		}
 	}
 
 	start := *from
@@ -165,7 +213,7 @@ func main() {
 		SlotsPerSec: float64(st.Slots) / wall.Seconds(),
 		Tasks:       st.Tasks, Assigned: st.Assigned,
 		ShedSlots: st.ShedSlots, ShedRate: shedRate,
-		CumReward: st.CumReward,
+		CumReward: st.CumReward, Scenario: scenDigest,
 		LatMeanNS: ls.MeanNS, LatP50NS: ls.P50NS, LatP90NS: ls.P90NS,
 		LatP99NS: ls.P99NS, LatP999NS: ls.P999NS,
 	}
@@ -209,6 +257,9 @@ type sloEntry struct {
 	ShedSlots   int     `json:"shed_slots"`
 	ShedRate    float64 `json:"shed_rate"`
 	CumReward   float64 `json:"cum_reward"`
+	// Scenario is the timeline digest the run replayed under (empty for
+	// the static topology).
+	Scenario string `json:"scenario,omitempty"`
 
 	LatMeanNS float64 `json:"lat_mean_ns"`
 	LatP50NS  float64 `json:"lat_p50_ns"`

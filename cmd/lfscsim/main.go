@@ -7,6 +7,7 @@
 //	        [-policies oracle,lfsc,vucb,fml,random] [-seed 42]
 //	        [-replicas 1] [-min 35] [-max 100] [-overlap 0.3]
 //	        [-vlo 0] [-vhi 1] [-mode stationary|drifting|piecewise]
+//	        [-scenario churn.scn]
 //	        [-observe addr] [-progress] [-trace] [-snapshots f.jsonl]
 //
 // With -replicas > 1 the run repeats across independent seeds (in
@@ -34,6 +35,7 @@ import (
 	"lfsc/internal/obs"
 	"lfsc/internal/report"
 	"lfsc/internal/rng"
+	"lfsc/internal/scenario"
 	"lfsc/internal/sim"
 	"lfsc/internal/trace"
 )
@@ -60,6 +62,7 @@ func main() {
 		mbs      = flag.Bool("mbs", false, "enable the macrocell fallback extension")
 		mbsCap   = flag.Int("mbscap", 0, "MBS fallback capacity per slot (0 = unlimited)")
 		stress   = flag.String("stress", "", "stress workload: diurnal|hotspot|flashcrowd (default: paper i.i.d.)")
+		scenFile = flag.String("scenario", "", "scenario config file: SCN sleep/churn/capacity/budget dynamics (see internal/scenario)")
 		observe  = flag.String("observe", "", "serve live telemetry on this address (/lfsc/status, /debug/vars, /debug/pprof)")
 		progress = flag.Bool("progress", false, "print slot-rate progress updates to stderr")
 		tracePh  = flag.Bool("trace", false, "record per-phase timings and print the breakdown table")
@@ -98,6 +101,25 @@ func main() {
 		EnvCfg:       env.DefaultConfig(*scns, 27),
 	}
 	sc.EnvCfg.VRange = [2]float64{*vlo, *vhi}
+	if *scenFile != "" {
+		// The timeline derives from the master seed (its own pure child
+		// stream), so -scenario on top of a fixed seed stays a pure
+		// function of the flags. With -replicas every replica shares the
+		// same dynamics: the comparison varies the workload, not the
+		// topology.
+		scfg, err := scenario.ParseFile(*scenFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(2)
+		}
+		tl, err := scenario.Build(scfg, *scns, *horizon, *capacity, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(2)
+		}
+		sc.Dyn = tl
+		fmt.Fprintf(os.Stderr, "%s\n", tl)
+	}
 	if *mbs {
 		sc.Cfg.MBS = &sim.MBSConfig{Capacity: *mbsCap}
 	}

@@ -7,7 +7,15 @@
 //
 //	tracegen -out trace.csv [-slots 100] [-mode synthetic|geo|heavy]
 //	         [-scns 30] [-min 35] [-max 100] [-overlap 0.3] [-seed 1]
+//	         [-scenario churn.scn] [-c 20]
 //	tracegen -inspect trace.csv -scns 30
+//
+// With -scenario the timeline's availability mask is baked into the
+// trace: a down SCN's coverage row is emptied for that slot, so any
+// consumer of the CSV sees the same churn the live stack would apply at
+// its view boundary. Capacity and budget dynamics have no trace
+// representation — they only exist on live views — so only masking is
+// recorded (-c sizes the timeline's capacity model for validation).
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"lfsc/internal/geo"
 	"lfsc/internal/report"
 	"lfsc/internal/rng"
+	"lfsc/internal/scenario"
 	"lfsc/internal/stats"
 	"lfsc/internal/trace"
 )
@@ -35,6 +44,8 @@ func main() {
 		wds      = flag.Int("wds", 2000, "wireless devices (geo)")
 		radius   = flag.Float64("radius", 400, "coverage radius meters (geo)")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		scenFile = flag.String("scenario", "", "scenario config: bake SCN availability masking into the trace")
+		capacity = flag.Int("c", 20, "per-SCN capacity for the scenario's capacity model (with -scenario)")
 	)
 	flag.Parse()
 
@@ -75,6 +86,30 @@ func main() {
 	for t := 0; t < *slots; t++ {
 		recorded[t] = gen.Next(t)
 	}
+	masked := 0
+	if *scenFile != "" {
+		scfg, err := scenario.ParseFile(*scenFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(2)
+		}
+		tl, err := scenario.Build(scfg, gen.SCNs(), *slots, *capacity, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(2)
+		}
+		var v scenario.View
+		for t, s := range recorded {
+			tl.ViewInto(t, &v)
+			for m := range s.Coverage {
+				if !v.Up[m] && len(s.Coverage[m]) > 0 {
+					masked += len(s.Coverage[m])
+					s.Coverage[m] = nil
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s\n", tl)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -89,8 +124,11 @@ func main() {
 	for _, s := range recorded {
 		total += s.NumTasks()
 	}
-	fmt.Printf("wrote %s: %d slots, %d tasks, %d SCNs (%s)\n",
-		*out, *slots, total, gen.SCNs(), *mode)
+	fmt.Printf("wrote %s: %d slots, %d tasks, %d SCNs (%s)", *out, *slots, total, gen.SCNs(), *mode)
+	if *scenFile != "" {
+		fmt.Printf(", %d coverage entries masked by scenario", masked)
+	}
+	fmt.Println()
 }
 
 func inspectTrace(path string, numSCNs int) {

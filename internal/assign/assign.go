@@ -74,11 +74,39 @@ func Greedy(edges []Edge, numSCNs, numTasks, capacity int) []int {
 	return GreedyInto(nil, &s, edges, numSCNs, numTasks, capacity)
 }
 
+// GreedyCaps is Greedy with an optional per-SCN capacity vector caps
+// (nil = uniform capacity): SCN m accepts at most caps[m] tasks.
+func GreedyCaps(edges []Edge, numSCNs, numTasks, capacity int, caps []int) []int {
+	var s GreedyScratch
+	return greedyInto(nil, &s, edges, numSCNs, numTasks, capacity, caps)
+}
+
+// capAt resolves SCN m's beam limit: caps[m] when a per-SCN capacity
+// vector is attached (scenario capacity dynamics), capacity otherwise.
+// The nil branch keeps the static path's comparisons untouched, so
+// caps == nil is bit-identical to the pre-scenario code.
+func capAt(capacity int, caps []int, m int) int {
+	if caps != nil {
+		return caps[m]
+	}
+	return capacity
+}
+
+// GreedyCapsInto is GreedyInto with an optional per-SCN capacity vector
+// caps (nil = uniform capacity): SCN m accepts at most caps[m] tasks.
+func GreedyCapsInto(assigned []int, s *GreedyScratch, edges []Edge, numSCNs, numTasks, capacity int, caps []int) []int {
+	return greedyInto(assigned, s, edges, numSCNs, numTasks, capacity, caps)
+}
+
 // GreedyInto is Greedy with caller-owned memory: the assignment is written
 // into assigned (grown as needed — pass the previous slot's slice back in)
 // and all working memory comes from s. It allocates nothing once assigned
 // and s have reached the steady-state sizes.
 func GreedyInto(assigned []int, s *GreedyScratch, edges []Edge, numSCNs, numTasks, capacity int) []int {
+	return greedyInto(assigned, s, edges, numSCNs, numTasks, capacity, nil)
+}
+
+func greedyInto(assigned []int, s *GreedyScratch, edges []Edge, numSCNs, numTasks, capacity int, caps []int) []int {
 	if cap(assigned) < numTasks {
 		assigned = make([]int, numTasks)
 	}
@@ -100,7 +128,7 @@ func GreedyInto(assigned []int, s *GreedyScratch, edges []Edge, numSCNs, numTask
 		if e.SCN < 0 || e.SCN >= numSCNs || e.Task < 0 || e.Task >= numTasks {
 			panic(fmt.Sprintf("assign: edge (%d,%d) out of range", e.SCN, e.Task))
 		}
-		if assigned[e.Task] != -1 || s.counts[e.SCN] >= capacity {
+		if assigned[e.Task] != -1 || s.counts[e.SCN] >= capAt(capacity, caps, e.SCN) {
 			continue
 		}
 		assigned[e.Task] = e.SCN
@@ -191,6 +219,16 @@ func sortEdges(e []Edge) {
 // O(E log E) comparison-function sort of the hot path. Lists found out of
 // order panic rather than silently reordering the greedy.
 func GreedyMergeInto(assigned []int, s *GreedyScratch, perSrc [][]Edge, numSCNs, numTasks, capacity int) []int {
+	return greedyMergeInto(assigned, s, perSrc, numSCNs, numTasks, capacity, nil)
+}
+
+// GreedyMergeCapsInto is GreedyMergeInto with an optional per-SCN
+// capacity vector caps (nil = uniform capacity).
+func GreedyMergeCapsInto(assigned []int, s *GreedyScratch, perSrc [][]Edge, numSCNs, numTasks, capacity int, caps []int) []int {
+	return greedyMergeInto(assigned, s, perSrc, numSCNs, numTasks, capacity, caps)
+}
+
+func greedyMergeInto(assigned []int, s *GreedyScratch, perSrc [][]Edge, numSCNs, numTasks, capacity int, caps []int) []int {
 	if cap(assigned) < numTasks {
 		assigned = make([]int, numTasks)
 	}
@@ -276,7 +314,7 @@ func GreedyMergeInto(assigned []int, s *GreedyScratch, perSrc [][]Edge, numSCNs,
 		if e.SCN < 0 || e.SCN >= numSCNs || e.Task < 0 || e.Task >= numTasks {
 			panic(fmt.Sprintf("assign: edge (%d,%d) out of range", e.SCN, e.Task))
 		}
-		if assigned[e.Task] != -1 || s.counts[e.SCN] >= capacity {
+		if assigned[e.Task] != -1 || s.counts[e.SCN] >= capAt(capacity, caps, e.SCN) {
 			continue
 		}
 		assigned[e.Task] = e.SCN
@@ -328,10 +366,38 @@ func Verify(assigned []int, numSCNs, capacity int) error {
 	return nil
 }
 
+// VerifyCaps is Verify with an optional per-SCN capacity vector caps
+// (nil = uniform capacity).
+func VerifyCaps(assigned []int, numSCNs, capacity int, caps []int) error {
+	counts := make([]int, numSCNs)
+	for task, m := range assigned {
+		if m == -1 {
+			continue
+		}
+		if m < 0 || m >= numSCNs {
+			return fmt.Errorf("assign: task %d assigned to invalid SCN %d", task, m)
+		}
+		counts[m]++
+		if lim := capAt(capacity, caps, m); counts[m] > lim {
+			return fmt.Errorf("assign: SCN %d exceeds capacity %d", m, lim)
+		}
+	}
+	return nil
+}
+
 // Random implements the paper's Random baseline: each SCN (visited in a
 // random order) picks up to capacity unassigned tasks uniformly from its
 // coverage set; no task is offloaded twice.
 func Random(coverage [][]int, numTasks, capacity int, r *rng.Stream) []int {
+	return RandomCaps(coverage, numTasks, capacity, nil, r)
+}
+
+// RandomCaps is Random with an optional per-SCN capacity vector caps
+// (nil = uniform capacity). A masked SCN (empty coverage row) draws its
+// visit-order slot from Perm but samples nothing, so attaching an
+// all-up scenario consumes the stream exactly as the static baseline
+// does.
+func RandomCaps(coverage [][]int, numTasks, capacity int, caps []int, r *rng.Stream) []int {
 	assigned := make([]int, numTasks)
 	for i := range assigned {
 		assigned[i] = -1
@@ -350,7 +416,7 @@ func Random(coverage [][]int, numTasks, capacity int, r *rng.Stream) []int {
 				avail = append(avail, t)
 			}
 		}
-		k := capacity
+		k := capAt(capacity, caps, m)
 		if k > len(avail) {
 			k = len(avail)
 		}

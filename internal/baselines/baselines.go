@@ -49,7 +49,7 @@ func (p *Random) Decide(view *policy.SlotView) []int {
 	for m := range view.SCNs {
 		p.cov[m] = view.SCNs[m].Cover
 	}
-	return assign.Random(p.cov, view.NumTasks, p.capacity, p.r)
+	return assign.RandomCaps(p.cov, view.NumTasks, p.capacity, view.Caps, p.r)
 }
 
 // Observe implements policy.Policy (random learns nothing).
@@ -105,7 +105,7 @@ func (p *VUCB) Decide(view *policy.SlotView) []int {
 			p.edges = append(p.edges, assign.Edge{SCN: m, Task: idx, W: index})
 		}
 	}
-	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
+	return assign.GreedyCaps(p.edges, p.numSCNs, view.NumTasks, p.capacity, view.Caps)
 }
 
 // Observe implements policy.Policy.
@@ -172,7 +172,7 @@ func (p *FML) Decide(view *policy.SlotView) []int {
 			p.edges = append(p.edges, assign.Edge{SCN: m, Task: idx, W: w})
 		}
 	}
-	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
+	return assign.GreedyCaps(p.edges, p.numSCNs, view.NumTasks, p.capacity, view.Caps)
 }
 
 // Observe implements policy.Policy.
@@ -228,7 +228,11 @@ func (p *Oracle) Name() string { return "Oracle" }
 func (p *Oracle) Decide(view *policy.SlotView) []int {
 	numSCNs := len(view.SCNs)
 	var assigned []int
-	if p.cfg.ExactAssign {
+	if p.cfg.ExactAssign && view.Caps == nil {
+		// The flow formulation models one uniform per-SCN capacity; under
+		// scenario capacity dynamics the oracle falls back to the greedy
+		// base assignment (the repair passes below enforce the same
+		// per-SCN constraints either way).
 		weights := make([][]float64, numSCNs)
 		for m := range weights {
 			weights[m] = make([]float64, view.NumTasks)
@@ -250,7 +254,7 @@ func (p *Oracle) Decide(view *policy.SlotView) []int {
 				})
 			}
 		}
-		assigned = assign.Greedy(edges, numSCNs, view.NumTasks, p.cfg.Capacity)
+		assigned = assign.GreedyCaps(edges, numSCNs, view.NumTasks, p.cfg.Capacity, view.Caps)
 	}
 	p.repair(view, assigned)
 	return assigned
@@ -264,6 +268,17 @@ func (p *Oracle) repair(view *policy.SlotView, assigned []int) {
 	cells := view.Cells
 	for m := range view.SCNs {
 		sel := perSCN[m]
+		// Effective per-SCN constraints this slot: the scenario's c_n(t)
+		// and α/β multipliers when attached, the nominal values otherwise
+		// (identical floats — static runs stay bit-identical).
+		capM := view.CapAt(m, p.cfg.Capacity)
+		alpha, beta := p.cfg.Alpha, p.cfg.Beta
+		if view.AlphaMul != nil {
+			alpha *= view.AlphaMul[m]
+		}
+		if view.BetaMul != nil {
+			beta *= view.BetaMul[m]
+		}
 		vOf := func(task int) float64 { return p.env.MeanLikelihood(m, cells[task]) }
 		qOf := func(task int) float64 { return p.env.MeanConsumption(m, cells[task]) }
 		gOf := func(task int) float64 { return p.env.ExpectedCompound(m, cells[task]) }
@@ -273,7 +288,7 @@ func (p *Oracle) repair(view *policy.SlotView, assigned []int) {
 			vSum += vOf(task)
 		}
 		// β repair: drop the worst reward-per-resource task until feasible.
-		for qSum > p.cfg.Beta && len(sel) > 0 {
+		for qSum > beta && len(sel) > 0 {
 			worst, worstVal := -1, math.Inf(1)
 			for k, task := range sel {
 				if val := gOf(task) / qOf(task); val < worstVal {
@@ -290,7 +305,7 @@ func (p *Oracle) repair(view *policy.SlotView, assigned []int) {
 		// Refill: dropping a heavy task frees a beam that a lighter task
 		// may use profitably — add globally unassigned candidates by
 		// reward while β and the beam budget allow.
-		if len(sel) < p.cfg.Capacity {
+		if len(sel) < capM {
 			var fill []int
 			for _, idx := range view.SCNs[m].Cover {
 				if assigned[idx] == -1 {
@@ -299,10 +314,10 @@ func (p *Oracle) repair(view *policy.SlotView, assigned []int) {
 			}
 			sort.Slice(fill, func(a, b int) bool { return gOf(fill[a]) > gOf(fill[b]) })
 			for _, cand := range fill {
-				if len(sel) >= p.cfg.Capacity {
+				if len(sel) >= capM {
 					break
 				}
-				if qSum+qOf(cand) > p.cfg.Beta {
+				if qSum+qOf(cand) > beta {
 					continue
 				}
 				assigned[cand] = m
@@ -312,7 +327,7 @@ func (p *Oracle) repair(view *policy.SlotView, assigned []int) {
 			}
 		}
 		// α repair: add or swap toward higher completion likelihood.
-		if vSum >= p.cfg.Alpha {
+		if vSum >= alpha {
 			perSCN[m] = sel
 			continue
 		}
@@ -325,13 +340,13 @@ func (p *Oracle) repair(view *policy.SlotView, assigned []int) {
 		}
 		sort.Slice(cands, func(a, b int) bool { return vOf(cands[a]) > vOf(cands[b]) })
 		for _, cand := range cands {
-			if vSum >= p.cfg.Alpha {
+			if vSum >= alpha {
 				break
 			}
 			if assigned[cand] != -1 {
 				continue // taken by an earlier swap? (defensive)
 			}
-			if len(sel) < p.cfg.Capacity && qSum+qOf(cand) <= p.cfg.Beta {
+			if len(sel) < capM && qSum+qOf(cand) <= beta {
 				assigned[cand] = m
 				sel = append(sel, cand)
 				qSum += qOf(cand)
@@ -350,7 +365,7 @@ func (p *Oracle) repair(view *policy.SlotView, assigned []int) {
 				break // no improving move exists
 			}
 			out := sel[worst]
-			if qSum-qOf(out)+qOf(cand) > p.cfg.Beta {
+			if qSum-qOf(out)+qOf(cand) > beta {
 				continue
 			}
 			assigned[out] = -1

@@ -56,7 +56,7 @@ func (p *Thompson) Decide(view *policy.SlotView) []int {
 			p.edges = append(p.edges, assign.Edge{SCN: m, Task: idx, W: score})
 		}
 	}
-	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
+	return assign.GreedyCaps(p.edges, p.numSCNs, view.NumTasks, p.capacity, view.Caps)
 }
 
 // Observe implements policy.Policy.
@@ -141,7 +141,7 @@ func (p *LinUCB) Decide(view *policy.SlotView) []int {
 			p.edges = append(p.edges, assign.Edge{SCN: m, Task: idx, W: mean + bonus})
 		}
 	}
-	return assign.Greedy(p.edges, p.numSCNs, view.NumTasks, p.capacity)
+	return assign.GreedyCaps(p.edges, p.numSCNs, view.NumTasks, p.capacity, view.Caps)
 }
 
 // Observe implements policy.Policy.

@@ -516,7 +516,7 @@ func (r *resolver) resolve(states []*scnState, view *policy.SlotView) []int {
 		// exact historical order.
 		overflow := false
 		for m := range view.SCNs {
-			if len(states[m].pickTask) > r.capacity {
+			if len(states[m].pickTask) > view.CapAt(m, r.capacity) {
 				overflow = true
 				break
 			}
@@ -531,7 +531,7 @@ func (r *resolver) resolve(states []*scnState, view *policy.SlotView) []int {
 				assign.SortEdges(st.edges)
 				r.perSCNEdges[m] = st.edges
 			}
-			r.assigned = assign.GreedyMergeInto(r.assigned, &r.greedy, r.perSCNEdges[:len(view.SCNs)], r.numSCNs, view.NumTasks, r.capacity)
+			r.assigned = assign.GreedyMergeCapsInto(r.assigned, &r.greedy, r.perSCNEdges[:len(view.SCNs)], r.numSCNs, view.NumTasks, r.capacity, view.Caps)
 		} else {
 			r.mergePicks(states, view)
 		}
@@ -549,7 +549,7 @@ func (r *resolver) resolve(states []*scnState, view *policy.SlotView) []int {
 				r.perSCNEdges[m] = states[m].edges
 			}
 		}
-		r.assigned = assign.GreedyMergeInto(r.assigned, &r.greedy, r.perSCNEdges[:len(view.SCNs)], r.numSCNs, view.NumTasks, r.capacity)
+		r.assigned = assign.GreedyMergeCapsInto(r.assigned, &r.greedy, r.perSCNEdges[:len(view.SCNs)], r.numSCNs, view.NumTasks, r.capacity, view.Caps)
 	}
 	return r.assigned
 }
@@ -565,9 +565,17 @@ func (l *LFSC) decideSCN(view *policy.SlotView, m int) {
 	st.resetSlot()
 	cover := view.SCNs[m].Cover
 	if len(cover) == 0 {
+		// Masked SCNs (scenario sleep/fail) and genuinely uncovered slots
+		// take the same exit: no candidates, no edges — and Observe's
+		// matching early return freezes the weights and multipliers until
+		// the SCN rejoins.
 		return
 	}
-	l.cellProbs(st, cover, view.Cells)
+	// Effective beam capacity this slot: the scenario's c_n(t) when the
+	// view carries capacity dynamics, the configured nominal otherwise.
+	// Always ≤ nominal, so every arena sized for cfg.Capacity still fits.
+	c := view.CapAt(m, l.cfg.Capacity)
+	l.cellProbs(st, cover, view.Cells, c)
 	taskCells := st.taskCells[:len(cover)]
 	switch l.cfg.Mode {
 	case DepRoundMode:
@@ -669,7 +677,7 @@ func (r *resolver) backfill(states []*scnState, view *policy.SlotView, assigned 
 		}
 	}
 	for m := range view.SCNs {
-		free := r.capacity - counts[m]
+		free := view.CapAt(m, r.capacity) - counts[m]
 		if free <= 0 {
 			continue
 		}
@@ -737,9 +745,8 @@ func backfillBeats(aP, aLW float64, aIdx int, bP, bLW float64, bIdx int) bool {
 // iteration, and per-cell expressions are bit-for-bit the ones previously
 // evaluated per task, so the produced probabilities are bit-identical to
 // the ungrouped computation.
-func (l *LFSC) cellProbs(st *scnState, cover []int, cells []int) {
+func (l *LFSC) cellProbs(st *scnState, cover []int, cells []int, c int) {
 	k := len(cover)
-	c := l.cfg.Capacity
 	// Reset the previous slot's census, then count tasks per hypercube;
 	// cellList records present cells in first-touch order (deterministic —
 	// coverage order is deterministic). taskCells caches each position's
@@ -831,7 +838,7 @@ func (l *LFSC) cellProbs(st *scnState, cover []int, cells []int) {
 // st's probs arena, one entry per cover position (the layout the hot path
 // no longer materializes).
 func (l *LFSC) probabilities(st *scnState, cover []int, cells []int) []float64 {
-	l.cellProbs(st, cover, cells)
+	l.cellProbs(st, cover, cells, l.cfg.Capacity)
 	probs := growFloats(&st.probs, len(cover))
 	for i, f := range st.taskCells[:len(cover)] {
 		probs[i] = st.cellW[f]
@@ -1046,6 +1053,10 @@ func (l *LFSC) observeSCN(view *policy.SlotView, fb *policy.Feedback, m int) {
 		return // partial learner: SCN owned by another shard
 	}
 	if len(view.SCNs[m].Cover) == 0 {
+		// Masked or uncovered SCN: nothing executed, nothing observed —
+		// the return lands BEFORE the weight update, the decay, and the
+		// multiplier update, so an asleep/failed SCN's state is frozen
+		// exactly as of its last up slot and resumes untouched on rejoin.
 		return
 	}
 	// Per-hypercube sums of the importance-weighted estimates (Alg. 3
@@ -1112,8 +1123,18 @@ func (l *LFSC) observeSCN(view *policy.SlotView, fb *policy.Feedback, m int) {
 		// soon as the constraint is met, selection drifts back toward
 		// raw reward, and per-slot violations oscillate late in the
 		// run instead of decreasing as the paper reports.
-		g1 := l.cfg.Alpha - completed
-		g2 := consumed - l.cfg.Beta
+		// Scenario budget dynamics scale the per-SCN constraints for this
+		// slot; with no dynamics attached the nominal values flow through
+		// the identical expressions (bit-identity for static runs).
+		alpha, beta := l.cfg.Alpha, l.cfg.Beta
+		if view.AlphaMul != nil {
+			alpha *= view.AlphaMul[m]
+		}
+		if view.BetaMul != nil {
+			beta *= view.BetaMul[m]
+		}
+		g1 := alpha - completed
+		g2 := consumed - beta
 		if g1 < 0 {
 			g1 *= l.slackPull
 		}

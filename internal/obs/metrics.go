@@ -44,7 +44,7 @@ type metricFamily struct {
 }
 
 type metricSeries struct {
-	labels string     // pre-rendered `{k="v",...}`, or ""
+	labels string // pre-rendered `{k="v",...}`, or ""
 	value  func() float64
 	hist   *Histogram
 }

@@ -39,6 +39,20 @@ type SlotView struct {
 	// SCNs holds the per-SCN coverage views.
 	SCNs []SCNView
 
+	// Scenario dynamics (internal/scenario), attached by the view builder
+	// when a timeline is active and nil otherwise — nil preserves the
+	// static fast paths bit-for-bit. Masked (down) SCNs are expressed as
+	// empty Cover rows, so policies need no availability flag here; the
+	// three fields below carry the remaining per-SCN state. All slices are
+	// indexed by SCN and alias immutable timeline rows.
+	//
+	// Caps is the effective per-SCN capacity c_n(t), always in
+	// [1, nominal]. AlphaMul/BetaMul scale the per-SCN QoS floor α and
+	// resource budget β for this slot (each in (0,1]).
+	Caps     []int
+	AlphaMul []float64
+	BetaMul  []float64
+
 	// Contexts are materialized lazily: most policies (LFSC, Oracle, vUCB,
 	// FML, Random) only need Cells, so the simulator defers packing the raw
 	// context vectors until a policy asks.
@@ -65,6 +79,18 @@ func (v *SlotView) SetCtxs(ctxs []task.Context) {
 func (v *SlotView) SetCtxSource(src CtxSource) {
 	v.ctxs = nil
 	v.src = src
+}
+
+// CapAt returns SCN m's effective capacity this slot: the scenario's
+// c_n(t) clamped to the nominal capacity when dynamics are attached,
+// the nominal capacity otherwise.
+func (v *SlotView) CapAt(m, capacity int) int {
+	if v.Caps != nil {
+		if c := v.Caps[m]; c < capacity {
+			return c
+		}
+	}
+	return capacity
 }
 
 // Ctxs returns the per-task context vectors, indexed by slot-global task
@@ -128,7 +154,8 @@ type Policy interface {
 
 // ValidateAssignment checks that an assignment is structurally legal for a
 // view: SCN indices in range, every assigned task inside the SCN's
-// coverage, and per-SCN counts at most capacity.
+// coverage, and per-SCN counts at most the effective capacity (the
+// scenario's c_n(t) when view.Caps is attached, capacity otherwise).
 func ValidateAssignment(view *SlotView, assigned []int, capacity int) error {
 	if len(assigned) != view.NumTasks {
 		return fmt.Errorf("policy: assignment length %d != %d tasks", len(assigned), view.NumTasks)
@@ -152,8 +179,8 @@ func ValidateAssignment(view *SlotView, assigned []int, capacity int) error {
 			return fmt.Errorf("policy: task %d not covered by SCN %d", taskIdx, m)
 		}
 		counts[m]++
-		if counts[m] > capacity {
-			return fmt.Errorf("policy: SCN %d exceeds capacity %d", m, capacity)
+		if lim := view.CapAt(m, capacity); counts[m] > lim {
+			return fmt.Errorf("policy: SCN %d exceeds capacity %d", m, lim)
 		}
 	}
 	return nil

@@ -1,0 +1,232 @@
+// Package scenario builds deterministic, seed-driven timelines of SCN
+// state over slots: availability (up / sleeping / failed), per-SCN
+// capacity c_n(t), and per-SCN budget scalars (α/β multipliers). A
+// timeline is generated once from a declarative config (see Parse) plus
+// the run's topology parameters and master seed, then consumed
+// read-only by the offline simulator, the trace generator, and the
+// serving daemon — all of which therefore see the exact same dynamics.
+//
+// Determinism contract: Build derives its randomness from the master
+// seed via rng.Stream labels that are disjoint from every stream the
+// simulator or the serving tier consumes (Derive is pure — it never
+// advances the parent), so attaching a scenario perturbs no workload,
+// environment, or policy draw. Same config + same (scns, slots,
+// capacity, seed) ⇒ bit-identical timeline, on any machine, at any
+// worker count.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Event kinds. Each kind is one composable source on the timeline;
+// sources stack (availability masks OR together, capacity and budget
+// multipliers multiply together).
+const (
+	// KindSleep is a periodic sleep schedule: the affected SCNs are
+	// down for Duration slots out of every Period, starting at Offset.
+	KindSleep = "sleep"
+	// KindChurn is random fail/rejoin churn: each affected SCN
+	// alternates up/down phases with exponential holding times of mean
+	// MeanUp / MeanDown slots (plus one, so phases are never empty).
+	KindChurn = "churn"
+	// KindBlockage is correlated bursts: with probability Rate per
+	// slot, a contiguous run of Width SCNs (within the event's set)
+	// goes down together for Duration slots.
+	KindBlockage = "blockage"
+	// KindDiurnal is a capacity cycle: c_n(t) swings sinusoidally
+	// between the nominal capacity and MinCap×nominal with the given
+	// Period/Offset (rounded, clamped to [1, nominal]).
+	KindDiurnal = "diurnal"
+	// KindBudget cycles the α/β budget scalars between 1 and
+	// AlphaMin/BetaMin with the given Period/Offset.
+	KindBudget = "budget"
+)
+
+// Set selects the SCNs an event applies to. The zero value (and "*" in
+// config files) means all SCNs.
+type Set struct {
+	All bool
+	IDs []int // sorted, unique; ignored when All
+}
+
+// Contains reports whether SCN m is in the set.
+func (s Set) Contains(m int) bool {
+	if s.All {
+		return true
+	}
+	i := sort.SearchInts(s.IDs, m)
+	return i < len(s.IDs) && s.IDs[i] == m
+}
+
+// members appends the set's members for a topology of n SCNs.
+func (s Set) members(n int) []int {
+	if s.All {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return s.IDs
+}
+
+func (s Set) String() string {
+	if s.All {
+		return "*"
+	}
+	parts := make([]string, 0, len(s.IDs))
+	for i := 0; i < len(s.IDs); {
+		j := i
+		for j+1 < len(s.IDs) && s.IDs[j+1] == s.IDs[j]+1 {
+			j++
+		}
+		if j > i {
+			parts = append(parts, fmt.Sprintf("%d-%d", s.IDs[i], s.IDs[j]))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d", s.IDs[i]))
+		}
+		i = j + 1
+	}
+	return strings.Join(parts, ",")
+}
+
+// Event is one timeline source. Which fields are meaningful depends on
+// Kind; Validate enforces the per-kind parameter ranges.
+type Event struct {
+	Kind string
+	SCNs Set // affected SCNs; zero value = all
+
+	Period   int     // sleep/diurnal/budget: cycle length in slots
+	Offset   int     // sleep/diurnal/budget: phase offset in slots
+	Duration int     // sleep: down window per period; blockage: burst length
+	MeanUp   float64 // churn: mean up-phase length in slots
+	MeanDown float64 // churn: mean down-phase length in slots
+	Rate     float64 // blockage: per-slot burst-start probability
+	Width    int     // blockage: SCNs per burst (contiguous within the set)
+	MinCap   float64 // diurnal: capacity multiplier at the trough, (0,1]
+	AlphaMin float64 // budget: α multiplier at the trough, (0,1]
+	BetaMin  float64 // budget: β multiplier at the trough, (0,1]
+}
+
+// Config is a parsed scenario: an optional pinned topology size plus an
+// ordered list of event sources. The order matters only for stream
+// derivation (event i draws from a stream labelled i), not for the
+// composed result — masks OR and multipliers multiply commutatively.
+type Config struct {
+	// SCNs optionally pins the topology size the config was written
+	// for; Build rejects a mismatch. 0 = inherit the caller's.
+	SCNs   int
+	Events []Event
+}
+
+// Validate checks the config against a topology of scns SCNs. It is
+// called by Build; exposed so parsers and fuzz targets can check
+// configs without building a timeline.
+func (c *Config) Validate(scns int) error {
+	if scns <= 0 {
+		return fmt.Errorf("scenario: topology has %d SCNs", scns)
+	}
+	if c.SCNs != 0 && c.SCNs != scns {
+		return fmt.Errorf("scenario: config pins scns=%d but topology has %d", c.SCNs, scns)
+	}
+	for i := range c.Events {
+		ev := &c.Events[i]
+		if err := ev.validate(scns); err != nil {
+			return fmt.Errorf("scenario: event %d [%s]: %w", i, ev.Kind, err)
+		}
+	}
+	return nil
+}
+
+func (ev *Event) validate(scns int) error {
+	if !ev.SCNs.All {
+		if len(ev.SCNs.IDs) == 0 {
+			return fmt.Errorf("empty SCN set")
+		}
+		for k, m := range ev.SCNs.IDs {
+			if m < 0 || m >= scns {
+				return fmt.Errorf("SCN %d out of range [0,%d)", m, scns)
+			}
+			if k > 0 && ev.SCNs.IDs[k] <= ev.SCNs.IDs[k-1] {
+				return fmt.Errorf("SCN set not sorted/unique at %d", m)
+			}
+		}
+	}
+	if ev.Offset < 0 {
+		return fmt.Errorf("offset %d < 0", ev.Offset)
+	}
+	switch ev.Kind {
+	case KindSleep:
+		if ev.Period <= 0 {
+			return fmt.Errorf("period %d <= 0", ev.Period)
+		}
+		if ev.Duration < 1 || ev.Duration > ev.Period {
+			return fmt.Errorf("duration %d outside [1, period=%d]", ev.Duration, ev.Period)
+		}
+	case KindChurn:
+		// The upper bound keeps 1/mean a normal positive rate and the
+		// drawn phase lengths far from integer overflow.
+		const maxMean = 1e9
+		if !(ev.MeanUp > 0) || !(ev.MeanDown > 0) || ev.MeanUp > maxMean || ev.MeanDown > maxMean {
+			return fmt.Errorf("mean-up/mean-down must be in (0, %g] (got %g/%g)", maxMean, ev.MeanUp, ev.MeanDown)
+		}
+	case KindBlockage:
+		if ev.Rate < 0 || ev.Rate > 1 || math.IsNaN(ev.Rate) {
+			return fmt.Errorf("rate %g outside [0,1]", ev.Rate)
+		}
+		if ev.Width < 1 {
+			return fmt.Errorf("width %d < 1", ev.Width)
+		}
+		if ev.Duration < 1 {
+			return fmt.Errorf("duration %d < 1", ev.Duration)
+		}
+	case KindDiurnal:
+		if ev.Period <= 0 {
+			return fmt.Errorf("period %d <= 0", ev.Period)
+		}
+		if !(ev.MinCap > 0) || ev.MinCap > 1 {
+			return fmt.Errorf("min-cap %g outside (0,1]", ev.MinCap)
+		}
+	case KindBudget:
+		if ev.Period <= 0 {
+			return fmt.Errorf("period %d <= 0", ev.Period)
+		}
+		if !(ev.AlphaMin > 0) || ev.AlphaMin > 1 {
+			return fmt.Errorf("alpha-min %g outside (0,1]", ev.AlphaMin)
+		}
+		if !(ev.BetaMin > 0) || ev.BetaMin > 1 {
+			return fmt.Errorf("beta-min %g outside (0,1]", ev.BetaMin)
+		}
+	default:
+		return fmt.Errorf("unknown kind")
+	}
+	return nil
+}
+
+// canonical renders the config in a fixed, field-complete form so that
+// the digest depends only on semantic content (not on formatting,
+// comments, or key order in the source file).
+func (c *Config) canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scns=%d\n", c.SCNs)
+	for i := range c.Events {
+		ev := &c.Events[i]
+		fmt.Fprintf(&b, "[%s] scns=%s period=%d offset=%d duration=%d mean-up=%x mean-down=%x rate=%x width=%d min-cap=%x alpha-min=%x beta-min=%x\n",
+			ev.Kind, ev.SCNs.String(), ev.Period, ev.Offset, ev.Duration,
+			ev.MeanUp, ev.MeanDown, ev.Rate, ev.Width, ev.MinCap, ev.AlphaMin, ev.BetaMin)
+	}
+	return b.String()
+}
+
+// digest fingerprints (config, topology, seed) — see Timeline.Digest.
+func digest(c *Config, scns, slots, capacity int, seed uint64) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v1 scns=%d slots=%d capacity=%d seed=%d\n%s",
+		scns, slots, capacity, seed, c.canonical())
+	return fmt.Sprintf("%016x", h.Sum64())
+}

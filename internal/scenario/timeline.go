@@ -1,0 +1,365 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"lfsc/internal/rng"
+)
+
+// streamLabel is the rng label the scenario engine derives its root
+// stream from. The simulator and serving tier consume labels 1..4 of
+// the master stream (workload / environment / policy / realization);
+// label 5 is reserved here. Derive is pure, so building a timeline
+// never advances any of those streams.
+const streamLabel = 5
+
+// View is one slot's cross-section of a timeline, handed to view
+// builders each slot. All slices alias the timeline's immutable
+// backing arrays — filling a View allocates nothing and concurrent
+// readers need no synchronization. Caps/AlphaMul/BetaMul are nil when
+// the scenario has no capacity/budget dynamics, which keeps the static
+// fast paths bit-identical.
+type View struct {
+	Slot     int
+	Up       []bool    // per-SCN availability
+	Caps     []int     // per-SCN effective capacity; nil = nominal
+	AlphaMul []float64 // per-SCN α multiplier; nil = 1
+	BetaMul  []float64 // per-SCN β multiplier; nil = 1
+	UpCount  int       // number of true entries in Up
+}
+
+// Timeline is a fully materialized scenario: per-(slot, SCN) state
+// precomputed at Build time into flat immutable arrays. Materializing
+// buys random access (ViewInto at any slot, which is what checkpoint
+// resume and Workers=N replay need), trivial race-freedom, and an
+// alloc-free per-slot view, at a memory cost of ~17 bytes per
+// (slot, SCN) — about 5 MB at the paper scale (10k slots × 30 SCNs).
+// Slots beyond the horizon wrap (t mod slots), so a daemon outliving
+// the configured horizon sees the cycle repeat rather than a cliff.
+type Timeline struct {
+	scns     int
+	slots    int
+	capacity int
+	digest   string
+
+	up      []bool    // [t*scns+m]
+	caps    []int     // nil when no diurnal events
+	aMul    []float64 // nil when no budget events
+	bMul    []float64
+	upCount []int32 // per-slot
+
+	// Cumulative event counts through the end of slot t, for the
+	// serving tier's counters: sleeps = entries into a sleep window,
+	// fails = churn failures + blockage hits, rejoins = recoveries
+	// from churn/blockage (sleep wake-ups are scheduled, not rejoins).
+	sleeps, fails, rejoins []uint64
+}
+
+// Build materializes cfg over a topology of scns SCNs and a horizon of
+// slots slots. capacity is the nominal per-SCN capacity (required > 0
+// when the config has diurnal events; otherwise may be 0). seed is the
+// run's master seed — the same one handed to the simulator or daemon.
+func Build(cfg Config, scns, slots, capacity int, seed uint64) (*Timeline, error) {
+	if err := cfg.Validate(scns); err != nil {
+		return nil, err
+	}
+	if slots <= 0 {
+		return nil, fmt.Errorf("scenario: horizon %d <= 0", slots)
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("scenario: capacity %d < 0", capacity)
+	}
+	tl := &Timeline{
+		scns:     scns,
+		slots:    slots,
+		capacity: capacity,
+		digest:   digest(&cfg, scns, slots, capacity, seed),
+		up:       make([]bool, slots*scns),
+		upCount:  make([]int32, slots),
+		sleeps:   make([]uint64, slots),
+		fails:    make([]uint64, slots),
+		rejoins:  make([]uint64, slots),
+	}
+	root := rng.New(seed).Derive(streamLabel)
+
+	// Availability: each source fills a scratch mask; a transition pass
+	// counts its events and ORs it into the composed down mask.
+	down := make([]bool, slots*scns)
+	scratch := make([]bool, slots*scns)
+	var capMul, aMul, bMul []float64
+	for i := range cfg.Events {
+		ev := &cfg.Events[i]
+		st := root.Derive(uint64(i))
+		switch ev.Kind {
+		case KindSleep, KindChurn, KindBlockage:
+			for j := range scratch {
+				scratch[j] = false
+			}
+			switch ev.Kind {
+			case KindSleep:
+				fillSleep(scratch, ev, scns, slots)
+			case KindChurn:
+				fillChurn(scratch, ev, st, scns, slots)
+			case KindBlockage:
+				fillBlockage(scratch, ev, st, scns, slots)
+			}
+			tl.countAndMerge(down, scratch, ev.Kind)
+		case KindDiurnal:
+			if capacity <= 0 {
+				return nil, fmt.Errorf("scenario: diurnal event %d needs a positive nominal capacity", i)
+			}
+			if capMul == nil {
+				capMul = onesSlice(slots * scns)
+			}
+			applyCycle(capMul, ev, ev.MinCap, scns, slots)
+		case KindBudget:
+			if aMul == nil {
+				aMul = onesSlice(slots * scns)
+				bMul = onesSlice(slots * scns)
+			}
+			if ev.AlphaMin < 1 {
+				applyCycle(aMul, ev, ev.AlphaMin, scns, slots)
+			}
+			if ev.BetaMin < 1 {
+				applyCycle(bMul, ev, ev.BetaMin, scns, slots)
+			}
+		}
+	}
+
+	for j, d := range down {
+		tl.up[j] = !d
+	}
+	for t := 0; t < slots; t++ {
+		var n int32
+		for m := 0; m < scns; m++ {
+			if tl.up[t*scns+m] {
+				n++
+			}
+		}
+		tl.upCount[t] = n
+		if t > 0 {
+			tl.sleeps[t] += tl.sleeps[t-1]
+			tl.fails[t] += tl.fails[t-1]
+			tl.rejoins[t] += tl.rejoins[t-1]
+		}
+	}
+	if capMul != nil {
+		tl.caps = make([]int, slots*scns)
+		for j, mul := range capMul {
+			c := int(math.Round(mul * float64(capacity)))
+			if c < 1 {
+				c = 1
+			}
+			if c > capacity {
+				c = capacity
+			}
+			tl.caps[j] = c
+		}
+	}
+	tl.aMul, tl.bMul = aMul, bMul
+	return tl, nil
+}
+
+// countAndMerge counts this source's down/up transitions into the
+// per-slot event counters and ORs its mask into the composed one.
+// Counters are per-source, so overlapping sources each report their
+// own events (the composed mask is what masking consumes; the counters
+// are operator telemetry).
+func (tl *Timeline) countAndMerge(down, src []bool, kind string) {
+	n := tl.scns
+	for m := 0; m < n; m++ {
+		prev := false
+		for t := 0; t < tl.slots; t++ {
+			cur := src[t*n+m]
+			if cur != prev {
+				if cur {
+					if kind == KindSleep {
+						tl.sleeps[t]++
+					} else {
+						tl.fails[t]++
+					}
+				} else if kind != KindSleep {
+					tl.rejoins[t]++
+				}
+				prev = cur
+			}
+			if cur {
+				down[t*n+m] = true
+			}
+		}
+	}
+}
+
+func fillSleep(mask []bool, ev *Event, scns, slots int) {
+	for _, m := range ev.SCNs.members(scns) {
+		for t := ev.Offset; t < slots; t++ {
+			if (t-ev.Offset)%ev.Period < ev.Duration {
+				mask[t*scns+m] = true
+			}
+		}
+	}
+}
+
+// fillChurn walks each affected SCN's alternating up/down renewal
+// process from its own derived stream, so the result is independent of
+// SCN iteration order and of every other event source.
+func fillChurn(mask []bool, ev *Event, st *rng.Stream, scns, slots int) {
+	for _, m := range ev.SCNs.members(scns) {
+		r := st.Derive(uint64(m))
+		t, up := 0, true
+		for t < slots {
+			mean := ev.MeanUp
+			if !up {
+				mean = ev.MeanDown
+			}
+			draw := r.Exponential(1 / mean)
+			if draw > float64(slots) {
+				draw = float64(slots) // a phase outliving the horizon is just "rest of horizon"
+			}
+			d := 1 + int(draw)
+			if !up {
+				for k := t; k < t+d && k < slots; k++ {
+					mask[k*scns+m] = true
+				}
+			}
+			t += d
+			up = !up
+		}
+	}
+}
+
+// fillBlockage draws burst starts from a single sequential stream (one
+// Bernoulli per slot, plus one placement draw per burst), taking out a
+// contiguous run of Width SCNs within the event's set for Duration
+// slots. Overlapping bursts simply extend the outage.
+func fillBlockage(mask []bool, ev *Event, st *rng.Stream, scns, slots int) {
+	members := ev.SCNs.members(scns)
+	starts := len(members) - ev.Width + 1
+	if starts < 1 {
+		starts = 1 // narrower set than the burst width: whole set goes down
+	}
+	for t := 0; t < slots; t++ {
+		if !st.Bernoulli(ev.Rate) {
+			continue
+		}
+		lo := st.Intn(starts)
+		for k := lo; k < lo+ev.Width && k < len(members); k++ {
+			m := members[k]
+			for u := t; u < t+ev.Duration && u < slots; u++ {
+				mask[u*scns+m] = true
+			}
+		}
+	}
+}
+
+// applyCycle multiplies a sinusoidal cycle — 1 at the crest (t =
+// Offset mod Period), min at the trough — into the affected SCNs' rows.
+func applyCycle(dst []float64, ev *Event, min float64, scns, slots int) {
+	for t := 0; t < slots; t++ {
+		phase := 2 * math.Pi * float64(t-ev.Offset) / float64(ev.Period)
+		mul := min + (1-min)*0.5*(1+math.Cos(phase))
+		for _, m := range ev.SCNs.members(scns) {
+			dst[t*scns+m] *= mul
+		}
+	}
+}
+
+func onesSlice(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}
+
+// wrap maps an arbitrary slot index onto the materialized horizon.
+func (tl *Timeline) wrap(t int) int {
+	if t >= tl.slots {
+		t %= tl.slots
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// ViewInto fills v with slot t's cross-section. The slices alias the
+// timeline (read-only); no allocation ever.
+func (tl *Timeline) ViewInto(t int, v *View) {
+	t = tl.wrap(t)
+	row := t * tl.scns
+	v.Slot = t
+	v.Up = tl.up[row : row+tl.scns]
+	v.UpCount = int(tl.upCount[t])
+	if tl.caps != nil {
+		v.Caps = tl.caps[row : row+tl.scns]
+	} else {
+		v.Caps = nil
+	}
+	if tl.aMul != nil {
+		v.AlphaMul = tl.aMul[row : row+tl.scns]
+		v.BetaMul = tl.bMul[row : row+tl.scns]
+	} else {
+		v.AlphaMul, v.BetaMul = nil, nil
+	}
+}
+
+// SCNs returns the topology size the timeline was built for.
+func (tl *Timeline) SCNs() int { return tl.scns }
+
+// Slots returns the materialized horizon.
+func (tl *Timeline) Slots() int { return tl.slots }
+
+// Digest fingerprints (config, scns, slots, capacity, seed). Two
+// timelines with equal digests are bit-identical; the serving tier
+// stores it in checkpoints so a resumed daemon provably replays the
+// same scenario, and lfscload compares it against the daemon's.
+func (tl *Timeline) Digest() string { return tl.digest }
+
+// UpCount returns the number of up SCNs at slot t.
+func (tl *Timeline) UpCount(t int) int { return int(tl.upCount[tl.wrap(t)]) }
+
+// EventTotals returns the cumulative sleep/fail/rejoin event counts
+// through the end of slot t. Totals are monotone in t up to the
+// horizon and restart from the full-cycle totals when t wraps.
+func (tl *Timeline) EventTotals(t int) (sleeps, fails, rejoins uint64) {
+	t = tl.wrap(t)
+	return tl.sleeps[t], tl.fails[t], tl.rejoins[t]
+}
+
+// CumEventTotals returns the cumulative sleep/fail/rejoin totals through
+// the end of absolute slot t, accounting for wrap-around: every complete
+// cycle before t contributes its full-cycle totals, so the counts are
+// monotone in t (the serving tier exports them as Prometheus counters).
+func (tl *Timeline) CumEventTotals(t int) (sleeps, fails, rejoins uint64) {
+	if t < 0 {
+		t = 0
+	}
+	w := t % tl.slots
+	sleeps, fails, rejoins = tl.sleeps[w], tl.fails[w], tl.rejoins[w]
+	if cycles := uint64(t / tl.slots); cycles > 0 {
+		sleeps += cycles * tl.sleeps[tl.slots-1]
+		fails += cycles * tl.fails[tl.slots-1]
+		rejoins += cycles * tl.rejoins[tl.slots-1]
+	}
+	return sleeps, fails, rejoins
+}
+
+// AllUp reports whether the timeline never masks an SCN and carries no
+// capacity or budget dynamics — i.e. it is semantically the static
+// topology.
+func (tl *Timeline) AllUp() bool {
+	for _, u := range tl.up {
+		if !u {
+			return false
+		}
+	}
+	return tl.caps == nil && tl.aMul == nil
+}
+
+func (tl *Timeline) String() string {
+	s, f, r := tl.EventTotals(tl.slots - 1)
+	return fmt.Sprintf("scenario %s: %d SCNs × %d slots, %d sleeps, %d fails, %d rejoins",
+		tl.digest, tl.scns, tl.slots, s, f, r)
+}

@@ -15,10 +15,15 @@ import (
 // with an uninterrupted run), and the learner's own v2 checkpoint as an
 // embedded document.
 type engineCheckpoint struct {
-	Version   int             `json:"version"`
-	Slot      int             `json:"slot"`
-	CumReward float64         `json:"cum_reward"`
-	Policy    json.RawMessage `json:"policy"`
+	Version   int     `json:"version"`
+	Slot      int     `json:"slot"`
+	CumReward float64 `json:"cum_reward"`
+	// Scenario is the digest of the active scenario timeline, when one
+	// is attached: a resumed daemon must replay the identical dynamics
+	// for bit-identical continuation, so Restore refuses a mismatch.
+	// Empty for static-topology checkpoints (and pre-scenario files).
+	Scenario string          `json:"scenario,omitempty"`
+	Policy   json.RawMessage `json:"policy"`
 }
 
 const engineCheckpointVersion = 1
@@ -47,6 +52,36 @@ type checkpointManifest struct {
 	Generation uint64  `json:"generation"`
 	Slot       int     `json:"slot"`
 	CumReward  float64 `json:"cum_reward"`
+	// Scenario mirrors engineCheckpoint.Scenario (the manifest is the
+	// commit point, so the digest lives here, not in the shard files).
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// scenarioDigest is the engine's scenario identity for checkpoints
+// (empty when serving the static topology).
+func (e *Engine) scenarioDigest() string {
+	if e.cfg.Scenario == nil {
+		return ""
+	}
+	return e.cfg.Scenario.Digest()
+}
+
+// checkScenario validates a checkpoint's scenario digest against the
+// engine's. An empty checkpoint digest is accepted into any engine (the
+// upgrade path for static and pre-scenario checkpoints); anything else
+// must match exactly — resuming under different dynamics would silently
+// diverge from the uninterrupted run.
+func (e *Engine) checkScenario(digest string) error {
+	if digest == "" {
+		return nil
+	}
+	if have := e.scenarioDigest(); have != digest {
+		if have == "" {
+			return fmt.Errorf("serve: restore: checkpoint was taken under scenario %s, engine has none — pass the same -scenario file", digest)
+		}
+		return fmt.Errorf("serve: restore: checkpoint scenario %s != engine scenario %s", digest, have)
+	}
+	return nil
 }
 
 // shardFilePath names shard k's file of generation gen for the manifest
@@ -73,6 +108,7 @@ func (e *Engine) checkpointNow() error {
 		Version:   engineCheckpointVersion,
 		Slot:      e.pol.SlotsSeen(),
 		CumReward: e.CumReward(),
+		Scenario:  e.scenarioDigest(),
 		Policy:    json.RawMessage(bytes.TrimSpace(pol.Bytes())),
 	}
 	data, err := json.Marshal(&cp)
@@ -118,6 +154,7 @@ func (e *Engine) checkpointShardedNow() error {
 		Generation: gen,
 		Slot:       slot,
 		CumReward:  e.CumReward(),
+		Scenario:   e.scenarioDigest(),
 	})
 	if err != nil {
 		return fmt.Errorf("serve: checkpoint manifest: %w", err)
@@ -207,6 +244,9 @@ func (e *Engine) Restore(path string) error {
 	if cp.Slot < 0 {
 		return fmt.Errorf("serve: restore: negative slot %d", cp.Slot)
 	}
+	if err := e.checkScenario(cp.Scenario); err != nil {
+		return err
+	}
 	if e.pol == nil {
 		// Legacy full document into a sharded engine: every shard loads
 		// its owned rows from the same document.
@@ -245,6 +285,9 @@ func (e *Engine) restoreSharded(path string, data []byte) error {
 	}
 	if man.Slot < 0 {
 		return fmt.Errorf("serve: restore: negative slot %d", man.Slot)
+	}
+	if err := e.checkScenario(man.Scenario); err != nil {
+		return err
 	}
 	if e.pol != nil {
 		return fmt.Errorf("serve: restore: sharded checkpoint (%d shards) into an unsharded engine — boot with -shards=%d",

@@ -13,6 +13,7 @@ import (
 	"lfsc/internal/obs"
 	"lfsc/internal/policy"
 	"lfsc/internal/rng"
+	"lfsc/internal/scenario"
 	"lfsc/internal/task"
 )
 
@@ -33,6 +34,17 @@ type Config struct {
 	KMax     int // bound on per-SCN visible tasks per slot
 	Horizon  int // schedule horizon T
 	Seed     uint64
+
+	// Scenario, when set, imposes a timeline of SCN dynamics on serving
+	// (see internal/scenario): each decided slot consults the timeline at
+	// its own slot index, masking down SCNs out of the view (their
+	// learner state freezes) and attaching per-SCN capacity and budget
+	// vectors. The timeline must cover exactly SCNs cells; it is
+	// immutable and read from the engine goroutine only. Checkpoints
+	// record the scenario digest and Restore refuses a mismatch, so a
+	// resumed daemon replays the identical dynamics. Nil keeps the
+	// static topology.
+	Scenario *scenario.Timeline
 
 	// Shards splits the learner across N partial learners (consistent-hash
 	// SCN groups), run in parallel for the per-SCN stages of Decide and
@@ -161,7 +173,7 @@ var errStopped = errors.New("serve: engine stopped")
 // decoding proceeds on handler goroutines) during slot t's report wait
 // and Observe.
 type Engine struct {
-	cfg  Config
+	cfg Config
 	// pol is the flat learner (Shards ≤ 1); nil when sharded. The sharded
 	// learner plane lives in shards/merger/owner/router, reached through
 	// the slotsSeen/decide/observe/snapshotPolicy helpers (shard.go) so
@@ -240,12 +252,15 @@ type Engine struct {
 	batch    slotBatch
 	deferred *wireReq
 	scratch  viewScratch
-	fb       policy.Feedback
-	repU     []float64
-	repV     []float64
-	repQ     []float64
-	repGot   []bool
-	snap     obs.PolicySnapshot
+	// scen is the per-slot scenario view scratch (guarded by mu; only
+	// meaningful while deciding when cfg.Scenario != nil).
+	scen   scenario.View
+	fb     policy.Feedback
+	repU   []float64
+	repV   []float64
+	repQ   []float64
+	repGot []bool
+	snap   obs.PolicySnapshot
 
 	// Open-slot state (guarded by mu): set when decideSlot opens a slot
 	// for outcome reports, consumed by finishSlot. openView and
@@ -291,6 +306,10 @@ type Engine struct {
 // starting it. Use Restore to load a checkpoint before Start.
 func NewEngine(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Scenario != nil && cfg.Scenario.SCNs() != cfg.SCNs {
+		return nil, fmt.Errorf("serve: scenario timeline covers %d SCNs, engine has %d",
+			cfg.Scenario.SCNs(), cfg.SCNs)
+	}
 	part, err := hypercube.New(cfg.Dims, cfg.H)
 	if err != nil {
 		return nil, fmt.Errorf("serve: partition: %w", err)
@@ -416,6 +435,18 @@ func (e *Engine) Stats() Stats {
 	if e.cfg.SLO != nil {
 		rep := e.cfg.SLO.Report()
 		st.SLO = &rep
+	}
+	if tl := e.cfg.Scenario; tl != nil {
+		slot := e.Slot()
+		sleeps, fails, rejoins := tl.CumEventTotals(slot)
+		st.Scenario = &ScenarioStat{
+			Digest:  tl.Digest(),
+			Slots:   tl.Slots(),
+			UpSCNs:  tl.UpCount(slot),
+			Sleeps:  sleeps,
+			Fails:   fails,
+			Rejoins: rejoins,
+		}
 	}
 	for _, sh := range e.shards {
 		st.Shards = append(st.Shards, ShardStat{
@@ -671,7 +702,6 @@ func (e *Engine) dispatchReport(q *wireReq) (stepReply, error) {
 		return stepReply{}, errStopped
 	}
 }
-
 
 // sloOutcome tags how a request ended for reqDone: validation and
 // shutdown errors are latency samples but not SLO samples (the window
@@ -1065,7 +1095,16 @@ func (e *Engine) decideSlot() {
 	if traced {
 		e.trStart = span
 	}
-	view := e.scratch.build(slot, b.specs, e.part, e.cfg.SCNs)
+	// Scenario masking is daemon-side: clients submit their full spec and
+	// the view builder empties down SCNs' coverage rows, exactly as the
+	// offline simulator masks at its view boundary — which is what keeps
+	// client, daemon, and sim.Run bit-identical under churn.
+	var dyn *scenario.View
+	if e.cfg.Scenario != nil {
+		e.cfg.Scenario.ViewInto(slot, &e.scen)
+		dyn = &e.scen
+	}
+	view := e.scratch.build(slot, b.specs, e.part, e.cfg.SCNs, dyn)
 	if instr {
 		span = probe.LapAt(obs.PhaseView, span, time.Now())
 		if traced {
@@ -1392,7 +1431,7 @@ type viewScratch struct {
 	covBufs [][]int
 }
 
-func (s *viewScratch) build(t int, specs []TaskSpec, part *hypercube.Partition, scns int) *policy.SlotView {
+func (s *viewScratch) build(t int, specs []TaskSpec, part *hypercube.Partition, scns int, dyn *scenario.View) *policy.SlotView {
 	n := len(specs)
 	if cap(s.cells) < n {
 		s.cells = make([]int, n)
@@ -1428,8 +1467,23 @@ func (s *viewScratch) build(t int, specs []TaskSpec, part *hypercube.Partition, 
 			s.covBufs[m] = append(s.covBufs[m], idx)
 		}
 	}
-	for m := 0; m < scns; m++ {
-		s.view.SCNs[m].Cover = s.covBufs[m]
+	// Mirror the simulator's scenario masking: down SCNs get empty
+	// coverage rows, and the per-SCN capacity/budget vectors ride on the
+	// view. Nil dynamics leave the static path untouched.
+	if dyn == nil {
+		for m := 0; m < scns; m++ {
+			s.view.SCNs[m].Cover = s.covBufs[m]
+		}
+		s.view.Caps, s.view.AlphaMul, s.view.BetaMul = nil, nil, nil
+	} else {
+		for m := 0; m < scns; m++ {
+			if dyn.Up[m] {
+				s.view.SCNs[m].Cover = s.covBufs[m]
+			} else {
+				s.view.SCNs[m].Cover = nil
+			}
+		}
+		s.view.Caps, s.view.AlphaMul, s.view.BetaMul = dyn.Caps, dyn.AlphaMul, dyn.BetaMul
 	}
 	s.view.T = t
 	s.view.NumTasks = n

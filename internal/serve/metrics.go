@@ -109,6 +109,29 @@ func (e *Engine) registerMetrics(m *obs.Metrics) {
 		}
 	}
 
+	if tl := e.cfg.Scenario; tl != nil {
+		// Scenario series are pure lookups into the immutable timeline at
+		// the engine's atomic slot counter — scrape-time reads only, zero
+		// hot-path work, same discipline as every other family here.
+		m.Gauge("lfsc_scenario_up_scns", "Available SCNs at the current slot of the scenario timeline.",
+			nil, func() float64 { return float64(tl.UpCount(e.Slot())) })
+		m.Gauge("lfsc_scenario_period_slots", "Period of the scenario timeline in slots.",
+			nil, func() float64 { return float64(tl.Slots()) })
+		scenCounter := func(pick func(s, f, r uint64) uint64) func() float64 {
+			return func() float64 {
+				s, f, r := tl.CumEventTotals(e.Slot())
+				return float64(pick(s, f, r))
+			}
+		}
+		const evHelp = "Cumulative scenario events through the current slot (sleep-window entries, failures, recoveries)."
+		m.Counter("lfsc_scenario_events_total", evHelp,
+			[]obs.Label{{Name: "kind", Value: "sleep"}}, scenCounter(func(s, f, r uint64) uint64 { return s }))
+		m.Counter("lfsc_scenario_events_total", evHelp,
+			[]obs.Label{{Name: "kind", Value: "fail"}}, scenCounter(func(s, f, r uint64) uint64 { return f }))
+		m.Counter("lfsc_scenario_events_total", evHelp,
+			[]obs.Label{{Name: "kind", Value: "rejoin"}}, scenCounter(func(s, f, r uint64) uint64 { return r }))
+	}
+
 	if ring := e.cfg.SlotRing; ring != nil {
 		m.Counter("lfsc_slot_trace_published_total", "Slot-lifecycle records published into the trace ring.",
 			nil, func() float64 { return float64(ring.Published()) })

@@ -8,6 +8,7 @@ import (
 	"lfsc/internal/hypercube"
 	"lfsc/internal/obs"
 	"lfsc/internal/rng"
+	"lfsc/internal/scenario"
 	"lfsc/internal/task"
 	"lfsc/internal/trace"
 )
@@ -35,6 +36,12 @@ type ReplayScenario struct {
 	UseLatencyContext bool
 	// Seed is the master seed shared by daemon and replayer.
 	Seed uint64
+	// Scenario, when set, is the timeline of SCN dynamics the daemon
+	// serves under (EngineConfig forwards it). The replayer itself never
+	// masks: clients submit full specs and the daemon masks at its view
+	// boundary, exactly as sim.Run does — so the client-side reward
+	// (drawn per returned assignment) still matches daemon and sim.
+	Scenario *scenario.Timeline
 }
 
 func (sc *ReplayScenario) dims() int {
@@ -66,6 +73,7 @@ func (sc *ReplayScenario) EngineConfig() (Config, error) {
 		KMax:     gen.MaxPerSCN(),
 		Horizon:  sc.T,
 		Seed:     sc.Seed,
+		Scenario: sc.Scenario,
 	}, nil
 }
 

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lfsc/internal/obs"
+	"lfsc/internal/rng"
+	"lfsc/internal/scenario"
+	"lfsc/internal/sim"
+	"lfsc/internal/trace"
+)
+
+// serveChurnText exercises every event kind on the 4-SCN test topology:
+// a scheduled sleep on SCN 0, random churn on SCNs 2-3, a diurnal
+// capacity cycle, and a budget cycle on SCN 1.
+const serveChurnText = `
+scns = 4
+
+[sleep]
+scns = 0
+period = 16
+duration = 5
+
+[churn]
+scns = 2-3
+mean-up = 20
+mean-down = 6
+
+[diurnal]
+scns = *
+period = 30
+min-cap = 0.5
+
+[budget]
+scns = 1
+period = 24
+alpha-min = 0.6
+beta-min = 0.7
+`
+
+// churnTimeline builds the serve test timeline for the 4-SCN scenario.
+func churnTimeline(t *testing.T, slots, capacity int, seed uint64) *scenario.Timeline {
+	t.Helper()
+	cfg, err := scenario.Parse([]byte(serveChurnText))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	tl, err := scenario.Build(cfg, 4, slots, capacity, seed)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return tl
+}
+
+// scenarioTestScenario is testScenario with the churn timeline attached.
+func scenarioTestScenario(t *testing.T, T int, seed uint64) ReplayScenario {
+	sc := testScenario(T, seed)
+	sc.Scenario = churnTimeline(t, T, sc.Capacity, 9)
+	return sc
+}
+
+// TestScenarioLockstepThreeWayIdentity extends the end-to-end
+// equivalence guarantee to a churning topology: with the same scenario
+// timeline attached to the daemon and to an offline sim.Run, the
+// client-side, daemon-side, and offline cumulative rewards must be
+// hex-float identical — at one shard and at four.
+func TestScenarioLockstepThreeWayIdentity(t *testing.T) {
+	const T, seed = 250, 42
+	for _, shards := range []int{1, 4} {
+		sc := scenarioTestScenario(t, T, seed)
+
+		eng, srv, client := bootDaemon(t, sc, func(c *Config) { c.Shards = shards })
+		rep, err := NewReplayer(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := rep.Run(client, 0, T, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Stop()
+		srv.Close()
+		if st.ShedSlots != 0 {
+			t.Fatalf("shards=%d: lockstep replay shed %d slots", shards, st.ShedSlots)
+		}
+
+		simSc := &sim.Scenario{
+			Cfg: sim.Config{T: T, Capacity: sc.Capacity, Alpha: sc.Alpha, Beta: sc.Beta, H: sc.H},
+			NewGenerator: func(r *rng.Stream) (trace.Generator, error) {
+				return trace.NewSynthetic(sc.Synthetic, r)
+			},
+			EnvCfg: sc.EnvCfg,
+			Dyn:    sc.Scenario,
+		}
+		series, err := sim.Run(simSc, sim.LFSCFactory(nil), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offline := 0.0
+		for _, r := range series.Reward {
+			offline += r
+		}
+
+		if got := eng.CumReward(); got != offline {
+			t.Fatalf("shards=%d: daemon cum reward %x != offline sim %x", shards, got, offline)
+		}
+		if got := rep.CumReward(); got != offline {
+			t.Fatalf("shards=%d: client cum reward %x != offline sim %x", shards, got, offline)
+		}
+	}
+}
+
+// TestScenarioServeSmokeResume is the churn variant of the
+// kill-and-resume check (driven by `make scenario-smoke`): a daemon
+// serving under an active scenario is killed mid-churn and resumed from
+// its periodic checkpoint; the resumed run must land bit-identical to an
+// uninterrupted one, and the checkpoint must round-trip the scenario
+// digest — restoring under no scenario or under a different timeline is
+// refused.
+func TestScenarioServeSmokeResume(t *testing.T) {
+	const T, seed, every = 200, 7, 100
+	sc := scenarioTestScenario(t, T, seed)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "lfscd.ckpt")
+
+	// Run A: serve 120 slots under churn, then die without checkpointing.
+	engA, srvA, clientA := bootDaemon(t, sc, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.CheckpointEvery = every
+	})
+	repA, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repA.Run(clientA, 0, 120, nil); err != nil {
+		t.Fatal(err)
+	}
+	engA.Abort()
+	srvA.Close()
+
+	// A fresh engine with no scenario must refuse the checkpoint.
+	noScen := testScenario(T, seed)
+	engBad := buildDaemon(t, noScen, nil)
+	if _, err := engBad.RestoreIfPresent(ckpt); err == nil {
+		t.Fatal("restore without the scenario should fail (checkpoint carries a digest)")
+	} else if !strings.Contains(err.Error(), "scenario") {
+		t.Fatalf("want scenario mismatch error, got: %v", err)
+	}
+
+	// A different timeline (same shape, different seed) must be refused too.
+	wrong := testScenario(T, seed)
+	wrong.Scenario = churnTimeline(t, T, wrong.Capacity, 10)
+	engWrong := buildDaemon(t, wrong, nil)
+	if _, err := engWrong.RestoreIfPresent(ckpt); err == nil {
+		t.Fatal("restore under a different timeline should fail")
+	}
+
+	// Run B: the correct scenario resumes from slot 100 and finishes.
+	engB, srvB, clientB, restored := resumeDaemon(t, sc, ckpt, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.CheckpointEvery = every
+	})
+	defer srvB.Close()
+	if !restored {
+		t.Fatal("no checkpoint found after kill")
+	}
+	if engB.Slot() != every {
+		t.Fatalf("restored at slot %d, want %d", engB.Slot(), every)
+	}
+	repB, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repB.Run(clientB, engB.Slot(), T, nil); err != nil {
+		t.Fatal(err)
+	}
+	engB.Stop()
+
+	// Run C: the uninterrupted control.
+	engC, srvC, clientC := bootDaemon(t, sc, nil)
+	defer srvC.Close()
+	repC, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repC.Run(clientC, 0, T, nil); err != nil {
+		t.Fatal(err)
+	}
+	engC.Stop()
+
+	if got, want := engB.CumReward(), engC.CumReward(); got != want {
+		t.Fatalf("kill-and-resume under churn diverged: resumed %x vs uninterrupted %x", got, want)
+	}
+}
+
+// TestScenarioObservability pins the telemetry satellite: an engine
+// serving under a scenario reports it on /v1/stats (digest, up count,
+// event totals), /lfsc/status (the scenario line), and /metrics (the
+// lfsc_scenario_* families).
+func TestScenarioObservability(t *testing.T) {
+	const T, seed = 64, 5
+	sc := scenarioTestScenario(t, T, seed)
+	m := obs.NewMetrics()
+	eng, srv, client := bootDaemon(t, sc, func(c *Config) { c.Metrics = m })
+	defer srv.Close()
+	rep, err := NewReplayer(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Run(client, 0, T, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st := eng.Stats()
+	if st.Scenario == nil {
+		t.Fatal("Stats().Scenario missing with a timeline attached")
+	}
+	if st.Scenario.Digest != sc.Scenario.Digest() {
+		t.Fatalf("stats digest %q != timeline %q", st.Scenario.Digest, sc.Scenario.Digest())
+	}
+	if st.Scenario.UpSCNs < 1 || st.Scenario.UpSCNs > 4 {
+		t.Fatalf("up count %d out of range", st.Scenario.UpSCNs)
+	}
+	if st.Scenario.Sleeps == 0 || st.Scenario.Fails == 0 {
+		t.Fatalf("event totals should be non-zero after %d slots of churn: %+v", T, *st.Scenario)
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	status := get("/lfsc/status")
+	if !strings.Contains(status, "scenario "+sc.Scenario.Digest()) {
+		t.Fatalf("/lfsc/status missing scenario line:\n%s", status)
+	}
+	prom := get("/metrics")
+	for _, want := range []string{
+		"lfsc_scenario_up_scns",
+		"lfsc_scenario_period_slots",
+		`lfsc_scenario_events_total{kind="sleep"}`,
+		`lfsc_scenario_events_total{kind="fail"}`,
+		`lfsc_scenario_events_total{kind="rejoin"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+	eng.Stop()
+}

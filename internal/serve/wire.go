@@ -152,6 +152,30 @@ type Stats struct {
 	// unsharded): routing and shed attribution by home shard, plus each
 	// shard's last-slot leg durations of the two-phase barrier.
 	Shards []ShardStat `json:"shards,omitempty"`
+	// Scenario describes the active scenario timeline at the current
+	// slot (present only when the engine was configured with one).
+	Scenario *ScenarioStat `json:"scenario,omitempty"`
+}
+
+// ScenarioStat is the live view of an attached scenario timeline: its
+// identity, the availability state at the next slot to be decided, and
+// the cumulative event totals up to that slot. All values are pure
+// lookups into the immutable timeline at the engine's atomic slot
+// counter — no engine state is touched.
+type ScenarioStat struct {
+	// Digest identifies the timeline (config + shape + seed); Restore
+	// refuses a checkpoint carrying a different digest.
+	Digest string `json:"digest"`
+	// Slots is the timeline period (slot indices wrap around it).
+	Slots int `json:"slots"`
+	// UpSCNs is the number of available SCNs at the current slot.
+	UpSCNs int `json:"up_scns"`
+	// Sleeps/Fails/Rejoins are cumulative event totals through the
+	// current slot: scheduled sleep-window entries, churn/blockage
+	// failures, and churn/blockage recoveries.
+	Sleeps  uint64 `json:"sleeps"`
+	Fails   uint64 `json:"fails"`
+	Rejoins uint64 `json:"rejoins"`
 }
 
 // ShardStat is one learner shard's live counters.

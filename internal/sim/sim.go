@@ -23,6 +23,7 @@ import (
 	"lfsc/internal/parallel"
 	"lfsc/internal/policy"
 	"lfsc/internal/rng"
+	"lfsc/internal/scenario"
 	"lfsc/internal/task"
 	"lfsc/internal/trace"
 )
@@ -142,6 +143,15 @@ type Scenario struct {
 	// a mismatched seed silently falls back to live generation, which is
 	// bit-identical anyway). RunAll installs one automatically.
 	Shared *SharedTrace
+	// Dyn optionally imposes a scenario timeline (SCN availability,
+	// capacity c_n(t), and α/β budget dynamics — see internal/scenario)
+	// on the run. The timeline is consulted at the view-build layer, so
+	// every policy sees identical dynamics: a down SCN's coverage row is
+	// masked to empty (no edges, frozen learner state) and the per-SCN
+	// capacity/budget vectors ride on the SlotView. The timeline is
+	// read-only and safe to share across RunAll/RunReplicas goroutines.
+	// Nil keeps the static topology, bit-identical to previous releases.
+	Dyn *scenario.Timeline
 }
 
 // preTouchSink receives the cache-warming checksum of Run's pre-realised
@@ -431,6 +441,9 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 
 	series := metrics.NewSeries(pol.Name(), sc.Cfg.T)
 	numSCNs := gen.SCNs()
+	if sc.Dyn != nil && sc.Dyn.SCNs() != numSCNs {
+		return nil, fmt.Errorf("sim: scenario timeline covers %d SCNs, workload has %d", sc.Dyn.SCNs(), numSCNs)
+	}
 	var ms *msTracker
 	if sc.Cfg.MultiSlot != nil {
 		ms = newMSTracker(sc.Cfg.MultiSlot)
@@ -499,6 +512,8 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 	var slotBuf trace.Slot
 	var slotReal rng.Stream
 	var taskReal rng.Stream
+	var scen scenario.View
+	var scenp *scenario.View
 	for t := 0; t < sc.Cfg.T; t++ {
 		span := probe.Start()
 		e.Advance(t)
@@ -517,7 +532,11 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 		if preCells != nil {
 			pc = preCells[t]
 		}
-		view, cells := scratch.buildView(t, slot, part, sc.Cfg.UseLatencyContext, pc)
+		if sc.Dyn != nil {
+			sc.Dyn.ViewInto(t, &scen)
+			scenp = &scen
+		}
+		view, cells := scratch.buildView(t, slot, part, sc.Cfg.UseLatencyContext, pc, scenp)
 		span = probe.Lap(obs.PhaseView, span)
 		assigned := pol.Decide(view)
 		if sc.Cfg.Strict {
@@ -609,12 +628,36 @@ func Run(sc *Scenario, factory Factory, seed uint64) (*metrics.Series, error) {
 			ms.sweep()
 		}
 		v1, v2 := 0.0, 0.0
-		for m := 0; m < numSCNs; m++ {
-			if d := sc.Cfg.Alpha - completed[m]; d > 0 {
-				v1 += d
+		if scenp == nil {
+			for m := 0; m < numSCNs; m++ {
+				if d := sc.Cfg.Alpha - completed[m]; d > 0 {
+					v1 += d
+				}
+				if d := consumed[m] - sc.Cfg.Beta; d > 0 {
+					v2 += d
+				}
 			}
-			if d := consumed[m] - sc.Cfg.Beta; d > 0 {
-				v2 += d
+		} else {
+			// Down SCNs owe no QoS floor and consume nothing; up SCNs are
+			// measured against their scenario-scaled budgets, matching the
+			// multiplier updates inside the policies.
+			for m := 0; m < numSCNs; m++ {
+				if !scenp.Up[m] {
+					continue
+				}
+				alpha, beta := sc.Cfg.Alpha, sc.Cfg.Beta
+				if scenp.AlphaMul != nil {
+					alpha *= scenp.AlphaMul[m]
+				}
+				if scenp.BetaMul != nil {
+					beta *= scenp.BetaMul[m]
+				}
+				if d := alpha - completed[m]; d > 0 {
+					v1 += d
+				}
+				if d := consumed[m] - beta; d > 0 {
+					v2 += d
+				}
 			}
 		}
 		series.Record(t, reward, v1, v2, totalAssigned, totalCompleted)
@@ -733,7 +776,7 @@ func (s *slotScratch) MaterializeCtxs() []task.Context {
 // shared trace's precomputed row). The returned view and cell slice alias
 // the scratch and are valid until the next buildView call; the coverage rows
 // are aliased directly from the slot.
-func (s *slotScratch) buildView(t int, slot *trace.Slot, part *hypercube.Partition, latencyCtx bool, preCells []int) (*policy.SlotView, []int) {
+func (s *slotScratch) buildView(t int, slot *trace.Slot, part *hypercube.Partition, latencyCtx bool, preCells []int, dyn *scenario.View) (*policy.SlotView, []int) {
 	n := len(slot.Tasks)
 	cells := preCells
 	if cells == nil {
@@ -751,8 +794,25 @@ func (s *slotScratch) buildView(t int, slot *trace.Slot, part *hypercube.Partiti
 		s.view.SCNs = make([]policy.SCNView, numSCNs)
 	}
 	s.view.SCNs = s.view.SCNs[:numSCNs]
-	for m, cov := range slot.Coverage {
-		s.view.SCNs[m].Cover = cov
+	// Scenario masking happens here, at the view boundary, so every policy
+	// sees the identical dynamics: a down SCN's coverage row is emptied
+	// (no edges this slot — learner state freezes, see core.LFSC), and the
+	// per-SCN capacity/budget vectors ride along on the view. With no
+	// timeline the fields stay nil and the static path is untouched.
+	if dyn == nil {
+		for m, cov := range slot.Coverage {
+			s.view.SCNs[m].Cover = cov
+		}
+		s.view.Caps, s.view.AlphaMul, s.view.BetaMul = nil, nil, nil
+	} else {
+		for m, cov := range slot.Coverage {
+			if dyn.Up[m] {
+				s.view.SCNs[m].Cover = cov
+			} else {
+				s.view.SCNs[m].Cover = nil
+			}
+		}
+		s.view.Caps, s.view.AlphaMul, s.view.BetaMul = dyn.Caps, dyn.AlphaMul, dyn.BetaMul
 	}
 	s.view.T = t
 	s.view.NumTasks = n
