@@ -14,7 +14,7 @@ GO ?= go
 # gates are all concurrent by construction.
 RACE_PKGS = ./internal/core ./internal/parallel ./internal/assign ./internal/sim ./internal/trace ./internal/obs ./internal/metrics ./internal/serve
 
-.PHONY: all build vet test test-race bench-short bench-short-parallel bench json bench-serve bench-diff fuzz-short serve-smoke serve-smoke-shards obs-smoke scenario-smoke ci clean
+.PHONY: all build vet test test-race bench-short bench-short-parallel bench json bench-serve bench-serve-shards bench-diff fuzz-short serve-smoke serve-smoke-shards obs-smoke scenario-smoke ci clean
 
 all: vet test
 
@@ -66,11 +66,23 @@ json:
 bench-serve:
 	$(GO) run ./cmd/lfscbench -benchserve BENCH_core.json
 
+# Short-mode shard-scaling smoke: run the Shards=1/2/4 curve end-to-end
+# (staged ingest, tournament merge, pipelined close, real loopback HTTP)
+# on a few hundred slots and print the rps triple. The result goes to a
+# scratch file, not the committed artifact — the point in CI is that the
+# sharded serving plane boots, serves, and scales sanely on every push;
+# the gated numbers come from the full `make bench-diff` run.
+bench-serve-shards:
+	rm -f /tmp/BENCH_shards.json
+	$(GO) run ./cmd/lfscbench -benchshards /tmp/BENCH_shards.json -serve-http-slots 300
+
 # Measure the working tree against the committed perf artifact: runs the
 # paper-horizon benchmark AND the serve-layer harness into a scratch file
 # and diffs it against BENCH_core.json. Fails (exit 1) on a >25%
 # timing/allocation regression (core or serve), a serve-throughput drop
-# below 75%, a dropped serve key, or ANY reward-ratio drift — the
+# below 75%, a shard-plane tax (serve_shard_rps_1 below 85% of the same
+# run's serve_http_rps) or a non-monotone shard curve where the machine
+# has the cores, a dropped serve key, or ANY reward-ratio drift — the
 # simulation is deterministic, so a ratio change means the computation
 # itself changed.
 bench-diff:
@@ -130,9 +142,9 @@ scenario-smoke:
 # smokes (unsharded and Shards=4), the observability scrape smoke, the
 # scenario churn smoke, the quick perf kernels (which also assert 0
 # allocs/op on the steady-state paths) at Workers=1 and again at
-# Workers=NumCPU under the race detector, and a short fuzz pass over the
-# untrusted-input decoders.
-ci: vet test test-race serve-smoke serve-smoke-shards obs-smoke scenario-smoke bench-short bench-short-parallel fuzz-short
+# Workers=NumCPU under the race detector, the short-mode shard-scaling
+# curve, and a short fuzz pass over the untrusted-input decoders.
+ci: vet test test-race serve-smoke serve-smoke-shards obs-smoke scenario-smoke bench-short bench-short-parallel bench-serve-shards fuzz-short
 
 clean:
 	$(GO) clean ./...

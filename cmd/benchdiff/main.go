@@ -46,13 +46,18 @@
 // the slot tracer/SLO share the probe's clock reads rather than adding
 // hot-path work of their own.
 //
-// The shard scaling curve (serve_shard_rps_1/2/4) is gated num_cpu-aware:
+// The shard scaling curve (serve_shard_rps_1/2/4) is gated num_cpu-aware.
 // rps_1 carries the same 75%-of-OLD floor as the headline throughput, and
-// rps_2/rps_4 are checked against NEW's own rps_1 — at least 85% of it
-// when NEW's machine has at least that many CPUs (sharding must not lose
-// to the single-shard plane where it has room to run), and at least 35%
-// of it otherwise (on a starved box the parallel phase can only add
-// overhead, but it must not crater the data plane).
+// additionally — because it runs the SAME scenario as serve_http_rps,
+// just through the sharded plane at Shards=1 — must stay within 85% of
+// NEW's own serve_http_rps: the staged-ingest/sequencer plane is supposed
+// to have amortised the sharding tax, and this gate fails if the tax
+// comes back. rps_2/rps_4 are checked against NEW's own rps_1 — at least
+// 97% of it when NEW's machine has at least that many CPUs (the curve
+// must be monotone non-decreasing where it has room to run; 3% is
+// measurement grace, not a scaling allowance), and at least 35% of it
+// otherwise (on a starved box the parallel phase can only add overhead,
+// but it must not crater the data plane).
 package main
 
 import (
@@ -322,6 +327,17 @@ func diff(old, new_ *benchResult, th thresholds) (lines []string, failed bool) {
 	guardKey("shard rps x1", old.ServeShardRps1, new_.ServeShardRps1, func(o, n float64) (string, bool) {
 		return "serve_shard_rps_1 dropped below 75% of OLD", n < o*0.75
 	})
+	// The plane-tax gate compares two NEW figures (rps_1 runs the same
+	// scenario as the headline bench, just through the sharded plane), so
+	// it fires whenever NEW carries both keys — regardless of what OLD
+	// pinned.
+	if new_.ServeShardRps1 != nil && new_.ServeHTTPRps != nil && *new_.ServeHTTPRps > 0 {
+		if *new_.ServeShardRps1 < *new_.ServeHTTPRps*0.85 {
+			addf("  FAIL serve_shard_rps_1 fell below 85%% of NEW's serve_http_rps (%.1f vs %.1f) — the sharding-plane tax is back",
+				*new_.ServeShardRps1, *new_.ServeHTTPRps)
+			failed = true
+		}
+	}
 	shardGate := func(name string, shards int, oldV, newV *float64) {
 		guardKey(name, oldV, newV, func(o, n float64) (string, bool) {
 			if new_.ServeShardRps1 == nil || *new_.ServeShardRps1 <= 0 {
@@ -330,7 +346,7 @@ func diff(old, new_ *benchResult, th thresholds) (lines []string, failed bool) {
 			base := *new_.ServeShardRps1
 			grace, why := 0.35, "single-core sanity floor"
 			if new_.NumCPU != nil && *new_.NumCPU >= float64(shards) {
-				grace, why = 0.85, fmt.Sprintf("num_cpu %.0f ≥ %d shards", *new_.NumCPU, shards)
+				grace, why = 0.97, fmt.Sprintf("num_cpu %.0f ≥ %d shards: the curve must be monotone", *new_.NumCPU, shards)
 			}
 			return fmt.Sprintf("serve_shard_rps_%d fell below %.0f%% of NEW's serve_shard_rps_1 (%s)",
 				shards, grace*100, why), n < base*grace

@@ -220,9 +220,12 @@ type serveBenchResult struct {
 	// loopback HTTP.
 	ServeHTTPRps float64 `json:"serve_http_rps"`
 	// ServeShardRps1/2/4 are the shard scaling curve: loopback /v1/step
-	// throughput on the wider shard-bench workload at Shards = 1, 2, 4.
-	// Expected roughly flat when NumCPU = 1 and rising with shard count on
-	// multi-core machines; benchdiff gates them accordingly.
+	// throughput on the SAME scenario as ServeHTTPRps, run through the
+	// sharded serving plane at Shards = 1, 2, 4 (the one-shard point
+	// forces serve.Config.ShardPlane, so rps_1/ServeHTTPRps is a pure
+	// plane-tax ratio). Expected roughly flat when NumCPU = 1 and
+	// monotone non-decreasing with shard count on multi-core machines;
+	// benchdiff gates both properties num_cpu-aware.
 	ServeShardRps1 float64 `json:"serve_shard_rps_1"`
 	ServeShardRps2 float64 `json:"serve_shard_rps_2"`
 	ServeShardRps4 float64 `json:"serve_shard_rps_4"`
@@ -261,6 +264,42 @@ func runBenchServe(path string, slots, httpSlots int, seed uint64) error {
 	}
 	fmt.Printf("bench: serve %.0f ns/slot (%.0f probe-only, %.0f full obs), %.2f allocs/slot, %.2f allocs/req, %.0f http rps\n",
 		res.ServeNsPerSlot, res.ServeNsPerSlotProbe, res.ServeNsPerSlotObs, res.ServeAllocsPerSlot, res.ServeAllocsPerReq, res.ServeHTTPRps)
+	fmt.Printf("bench: shard rps %.0f / %.0f / %.0f (shards 1/2/4, num_cpu %d)\n",
+		res.ServeShardRps1, res.ServeShardRps2, res.ServeShardRps4, res.NumCPU)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// shardCurveResult is the standalone -benchshards block: just the shard
+// scaling keys plus the CPU count they were measured on, merged into an
+// artifact (or a throwaway smoke file) without touching the rest.
+type shardCurveResult struct {
+	NumCPU         int     `json:"num_cpu"`
+	ServeShardRps1 float64 `json:"serve_shard_rps_1"`
+	ServeShardRps2 float64 `json:"serve_shard_rps_2"`
+	ServeShardRps4 float64 `json:"serve_shard_rps_4"`
+}
+
+// runBenchShards runs only the shard scaling curve (serve.RunShardBench)
+// and merges its keys into the JSON at path. The fast path for iterating
+// on the sharded serving plane, and what `make bench-serve-shards` runs
+// as a CI smoke: a few hundred slots keep it seconds-cheap while still
+// covering the 1/2/4-shard engines end-to-end over real HTTP.
+func runBenchShards(path string, httpSlots int, seed uint64) error {
+	fmt.Printf("bench: shard scaling curve (httpSlots=%d x shards 1/2/4, seed=%d)...\n", httpSlots, seed)
+	sh, err := serve.RunShardBench(httpSlots, seed)
+	if err != nil {
+		return fmt.Errorf("serve bench: %w", err)
+	}
+	res := shardCurveResult{
+		NumCPU:         runtime.NumCPU(),
+		ServeShardRps1: sh.Rps1,
+		ServeShardRps2: sh.Rps2,
+		ServeShardRps4: sh.Rps4,
+	}
+	if err := mergeBenchJSON(path, &res); err != nil {
+		return err
+	}
 	fmt.Printf("bench: shard rps %.0f / %.0f / %.0f (shards 1/2/4, num_cpu %d)\n",
 		res.ServeShardRps1, res.ServeShardRps2, res.ServeShardRps4, res.NumCPU)
 	fmt.Printf("wrote %s\n", path)

@@ -6,7 +6,8 @@
 //	lfscbench [-exp all|fig2a|fig2b|fig2c|fig3|fig4|ratio|abl-...] \
 //	          [-T 10000] [-seed 42] [-outdir results/] [-workers 0] \
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof] \
-//	          [-benchjson BENCH_core.json] [-benchserve BENCH_core.json]
+//	          [-benchjson BENCH_core.json] [-benchserve BENCH_core.json] \
+//	          [-benchshards BENCH_shards.json]
 //
 // Experiment ids and what they reproduce are listed by -list. The full
 // five-policy paper run (T=10000) takes a few minutes on a laptop; the
@@ -19,6 +20,9 @@
 // harness (internal/serve RunBench: in-process handler loop + real-HTTP
 // round trips) and merges its serve_* keys into the same artifact — both
 // modes merge rather than overwrite, so they share one BENCH_core.json.
+// -benchshards runs only the shard-scaling curve (serve.RunShardBench at
+// Shards=1/2/4) and merges its serve_shard_rps_* keys; it's the cheap CI
+// smoke behind `make bench-serve-shards`.
 // -cpuprofile/-memprofile wrap whichever mode runs in pprof capture.
 package main
 
@@ -38,19 +42,20 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id or 'all'")
-		horizon    = flag.Int("T", 10000, "time horizon (paper: 10000)")
-		seed       = flag.Uint64("seed", 42, "master random seed")
-		outdir     = flag.String("outdir", "", "directory for CSV exports (optional)")
-		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		benchjson  = flag.String("benchjson", "", "run the perf harness and write its JSON result to this file")
-		benchserve = flag.String("benchserve", "", "run the serve-layer perf harness and merge its keys into this JSON file")
-		serveSlots = flag.Int("serve-slots", 5000, "in-process slots for -benchserve")
-		serveHTTP  = flag.Int("serve-http-slots", 2000, "real-HTTP slots for -benchserve")
-		observe    = flag.String("observe", "", "serve live telemetry on this address (/lfsc/status, /debug/vars, /debug/pprof)")
+		exp         = flag.String("exp", "all", "experiment id or 'all'")
+		horizon     = flag.Int("T", 10000, "time horizon (paper: 10000)")
+		seed        = flag.Uint64("seed", 42, "master random seed")
+		outdir      = flag.String("outdir", "", "directory for CSV exports (optional)")
+		workers     = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchjson   = flag.String("benchjson", "", "run the perf harness and write its JSON result to this file")
+		benchserve  = flag.String("benchserve", "", "run the serve-layer perf harness and merge its keys into this JSON file")
+		benchshards = flag.String("benchshards", "", "run only the serve shard-scaling curve and merge its serve_shard_rps_* keys into this JSON file")
+		serveSlots  = flag.Int("serve-slots", 5000, "in-process slots for -benchserve")
+		serveHTTP   = flag.Int("serve-http-slots", 2000, "real-HTTP slots for -benchserve and -benchshards")
+		observe     = flag.String("observe", "", "serve live telemetry on this address (/lfsc/status, /debug/vars, /debug/pprof)")
 	)
 	flag.Parse()
 
@@ -105,7 +110,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "observe: serving http://%s/lfsc/status\n", srv.Addr())
 	}
 
-	if *benchjson != "" || *benchserve != "" {
+	if *benchjson != "" || *benchserve != "" || *benchshards != "" {
 		if *benchjson != "" {
 			if err := runBenchJSON(*benchjson, *horizon, *seed, obsOpts); err != nil {
 				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -114,6 +119,12 @@ func main() {
 		}
 		if *benchserve != "" {
 			if err := runBenchServe(*benchserve, *serveSlots, *serveHTTP, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *benchshards != "" {
+			if err := runBenchShards(*benchshards, *serveHTTP, *seed); err != nil {
 				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 				os.Exit(1)
 			}

@@ -21,6 +21,7 @@
 //	      [-snapshots f.jsonl] [-snap-every 100]
 //	      [-metrics] [-slot-trace 256] [-slot-trace-jsonl f.jsonl]
 //	      [-slo-window 60] [-slo-shed-budget 0.01]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -shards splits the learner into consistent-hash SCN groups that decide
 // and observe in parallel; decisions stay bit-identical at any shard
@@ -61,6 +62,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -102,8 +105,42 @@ func main() {
 		traceOut  = flag.String("slot-trace-jsonl", "", "additionally stream every slot-trace record to this JSONL file")
 		sloWindow = flag.Int("slo-window", 60, "rolling SLO window in seconds (0 = off)")
 		sloBudget = flag.Float64("slo-shed-budget", 0.01, "shed-rate budget for the SLO window (fraction of requests)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the serving run to this file (stopped at shutdown)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfscd: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lfscd: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Deferred, so it runs after eng.Stop(): the heap picture is the
+		// quiesced daemon — pooled buffers and learner state, not
+		// in-flight requests.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lfscd: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lfscd: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	dims := task.ContextDims
 	if *latCtx {

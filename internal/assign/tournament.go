@@ -1,0 +1,101 @@
+package assign
+
+import "lfsc/internal/parallel"
+
+// This file is the parallel counterpart of the k-way heap merge in
+// greedyMergeInto: a tournament reduction that merges pairs of sorted
+// edge lists level by level until one stream remains. Because cmpEdge
+// is a strict total order over distinct (SCN, task) pairs — weight
+// descending, then SCN, then task — a set of per-SCN lists contains no
+// equal elements, so *every* correct merge produces the same unique
+// permutation. Merging pairs in parallel is therefore bit-identical to
+// the sequential heap merge, which is what lets the sharded serving
+// plane parallelise its cross-shard resolution stage without touching
+// the assignment semantics (DESIGN.md §11).
+
+// MergeSortedInto merges two edge lists already in SortEdges order into
+// dst (appended; pass dst[:0] to reuse a buffer) and returns the merged
+// list. The inputs must not alias dst's backing array.
+func MergeSortedInto(dst, a, b []Edge) []Edge {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if edgeLess(b[j], a[i]) {
+			dst = append(dst, b[j])
+			j++
+		} else {
+			dst = append(dst, a[i])
+			i++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// TournamentScratch owns the level buffers of TournamentMergeInto so
+// steady-state calls allocate nothing. Each merge output within a call
+// gets a fresh buffer (never reused across levels of the same call —
+// a carried-over odd list may survive several levels as an input), and
+// the whole arena is recycled between calls.
+type TournamentScratch struct {
+	cur  [][]Edge
+	next [][]Edge
+	bufs [][]Edge
+	used int
+	// Per-level fan-out state read by mergePair: the output base index
+	// of the level in bufs. The worker body is cached in fn so the
+	// ForDynamic call sites don't allocate a fresh closure per level.
+	base int
+	fn   func(int)
+}
+
+// mergePair merges the level's i-th pair of lists into its output
+// buffer. Distinct pairs touch distinct buffers, so any number may run
+// concurrently.
+func (s *TournamentScratch) mergePair(i int) {
+	s.bufs[s.base+i] = MergeSortedInto(s.bufs[s.base+i][:0], s.cur[2*i], s.cur[2*i+1])
+}
+
+// TournamentMergeInto reduces the given sorted edge lists (nil/empty
+// entries are skipped) to a single sorted stream: adjacent pairs are
+// merged concurrently on up to workers goroutines (parallel.ForDynamic
+// — workers ≤ 1 runs serially inline), an odd list is carried to the
+// next level unchanged, and the reduction repeats until one list
+// remains. The returned slice aliases scratch storage valid until the
+// next call (or, when only one input list is non-empty, that list
+// itself). The output order is exactly the cmpEdge total order — the
+// same stream the sequential k-way heap merge emits.
+func TournamentMergeInto(s *TournamentScratch, lists [][]Edge, workers int) []Edge {
+	s.cur = s.cur[:0]
+	for _, l := range lists {
+		if len(l) > 0 {
+			s.cur = append(s.cur, l)
+		}
+	}
+	s.used = 0
+	if len(s.cur) == 0 {
+		return nil
+	}
+	if s.fn == nil {
+		s.fn = s.mergePair
+	}
+	for len(s.cur) > 1 {
+		pairs := len(s.cur) / 2
+		s.base = s.used
+		s.used += pairs
+		for len(s.bufs) < s.used {
+			s.bufs = append(s.bufs, nil)
+		}
+		parallel.ForDynamic(pairs, workers, s.fn)
+		// Collect the next level through s.next, then copy the headers
+		// back into s.cur — no backing-array swap, so both scratch slices
+		// reach a stable capacity and steady-state calls stay alloc-free.
+		s.next = s.next[:0]
+		s.next = append(s.next, s.bufs[s.base:s.base+pairs]...)
+		if len(s.cur)%2 == 1 {
+			s.next = append(s.next, s.cur[len(s.cur)-1])
+		}
+		s.cur = append(s.cur[:0], s.next...)
+	}
+	return s.cur[0]
+}

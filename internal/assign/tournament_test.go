@@ -1,0 +1,99 @@
+package assign
+
+import (
+	"math"
+	"testing"
+
+	"lfsc/internal/rng"
+)
+
+// randomSortedLists builds k per-SCN edge lists with deliberate weight
+// ties across lists (quantised weights) so the tournament's tie-breaks
+// (SCN, then task) are actually exercised, each list sorted the way
+// decideSCN emits them.
+func randomSortedLists(r *rng.Stream, k, maxTasks int) [][]Edge {
+	lists := make([][]Edge, k)
+	for m := 0; m < k; m++ {
+		n := int(r.Uint64() % uint64(maxTasks+1))
+		for t := 0; t < n; t++ {
+			// ~8 distinct weight values force cross-list ties.
+			w := math.Floor(r.Float64()*8) / 8
+			lists[m] = append(lists[m], Edge{SCN: m, Task: t, W: w})
+		}
+		SortEdges(lists[m])
+	}
+	return lists
+}
+
+// TestTournamentMergeMatchesKWayOrder pins the tentpole's determinism
+// claim at the shard counts the serving plane uses (1/2/4/7 lists): the
+// parallel tournament reduction emits exactly the stream the sequential
+// k-way heap merge consumes, element for element, at any worker count.
+func TestTournamentMergeMatchesKWayOrder(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 7} {
+		for trial := 0; trial < 50; trial++ {
+			r := rng.New(uint64(1000*k + trial))
+			lists := randomSortedLists(r, k, 40)
+
+			// Reference: concatenate and sort — the unique cmpEdge order.
+			var want []Edge
+			for _, l := range lists {
+				want = append(want, l...)
+			}
+			SortEdges(want)
+
+			for _, workers := range []int{1, 2, 4} {
+				var s TournamentScratch
+				got := TournamentMergeInto(&s, lists, workers)
+				if len(got) != len(want) {
+					t.Fatalf("k=%d trial=%d workers=%d: %d edges, want %d",
+						k, trial, workers, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("k=%d trial=%d workers=%d: edge %d = %+v, want %+v",
+							k, trial, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTournamentMergeGreedyEquivalence drives the merged single stream
+// through the same capacitated greedy the k-way path uses and requires
+// an identical assignment — the exact consumption contract of
+// resolver.mergeGreedy.
+func TestTournamentMergeGreedyEquivalence(t *testing.T) {
+	const numSCNs, numTasks, capacity = 7, 40, 3
+	r := rng.New(99)
+	for trial := 0; trial < 30; trial++ {
+		lists := randomSortedLists(r, numSCNs, numTasks)
+		var sA, sB GreedyScratch
+		kway := GreedyMergeInto(nil, &sA, lists, numSCNs, numTasks, capacity)
+		var ts TournamentScratch
+		merged := TournamentMergeInto(&ts, lists, 4)
+		single := GreedyMergeInto(nil, &sB, [][]Edge{merged}, numSCNs, numTasks, capacity)
+		for i := range kway {
+			if kway[i] != single[i] {
+				t.Fatalf("trial %d task %d: k-way assigned %d, tournament %d",
+					trial, i, kway[i], single[i])
+			}
+		}
+	}
+}
+
+// TestTournamentMergeSteadyStateAllocs pins the scratch-reuse contract:
+// after the first call sized the arena, repeat merges allocate nothing.
+func TestTournamentMergeSteadyStateAllocs(t *testing.T) {
+	r := rng.New(7)
+	lists := randomSortedLists(r, 7, 40)
+	var s TournamentScratch
+	TournamentMergeInto(&s, lists, 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		TournamentMergeInto(&s, lists, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state tournament merge allocates %.1f/op, want 0", allocs)
+	}
+}

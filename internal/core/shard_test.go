@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"lfsc/internal/assign"
 	"lfsc/internal/hypercube"
 	"lfsc/internal/policy"
 	"lfsc/internal/rng"
@@ -117,6 +118,135 @@ func TestShardedMatchesFullLearner(t *testing.T) {
 				math.Float64bits(sa.lambda2) != math.Float64bits(sb.lambda2) {
 				t.Fatalf("slot %d SCN %d: multipliers diverged", ts, m)
 			}
+		}
+	}
+}
+
+// TestTournamentMergeLockstepTwins pins the tentpole's merge-order
+// equality at 1/2/4/7 shards: a sharded deployment whose Merger runs the
+// parallel tournament reduction (SetMergeWorkers > 1) must stay
+// bit-identical — assignments, log-weights, multipliers — to a full
+// learner whose resolver runs the sequential k-way heap merge. The
+// workload is sized so most slots carry enough edges to cross the
+// tournament engagement threshold, and Deterministic mode keeps every
+// covered task an edge so the merge is the whole resolution stage.
+func TestTournamentMergeLockstepTwins(t *testing.T) {
+	const slots = 120
+	for _, numShards := range []int{1, 2, 4, 7} {
+		gen, err := trace.NewSynthetic(trace.SyntheticConfig{
+			SCNs: 7, MinTasks: 80, MaxTasks: 120,
+			Overlap: 0.4, LatencySensitiveFrac: 0.5,
+		}, rng.New(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		part := hypercube.MustNew(3, 3)
+		cfg := Config{
+			SCNs: gen.SCNs(), Capacity: 3, Alpha: 2, Beta: 6,
+			Cells: part.Cells(), KMax: gen.MaxPerSCN(), Horizon: slots,
+			Mode: Deterministic,
+		}
+		full, shards, owner, merger := shardFixture(t, cfg, 13, numShards)
+		merger.SetMergeWorkers(4)
+
+		cells := make([]int, 0, 1024)
+		var exported [][]assign.Edge
+		heavySlots := 0
+		for ts := 0; ts < slots; ts++ {
+			slot := gen.Next(ts)
+			cells = cells[:0]
+			for _, tk := range slot.Tasks {
+				cells = append(cells, part.IndexTask(tk, false))
+			}
+			view := &policy.SlotView{T: ts, NumTasks: len(slot.Tasks), Cells: cells}
+			totalEdges := 0
+			for _, cov := range slot.Coverage {
+				view.SCNs = append(view.SCNs, policy.SCNView{Cover: cov})
+				totalEdges += len(cov)
+			}
+			if totalEdges >= 512 {
+				heavySlots++
+			}
+
+			fullAssign := full.Decide(view)
+			for _, sh := range shards {
+				sh.DecideLocal(view)
+			}
+
+			// ExportEdges must stitch across shards into exactly the edge
+			// lists the full learner primed: each SCN's list lives on its
+			// owning shard and nowhere else.
+			fullEdges := full.ExportEdges(nil)
+			for k, sh := range shards {
+				exported = sh.ExportEdges(exported)
+				for m := range exported {
+					if owner[m] != k {
+						if exported[m] != nil {
+							t.Fatalf("shards=%d slot %d: shard %d exported unowned SCN %d",
+								numShards, ts, k, m)
+						}
+						continue
+					}
+					if len(exported[m]) != len(fullEdges[m]) {
+						t.Fatalf("shards=%d slot %d SCN %d: shard exported %d edges, full %d",
+							numShards, ts, m, len(exported[m]), len(fullEdges[m]))
+					}
+					for i := range exported[m] {
+						if exported[m][i] != fullEdges[m][i] {
+							t.Fatalf("shards=%d slot %d SCN %d edge %d: shard %+v, full %+v",
+								numShards, ts, m, i, exported[m][i], fullEdges[m][i])
+						}
+					}
+				}
+			}
+
+			shardAssign := merger.Resolve(view)
+			for i := range fullAssign {
+				if fullAssign[i] != shardAssign[i] {
+					t.Fatalf("shards=%d slot %d task %d: sequential assigned %d, tournament %d",
+						numShards, ts, i, fullAssign[i], shardAssign[i])
+				}
+			}
+
+			fb := &policy.Feedback{}
+			slotFB := rng.New(321).Derive(uint64(ts))
+			for taskIdx, m := range fullAssign {
+				if m < 0 {
+					continue
+				}
+				v := 0.0
+				if slotFB.Bernoulli(0.8) {
+					v = 1
+				}
+				fb.Execs = append(fb.Execs, policy.Exec{
+					SCN: m, Task: taskIdx, Cell: cells[taskIdx],
+					U: slotFB.Float64(), V: v, Q: slotFB.Uniform(0.5, 1.5),
+				})
+			}
+			full.Observe(view, fullAssign, fb)
+			for _, sh := range shards {
+				sh.Observe(view, shardAssign, fb)
+			}
+
+			for m := 0; m < cfg.SCNs; m++ {
+				sa, sb := full.scns[m], shards[owner[m]].scns[m]
+				for f := range sa.logW {
+					if math.Float64bits(sa.logW[f]) != math.Float64bits(sb.logW[f]) {
+						t.Fatalf("shards=%d slot %d SCN %d cell %d: logW diverged",
+							numShards, ts, m, f)
+					}
+				}
+				if math.Float64bits(sa.lambda1) != math.Float64bits(sb.lambda1) ||
+					math.Float64bits(sa.lambda2) != math.Float64bits(sb.lambda2) {
+					t.Fatalf("shards=%d slot %d SCN %d: multipliers diverged", numShards, ts, m)
+				}
+			}
+		}
+		// Guard against workload drift hollowing the test out: the
+		// tournament path only engages past tournamentMinEdges total.
+		if heavySlots < slots/2 {
+			t.Fatalf("shards=%d: only %d/%d slots crossed the tournament threshold — workload too light",
+				numShards, heavySlots, slots)
 		}
 	}
 }

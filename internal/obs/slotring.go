@@ -26,21 +26,35 @@ type SlotSpan struct {
 	TimedOut bool `json:"timed_out,omitempty"`
 
 	// Stage durations, in protocol order. The compute stages (all but
-	// WaitNS) saturate at ~4.29s — they are stored as packed 32-bit
-	// halves in the ring (see slotRec) and real values sit orders of
-	// magnitude below the cap.
-	ViewNS       uint64 `json:"view_ns"`
-	DecideNS     uint64 `json:"decide_ns"` // whole decision (incl. merge when sharded)
-	MergeNS      uint64 `json:"merge_ns,omitempty"`
-	WaitNS       uint64 `json:"wait_ns"` // decide done → all reports in (batch open→close)
-	ObserveNS    uint64 `json:"observe_ns"`
-	CheckpointNS uint64 `json:"checkpoint_ns,omitempty"`
+	// WaitNS and ObserveOverlapNS) saturate at ~4.29s — they are stored
+	// as packed 32-bit halves in the ring (see slotRec) and real values
+	// sit orders of magnitude below the cap.
+	//
+	// StageNS is the total ingest-staging time of the slot's batch —
+	// context packing and per-shard coverage routing done at admission,
+	// spread across the batch window rather than the close. Present only
+	// on traced SHARDED engines: the staging clock reads exist to
+	// attribute ingest cost across shards, and cost too much (two reads
+	// per admission) to spend on the flat fast path.
+	StageNS   uint64 `json:"stage_ns,omitempty"`
+	ViewNS    uint64 `json:"view_ns"`   // arena publish (the build work is in StageNS)
+	DecideNS  uint64 `json:"decide_ns"` // whole decision (incl. merge when sharded)
+	MergeNS   uint64 `json:"merge_ns,omitempty"`
+	WaitNS    uint64 `json:"wait_ns"` // decide done → all reports in (batch open→close)
+	ObserveNS uint64 `json:"observe_ns"`
+	// ObserveOverlapNS is the staging time for slot t+1 that landed
+	// inside this slot's Observe window — the measured ingest overlap of
+	// the pipelined close.
+	ObserveOverlapNS uint64 `json:"observe_overlap_ns,omitempty"`
+	CheckpointNS     uint64 `json:"checkpoint_ns,omitempty"`
 
-	// Per-shard durations of the two parallel stages (index = shard id;
+	// Per-shard durations of the parallel stages (index = shard id;
 	// empty on an unsharded engine). A shard whose entry dominates the
-	// others is the straggler serialising the barrier.
+	// others is the straggler serialising the barrier; ShardStageNS
+	// attributes staging time to the submission's home shard.
 	ShardDecideNS  []uint64 `json:"shard_decide_ns,omitempty"`
 	ShardObserveNS []uint64 `json:"shard_observe_ns,omitempty"`
+	ShardStageNS   []uint64 `json:"shard_stage_ns,omitempty"`
 }
 
 // slotRec is one ring entry: SlotSpan flattened into atomics so that
@@ -71,15 +85,18 @@ type slotRec struct {
 	// Duration words, two clamped uint32 nanosecond halves each (~4.29s
 	// cap — these are compute stages, orders of magnitude shorter):
 	// viewDecide = view<<32 | decide, mergeObserve = merge<<32 |
-	// observe, ckpt = checkpoint<<32 (low half spare). wait keeps a
-	// full uint64: it spans the report wait, which is configured in
-	// wall-clock seconds.
+	// observe, ckptStage = checkpoint<<32 | stage, overlap =
+	// observeOverlap (full word). wait keeps a full uint64: it spans the
+	// report wait, which is configured in wall-clock seconds.
 	viewDecide   atomic.Uint64
 	mergeObserve atomic.Uint64
-	ckpt         atomic.Uint64
+	ckptStage    atomic.Uint64
+	overlap      atomic.Uint64
 	wait         atomic.Uint64
-	// shardDO packs each shard's decide<<32 | observe pair.
-	shardDO []atomic.Uint64
+	// shardDO packs each shard's decide<<32 | observe pair; shardStage
+	// holds each shard's staging attribution as a full word.
+	shardDO    []atomic.Uint64
+	shardStage []atomic.Uint64
 }
 
 // clamp32 saturates a nanosecond duration into a packed uint32 half.
@@ -141,9 +158,11 @@ func NewSlotRing(n, shards int) *SlotRing {
 	if shards > 1 {
 		for i := range r.recs {
 			r.recs[i].shardDO = make([]atomic.Uint64, shards)
+			r.recs[i].shardStage = make([]atomic.Uint64, shards)
 		}
 		r.scratch.ShardDecideNS = make([]uint64, 0, shards)
 		r.scratch.ShardObserveNS = make([]uint64, 0, shards)
+		r.scratch.ShardStageNS = make([]uint64, 0, shards)
 	}
 	return r
 }
@@ -156,8 +175,8 @@ func (r *SlotRing) Begin() *SlotSpan {
 		return nil
 	}
 	s := &r.scratch
-	sd, so := s.ShardDecideNS[:0], s.ShardObserveNS[:0]
-	*s = SlotSpan{ShardDecideNS: sd, ShardObserveNS: so}
+	sd, so, ss := s.ShardDecideNS[:0], s.ShardObserveNS[:0], s.ShardStageNS[:0]
+	*s = SlotSpan{ShardDecideNS: sd, ShardObserveNS: so, ShardStageNS: ss}
 	return s
 }
 
@@ -181,17 +200,32 @@ func (r *SlotRing) Publish() {
 	rec.counts.Store(counts)
 	rec.viewDecide.Store(clamp32(s.ViewNS)<<32 | clamp32(s.DecideNS))
 	rec.mergeObserve.Store(clamp32(s.MergeNS)<<32 | clamp32(s.ObserveNS))
-	rec.ckpt.Store(clamp32(s.CheckpointNS) << 32)
+	// ckptStage and overlap are zero on the dominant path (the staging
+	// and overlap clocks run on the sharded plane only, and checkpoints
+	// fire once per CheckpointEvery slots), so a load-and-skip — safe
+	// with a single writer — replaces two always-on stores with two
+	// near-free loads and keeps the flat full-obs loop inside the
+	// serve_ns_per_slot_obs budget.
+	if v := clamp32(s.CheckpointNS)<<32 | clamp32(s.StageNS); v != 0 || rec.ckptStage.Load() != 0 {
+		rec.ckptStage.Store(v)
+	}
+	if v := s.ObserveOverlapNS; v != 0 || rec.overlap.Load() != 0 {
+		rec.overlap.Store(v)
+	}
 	rec.wait.Store(s.WaitNS)
 	for k := range rec.shardDO {
-		var d, o uint64
+		var d, o, st uint64
 		if k < len(s.ShardDecideNS) {
 			d = s.ShardDecideNS[k]
 		}
 		if k < len(s.ShardObserveNS) {
 			o = s.ShardObserveNS[k]
 		}
+		if k < len(s.ShardStageNS) {
+			st = s.ShardStageNS[k]
+		}
 		rec.shardDO[k].Store(clamp32(d)<<32 | clamp32(o))
+		rec.shardStage[k].Store(st)
 	}
 	rec.seq.Store(2*n + 2) // even: stable, and names the publish index
 	r.next.Store(n + 1)
@@ -251,15 +285,19 @@ func (r *SlotRing) Snapshot(into []SlotSpan) []SlotSpan {
 			s.ViewNS, s.DecideNS = vd>>32, vd&0xffffffff
 			mo := rec.mergeObserve.Load()
 			s.MergeNS, s.ObserveNS = mo>>32, mo&0xffffffff
-			s.CheckpointNS = rec.ckpt.Load() >> 32
+			cs := rec.ckptStage.Load()
+			s.CheckpointNS, s.StageNS = cs>>32, cs&0xffffffff
+			s.ObserveOverlapNS = rec.overlap.Load()
 			s.WaitNS = rec.wait.Load()
 			if len(rec.shardDO) > 0 {
 				s.ShardDecideNS = make([]uint64, len(rec.shardDO))
 				s.ShardObserveNS = make([]uint64, len(rec.shardDO))
+				s.ShardStageNS = make([]uint64, len(rec.shardDO))
 				for k := range rec.shardDO {
 					do := rec.shardDO[k].Load()
 					s.ShardDecideNS[k] = do >> 32
 					s.ShardObserveNS[k] = do & 0xffffffff
+					s.ShardStageNS[k] = rec.shardStage[k].Load()
 				}
 			}
 			if rec.seq.Load() == v1 {

@@ -53,6 +53,13 @@ type Config struct {
 	// count; checkpoints become one file per shard plus a manifest at
 	// CheckpointPath (see DESIGN.md §11).
 	Shards int
+	// ShardPlane forces the sharded serving plane (router, partial
+	// learner, merger) even at Shards ≤ 1. A bench/diagnostic knob: the
+	// shard-scaling baseline serve_shard_rps_1 runs the headline workload
+	// through a one-shard plane, so its ratio against serve_http_rps
+	// isolates the plane's fixed tax from any parallelism. Decisions stay
+	// bit-identical to the flat engine.
+	ShardPlane bool
 
 	// Serving knobs.
 	//
@@ -251,7 +258,32 @@ type Engine struct {
 	// it opens the next slot as soon as the current batch is served.
 	batch    slotBatch
 	deferred *wireReq
-	scratch  viewScratch
+	// Ingest staging (guarded by mu): each admitted submission is routed
+	// into per-shard, per-SCN coverage rows at admission time, so closing
+	// a slot publishes already-partitioned buffers instead of re-scanning
+	// and copying the batch. Two arenas ping-pong: the slot being
+	// decided/observed keeps aliasing one while the next slot's traffic
+	// stages into the other.
+	stages [2]ingestStage
+	cur    int
+	// view is the single policy-facing SlotView, repointed at the closing
+	// arena each slot. One struct suffices: decideSlot(t+1) cannot run
+	// before slot t's Observe completes (the observing gate), and Observe
+	// is the last reader of slot t's view.
+	view policy.SlotView
+	// scnShard/scnLocal map each SCN to its owning learner shard and its
+	// row within that shard's staging block (flat engine: one
+	// pseudo-shard, identity rows). Immutable after NewEngine.
+	scnShard []int
+	scnLocal []int
+	// observing marks the pipelined-close window: finishSlot is running
+	// Observe for slot t with mu RELEASED, so handlers can decode,
+	// validate, and stage slot t+1's traffic concurrently. Every
+	// transition that could race the learner (decideSlot, advance's
+	// deferred/close branches, shutdown's flush) gates on it; obsCond
+	// wakes shutdown when the window closes.
+	observing bool
+	obsCond   *sync.Cond
 	// scen is the per-slot scenario view scratch (guarded by mu; only
 	// meaningful while deciding when cfg.Scenario != nil).
 	scen   scenario.View
@@ -276,6 +308,10 @@ type Engine struct {
 	openDeadline  time.Time
 	openSpan      time.Time
 	openTimedOut  bool
+	// openCells aliases the open slot's arena cells (per-task hypercube
+	// indices, computed by validateTasks on handler goroutines), consumed
+	// by finishSlot's feedback build.
+	openCells []int
 
 	// Slot-trace scratch (guarded by mu; meaningful only when tracing —
 	// cfg.SlotRing != nil): explicit per-slot stage timestamps feeding
@@ -288,6 +324,18 @@ type Engine struct {
 	// lastMergeNS is the most recent Merger.Resolve duration (sharded
 	// engines only; written in decide under mu).
 	lastMergeNS uint64
+	// mergeLat is the merge-stage duration histogram (one Record per
+	// sharded slot), exported as lfsc_serve_merge_ns.
+	mergeLat obs.Histogram
+	// Staged-ingest timing (traced sharded engines only — cfg.SlotRing !=
+	// nil && router != nil, see admit; guarded by mu): trStageNS
+	// accumulates staging time for the slot being batched
+	// and is published as openStageNS at close; trOverlapNS accumulates
+	// staging time landing inside the open slot's observe window — the
+	// pipelined close's measured ingest overlap.
+	trStageNS   uint64
+	openStageNS uint64
+	trOverlapNS uint64
 
 	// Report-wait timer, reused across slots. Armed and drained only by
 	// the engine goroutine (inline callers never touch it — they kick the
@@ -333,7 +381,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		kickCh:  make(chan struct{}, 1),
 		reqPool: make(chan *wireReq, 2*cfg.SubQueue+8),
 	}
-	if cfg.Shards > 1 {
+	if cfg.Shards > 1 || cfg.ShardPlane {
 		shards, merger, owner, router, err := buildShards(coreCfg, cfg.Seed, cfg.Shards)
 		if err != nil {
 			return nil, err
@@ -347,6 +395,29 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.pol = pol
 	}
 	e.batch.init(cfg.SCNs)
+	// SCN→(staging shard, local row) tables: the flat engine stages as one
+	// pseudo-shard with identity rows, so the staging and publish code is
+	// layout-agnostic.
+	numStage := 1
+	if e.router != nil {
+		numStage = cfg.Shards
+	}
+	e.scnShard = make([]int, cfg.SCNs)
+	e.scnLocal = make([]int, cfg.SCNs)
+	rows := make([]int, numStage)
+	for m := 0; m < cfg.SCNs; m++ {
+		k := 0
+		if e.router != nil {
+			k = e.owner[m]
+		}
+		e.scnShard[m] = k
+		e.scnLocal[m] = rows[k]
+		rows[k]++
+	}
+	for i := range e.stages {
+		e.stages[i].init(rows)
+	}
+	e.obsCond = sync.NewCond(&e.mu)
 	if cfg.Metrics != nil {
 		e.registerMetrics(cfg.Metrics)
 	}
@@ -457,6 +528,7 @@ func (e *Engine) Stats() Stats {
 			ShedTasks:     sh.shedTasks.Load(),
 			LastDecideNS:  sh.lastDecideNS.Load(),
 			LastObserveNS: sh.lastObserveNS.Load(),
+			LastStageNS:   sh.lastStageNS.Load(),
 		})
 	}
 	return st
@@ -526,6 +598,7 @@ func (e *Engine) validateTasks(q *wireReq) error {
 	for m := range counts {
 		counts[m] = 0
 	}
+	q.cells = q.cells[:0]
 	dims, scns, kMax := e.cfg.Dims, e.cfg.SCNs, e.cfg.KMax
 	for i := range tasks {
 		sp := &tasks[i]
@@ -535,6 +608,11 @@ func (e *Engine) validateTasks(q *wireReq) error {
 		if !task.Context(sp.Ctx).Valid() {
 			return fmt.Errorf("serve: task %d: context outside [0,1]", i)
 		}
+		// Hypercube indexing rides with the request: computed here on the
+		// handler goroutine, consumed verbatim by the slot close — the
+		// engine never re-indexes a context. The partition is immutable, so
+		// concurrent handlers share it freely.
+		q.cells = append(q.cells, e.part.Index(task.Context(sp.Ctx)))
 		if len(sp.SCNs) == 0 {
 			return fmt.Errorf("serve: task %d: no visible SCNs", i)
 		}
@@ -908,6 +986,14 @@ func (e *Engine) loop() {
 			timerC = e.timer.C
 			e.parkedTimer = true
 		} else {
+			if e.observing {
+				// A pipelined Observe is in flight on another stack: a tick
+				// consumed now would hit the observing-gated decideSlot and
+				// be lost. Leave it buffered in the ticker, exactly as an
+				// open slot does; finishSlot kicks this park when the
+				// window closes.
+				ticks = nil
+			}
 			e.parkedTimer = false
 		}
 		e.mu.Unlock()
@@ -995,6 +1081,13 @@ func (e *Engine) ingestReport(q *wireReq) {
 // KMax). Call under mu.
 func (e *Engine) advance() {
 	for {
+		if e.observing {
+			// Slot t's Observe is running with mu released on the finishing
+			// stack; no transition may touch the learner until it lands.
+			// That stack's own advance loop re-runs these conditions after
+			// finishSlot returns, so nothing accumulated here is stranded.
+			return
+		}
 		if e.openActive {
 			if e.openRemaining > 0 && !e.stopping {
 				return
@@ -1020,13 +1113,56 @@ func (e *Engine) advance() {
 // admit adds a drained submission to the accumulating batch, or parks it
 // in deferred when it would push a coverage list past KMax (the batch
 // must be served first). The park gating stops draining subCh while
-// deferred is set. Call under mu.
+// deferred is set. Admitted tasks are staged into the current arena
+// immediately — admission order is slot order — so the close has
+// nothing left to partition. Call under mu.
 func (e *Engine) admit(q *wireReq) {
 	if e.batch.wouldOverflow(q.tasks, e.cfg.KMax) {
 		e.deferred = q
 		return
 	}
-	e.batch.add(q)
+	e.batch.add(q, e.stages[e.cur].n)
+	// Stage timing is a sharded-plane feature: it exists to attribute
+	// ingest cost across shards and to size the pipelined-close overlap,
+	// and the two clock reads per admission are real money on the flat
+	// fast path (the obs stack is pinned at ≤5% over the probe baseline,
+	// and a pair of clock reads per request blows most of that budget).
+	// Flat traced engines report stage_ns 0.
+	if e.cfg.SlotRing == nil || e.router == nil {
+		e.stageSub(q)
+		return
+	}
+	t0 := time.Now()
+	e.stageSub(q)
+	d := uint64(time.Since(t0))
+	e.trStageNS += d
+	if e.observing {
+		e.trOverlapNS += d
+	}
+	e.shards[e.router.Shard(q.tasks[0].SCNs[0])].stageAccNS += d
+}
+
+// stageSub routes a submission's tasks into the current staging arena:
+// contexts packed into the arena's backing buffer, hypercube cells
+// copied from the request (validateTasks computed them on the handler
+// goroutine), and each task's slot index appended to the coverage row of
+// every visible SCN, grouped by owning shard. The rows come out exactly
+// as the old close-time re-scan built them — admission order is
+// preserved — so decisions are bit-identical. Call under mu.
+func (e *Engine) stageSub(q *wireReq) {
+	st := &e.stages[e.cur]
+	base := st.n
+	for i := range q.tasks {
+		sp := &q.tasks[i]
+		st.ctxBuf = append(st.ctxBuf, sp.Ctx...)
+		st.cells = append(st.cells, q.cells[i])
+		idx := base + i
+		for _, m := range sp.SCNs {
+			ss := &st.shards[e.scnShard[m]]
+			ss.cov[e.scnLocal[m]] = append(ss.cov[e.scnLocal[m]], idx)
+		}
+	}
+	st.n += len(q.tasks)
 }
 
 // shutdown finishes the engine: flush the slot in flight (and any batch
@@ -1035,6 +1171,12 @@ func (e *Engine) admit(q *wireReq) {
 // handler blocks forever. Call under mu.
 func (e *Engine) shutdown() {
 	e.stopping = true
+	// A pipelined Observe may be in flight on another stack with mu
+	// released; wait for its window to close before flushing, so the
+	// final advance sees a quiescent learner.
+	for e.observing {
+		e.obsCond.Wait()
+	}
 	e.advance()
 	if !e.abort.Load() && e.cfg.CheckpointPath != "" {
 		// Best effort — the periodic checkpoint remains if this fails.
@@ -1066,17 +1208,28 @@ func (e *Engine) failBatch(err error) {
 		q.resp <- stepReply{err: err}
 	}
 	e.batch.reset()
+	// The failed submissions' tasks were already staged; drop them with
+	// the batch so the arena cannot leak into a later slot.
+	e.stages[e.cur].reset()
 }
 
-// decideSlot closes the accumulated batch and opens the slot: build the
-// view, Decide, reply to submitters, then leave the slot open for
-// outcome reports (openRemaining counts the assigned tasks still
-// unreported; finishSlot runs once it reaches zero). Call under mu.
-// Mirrors the phase structure of sim.Run so the probe's breakdown is
-// comparable across offline and serving runs.
+// decideSlot closes the accumulated batch and opens the slot: publish
+// the staged arena as the slot view, Decide, reply to submitters, then
+// leave the slot open for outcome reports (openRemaining counts the
+// assigned tasks still unreported; finishSlot runs once it reaches
+// zero). Call under mu. Mirrors the phase structure of sim.Run so the
+// probe's breakdown is comparable across offline and serving runs (the
+// view phase now only publishes — the build work happened at ingest).
 func (e *Engine) decideSlot() {
+	if e.observing {
+		// Slot t's Observe is still running with mu released; deciding
+		// t+1 now would break the learner's slot protocol. The finishing
+		// stack re-runs the close conditions once the window ends.
+		return
+	}
 	b := &e.batch
-	n := len(b.specs)
+	st := &e.stages[e.cur]
+	n := st.n
 	if n == 0 {
 		return
 	}
@@ -1104,7 +1257,7 @@ func (e *Engine) decideSlot() {
 		e.cfg.Scenario.ViewInto(slot, &e.scen)
 		dyn = &e.scen
 	}
-	view := e.scratch.build(slot, b.specs, e.part, e.cfg.SCNs, dyn)
+	view := e.publishView(slot, st, dyn)
 	if instr {
 		span = probe.LapAt(obs.PhaseView, span, time.Now())
 		if traced {
@@ -1143,10 +1296,20 @@ func (e *Engine) decideSlot() {
 	}
 	e.assignedTasks.Add(uint64(expected))
 
-	// The batch's contents are fully captured in engine scratch; reset it
-	// now so the NEXT slot accumulates while this one collects reports —
-	// the pipeline overlap.
+	// Flip the staging arenas and reset the sequencer: the NEXT slot
+	// stages into the other arena while this one (aliased by the live
+	// view) collects reports and observes — the pipeline overlap.
 	b.reset()
+	e.cur ^= 1
+	e.stages[e.cur].reset()
+	if traced {
+		e.openStageNS = e.trStageNS
+		e.trStageNS = 0
+		for _, sh := range e.shards {
+			sh.lastStageNS.Store(sh.stageAccNS)
+			sh.stageAccNS = 0
+		}
+	}
 
 	// Reset the per-task report scratch and open the slot.
 	if cap(e.repGot) < n {
@@ -1164,6 +1327,7 @@ func (e *Engine) decideSlot() {
 	e.openSlot = slot
 	e.openN = n
 	e.openView = view
+	e.openCells = st.cells
 	e.openAssigned = assigned
 	e.openRemaining = expected
 	e.openExpected = expected
@@ -1179,7 +1343,13 @@ func (e *Engine) decideSlot() {
 }
 
 // finishSlot closes the open slot: build the feedback from whatever
-// reports arrived, Observe, account, maybe checkpoint. Call under mu.
+// reports arrived, Observe, account, maybe checkpoint. Call under mu;
+// the mutex is RELEASED for the Observe itself (the pipelined close) —
+// handlers decode, validate, and stage the next slot's traffic on their
+// own stacks while the learner updates, with the observing flag gating
+// every transition that could touch the learner mid-flight. An inline
+// lockstep step that closes the slot still runs the whole sequence —
+// including the unlocked Observe — on the caller's stack.
 func (e *Engine) finishSlot() {
 	probe := e.cfg.Probe
 	traced := e.cfg.SlotRing != nil
@@ -1205,21 +1375,41 @@ func (e *Engine) finishSlot() {
 			continue
 		}
 		ex := policy.Exec{
-			SCN: assigned[idx], Task: idx, Cell: e.scratch.cells[idx],
+			SCN: assigned[idx], Task: idx, Cell: e.openCells[idx],
 			U: e.repU[idx], V: e.repV[idx], Q: e.repQ[idx],
 		}
 		e.fb.Execs = append(e.fb.Execs, ex)
 		slotReward += ex.Compound()
 	}
-	e.observe(e.openView, assigned, &e.fb)
+	// The pipelined window: everything Observe reads (view, assigned, fb,
+	// the closed arena) is engine-owned and untouched by ingest; late
+	// reports during the window see openActive == false, exactly as they
+	// would after a non-pipelined close.
+	view := e.openView
+	e.openActive = false
+	e.observing = true
+	e.trOverlapNS = 0
+	e.mu.Unlock()
+	e.observe(view, assigned, &e.fb)
+	var obsEnd time.Time
 	if instr {
-		span = probe.LapAt(obs.PhaseObserve, span, time.Now())
+		obsEnd = time.Now()
+	}
+	e.mu.Lock()
+	e.observing = false
+	e.obsCond.Broadcast()
+	if e.cfg.SlotEvery > 0 {
+		// A tick may have landed while the loop's park had the ticker
+		// gated for the window; wake it so the buffered tick is seen.
+		e.kick()
+	}
+	if instr {
+		span = probe.LapAt(obs.PhaseObserve, span, obsEnd)
 		if traced {
 			observeNS = uint64(span.Sub(trObsStart))
 		}
 	}
 	probe.EndSlot()
-	e.openActive = false
 
 	cum := e.CumReward() + slotReward
 	e.cumRewardBits.Store(math.Float64bits(cum))
@@ -1255,15 +1445,18 @@ func (e *Engine) finishSlot() {
 		rec.Assigned = e.openExpected
 		rec.Reported = len(e.fb.Execs)
 		rec.TimedOut = e.openTimedOut
+		rec.StageNS = e.openStageNS
 		rec.ViewNS = e.trViewNS
 		rec.DecideNS = e.trDecideNS
 		rec.MergeNS = e.lastMergeNS
 		rec.WaitNS = waitNS
 		rec.ObserveNS = observeNS
+		rec.ObserveOverlapNS = e.trOverlapNS
 		rec.CheckpointNS = ckptNS
 		for _, sh := range e.shards {
 			rec.ShardDecideNS = append(rec.ShardDecideNS, sh.lastDecideNS.Load())
 			rec.ShardObserveNS = append(rec.ShardObserveNS, sh.lastObserveNS.Load())
+			rec.ShardStageNS = append(rec.ShardStageNS, sh.lastStageNS.Load())
 		}
 		e.cfg.SlotRing.Publish()
 	}
@@ -1339,9 +1532,12 @@ func (e *Engine) absorbReports(slot, n int, assigned []int, reqSlot int, reports
 	return len(reports), nil
 }
 
-// slotBatch accumulates submissions into the next slot.
+// slotBatch is the slot sequencer: it owns only the boundary decisions
+// (explicit close, MaxBatch, per-SCN KMax) and the submitter reply
+// bookkeeping. The tasks themselves live in the staging arenas — the
+// sequencer never copies a spec.
 type slotBatch struct {
-	specs    []TaskSpec
+	n        int
 	subs     []*wireReq
 	subBase  []int
 	scnCount []int
@@ -1357,7 +1553,7 @@ func (b *slotBatch) init(scns int) {
 // empty batch never overflows (a lone oversized submission was already
 // rejected by validation).
 func (b *slotBatch) wouldOverflow(tasks []TaskSpec, kMax int) bool {
-	if len(b.specs) == 0 {
+	if b.n == 0 {
 		return false
 	}
 	for i := range tasks {
@@ -1377,10 +1573,12 @@ func (b *slotBatch) wouldOverflow(tasks []TaskSpec, kMax int) bool {
 	return over
 }
 
-func (b *slotBatch) add(q *wireReq) {
+// add sequences a submission: base is its first task's slot index (the
+// staging arena's pre-admission fill).
+func (b *slotBatch) add(q *wireReq, base int) {
 	b.subs = append(b.subs, q)
-	b.subBase = append(b.subBase, len(b.specs))
-	b.specs = append(b.specs, q.tasks...)
+	b.subBase = append(b.subBase, base)
+	b.n += len(q.tasks)
 	for i := range q.tasks {
 		for _, m := range q.tasks[i].SCNs {
 			b.scnCount[m]++
@@ -1392,10 +1590,10 @@ func (b *slotBatch) add(q *wireReq) {
 }
 
 func (b *slotBatch) shouldClose(maxBatch, kMax int) bool {
-	if len(b.specs) == 0 {
+	if b.n == 0 {
 		return false
 	}
-	if b.closeReq || len(b.specs) >= maxBatch {
+	if b.closeReq || b.n >= maxBatch {
 		return true
 	}
 	for _, c := range b.scnCount {
@@ -1407,7 +1605,7 @@ func (b *slotBatch) shouldClose(maxBatch, kMax int) bool {
 }
 
 func (b *slotBatch) reset() {
-	b.specs = b.specs[:0]
+	b.n = 0
 	b.subs = b.subs[:0]
 	b.subBase = b.subBase[:0]
 	for m := range b.scnCount {
@@ -1416,78 +1614,82 @@ func (b *slotBatch) reset() {
 	b.closeReq = false
 }
 
-// viewScratch builds the policy-facing SlotView from batched task specs,
-// mirroring the simulator's slot builder: contexts packed into one
-// backing array, each indexed exactly once, per-SCN coverage rows in task
-// order (the same coverage-row order a trace generator produces, which
-// is what keeps serving and offline runs bit-identical on the same
-// workload). Contexts are installed eagerly — the specs already carry
-// them, so there is nothing to defer.
-type viewScratch struct {
-	cells   []int
-	ctxBuf  []float64
-	ctxs    []task.Context
-	view    policy.SlotView
-	covBufs [][]int
+// ingestStage is one of the engine's two ping-pong staging arenas: the
+// packed context buffer, per-task hypercube cells, and the per-shard
+// blocks of per-SCN coverage rows, all filled at admission time in
+// arrival order. Publishing a slot is then just handing these buffers to
+// the view — the same data the old close-time re-scan produced, built
+// once instead of twice.
+type ingestStage struct {
+	ctxBuf []float64
+	ctxs   []task.Context
+	cells  []int
+	n      int
+	shards []shardStage
 }
 
-func (s *viewScratch) build(t int, specs []TaskSpec, part *hypercube.Partition, scns int, dyn *scenario.View) *policy.SlotView {
-	n := len(specs)
-	if cap(s.cells) < n {
-		s.cells = make([]int, n)
-		s.ctxs = make([]task.Context, n)
+// shardStage is one learner shard's staged coverage block, indexed by
+// the shard-local SCN row (Engine.scnLocal).
+type shardStage struct {
+	cov [][]int
+}
+
+func (s *ingestStage) init(rows []int) {
+	s.shards = make([]shardStage, len(rows))
+	for k := range s.shards {
+		s.shards[k].cov = make([][]int, rows[k])
 	}
-	s.cells = s.cells[:n]
-	s.ctxs = s.ctxs[:n]
+}
+
+func (s *ingestStage) reset() {
 	s.ctxBuf = s.ctxBuf[:0]
-	for i := range specs {
-		s.ctxBuf = append(s.ctxBuf, specs[i].Ctx...)
+	s.ctxs = s.ctxs[:0]
+	s.cells = s.cells[:0]
+	s.n = 0
+	for k := range s.shards {
+		cov := s.shards[k].cov
+		for r := range cov {
+			cov[r] = cov[r][:0]
+		}
 	}
-	dims := 0
-	if n > 0 {
-		dims = len(specs[0].Ctx)
-	}
+}
+
+// publishView turns the closed staging arena into the policy-facing
+// SlotView: coverage rows are handed over by pointer (no re-scan, no
+// copy), contexts materialise as subslices of the packed buffer, and
+// scenario masking empties down SCNs' rows exactly as the offline
+// simulator's view boundary does — which is what keeps client, daemon,
+// and sim.Run bit-identical under churn. Call under mu; the view
+// aliases the arena, which stays untouched until the slot's Observe
+// completes (the other arena takes the ingest traffic meanwhile).
+func (e *Engine) publishView(t int, st *ingestStage, dyn *scenario.View) *policy.SlotView {
+	n := st.n
+	dims := e.cfg.Dims
+	st.ctxs = st.ctxs[:0]
 	for i := 0; i < n; i++ {
-		ctx := task.Context(s.ctxBuf[i*dims : (i+1)*dims : (i+1)*dims])
-		s.ctxs[i] = ctx
-		s.cells[i] = part.Index(ctx)
+		st.ctxs = append(st.ctxs, task.Context(st.ctxBuf[i*dims:(i+1)*dims:(i+1)*dims]))
 	}
-	if cap(s.view.SCNs) < scns {
-		s.view.SCNs = make([]policy.SCNView, scns)
+	v := &e.view
+	scns := e.cfg.SCNs
+	if cap(v.SCNs) < scns {
+		v.SCNs = make([]policy.SCNView, scns)
 	}
-	s.view.SCNs = s.view.SCNs[:scns]
-	for len(s.covBufs) < scns {
-		s.covBufs = append(s.covBufs, nil)
-	}
+	v.SCNs = v.SCNs[:scns]
 	for m := 0; m < scns; m++ {
-		s.covBufs[m] = s.covBufs[m][:0]
-	}
-	for idx := range specs {
-		for _, m := range specs[idx].SCNs {
-			s.covBufs[m] = append(s.covBufs[m], idx)
+		if dyn != nil && !dyn.Up[m] {
+			v.SCNs[m].Cover = nil
+			continue
 		}
+		v.SCNs[m].Cover = st.shards[e.scnShard[m]].cov[e.scnLocal[m]]
 	}
-	// Mirror the simulator's scenario masking: down SCNs get empty
-	// coverage rows, and the per-SCN capacity/budget vectors ride on the
-	// view. Nil dynamics leave the static path untouched.
 	if dyn == nil {
-		for m := 0; m < scns; m++ {
-			s.view.SCNs[m].Cover = s.covBufs[m]
-		}
-		s.view.Caps, s.view.AlphaMul, s.view.BetaMul = nil, nil, nil
+		v.Caps, v.AlphaMul, v.BetaMul = nil, nil, nil
 	} else {
-		for m := 0; m < scns; m++ {
-			if dyn.Up[m] {
-				s.view.SCNs[m].Cover = s.covBufs[m]
-			} else {
-				s.view.SCNs[m].Cover = nil
-			}
-		}
-		s.view.Caps, s.view.AlphaMul, s.view.BetaMul = dyn.Caps, dyn.AlphaMul, dyn.BetaMul
+		v.Caps, v.AlphaMul, v.BetaMul = dyn.Caps, dyn.AlphaMul, dyn.BetaMul
 	}
-	s.view.T = t
-	s.view.NumTasks = n
-	s.view.Cells = s.cells
-	s.view.SetCtxs(s.ctxs)
-	return &s.view
+	v.T = t
+	v.NumTasks = n
+	v.Cells = st.cells
+	v.SetCtxs(st.ctxs)
+	return v
 }

@@ -61,6 +61,13 @@ func (e *Engine) registerMetrics(m *obs.Metrics) {
 	m.Histogram("lfsc_request_duration_seconds", reqHelp,
 		[]obs.Label{{Name: "endpoint", Value: "shed"}}, &e.shedLat)
 
+	if e.router != nil {
+		// Sharded plane only: one Record per slot close (Merger.Resolve),
+		// scraped like every other histogram here.
+		m.Histogram("lfsc_serve_merge_ns", "Duration of the cross-shard edge-merge/resolution stage per slot.",
+			nil, &e.mergeLat)
+	}
+
 	for _, sh := range e.shards {
 		sh := sh
 		lbl := []obs.Label{{Name: "shard", Value: strconv.Itoa(sh.id)}}
@@ -76,6 +83,8 @@ func (e *Engine) registerMetrics(m *obs.Metrics) {
 			lbl, secondsFn(&sh.lastDecideNS))
 		m.Gauge("lfsc_shard_last_observe_seconds", "Duration of the shard's Observe leg in the most recent slot.",
 			lbl, secondsFn(&sh.lastObserveNS))
+		m.Gauge("lfsc_shard_last_stage_seconds", "Ingest-staging time attributed to the shard over the last slot's batch window (traced engines only).",
+			lbl, secondsFn(&sh.lastStageNS))
 	}
 
 	if slo := e.cfg.SLO; slo != nil {

@@ -36,6 +36,14 @@ type engineShard struct {
 	// shows up as the one entry dominating the slot.
 	lastDecideNS  atomic.Uint64
 	lastObserveNS atomic.Uint64
+
+	// Staged-ingest timing, traced engines only (cfg.SlotRing != nil):
+	// stageAccNS accumulates the staging time of submissions whose home
+	// shard (first task's first SCN) is this one, under the engine's mu;
+	// decideSlot publishes it into lastStageNS at each close for
+	// status/trace readers.
+	stageAccNS  uint64
+	lastStageNS atomic.Uint64
 }
 
 // buildShards constructs the sharded learner plane: a consistent-hash
@@ -68,6 +76,12 @@ func buildShards(coreCfg core.Config, seed uint64, shards int) ([]*engineShard, 
 	if err != nil {
 		return nil, nil, nil, nil, fmt.Errorf("serve: merger: %w", err)
 	}
+	// The resolution stage's edge merge parallelises across the same
+	// worker budget as the per-shard fan-out: heavy slots run the
+	// deterministic tournament reduction instead of the single-threaded
+	// k-way heap merge (bit-identical output — see assign.
+	// TournamentMergeInto).
+	merger.SetMergeWorkers(shards)
 	return es, merger, owner, router, nil
 }
 
@@ -89,8 +103,9 @@ func (e *Engine) slotsSeen() int {
 // decide runs the slot's decision across the learner plane. Unsharded:
 // the learner's own Decide. Sharded: the two-phase barrier — every shard
 // computes its SCNs' probabilities, candidate samples, and pre-sorted
-// edge lists in parallel (phase one), then the merger's single-threaded
-// k-way resolution produces the global greedy assignment (phase two).
+// edge lists in parallel (phase one), then the merger's resolution
+// produces the global greedy assignment (phase two, with the edge merge
+// itself parallelised as a deterministic tournament on heavy slots).
 // The resolver code is shared with the unsharded path, so the assignment
 // is bit-identical at any shard count.
 func (e *Engine) decide(view *policy.SlotView) []int {
@@ -107,6 +122,7 @@ func (e *Engine) decide(view *policy.SlotView) []int {
 	t0 := time.Now()
 	assigned := e.merger.Resolve(view)
 	e.lastMergeNS = uint64(time.Since(t0))
+	e.mergeLat.Record(e.lastMergeNS)
 	return assigned
 }
 

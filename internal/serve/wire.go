@@ -192,6 +192,12 @@ type ShardStat struct {
 	// legs of the most recent slot's parallel Decide and Observe stages.
 	LastDecideNS  uint64 `json:"last_decide_ns"`
 	LastObserveNS uint64 `json:"last_observe_ns"`
+	// LastStageNS is the ingest-staging time attributed to this shard
+	// (home-shard key) over the most recently closed slot's batch window.
+	// Populated only when slot tracing (SlotRing) is on — staging is on
+	// the ingest path, so the engine only pays for the clock reads when
+	// someone asked for the trace.
+	LastStageNS uint64 `json:"last_stage_ns"`
 }
 
 // errorBody is the JSON error envelope of non-2xx responses. Shed step
@@ -242,6 +248,12 @@ type wireReq struct {
 	// Validation scratch (per-SCN coverage counts, handler goroutine).
 	counts []int
 
+	// cells holds each task's hypercube cell index, computed by
+	// validateTasks on the handler goroutine — the indexing work the slot
+	// close used to redo for the whole batch now rides in with the
+	// request, already done by the time the engine stages the tasks.
+	cells []int
+
 	// Handler↔engine protocol. resp has capacity 1 so the engine never
 	// blocks replying to a handler that already gave up.
 	resp chan stepReply
@@ -279,6 +291,7 @@ func (q *wireReq) reset() {
 	q.ctxBuf = q.ctxBuf[:0]
 	q.scnBuf = q.scnBuf[:0]
 	q.offs = q.offs[:0]
+	q.cells = q.cells[:0]
 	q.assignedBuf = q.assignedBuf[:0]
 	q.repAccepted = 0
 	q.repErr = nil
